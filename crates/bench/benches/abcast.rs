@@ -1,0 +1,41 @@
+//! Criterion bench: atomic broadcast variants — simulation cost of
+//! ordering and delivering 200 messages on a 9-node group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use groupsafe_gcs::harness::Cluster;
+use groupsafe_gcs::GcsConfig;
+use groupsafe_net::NodeId;
+use groupsafe_sim::SimTime;
+use std::hint::black_box;
+
+fn run_broadcasts(cfg: GcsConfig) -> u64 {
+    let n = 9;
+    let mut cluster = Cluster::new(n, cfg, 3);
+    for i in 0..200u64 {
+        cluster.broadcast_at(
+            SimTime::from_millis(10 + i * 2),
+            NodeId((i % n as u64) as u32),
+            i,
+        );
+    }
+    cluster.engine.run_until(SimTime::from_secs(10));
+    cluster.engine.dispatched()
+}
+
+fn bench_abcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abcast");
+    for (name, cfg) in [
+        ("non_uniform", GcsConfig::view_based_non_uniform()),
+        ("uniform", GcsConfig::view_based_uniform()),
+        ("crash_recovery", GcsConfig::crash_recovery()),
+        ("end_to_end", GcsConfig::end_to_end()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("deliver_200_msgs_9_nodes", name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_broadcasts(cfg.clone())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_abcast);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion bench: local database engine hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use groupsafe_db::{
+    DbConfig, DbEngine, FlushPolicy, ItemId, LockManager, LockMode, TxnId, WriteOp,
+};
+use groupsafe_sim::{Disk, Fcfs, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn engine() -> DbEngine {
+    DbEngine::new(
+        DbConfig {
+            flush_policy: FlushPolicy::Async,
+            ..DbConfig::default()
+        },
+        Rc::new(RefCell::new(Fcfs::new(2))),
+        Rc::new(RefCell::new(Disk::paper_pool())),
+        Rc::new(RefCell::new(Disk::paper_pool())),
+        StdRng::seed_from_u64(1),
+    )
+}
+
+fn bench_db(c: &mut Criterion) {
+    c.bench_function("db/read_10k", |b| {
+        let mut e = engine();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(e.read(SimTime::from_micros(i as u64), ItemId(i % 10_000)))
+        })
+    });
+
+    c.bench_function("db/commit_5_writes", |b| {
+        let mut e = engine();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let writes: Vec<WriteOp> = (0..5)
+                .map(|k| WriteOp {
+                    item: ItemId(((seq * 5 + k) % 10_000) as u32),
+                    value: seq as i64,
+                    version: seq,
+                })
+                .collect();
+            black_box(e.commit(
+                SimTime::from_micros(seq),
+                TxnId { client: 0, seq },
+                &writes,
+            ))
+        })
+    });
+
+    c.bench_function("db/wal_flush_batched", |b| {
+        let mut e = engine();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            e.commit(
+                SimTime::from_micros(seq * 10),
+                TxnId { client: 1, seq },
+                &[WriteOp {
+                    item: ItemId((seq % 10_000) as u32),
+                    value: 1,
+                    version: seq,
+                }],
+            );
+            if let Some((_, lsn)) = e.flush_wal(SimTime::from_micros(seq * 10 + 5)) {
+                e.wal_mark_durable(lsn);
+            }
+            black_box(e.wal_durable_lsn())
+        })
+    });
+
+    c.bench_function("db/lock_acquire_release", |b| {
+        let mut lm = LockManager::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let t = TxnId { client: 0, seq };
+            for k in 0..10u32 {
+                lm.acquire(
+                    t,
+                    ItemId((seq as u32).wrapping_mul(7).wrapping_add(k) % 1000),
+                    if k % 2 == 0 {
+                        LockMode::Shared
+                    } else {
+                        LockMode::Exclusive
+                    },
+                );
+            }
+            black_box(lm.release_all(t))
+        })
+    });
+
+    c.bench_function("db/crash_recovery_1k_txns", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine();
+                for seq in 1..=1_000u64 {
+                    e.commit(
+                        SimTime::from_micros(seq),
+                        TxnId { client: 2, seq },
+                        &[WriteOp {
+                            item: ItemId((seq % 10_000) as u32),
+                            value: seq as i64,
+                            version: seq,
+                        }],
+                    );
+                }
+                if let Some((_, lsn)) = e.flush_wal(SimTime::from_secs(1)) {
+                    e.wal_mark_durable(lsn);
+                }
+                e
+            },
+            |mut e| {
+                e.crash();
+                black_box(e.committed_count())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_db);
+criterion_main!(benches);

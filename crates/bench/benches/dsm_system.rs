@@ -1,0 +1,46 @@
+//! Criterion bench: full replicated-database simulations — the cost of
+//! simulating one technique for 5 simulated seconds at 30 tps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use groupsafe_core::{SafetyLevel, Technique};
+use groupsafe_sim::SimDuration;
+use groupsafe_workload::{run, PaperParams, RunConfig};
+use std::hint::black_box;
+
+fn one_run(technique: Technique, seed: u64) -> usize {
+    let cfg = RunConfig {
+        technique,
+        load_tps: 30.0,
+        closed_loop: true,
+        assumed_resp_ms: 70.0,
+        lazy_prop_ms: 20.0,
+        wal_flush_ms: 20.0,
+        params: PaperParams::default(),
+        warmup: SimDuration::from_secs(1),
+        duration: SimDuration::from_secs(5),
+        drain: SimDuration::from_secs(1),
+        seed,
+    };
+    run(&cfg).samples
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    for (name, tech) in [
+        ("group_safe", Technique::Dsm(SafetyLevel::GroupSafe)),
+        ("group_1_safe", Technique::Dsm(SafetyLevel::GroupOneSafe)),
+        ("two_safe", Technique::Dsm(SafetyLevel::TwoSafe)),
+        ("lazy", Technique::Lazy),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("simulate_5s_30tps_9servers", name),
+            &tech,
+            |b, tech| b.iter(|| black_box(one_run(*tech, 11))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: raw discrete-event kernel throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use groupsafe_sim::{Actor, Ctx, Engine, Payload, SimDuration, SimTime};
+use std::hint::black_box;
+
+struct Ping {
+    peer: Option<groupsafe_sim::ActorId>,
+    remaining: u32,
+}
+struct Tick;
+
+impl Actor for Ping {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        if payload.downcast::<Tick>().is_ok() && self.remaining > 0 {
+            self.remaining -= 1;
+            let target = self.peer.unwrap_or(ctx.me());
+            ctx.send(target, SimDuration::from_micros(10), Tick);
+        }
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel/dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(1);
+            let a = eng.add_actor(Box::new(Ping {
+                peer: None,
+                remaining: 50_000,
+            }));
+            let p = eng.add_actor(Box::new(Ping {
+                peer: Some(a),
+                remaining: 50_000,
+            }));
+            eng.schedule(SimTime::ZERO, a, Tick);
+            eng.schedule(SimTime::ZERO, p, Tick);
+            eng.run_to_completion();
+            black_box(eng.dispatched())
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

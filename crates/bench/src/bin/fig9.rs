@@ -1,0 +1,124 @@
+//! Fig. 9 reproduction: mean response time vs offered load (20–40 tps)
+//! for group-safe, group-1-safe and lazy (1-safe) replication, on the
+//! Table 4 configuration.
+//!
+//! Usage: `fig9 [--quick] [--csv <path>]`
+//!   --quick   shorter runs (10 s measurement instead of 60 s)
+//!   --csv     also write a CSV with one row per (technique, load)
+
+use groupsafe_bench::plot::ascii_chart;
+use groupsafe_core::{SafetyLevel, Technique};
+use groupsafe_sim::SimDuration;
+use groupsafe_workload::{csv_header, sweep, PaperParams, RunConfig, RunReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let loads: Vec<f64> = (20..=40).step_by(2).map(|v| v as f64).collect();
+    let base = RunConfig {
+        technique: Technique::Dsm(SafetyLevel::GroupSafe),
+        load_tps: 0.0,
+        closed_loop: true,
+        assumed_resp_ms: 70.0,
+        lazy_prop_ms: 20.0,
+        wal_flush_ms: 20.0,
+        params: PaperParams::default(),
+        warmup: SimDuration::from_secs(5),
+        duration: if quick {
+            SimDuration::from_secs(10)
+        } else {
+            SimDuration::from_secs(60)
+        },
+        drain: SimDuration::from_secs(3),
+        seed: 42,
+    };
+
+    let techniques = [
+        Technique::Dsm(SafetyLevel::GroupSafe),
+        Technique::Lazy,
+        Technique::Dsm(SafetyLevel::GroupOneSafe),
+    ];
+
+    println!("Fig. 9 — response time vs load (Table 4 configuration)");
+    println!(
+        "{:<14} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6} {:>5}",
+        "technique", "load", "achieved", "mean ms", "p50 ms", "p95 ms", "abort%", "lost", "conv"
+    );
+    let mut all: Vec<RunReport> = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for tech in techniques {
+        let reports = sweep(tech, &loads, &base);
+        let mut curve = Vec::new();
+        for r in &reports {
+            println!(
+                "{:<14} {:>6.0} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.1}% {:>6} {:>5}",
+                r.technique,
+                r.offered_tps,
+                r.achieved_tps,
+                r.mean_ms,
+                r.p50_ms,
+                r.p95_ms,
+                r.abort_rate * 100.0,
+                r.lost,
+                r.distinct_states,
+            );
+            curve.push((r.offered_tps, r.mean_ms));
+        }
+        series.push((reports[0].technique.to_string(), curve));
+        all.extend(reports);
+        println!();
+    }
+
+    println!("{}", ascii_chart(&series, "load [tps]", "response [ms]", 72, 24));
+
+    if let Some(path) = csv_path {
+        let mut out = String::from(csv_header());
+        out.push('\n');
+        for r in &all {
+            out.push_str(&r.csv_row());
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write csv");
+        println!("wrote {path}");
+    }
+
+    // Shape checks mirroring the paper's findings (§6). These are
+    // assertions-as-documentation: the binary exits non-zero if the
+    // reproduction loses the paper's qualitative result.
+    let get = |label: &str| -> &Vec<(f64, f64)> {
+        &series.iter().find(|(l, _)| l == label).expect("series").1
+    };
+    let gs = get("group-safe");
+    let lazy = get("lazy (1-safe)");
+    let g1s = get("group-1-safe");
+    let avg = |curve: &[(f64, f64)]| -> f64 {
+        curve.iter().map(|(_, y)| *y).sum::<f64>() / curve.len() as f64
+    };
+    let low_n = 3.min(gs.len());
+    let hi_n = gs.len().saturating_sub(3);
+    assert!(
+        avg(&gs[..low_n]) < avg(&lazy[..low_n]),
+        "group-safe must outperform lazy at low load"
+    );
+    assert!(
+        avg(&lazy[..low_n]) < avg(&g1s[..low_n]),
+        "group-1-safe must be the slowest at low load"
+    );
+    assert!(
+        avg(&lazy[hi_n..]) <= avg(&gs[hi_n..]),
+        "lazy must catch (or beat) group-safe at high load (§6 crossover)"
+    );
+    assert!(
+        avg(&g1s[hi_n..]) > 2.0 * avg(&g1s[..low_n]),
+        "group-1-safe must degrade sharply by 40 tps"
+    );
+    println!(
+        "shape checks passed: group-safe < lazy < group-1-safe at low load;          lazy catches group-safe at high load; group-1-safe scales poorly"
+    );
+}

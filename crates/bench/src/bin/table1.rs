@@ -1,0 +1,82 @@
+//! Table 1 reproduction: the safety matrix — which safety level follows
+//! from (transaction delivered on …) × (transaction logged on …) — plus
+//! two empirical anchors from the crash machinery.
+
+use groupsafe_core::{Guarantee, SafetyLevel, Technique};
+use groupsafe_core::table1;
+use groupsafe_workload::{run_crash_scenario, CrashScenario};
+
+fn cell_label(d: Guarantee, l: Guarantee) -> String {
+    match table1(d, l) {
+        Some(level) => level.to_string(),
+        None => "—".to_string(),
+    }
+}
+
+fn main() {
+    println!("Table 1 — safety levels by (delivered × logged) guarantees:\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>14}",
+        "delivered \\ logged", "no replica", "1 replica", "all replicas"
+    );
+    for (dl, dg) in [
+        ("1 replica", Guarantee::OneReplica),
+        ("all replicas", Guarantee::AllReplicas),
+    ] {
+        println!(
+            "{:<22} {:>14} {:>14} {:>14}",
+            dl,
+            cell_label(dg, Guarantee::NoReplica),
+            cell_label(dg, Guarantee::OneReplica),
+            cell_label(dg, Guarantee::AllReplicas),
+        );
+    }
+
+    println!("\nPer-level properties (Tables 1–2 as code):");
+    println!(
+        "{:<14} {:>12} {:>12} {:>22} {:>14}",
+        "level", "delivered", "logged", "tolerated crashes (n=9)", "reply pre-log"
+    );
+    for level in [
+        SafetyLevel::ZeroSafe,
+        SafetyLevel::OneSafe,
+        SafetyLevel::GroupSafe,
+        SafetyLevel::GroupOneSafe,
+        SafetyLevel::TwoSafe,
+        SafetyLevel::VerySafe,
+    ] {
+        let g = |g: Guarantee| match g {
+            Guarantee::NoReplica => "none",
+            Guarantee::OneReplica => "one",
+            Guarantee::AllReplicas => "all",
+        };
+        println!(
+            "{:<14} {:>12} {:>12} {:>22} {:>14}",
+            level.to_string(),
+            g(level.delivered_on()),
+            g(level.logged_on()),
+            level.tolerated_crashes(9),
+            level.reply_before_logging(),
+        );
+    }
+
+    // Empirical anchors: the matrix's two extremes, measured.
+    println!("\nEmpirical anchors (n = 5, delegate crash):");
+    let lazy = run_crash_scenario(&CrashScenario::small(Technique::Lazy, vec![0], 301));
+    println!(
+        "  1-safe (logged on one):      lost {}/{} acknowledged  (loss expected)",
+        lazy.lost, lazy.acked
+    );
+    let gs = run_crash_scenario(&CrashScenario::small(
+        Technique::Dsm(SafetyLevel::GroupSafe),
+        vec![0],
+        307,
+    ));
+    println!(
+        "  group-safe (delivered on all): lost {}/{} acknowledged  (no loss expected)",
+        gs.lost, gs.acked
+    );
+    assert!(lazy.lost > 0, "1-safe anchor must exhibit loss");
+    assert_eq!(gs.lost, 0, "group-safe anchor must not lose");
+    println!("\nTable 1 anchors verified.");
+}

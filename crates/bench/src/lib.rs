@@ -1,0 +1,18 @@
+//! # groupsafe-bench — harnesses regenerating the paper's tables/figures
+//!
+//! Binaries (one per artefact):
+//! * `table1` — empirical safety matrix (delivered × logged),
+//! * `table2` — tolerated crashes per safety level,
+//! * `table3` — group-safe vs group-1-safe loss conditions,
+//! * `table4` — the simulator parameters in use,
+//! * `fig5_fig7` — the lost-transaction and end-to-end recovery scenarios,
+//! * `fig9` — response time vs load for the three techniques,
+//! * `scaling` — §7/Fig. 10: lazy vs group-safe risk as n grows,
+//! * `latency_micro` — disk write vs atomic broadcast latency (§6).
+//!
+//! Criterion micro-benches live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;

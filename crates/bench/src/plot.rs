@@ -1,0 +1,81 @@
+//! Minimal ASCII chart rendering for the figure harnesses.
+
+/// Render multiple `(x, y)` series as an ASCII chart. Each series is
+/// drawn with its own glyph; a legend follows the plot.
+pub fn ascii_chart(
+    series: &[(String, Vec<(f64, f64)>)],
+    x_label: &str,
+    y_label: &str,
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (y_min, mut y_max) = (0.0f64, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s {
+            let cx = ((x - x_min) / (x_max - x_min) * (width as f64 - 1.0)).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label} (max {:.1})\n", y_max));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        " {x_label}: {:.1} .. {:.1}\n",
+        x_min, x_max
+    ));
+    for (i, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!(" {} = {}\n", GLYPHS[i % GLYPHS.len()], label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series() {
+        let s = vec![
+            ("a".to_string(), vec![(0.0, 1.0), (1.0, 2.0)]),
+            ("b".to_string(), vec![(0.0, 2.0), (1.0, 1.0)]),
+        ];
+        let chart = ascii_chart(&s, "x", "y", 20, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("a"));
+        assert!(chart.contains("x: 0.0 .. 1.0"));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert_eq!(ascii_chart(&[], "x", "y", 10, 5), "(no data)\n");
+    }
+}

@@ -1,0 +1,279 @@
+//! Client actors: submit transactions to a delegate, measure response
+//! times, resubmit after aborts and timeouts (update-everywhere: a
+//! timeout switches to another delegate; testable transactions make the
+//! retry safe).
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use groupsafe_db::{Operation, TxnId};
+use groupsafe_net::{Incoming, Network, NodeId};
+use groupsafe_sim::{Actor, Ctx, Payload, SimDuration, SimTime};
+
+use crate::msg::{ClientMsg, ServerReply, TxnRequest};
+use crate::verify::Oracle;
+
+/// How a client generates load.
+#[derive(Debug, Clone, Copy)]
+pub enum LoadModel {
+    /// Open loop: Poisson arrivals with the given mean inter-arrival
+    /// time, independent of outstanding requests.
+    Open {
+        /// Mean inter-arrival time.
+        mean_interarrival: SimDuration,
+    },
+    /// Closed loop: one outstanding transaction; after each reply, think
+    /// (exponentially distributed) before the next submission.
+    Closed {
+        /// Mean think time.
+        mean_think: SimDuration,
+    },
+}
+
+/// Generates the operations of each new transaction.
+pub type OpGenerator = Box<dyn FnMut(&mut StdRng) -> Vec<Operation>>;
+
+/// Client configuration.
+pub struct ClientConfig {
+    /// This client's network node.
+    pub node: NodeId,
+    /// Numeric client id (first component of its transaction ids).
+    pub id: u32,
+    /// Preferred delegate server.
+    pub home: NodeId,
+    /// Total number of servers (timeout failover rotates through them).
+    pub n_servers: u32,
+    /// Load model.
+    pub load: LoadModel,
+    /// Give up waiting for a reply after this long and resubmit elsewhere.
+    pub timeout: SimDuration,
+    /// Discard response samples recorded before this instant (warm-up).
+    pub measure_from: SimTime,
+}
+
+enum ClientTimer {
+    Arrival,
+    Timeout { txn: TxnId, attempt: u32 },
+}
+
+struct Outstanding {
+    ops: Vec<Operation>,
+    attempt: u32,
+    sent_at: SimTime,
+    first_sent_at: SimTime,
+    target: NodeId,
+}
+
+/// The client actor.
+pub struct Client {
+    cfg: ClientConfig,
+    net: Network,
+    oracle: Rc<RefCell<Oracle>>,
+    rng: StdRng,
+    gen: OpGenerator,
+    next_seq: u64,
+    outstanding: std::collections::BTreeMap<TxnId, Outstanding>,
+    done: BTreeSet<TxnId>,
+    stopped: bool,
+}
+
+/// Driver command: start generating load.
+#[derive(Debug, Clone, Copy)]
+pub struct StartClient;
+
+/// Driver command: stop generating new transactions (outstanding ones
+/// still complete — used to drain the system before verification).
+#[derive(Debug, Clone, Copy)]
+pub struct StopClient;
+
+impl Client {
+    /// Build a client.
+    pub fn new(
+        cfg: ClientConfig,
+        net: Network,
+        oracle: Rc<RefCell<Oracle>>,
+        rng: StdRng,
+        gen: OpGenerator,
+    ) -> Self {
+        Client {
+            cfg,
+            net,
+            oracle,
+            rng,
+            gen,
+            next_seq: 0,
+            outstanding: std::collections::BTreeMap::new(),
+            done: BTreeSet::new(),
+            stopped: false,
+        }
+    }
+
+    /// Transactions completed (committed acks received).
+    pub fn completed(&self) -> usize {
+        self.done.len()
+    }
+
+    fn exp_sample(&mut self, mean: SimDuration) -> SimDuration {
+        let u: f64 = self.rng.random_range(1e-12..1.0);
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    fn schedule_next_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        let delay = match self.cfg.load {
+            LoadModel::Open { mean_interarrival } => self.exp_sample(mean_interarrival),
+            LoadModel::Closed { mean_think } => self.exp_sample(mean_think),
+        };
+        ctx.timer(delay, ClientTimer::Arrival);
+    }
+
+    fn submit_new(&mut self, ctx: &mut Ctx<'_>) {
+        self.next_seq += 1;
+        let id = TxnId {
+            client: self.cfg.id,
+            seq: self.next_seq,
+        };
+        let ops = (self.gen)(&mut self.rng);
+        let now = ctx.now();
+        self.outstanding.insert(
+            id,
+            Outstanding {
+                ops: ops.clone(),
+                attempt: 0,
+                sent_at: now,
+                first_sent_at: now,
+                target: self.cfg.home,
+            },
+        );
+        self.send_request(ctx, id);
+    }
+
+    fn send_request(&mut self, ctx: &mut Ctx<'_>, id: TxnId) {
+        let o = self.outstanding.get(&id).expect("outstanding");
+        let req = TxnRequest {
+            id,
+            ops: o.ops.clone(),
+            client: self.cfg.node,
+            attempt: o.attempt,
+        };
+        let target = o.target;
+        let attempt = o.attempt;
+        self.net
+            .send(ctx, self.cfg.node, target, ClientMsg::Request(req));
+        ctx.timer(self.cfg.timeout, ClientTimer::Timeout { txn: id, attempt });
+    }
+
+    fn resubmit(&mut self, ctx: &mut Ctx<'_>, id: TxnId, rotate: bool) {
+        let n = self.cfg.n_servers;
+        let Some(o) = self.outstanding.get_mut(&id) else {
+            return;
+        };
+        o.attempt += 1;
+        o.sent_at = ctx.now();
+        if rotate {
+            o.target = NodeId((o.target.0 + 1) % n);
+        }
+        self.send_request(ctx, id);
+    }
+
+    fn on_reply(&mut self, ctx: &mut Ctx<'_>, reply: ServerReply) {
+        match reply {
+            ServerReply::Committed { txn, attempt } => {
+                let Some(o) = self.outstanding.get(&txn) else {
+                    return; // duplicate reply after failover
+                };
+                if attempt != o.attempt {
+                    return; // stale attempt
+                }
+                let now = ctx.now();
+                let resp_ms = (now - o.sent_at).as_millis_f64();
+                let total_ms = (now - o.first_sent_at).as_millis_f64();
+                if now >= self.cfg.measure_from {
+                    ctx.metrics().record("response_ms", resp_ms);
+                    ctx.metrics().record("response_total_ms", total_ms);
+                }
+                self.oracle.borrow_mut().record_ack(txn, now, resp_ms);
+                self.outstanding.remove(&txn);
+                self.done.insert(txn);
+                if matches!(self.cfg.load, LoadModel::Closed { .. }) {
+                    self.schedule_next_arrival(ctx);
+                }
+            }
+            ServerReply::Aborted { txn, attempt } => {
+                let Some(o) = self.outstanding.get(&txn) else {
+                    return;
+                };
+                if attempt != o.attempt {
+                    return;
+                }
+                if ctx.now() >= self.cfg.measure_from {
+                    ctx.metrics().incr("client_aborts_seen");
+                }
+                // Resubmit to the same delegate: a fresh execution reads
+                // fresh versions and will usually pass certification.
+                self.resubmit(ctx, txn, false);
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, attempt: u32) {
+        let Some(o) = self.outstanding.get(&txn) else {
+            return; // already answered
+        };
+        if o.attempt != attempt {
+            return; // answered and resubmitted since
+        }
+        self.oracle.borrow_mut().timeouts += 1;
+        ctx.metrics().incr("client_timeouts");
+        // Update-everywhere: any server can act as the delegate.
+        self.resubmit(ctx, txn, true);
+    }
+}
+
+impl Actor for Client {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.downcast::<StartClient>() {
+            Ok(_) => {
+                self.schedule_next_arrival(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<StopClient>() {
+            Ok(_) => {
+                self.stopped = true;
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<ServerReply>>() {
+            Ok(inc) => {
+                self.on_reply(ctx, inc.msg);
+                return;
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<ClientTimer>() {
+            Ok(t) => match *t {
+                ClientTimer::Arrival => {
+                    if self.stopped {
+                        return;
+                    }
+                    self.submit_new(ctx);
+                    if matches!(self.cfg.load, LoadModel::Open { .. }) {
+                        self.schedule_next_arrival(ctx);
+                    }
+                }
+                ClientTimer::Timeout { txn, attempt } => self.on_timeout(ctx, txn, attempt),
+            },
+            Err(_) => panic!("client: unhandled event payload"),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "client"
+    }
+}

@@ -1,0 +1,39 @@
+//! # groupsafe-core — the paper's contribution
+//!
+//! Group-safe database replication (Wiesmann & Schiper, EDBT 2004):
+//!
+//! * [`SafetyLevel`] — the taxonomy of §2.1 and §5 with Tables 1–3 as
+//!   executable functions,
+//! * [`certify`] — the database state machine's deterministic
+//!   certification,
+//! * [`ReplicaServer`] — update-everywhere, non-voting, single-network-
+//!   interaction replication over atomic broadcast, with the reply point
+//!   parameterised by safety level (0-safe, group-safe, group-1-safe,
+//!   2-safe over end-to-end atomic broadcast), plus the lazy (1-safe)
+//!   baseline with asynchronous propagation,
+//! * [`Client`] — open/closed-loop clients with abort resubmission and
+//!   timeout failover,
+//! * [`verify`] — the oracle and the lost-transaction / convergence /
+//!   lost-update checks,
+//! * [`System`] — one-call assembly of a full replicated database.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod client;
+pub mod msg;
+pub mod safety;
+pub mod server;
+pub mod system;
+pub mod verify;
+
+pub use certify::{certify, certify_versions, Certification};
+pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, StopClient};
+pub use msg::{ClientMsg, DsmMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest};
+pub use safety::{table1, Guarantee, SafetyLevel};
+pub use server::{InitServer, InstallCheckpointCmd, RWire, ReplicaConfig, ReplicaServer, RestartServerCmd, SwitchSafetyCmd, Technique};
+pub use system::{System, SystemConfig};
+pub use verify::{
+    check_convergence, check_lost_updates, check_no_loss, LostTransaction, LostUpdate, Oracle,
+};

@@ -1,0 +1,112 @@
+//! Messages of the replicated database component.
+
+use groupsafe_db::{ItemId, Operation, TxnId, Value, Version, WriteOp};
+use groupsafe_net::NodeId;
+
+/// A transaction as submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRequest {
+    /// Stable identity (kept across resubmissions of the same logical
+    /// transaction — the testable-transaction key).
+    pub id: TxnId,
+    /// The operations, executed in order.
+    pub ops: Vec<Operation>,
+    /// Where to send the reply.
+    pub client: NodeId,
+    /// Resubmission attempt number (0 = first try; metrics only).
+    pub attempt: u32,
+}
+
+impl TxnRequest {
+    /// True if the transaction contains at least one write.
+    pub fn is_update(&self) -> bool {
+        self.ops.iter().any(|o| o.is_write())
+    }
+}
+
+/// Client → server network message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Execute this transaction (the receiving server is the delegate).
+    Request(TxnRequest),
+}
+
+/// Server → client network message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerReply {
+    /// The transaction committed (per the technique's safety criterion).
+    Committed {
+        /// Transaction id.
+        txn: TxnId,
+        /// Attempt number being answered.
+        attempt: u32,
+    },
+    /// The transaction was aborted (certification conflict or deadlock
+    /// victim); the client may resubmit.
+    Aborted {
+        /// Transaction id.
+        txn: TxnId,
+        /// Attempt number being answered.
+        attempt: u32,
+    },
+}
+
+/// The payload atomically broadcast by the database state machine
+/// technique: the transaction's read set (with observed versions, for
+/// certification) and its write set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsmMsg {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Attempt number (echoed in the delegate's reply).
+    pub attempt: u32,
+    /// The delegate that executed the read phase.
+    pub delegate: NodeId,
+    /// The client awaiting the reply.
+    pub client: NodeId,
+    /// Items read, with the committed versions observed.
+    pub readset: Vec<(ItemId, Version)>,
+    /// Items written, with the new values (versions are assigned from the
+    /// delivery sequence number at certification time).
+    pub writes: Vec<(ItemId, Value)>,
+}
+
+/// Very-safe confirmation: a replica tells the delegate that `txn`'s
+/// commit record reached its disk. The delegate answers the client only
+/// once every group member confirmed (§2.1: "logged on all servers" —
+/// which is why a single crash blocks commits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoggedConfirm {
+    /// The transaction now durable at the sender.
+    pub txn: TxnId,
+}
+
+/// Lazy propagation message: write sets shipped asynchronously from the
+/// delegate to the other replicas (no ordering, no certification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LazyPropagation {
+    /// Write sets, each with the versions the delegate assigned at its
+    /// local commit (origin timestamps; Thomas write rule applies them).
+    pub writesets: Vec<(TxnId, Vec<WriteOp>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_detection() {
+        let ro = TxnRequest {
+            id: TxnId { client: 0, seq: 1 },
+            ops: vec![Operation::Read(ItemId(1))],
+            client: NodeId(9),
+            attempt: 0,
+        };
+        assert!(!ro.is_update());
+        let rw = TxnRequest {
+            ops: vec![Operation::Read(ItemId(1)), Operation::Write(ItemId(2), 5)],
+            ..ro.clone()
+        };
+        assert!(rw.is_update());
+    }
+}

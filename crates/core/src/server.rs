@@ -1,0 +1,1060 @@
+//! The replicated database server: one actor per node, embedding the
+//! group communication endpoint and the local database engine.
+//!
+//! Two techniques are implemented:
+//!
+//! * **Database state machine** (update-everywhere, non-voting, single
+//!   network interaction — the paper's Fig. 2/Fig. 8): the delegate
+//!   executes the read phase locally, atomically broadcasts the
+//!   transaction's read and write sets, and every replica certifies and
+//!   applies deliveries deterministically in delivery order. The *reply
+//!   point* — where the client learns of the commit — is fixed by the
+//!   configured [`SafetyLevel`]:
+//!     - `ZeroSafe`: reply at (non-uniform) delivery, nothing logged;
+//!     - `GroupSafe` (Fig. 8): reply at uniform delivery + certification,
+//!       all disk writes asynchronous;
+//!     - `GroupOneSafe` (Fig. 2): reply after the delegate's synchronous
+//!       log flush;
+//!     - `TwoSafe`: end-to-end atomic broadcast; reply after the
+//!       delegate's flush, `ack(m)` sent once the transaction is logged.
+//! * **Lazy (1-safe) replication**: full local execution under strict
+//!   2PL, synchronous local log flush, reply, then asynchronous
+//!   propagation of write sets applied at the other replicas under the
+//!   Thomas write rule, with no conflict handling — the paper's baseline.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use groupsafe_db::{
+    DbCheckpoint, DbConfig, DbEngine, FlushPolicy, ItemId, LockMode, LockOutcome, Lsn, Operation,
+    TxnId, Value, Version, WriteOp,
+};
+use groupsafe_gcs::{GcsConfig, GcsEndpoint, GcsOutput, GcsTimer, Wire};
+use groupsafe_net::{Incoming, Network, NodeId, NET_CPU};
+use groupsafe_sim::{Actor, Ctx, Disk, Fcfs, Payload, SimDuration, SimTime};
+
+use crate::certify::{certify, Certification};
+use crate::msg::{ClientMsg, DsmMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest};
+use crate::safety::SafetyLevel;
+use crate::verify::Oracle;
+
+/// Which replication technique a server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Database state machine at the given safety level
+    /// (`ZeroSafe`, `GroupSafe`, `GroupOneSafe` or `TwoSafe`).
+    Dsm(SafetyLevel),
+    /// Lazy (1-safe) replication.
+    Lazy,
+}
+
+impl Technique {
+    /// The safety level the client-visible guarantee corresponds to.
+    pub fn safety_level(self) -> SafetyLevel {
+        match self {
+            Technique::Dsm(l) => l,
+            Technique::Lazy => SafetyLevel::OneSafe,
+        }
+    }
+
+    /// The group communication configuration this technique requires
+    /// (`None` for lazy replication, which uses plain messages).
+    pub fn gcs_config(self) -> Option<GcsConfig> {
+        match self {
+            Technique::Dsm(SafetyLevel::ZeroSafe) => Some(GcsConfig::view_based_non_uniform()),
+            Technique::Dsm(SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe) => {
+                Some(GcsConfig::view_based_uniform())
+            }
+            Technique::Dsm(SafetyLevel::TwoSafe | SafetyLevel::VerySafe) => {
+                Some(GcsConfig::end_to_end())
+            }
+            Technique::Dsm(l) => panic!("no DSM variant implements {l}"),
+            Technique::Lazy => None,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Dsm(SafetyLevel::ZeroSafe) => "0-safe (dsm)",
+            Technique::Dsm(SafetyLevel::GroupSafe) => "group-safe",
+            Technique::Dsm(SafetyLevel::GroupOneSafe) => "group-1-safe",
+            Technique::Dsm(SafetyLevel::TwoSafe) => "2-safe (e2e)",
+            Technique::Dsm(SafetyLevel::VerySafe) => "very-safe",
+            Technique::Dsm(_) => "dsm",
+            Technique::Lazy => "lazy (1-safe)",
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Replication technique.
+    pub technique: Technique,
+    /// Local database configuration.
+    pub db: DbConfig,
+    /// Number of CPUs (Table 4: 2).
+    pub cpus: usize,
+    /// Background WAL flush period (async durability).
+    pub wal_flush_interval: SimDuration,
+    /// Background data-page flush period (write caching).
+    pub page_flush_interval: SimDuration,
+    /// Lazy propagation batching period.
+    pub lazy_prop_interval: SimDuration,
+    /// Sequential-batch discount of the disk pool (fraction of a full
+    /// access charged per extra page; 1.0 disables write caching — the
+    /// §5.1 ablation).
+    pub disk_sequential_factor: f64,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            technique: Technique::Dsm(SafetyLevel::GroupSafe),
+            db: DbConfig {
+                // Flushing is orchestrated by the server per safety level;
+                // the engine itself never flushes inside `commit`.
+                flush_policy: FlushPolicy::Async,
+                ..DbConfig::default()
+            },
+            cpus: 2,
+            wal_flush_interval: SimDuration::from_millis(20),
+            page_flush_interval: SimDuration::from_millis(100),
+            lazy_prop_interval: SimDuration::from_millis(20),
+            disk_sequential_factor: 0.3,
+        }
+    }
+}
+
+/// Wire type of the replication layer's broadcasts.
+pub type RWire = Wire<DsmMsg, DbCheckpoint>;
+
+/// Server-internal timers.
+#[derive(Debug, Clone)]
+enum ServerTimer {
+    /// The read phase (or lazy execution) of `txn` completed.
+    ExecDone(TxnId),
+    /// Periodic background WAL flush.
+    WalFlushTick,
+    /// A WAL flush covering records below `lsn` hit the disk.
+    WalDurable(Lsn),
+    /// Periodic background page flush.
+    PageFlushTick,
+    /// Periodic lazy propagation.
+    LazyPropTick,
+    /// Send `reply` to `client` now (the reply point was reached).
+    Reply {
+        /// Destination client.
+        client: NodeId,
+        /// The reply.
+        reply: ServerReply,
+    },
+}
+
+/// Driver command: initialise the server.
+#[derive(Debug, Clone, Copy)]
+pub struct InitServer;
+
+/// Driver command after a *total* group failure in the dynamic model: all
+/// processes restart as a brand-new group (the GC history is gone), with
+/// sequence numbers continuing above `seq_base`.
+#[derive(Debug, Clone)]
+pub struct RestartServerCmd {
+    /// Members of the fresh group.
+    pub members: Vec<NodeId>,
+    /// Highest sequence number reflected in any recovered state.
+    pub seq_base: u64,
+}
+
+/// Operator command: switch the reply point between group-safe and
+/// group-1-safe at runtime (§5.2: "switching between group-1-safe and
+/// group-safe can be done easily at runtime: an actual implementation
+/// might choose to switch between both modes depending on the
+/// situation"). Both levels run on the same uniform atomic broadcast, so
+/// only the reply point changes; transactions delivered after the switch
+/// follow the new level.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchSafetyCmd(pub SafetyLevel);
+
+/// Driver command: adopt this checkpoint (operator-driven reconciliation
+/// after a total failure: every replica installs the most advanced
+/// recovered state — a durable-prefix union, since all states are
+/// prefixes of the same delivery history).
+#[derive(Debug, Clone)]
+pub struct InstallCheckpointCmd(pub DbCheckpoint);
+
+/// An in-flight local execution (read phase or lazy 2PL execution).
+struct Exec {
+    req: TxnRequest,
+    idx: usize,
+    cursor: SimTime,
+    readset: Vec<(ItemId, Version)>,
+    writes: Vec<(ItemId, Value)>,
+}
+
+/// The replicated database server actor.
+pub struct ReplicaServer {
+    node: NodeId,
+    cfg: ReplicaConfig,
+    /// The technique currently in force (starts as `cfg.technique`; the
+    /// safety level may be switched at runtime between group-safe and
+    /// group-1-safe, §5.2).
+    technique: Technique,
+    net: Network,
+    cpu: Rc<RefCell<Fcfs>>,
+    #[allow(dead_code)]
+    log_disk: Rc<RefCell<Disk>>,
+    #[allow(dead_code)]
+    data_disk: Rc<RefCell<Disk>>,
+    gcs: Option<GcsEndpoint<DsmMsg, DbCheckpoint>>,
+    db: DbEngine,
+    oracle: Rc<RefCell<Oracle>>,
+    n_servers: u32,
+
+    // Volatile.
+    execs: std::collections::BTreeMap<TxnId, Exec>,
+    /// Last GCS sequence number applied to the database.
+    applied_seq: u64,
+    /// Delivered transactions are processed in delivery order: this is
+    /// when the apply pipeline frees up (the next delivery's processing
+    /// starts no earlier).
+    apply_cursor: SimTime,
+    /// (record lsn, gcs seq) pairs awaiting durability before `ack(m)`
+    /// (2-safe and very-safe).
+    pending_acks: Vec<(Lsn, u64)>,
+    /// (record lsn, txn, delegate) triples awaiting durability before a
+    /// very-safe confirmation is sent to the delegate.
+    pending_confirms: Vec<(Lsn, TxnId, NodeId)>,
+    /// Delegate side of very-safe commits: per transaction, the client to
+    /// answer, the attempt, and the replicas that confirmed logging.
+    very_waiting: std::collections::BTreeMap<TxnId, (NodeId, u32, std::collections::BTreeSet<NodeId>)>,
+    /// Confirmations that arrived before this delegate's own delivery
+    /// opened the waiting entry (its local GC persist can lag behind a
+    /// fast peer's whole flush-and-confirm path).
+    very_early: std::collections::BTreeMap<TxnId, std::collections::BTreeSet<NodeId>>,
+    /// Write sets awaiting lazy propagation.
+    lazy_buffer: Vec<(TxnId, Vec<WriteOp>)>,
+    /// Last version this delegate assigned (lazy technique): versions must
+    /// be unique per node or the Thomas write rule diverges on ties.
+    last_lazy_version: Version,
+    up: bool,
+}
+
+impl ReplicaServer {
+    /// Build a server for `node` among `n_servers` replicas.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        n_servers: u32,
+        cfg: ReplicaConfig,
+        net: Network,
+        oracle: Rc<RefCell<Oracle>>,
+        seed: u64,
+    ) -> Self {
+        let cpu = Rc::new(RefCell::new(Fcfs::new(cfg.cpus)));
+        // Table 4: two disks per server, pooled; log and data traffic
+        // share them ("all three techniques used the same logging
+        // setting, so they share the same throughput limits").
+        let disk_pool = Rc::new(RefCell::new(Disk::pool(
+            groupsafe_sim::DiskConfig {
+                sequential_factor: cfg.disk_sequential_factor,
+                ..groupsafe_sim::DiskConfig::default()
+            },
+            2,
+        )));
+        let log_disk = disk_pool.clone();
+        let data_disk = disk_pool;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0000_0000 ^ node.0 as u64);
+        let group: Vec<NodeId> = (0..n_servers).map(NodeId).collect();
+        let gcs = cfg.technique.gcs_config().map(|gcfg| {
+            GcsEndpoint::new(
+                gcfg,
+                node,
+                group,
+                net.clone(),
+                Some(log_disk.clone()),
+                StdRng::seed_from_u64(rng.random()),
+            )
+        });
+        let db = DbEngine::new(
+            cfg.db.clone(),
+            cpu.clone(),
+            log_disk.clone(),
+            data_disk.clone(),
+            StdRng::seed_from_u64(rng.random()),
+        );
+        ReplicaServer {
+            node,
+            technique: cfg.technique,
+            cfg,
+            net,
+            cpu,
+            log_disk,
+            data_disk,
+            gcs,
+            db,
+            oracle,
+            n_servers,
+            execs: std::collections::BTreeMap::new(),
+            applied_seq: 0,
+            apply_cursor: SimTime::ZERO,
+            pending_acks: Vec::new(),
+            pending_confirms: Vec::new(),
+            very_waiting: std::collections::BTreeMap::new(),
+            very_early: std::collections::BTreeMap::new(),
+            lazy_buffer: Vec::new(),
+            last_lazy_version: 0,
+            up: true,
+        }
+    }
+
+    /// The local database engine (verification access).
+    pub fn db(&self) -> &DbEngine {
+        &self.db
+    }
+
+    /// This server's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// True if the server is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The group communication endpoint, if the technique uses one.
+    pub fn gcs(&self) -> Option<&GcsEndpoint<DsmMsg, DbCheckpoint>> {
+        self.gcs.as_ref()
+    }
+
+    /// The technique currently in force.
+    pub fn technique(&self) -> Technique {
+        self.technique
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(gcs) = &mut self.gcs {
+            gcs.start(ctx);
+        }
+        ctx.timer(self.cfg.wal_flush_interval, ServerTimer::WalFlushTick);
+        ctx.timer(self.cfg.page_flush_interval, ServerTimer::PageFlushTick);
+        if self.technique == Technique::Lazy {
+            ctx.timer(self.cfg.lazy_prop_interval, ServerTimer::LazyPropTick);
+        }
+    }
+
+    /// Switch between group-safe and group-1-safe (§5.2). Only these two
+    /// levels share a group communication configuration, so only they can
+    /// be swapped live.
+    fn switch_safety(&mut self, ctx: &mut Ctx<'_>, level: SafetyLevel) {
+        assert!(
+            matches!(level, SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe),
+            "runtime switching is defined between group-safe and group-1-safe"
+        );
+        assert!(
+            matches!(
+                self.technique,
+                Technique::Dsm(SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe)
+            ),
+            "the server must already run one of the switchable levels"
+        );
+        self.technique = Technique::Dsm(level);
+        ctx.metrics().incr("safety_switches");
+    }
+
+    /// Collapse a transaction's write list into its write *set*: one entry
+    /// per item, the last write wins. Without this, a transaction writing
+    /// the same item twice diverges under the Thomas write rule (the
+    /// delegate applies both in order; a remote skips the second, equal-
+    /// version write).
+    fn dedup_writes(writes: &[(ItemId, Value)]) -> Vec<(ItemId, Value)> {
+        let mut out: Vec<(ItemId, Value)> = Vec::with_capacity(writes.len());
+        for &(item, value) in writes {
+            if let Some(slot) = out.iter_mut().find(|(i, _)| *i == item) {
+                slot.1 = value;
+            } else {
+                out.push((item, value));
+            }
+        }
+        out
+    }
+
+    /// Charge one network operation's CPU cost starting at `from`.
+    fn charge_net_cpu(&mut self, from: SimTime) -> SimTime {
+        self.cpu.borrow_mut().request(from, NET_CPU)
+    }
+
+    fn reply_at(&mut self, ctx: &mut Ctx<'_>, at: SimTime, client: NodeId, reply: ServerReply) {
+        let delay = at - ctx.now();
+        ctx.timer(delay, ServerTimer::Reply { client, reply });
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling (delegate side)
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, req: TxnRequest) {
+        ctx.metrics().incr("server_requests");
+        let start = self.charge_net_cpu(ctx.now());
+        let exec = Exec {
+            req,
+            idx: 0,
+            cursor: start,
+            readset: Vec::new(),
+            writes: Vec::new(),
+        };
+        let id = exec.req.id;
+        self.execs.insert(id, exec);
+        match self.technique {
+            Technique::Dsm(_) => self.run_dsm_read_phase(ctx, id),
+            Technique::Lazy => self.continue_lazy(ctx, id),
+        }
+    }
+
+    /// DSM read phase: no locks; reads observe committed versions, writes
+    /// are buffered. The whole chain is computed analytically and the
+    /// completion scheduled as one event.
+    fn run_dsm_read_phase(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        let mut exec = self.execs.remove(&txn).expect("exec exists");
+        while exec.idx < exec.req.ops.len() {
+            match exec.req.ops[exec.idx] {
+                Operation::Read(item) => {
+                    let r = self.db.read(exec.cursor, item);
+                    exec.readset.push((item, r.version));
+                    exec.cursor = r.done;
+                }
+                Operation::Write(item, value) => {
+                    let done = self
+                        .cpu
+                        .borrow_mut()
+                        .request(exec.cursor, self.db.config().cpu_per_op);
+                    // Updates overwrite the current version: record it so
+                    // certification catches write-write conflicts (and the
+                    // oracle can recognise lost updates). The version is
+                    // catalogue metadata — no disk access.
+                    exec.readset.push((item, self.db.item(item).version));
+                    exec.writes.push((item, value));
+                    exec.cursor = done;
+                }
+            }
+            exec.idx += 1;
+        }
+        let at = exec.cursor;
+        self.execs.insert(txn, exec);
+        let delay = at - ctx.now();
+        ctx.timer(delay, ServerTimer::ExecDone(txn));
+    }
+
+    /// Lazy execution: strict 2PL, one op at a time; parks on lock waits.
+    fn continue_lazy(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        loop {
+            let Some(exec) = self.execs.get(&txn) else {
+                return; // aborted meanwhile
+            };
+            if exec.idx >= exec.req.ops.len() {
+                let at = exec.cursor.max(ctx.now());
+                let delay = at - ctx.now();
+                ctx.timer(delay, ServerTimer::ExecDone(txn));
+                return;
+            }
+            let op = exec.req.ops[exec.idx];
+            let mode = if op.is_write() {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            match self.db.locks().acquire(txn, op.item(), mode) {
+                LockOutcome::Granted => {
+                    let exec = self.execs.get_mut(&txn).expect("exists");
+                    let from = exec.cursor.max(ctx.now());
+                    match op {
+                        Operation::Read(item) => {
+                            let r = self.db.read(from, item);
+                            let exec = self.execs.get_mut(&txn).expect("exists");
+                            exec.readset.push((item, r.version));
+                            exec.cursor = r.done;
+                        }
+                        Operation::Write(item, value) => {
+                            let done = self
+                                .cpu
+                                .borrow_mut()
+                                .request(from, self.db.config().cpu_per_op);
+                            let version = self.db.item(item).version;
+                            let exec = self.execs.get_mut(&txn).expect("exists");
+                            exec.readset.push((item, version));
+                            exec.writes.push((item, value));
+                            exec.cursor = done;
+                        }
+                    }
+                    let exec = self.execs.get_mut(&txn).expect("exists");
+                    exec.idx += 1;
+                }
+                LockOutcome::Waiting => return,
+                LockOutcome::Deadlock { victim } => {
+                    ctx.metrics().incr("deadlocks");
+                    if victim == txn {
+                        self.abort_lazy(ctx, txn);
+                        return;
+                    }
+                    self.abort_lazy(ctx, victim);
+                    // Retry the acquire now that the victim released.
+                }
+            }
+        }
+    }
+
+    /// Abort a lazy transaction (deadlock victim): release its locks,
+    /// answer its client, resume whoever the release unblocked.
+    fn abort_lazy(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        let Some(exec) = self.execs.remove(&txn) else {
+            return;
+        };
+        ctx.metrics().incr("txn_aborted_deadlock");
+        self.oracle.borrow_mut().aborts += 1;
+        let reply = ServerReply::Aborted {
+            txn,
+            attempt: exec.req.attempt,
+        };
+        let at = self.charge_net_cpu(ctx.now());
+        self.reply_at(ctx, at, exec.req.client, reply);
+        let granted = self.db.locks().release_all(txn);
+        for (t, _) in granted {
+            self.continue_lazy(ctx, t);
+        }
+    }
+
+    fn on_exec_done(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        match self.technique {
+            Technique::Dsm(_) => self.dsm_exec_done(ctx, txn),
+            Technique::Lazy => self.lazy_exec_done(ctx, txn),
+        }
+    }
+
+    fn dsm_exec_done(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        let Some(exec) = self.execs.remove(&txn) else {
+            return;
+        };
+        if !exec.req.is_update() {
+            // Read-only: commits locally without interaction (Fig. 2 note).
+            ctx.metrics().incr("txn_readonly");
+            let at = self.charge_net_cpu(ctx.now());
+            self.reply_at(
+                ctx,
+                at,
+                exec.req.client,
+                ServerReply::Committed {
+                    txn,
+                    attempt: exec.req.attempt,
+                },
+            );
+            return;
+        }
+        let msg = DsmMsg {
+            txn,
+            attempt: exec.req.attempt,
+            delegate: self.node,
+            client: exec.req.client,
+            readset: exec.readset,
+            writes: Self::dedup_writes(&exec.writes),
+        };
+        let gcs = self.gcs.as_mut().expect("DSM uses group communication");
+        gcs.broadcast(ctx, msg);
+        ctx.metrics().incr("dsm_broadcasts");
+    }
+
+    fn lazy_exec_done(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        let Some(exec) = self.execs.remove(&txn) else {
+            return;
+        };
+        let now = ctx.now();
+        if exec.writes.is_empty() {
+            ctx.metrics().incr("txn_readonly");
+            let at = self.charge_net_cpu(now);
+            self.reply_at(
+                ctx,
+                at,
+                exec.req.client,
+                ServerReply::Committed {
+                    txn,
+                    attempt: exec.req.attempt,
+                },
+            );
+            let granted = self.db.locks().release_all(txn);
+            for (t, _) in granted {
+                self.continue_lazy(ctx, t);
+            }
+            return;
+        }
+        // Version: origin timestamp (µs) with the node id as tiebreaker —
+        // totally ordered across replicas for the Thomas write rule. Two
+        // local commits in the same microsecond must not collide (a tie
+        // would be applied by this delegate but skipped by the others), so
+        // bump the timestamp component monotonically.
+        let mut version: Version = (now.as_nanos() / 1_000) << 8 | self.node.0 as u64;
+        if version <= self.last_lazy_version {
+            version = (((self.last_lazy_version >> 8) + 1) << 8) | self.node.0 as u64;
+        }
+        self.last_lazy_version = version;
+        let writes: Vec<WriteOp> = Self::dedup_writes(&exec.writes)
+            .into_iter()
+            .map(|(item, value)| WriteOp {
+                item,
+                value,
+                version,
+            })
+            .collect();
+        let res = self.db.commit(now, txn, &writes);
+        ctx.metrics().incr("txn_committed");
+        self.oracle
+            .borrow_mut()
+            .record_commit(txn, self.node, exec.readset.clone(), writes.clone());
+        // 1-safe: reply after the local synchronous log flush.
+        let reply_at = if let Some((flush_done, lsn)) = self.db.flush_wal_sync(res.done) {
+            let delay = flush_done - now;
+            ctx.timer(delay, ServerTimer::WalDurable(lsn));
+            flush_done
+        } else {
+            res.done
+        };
+        self.reply_at(
+            ctx,
+            reply_at,
+            exec.req.client,
+            ServerReply::Committed {
+                txn,
+                attempt: exec.req.attempt,
+            },
+        );
+        self.lazy_buffer.push((txn, writes));
+        let granted = self.db.locks().release_all(txn);
+        for (t, _) in granted {
+            self.continue_lazy(ctx, t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DSM delivery handling (every replica)
+    // ------------------------------------------------------------------
+
+    fn on_deliver(&mut self, ctx: &mut Ctx<'_>, seq: u64, msg: DsmMsg, redelivery: bool) {
+        let now = ctx.now();
+        // CPU cost of the ordering traffic this delivery represents
+        // (ordered message + the view's acknowledgements), charged in bulk
+        // rather than one event per ack. See DESIGN.md.
+        let acks = self.n_servers as u64;
+        self.cpu.borrow_mut().request(now, NET_CPU * (acks + 1));
+        // Delivered transactions are processed strictly in delivery order
+        // (determinism requires it): processing starts when the pipeline
+        // frees up.
+        let start = now.max(self.apply_cursor);
+        // Certification cost.
+        let cert_cpu = self.db.config().cpu_per_op * msg.readset.len().max(1) as u64;
+        let decided_at = self.cpu.borrow_mut().request(start, cert_cpu);
+        let verdict = certify(&self.db, &msg.readset);
+        let level = match self.technique {
+            Technique::Dsm(l) => l,
+            Technique::Lazy => unreachable!("lazy does not deliver"),
+        };
+        match verdict {
+            Certification::Abort { .. } => {
+                ctx.metrics().incr("txn_aborted_cert");
+                self.apply_cursor = decided_at;
+                if msg.delegate == self.node {
+                    self.oracle.borrow_mut().aborts += 1;
+                    let reply = ServerReply::Aborted {
+                        txn: msg.txn,
+                        attempt: msg.attempt,
+                    };
+                    self.reply_at(ctx, decided_at, msg.client, reply);
+                }
+                // Processing is complete (nothing to log): ack immediately.
+                if matches!(level, SafetyLevel::TwoSafe | SafetyLevel::VerySafe) {
+                    if let Some(gcs) = &mut self.gcs {
+                        gcs.app_ack(ctx, seq);
+                    }
+                }
+            }
+            Certification::Commit => {
+                let writes: Vec<WriteOp> = msg
+                    .writes
+                    .iter()
+                    .map(|&(item, value)| WriteOp {
+                        item,
+                        value,
+                        version: seq,
+                    })
+                    .collect();
+                let res = self.db.commit(decided_at, msg.txn, &writes);
+                if !res.duplicate {
+                    ctx.metrics().incr("txn_committed");
+                    self.oracle.borrow_mut().record_commit(
+                        msg.txn,
+                        msg.delegate,
+                        msg.readset.clone(),
+                        writes,
+                    );
+                }
+                let record_lsn = self.db.wal_end_lsn().saturating_sub(1);
+                let is_delegate = msg.delegate == self.node;
+                // Processing completion per safety level. Under
+                // group-1-safe and 2-safe, *every* replica writes the
+                // commit record synchronously inside the delivery pipeline
+                // (Fig. 2: all servers run commit(t) as part of
+                // processing); under 0-safe/group-safe the log write is
+                // asynchronous and the pipeline only pays CPU (Fig. 8).
+                let processed_at = if level.reply_before_logging() || res.duplicate {
+                    // Fig. 8: all disk writes leave the transaction
+                    // boundary; the pipeline only pays CPU.
+                    res.done
+                } else {
+                    // Fig. 2: commit(t) completes within the processing
+                    // step — force the commit record (serialised in the
+                    // delivery pipeline) and install the written pages
+                    // synchronously (concurrent with later deliveries).
+                    let mut done = res.done;
+                    if let Some((flush_done, lsn)) = self.db.flush_wal_sync(res.done) {
+                        let delay = flush_done - now;
+                        ctx.timer(delay, ServerTimer::WalDurable(lsn));
+                        done = flush_done;
+                    }
+                    self.db.sync_install(done, msg.writes.len())
+                };
+                self.apply_cursor = processed_at;
+                if level == SafetyLevel::VerySafe && !res.duplicate {
+                    // Confirmations flow to the delegate once each record
+                    // is durable; the delegate answers after all n.
+                    self.pending_confirms.push((record_lsn, msg.txn, msg.delegate));
+                    ctx.metrics().incr("very_confirm_registered");
+                    if is_delegate {
+                        let early = self.very_early.remove(&msg.txn).unwrap_or_default();
+                        self.very_waiting
+                            .insert(msg.txn, (msg.client, msg.attempt, early));
+                        ctx.metrics().incr("very_waiting_opened");
+                        self.check_very_complete(ctx, msg.txn);
+                    }
+                } else if is_delegate {
+                    if level == SafetyLevel::VerySafe {
+                        // Duplicate at the delegate: if confirmations are
+                        // still outstanding keep blocking (a resubmission
+                        // must not dodge the all-logged requirement);
+                        // otherwise the first reply was lost — repeat it.
+                        if let Some(entry) = self.very_waiting.get_mut(&msg.txn) {
+                            entry.0 = msg.client;
+                            entry.1 = msg.attempt;
+                        } else {
+                            let reply = ServerReply::Committed {
+                                txn: msg.txn,
+                                attempt: msg.attempt,
+                            };
+                            self.reply_at(ctx, processed_at, msg.client, reply);
+                        }
+                    } else {
+                        let reply = ServerReply::Committed {
+                            txn: msg.txn,
+                            attempt: msg.attempt,
+                        };
+                        self.reply_at(ctx, processed_at, msg.client, reply);
+                    }
+                }
+                if matches!(level, SafetyLevel::TwoSafe | SafetyLevel::VerySafe) {
+                    if res.duplicate {
+                        // Already logged previously.
+                        if let Some(gcs) = &mut self.gcs {
+                            gcs.app_ack(ctx, seq);
+                        }
+                    } else {
+                        // ack(m) once the record is durable.
+                        self.pending_acks.push((record_lsn, seq));
+                    }
+                }
+            }
+        }
+        self.applied_seq = seq.max(self.applied_seq);
+        let _ = redelivery;
+    }
+
+    fn handle_gcs_outputs(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        outputs: Vec<GcsOutput<DsmMsg, DbCheckpoint>>,
+    ) {
+        for o in outputs {
+            match o {
+                GcsOutput::Deliver {
+                    seq,
+                    payload,
+                    redelivery,
+                    ..
+                } => self.on_deliver(ctx, seq, payload, redelivery),
+                GcsOutput::CheckpointRequest { joiner, generation } => {
+                    let ckpt = self.db.checkpoint();
+                    let applied = self.applied_seq;
+                    if let Some(gcs) = &mut self.gcs {
+                        gcs.checkpoint_ready(ctx, joiner, generation, ckpt, applied);
+                    }
+                }
+                GcsOutput::InstallState { state, applied_seq } => {
+                    self.db.install_checkpoint(state);
+                    self.applied_seq = applied_seq;
+                    ctx.metrics().incr("state_transfers");
+                }
+                GcsOutput::ViewInstalled { view } => {
+                    ctx.metrics().incr("view_changes");
+                    let _ = view;
+                }
+                GcsOutput::Joined { .. } => {
+                    ctx.metrics().incr("rejoins");
+                }
+                GcsOutput::GroupFailed => {
+                    ctx.metrics().incr("group_failed_signals");
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: ServerTimer) {
+        match t {
+            ServerTimer::ExecDone(txn) => self.on_exec_done(ctx, txn),
+            ServerTimer::WalFlushTick => {
+                if let Some((done, lsn)) = self.db.flush_wal(ctx.now()) {
+                    let delay = done - ctx.now();
+                    ctx.timer(delay, ServerTimer::WalDurable(lsn));
+                }
+                ctx.timer(self.cfg.wal_flush_interval, ServerTimer::WalFlushTick);
+            }
+            ServerTimer::WalDurable(lsn) => {
+                self.db.wal_mark_durable(lsn);
+                // 2-safe/very-safe: transactions whose records are now
+                // durable are "processed" — send their ack(m).
+                let ready: Vec<u64> = self
+                    .pending_acks
+                    .iter()
+                    .filter(|(l, _)| *l < lsn)
+                    .map(|(_, s)| *s)
+                    .collect();
+                self.pending_acks.retain(|(l, _)| *l >= lsn);
+                if let Some(gcs) = &mut self.gcs {
+                    for seq in ready {
+                        gcs.app_ack(ctx, seq);
+                    }
+                }
+                // Very-safe: tell each delegate its record is on our disk.
+                let confirms: Vec<(TxnId, NodeId)> = self
+                    .pending_confirms
+                    .iter()
+                    .filter(|(l, _, _)| *l < lsn)
+                    .map(|(_, t, d)| (*t, *d))
+                    .collect();
+                self.pending_confirms.retain(|(l, _, _)| *l >= lsn);
+                for (txn, delegate) in confirms {
+                    if delegate == self.node {
+                        self.record_confirm(ctx, txn, self.node);
+                    } else {
+                        self.charge_net_cpu(ctx.now());
+                        self.net
+                            .send(ctx, self.node, delegate, LoggedConfirm { txn });
+                    }
+                }
+            }
+            ServerTimer::PageFlushTick => {
+                self.db.flush_pages(ctx.now());
+                ctx.timer(self.cfg.page_flush_interval, ServerTimer::PageFlushTick);
+            }
+            ServerTimer::LazyPropTick => {
+                if !self.lazy_buffer.is_empty() {
+                    let writesets = std::mem::take(&mut self.lazy_buffer);
+                    let msg = LazyPropagation { writesets };
+                    self.charge_net_cpu(ctx.now());
+                    for i in 0..self.n_servers {
+                        let peer = NodeId(i);
+                        if peer != self.node {
+                            self.net.send(ctx, self.node, peer, msg.clone());
+                        }
+                    }
+                    ctx.metrics().incr("lazy_propagations");
+                }
+                ctx.timer(self.cfg.lazy_prop_interval, ServerTimer::LazyPropTick);
+            }
+            ServerTimer::Reply { client, reply } => {
+                self.charge_net_cpu(ctx.now());
+                self.net.send(ctx, self.node, client, reply);
+            }
+        }
+    }
+
+    /// Delegate side of very-safe: count a replica's logging confirmation
+    /// and answer the client once the whole group confirmed.
+    fn record_confirm(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, from: NodeId) {
+        ctx.metrics().incr("very_confirms_seen");
+        let Some(entry) = self.very_waiting.get_mut(&txn) else {
+            // Our own delivery has not opened the entry yet: buffer.
+            self.very_early.entry(txn).or_default().insert(from);
+            ctx.metrics().incr("very_confirms_early");
+            return;
+        };
+        entry.2.insert(from);
+        self.check_very_complete(ctx, txn);
+    }
+
+    /// Reply to the client once every group member confirmed logging.
+    fn check_very_complete(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        let Some(entry) = self.very_waiting.get(&txn) else {
+            return;
+        };
+        if entry.2.len() == self.n_servers as usize {
+            ctx.metrics().incr("very_replies");
+            let (client, attempt, _) = self.very_waiting.remove(&txn).expect("present");
+            let at = self.charge_net_cpu(ctx.now());
+            self.reply_at(ctx, at, client, ServerReply::Committed { txn, attempt });
+        }
+    }
+
+    fn on_lazy_propagation(&mut self, ctx: &mut Ctx<'_>, msg: LazyPropagation) {
+        self.charge_net_cpu(ctx.now());
+        for (txn, writes) in msg.writesets {
+            // Thomas write rule, in memory only: 1-safe durability lives
+            // in the delegate's log; remote replicas that crash
+            // re-synchronise from peers instead of redoing a local log.
+            let res = self.db.apply_unlogged(ctx.now(), txn, &writes);
+            if !res.duplicate {
+                ctx.metrics().incr("lazy_remote_applies");
+            }
+        }
+    }
+}
+
+impl Actor for ReplicaServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.downcast::<InitServer>() {
+            Ok(_) => {
+                self.init(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<RestartServerCmd>() {
+            Ok(cmd) => {
+                if let Some(gcs) = &mut self.gcs {
+                    gcs.restart_group(ctx, cmd.members.clone(), cmd.seq_base);
+                }
+                self.applied_seq = cmd.seq_base;
+                self.apply_cursor = ctx.now();
+                ctx.metrics().incr("group_restarts");
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<SwitchSafetyCmd>() {
+            Ok(cmd) => {
+                self.switch_safety(ctx, cmd.0);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<InstallCheckpointCmd>() {
+            Ok(cmd) => {
+                self.db.install_checkpoint(cmd.0);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<ClientMsg>>() {
+            Ok(inc) => {
+                let ClientMsg::Request(req) = inc.msg;
+                self.on_request(ctx, req);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<RWire>>() {
+            Ok(inc) => {
+                let mut outputs = Vec::new();
+                if let Some(gcs) = &mut self.gcs {
+                    gcs.on_net(ctx, inc.from, inc.msg, &mut outputs);
+                }
+                self.handle_gcs_outputs(ctx, outputs);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<LoggedConfirm>>() {
+            Ok(inc) => {
+                self.charge_net_cpu(ctx.now());
+                self.record_confirm(ctx, inc.msg.txn, inc.from);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<LazyPropagation>>() {
+            Ok(inc) => {
+                self.on_lazy_propagation(ctx, inc.msg);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<GcsTimer>() {
+            Ok(t) => {
+                let mut outputs = Vec::new();
+                if let Some(gcs) = &mut self.gcs {
+                    gcs.on_timer(ctx, *t, &mut outputs);
+                }
+                self.handle_gcs_outputs(ctx, outputs);
+                return;
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<ServerTimer>() {
+            Ok(t) => self.on_timer(ctx, *t),
+            Err(_) => panic!("replica server: unhandled event payload"),
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
+        self.up = false;
+        if let Some(gcs) = &mut self.gcs {
+            gcs.on_crash();
+        }
+        self.execs.clear();
+        self.pending_acks.clear();
+        self.pending_confirms.clear();
+        self.very_waiting.clear();
+        self.very_early.clear();
+        self.lazy_buffer.clear();
+        // In-flight work on the server's resources dies with it.
+        self.cpu.borrow_mut().reset(ctx.now());
+        self.log_disk.borrow_mut().reset(ctx.now());
+        self.data_disk.borrow_mut().reset(ctx.now());
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        self.up = true;
+        // Local database recovery: redo the durable WAL prefix.
+        self.db.crash();
+        self.applied_seq = 0;
+        self.apply_cursor = ctx.now();
+        let mut outputs = Vec::new();
+        if let Some(gcs) = &mut self.gcs {
+            gcs.on_recover(ctx, &mut outputs);
+        }
+        self.handle_gcs_outputs(ctx, outputs);
+        ctx.timer(self.cfg.wal_flush_interval, ServerTimer::WalFlushTick);
+        ctx.timer(self.cfg.page_flush_interval, ServerTimer::PageFlushTick);
+        if self.technique == Technique::Lazy {
+            ctx.timer(self.cfg.lazy_prop_interval, ServerTimer::LazyPropTick);
+        }
+        ctx.metrics().incr("server_recoveries");
+    }
+
+    fn name(&self) -> &str {
+        "replica-server"
+    }
+}

@@ -1,0 +1,181 @@
+//! System assembly: wire `n` replica servers, their clients, the network
+//! and the oracle into a ready-to-run simulation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use groupsafe_db::DbEngine;
+use groupsafe_net::{NetConfig, Network, NodeId};
+use groupsafe_sim::{ActorId, Engine, SimDuration, SimTime};
+
+use crate::client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient};
+use crate::server::{InitServer, ReplicaConfig, ReplicaServer, Technique};
+use crate::verify::{self, LostTransaction, Oracle};
+
+/// Configuration of a whole replicated-database system.
+pub struct SystemConfig {
+    /// Number of replica servers (Table 4: 9).
+    pub n_servers: u32,
+    /// Clients per server (Table 4: 4).
+    pub clients_per_server: u32,
+    /// Server configuration (technique, database, timers).
+    pub replica: ReplicaConfig,
+    /// Client load model.
+    pub load: LoadModel,
+    /// Client request timeout (failover trigger).
+    pub client_timeout: SimDuration,
+    /// Discard response samples before this instant (warm-up).
+    pub measure_from: SimTime,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            n_servers: 9,
+            clients_per_server: 4,
+            replica: ReplicaConfig::default(),
+            load: LoadModel::Open {
+                mean_interarrival: SimDuration::from_millis(1_200),
+            },
+            client_timeout: SimDuration::from_secs(2),
+            measure_from: SimTime::ZERO,
+            net: NetConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// A fully wired system.
+pub struct System {
+    /// The simulation engine.
+    pub engine: Engine,
+    /// The shared network.
+    pub net: Network,
+    /// Server actor ids (index = node id).
+    pub servers: Vec<ActorId>,
+    /// Client actor ids.
+    pub clients: Vec<ActorId>,
+    /// The shared oracle.
+    pub oracle: Rc<RefCell<Oracle>>,
+    /// Number of servers.
+    pub n_servers: u32,
+}
+
+impl System {
+    /// Build a system. `make_gen` supplies each client's operation
+    /// generator (called once per client with its id).
+    pub fn build(cfg: SystemConfig, mut make_gen: impl FnMut(u32) -> OpGenerator) -> System {
+        let mut engine = Engine::new(cfg.seed);
+        let net = Network::new(cfg.net.clone());
+        let oracle = Rc::new(RefCell::new(Oracle::default()));
+        let mut seeder = StdRng::seed_from_u64(cfg.seed);
+
+        let mut servers = Vec::with_capacity(cfg.n_servers as usize);
+        for i in 0..cfg.n_servers {
+            let node = NodeId(i);
+            let server = ReplicaServer::new(
+                node,
+                cfg.n_servers,
+                cfg.replica.clone(),
+                net.clone(),
+                oracle.clone(),
+                seeder.random(),
+            );
+            let id = engine.add_actor(Box::new(server));
+            net.register(node, id);
+            servers.push(id);
+        }
+
+        let n_clients = cfg.n_servers * cfg.clients_per_server;
+        let mut clients = Vec::with_capacity(n_clients as usize);
+        for c in 0..n_clients {
+            let node = NodeId(cfg.n_servers + c);
+            let home = NodeId(c % cfg.n_servers);
+            let client = Client::new(
+                ClientConfig {
+                    node,
+                    id: c,
+                    home,
+                    n_servers: cfg.n_servers,
+                    load: cfg.load,
+                    timeout: cfg.client_timeout,
+                    measure_from: cfg.measure_from,
+                },
+                net.clone(),
+                oracle.clone(),
+                StdRng::seed_from_u64(seeder.random()),
+                make_gen(c),
+            );
+            let id = engine.add_actor(Box::new(client));
+            net.register(node, id);
+            clients.push(id);
+        }
+
+        System {
+            engine,
+            net,
+            servers,
+            clients,
+            oracle,
+            n_servers: cfg.n_servers,
+        }
+    }
+
+    /// Schedule server initialisation (t = 0) and client start (staggered
+    /// across the first 100 ms to avoid arrival synchronisation).
+    pub fn start(&mut self) {
+        for &s in &self.servers {
+            self.engine.schedule(SimTime::ZERO, s, InitServer);
+        }
+        let count = self.clients.len().max(1) as u64;
+        for (i, &c) in self.clients.iter().enumerate() {
+            let offset = SimTime::from_nanos(100_000_000 * i as u64 / count);
+            self.engine.schedule(offset, c, StartClient);
+        }
+    }
+
+    /// Borrow server `i`'s actor.
+    pub fn server(&self, i: u32) -> &ReplicaServer {
+        self.engine.actor(self.servers[i as usize])
+    }
+
+    /// (engine, live) pairs for the verification functions.
+    pub fn replica_states(&self) -> Vec<(&DbEngine, bool)> {
+        self.servers
+            .iter()
+            .map(|&id| {
+                let s: &ReplicaServer = self.engine.actor(id);
+                (s.db(), self.engine.is_alive(id))
+            })
+            .collect()
+    }
+
+    /// Acknowledged transactions missing from every live replica.
+    pub fn lost_transactions(&self) -> Vec<LostTransaction> {
+        let replicas = self.replica_states();
+        verify::check_no_loss(&self.oracle.borrow(), &replicas)
+    }
+
+    /// Distinct state digests across live replicas (length 1 = converged).
+    pub fn convergence(&self) -> Vec<u64> {
+        verify::check_convergence(&self.replica_states())
+    }
+
+    /// Mean / p95 response time (ms) and sample count for this run.
+    pub fn response_stats(&mut self) -> (f64, f64, usize) {
+        let h = self.engine.metrics_mut().histogram_mut("response_ms");
+        (h.mean(), h.quantile(0.95), h.count())
+    }
+
+    /// The technique's label (from the first server's config).
+    pub fn technique(&self) -> Technique {
+        self.server(0).technique()
+    }
+}

@@ -1,0 +1,243 @@
+//! Verification: the oracle records what clients were told and what
+//! servers committed; after a run (and its crash schedule) the checks
+//! decide whether any *acknowledged* transaction was lost, whether the
+//! replicas converged, and whether lazy replication produced lost
+//! updates (§7).
+
+use std::collections::BTreeMap;
+
+use groupsafe_db::{DbEngine, ItemId, TxnId, Version, WriteOp};
+use groupsafe_net::NodeId;
+use groupsafe_sim::SimTime;
+
+/// A commit as recorded at the replica that processed it.
+#[derive(Debug, Clone)]
+pub struct CommitRecord {
+    /// The delegate that executed the transaction.
+    pub delegate: NodeId,
+    /// Items read with observed versions.
+    pub readset: Vec<(ItemId, Version)>,
+    /// Writes applied.
+    pub writes: Vec<WriteOp>,
+}
+
+/// An acknowledgement as observed by the client.
+#[derive(Debug, Clone, Copy)]
+pub struct AckRecord {
+    /// When the client received the commit notification.
+    pub at: SimTime,
+    /// Response time of the successful attempt, milliseconds.
+    pub response_ms: f64,
+}
+
+/// Shared run oracle.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// Client-visible commit acknowledgements.
+    pub acked: BTreeMap<TxnId, AckRecord>,
+    /// Server-side commit records (first commit per transaction).
+    pub commits: BTreeMap<TxnId, CommitRecord>,
+    /// Aborted attempts (certification + deadlock victims).
+    pub aborts: u64,
+    /// Committed attempt acknowledgements received by clients.
+    pub commit_acks: u64,
+    /// Client-side timeouts (requests that got no reply in time).
+    pub timeouts: u64,
+}
+
+impl Oracle {
+    /// Record a server-side commit (idempotent per transaction).
+    pub fn record_commit(
+        &mut self,
+        txn: TxnId,
+        delegate: NodeId,
+        readset: Vec<(ItemId, Version)>,
+        writes: Vec<WriteOp>,
+    ) {
+        self.commits.entry(txn).or_insert(CommitRecord {
+            delegate,
+            readset,
+            writes,
+        });
+    }
+
+    /// Record a client-side acknowledgement.
+    pub fn record_ack(&mut self, txn: TxnId, at: SimTime, response_ms: f64) {
+        self.commit_acks += 1;
+        self.acked.entry(txn).or_insert(AckRecord { at, response_ms });
+    }
+
+    /// Abort rate over all answered attempts.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.aborts + self.commit_acks;
+        if total == 0 {
+            return 0.0;
+        }
+        self.aborts as f64 / total as f64
+    }
+}
+
+/// A transaction the client was told committed but that no surviving
+/// replica knows about: the durability violation the safety criteria are
+/// about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostTransaction {
+    /// The lost transaction.
+    pub txn: TxnId,
+}
+
+/// Check for lost transactions: every acknowledged *update* transaction
+/// must be committed on at least one *live* replica (from where the group
+/// will re-propagate it). Read-only transactions have no durability
+/// footprint — they commit locally without entering any committed-
+/// transaction table — so only transactions with a recorded commit (i.e.
+/// with writes) are audited. `replicas` pairs each engine with its
+/// liveness.
+pub fn check_no_loss(oracle: &Oracle, replicas: &[(&DbEngine, bool)]) -> Vec<LostTransaction> {
+    let mut lost = Vec::new();
+    for txn in oracle.acked.keys() {
+        if !oracle.commits.contains_key(txn) {
+            continue; // read-only: nothing durable was promised
+        }
+        let present = replicas
+            .iter()
+            .any(|(db, live)| *live && db.is_committed(*txn));
+        if !present {
+            lost.push(LostTransaction { txn: *txn });
+        }
+    }
+    lost
+}
+
+/// Check replica convergence: all live replicas hold the same committed
+/// state (digest equality). Returns the set of distinct digests observed
+/// (length 1 = consistent).
+pub fn check_convergence(replicas: &[(&DbEngine, bool)]) -> Vec<u64> {
+    let mut digests: Vec<u64> = replicas
+        .iter()
+        .filter(|(_, live)| *live)
+        .map(|(db, _)| db.state_digest())
+        .collect();
+    digests.sort_unstable();
+    digests.dedup();
+    digests
+}
+
+/// A lazy-replication lost update (§7): two acknowledged transactions
+/// wrote the same item having read the same version of it — serially, one
+/// would have observed the other, so one update was silently destroyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostUpdate {
+    /// First transaction.
+    pub a: TxnId,
+    /// Second transaction.
+    pub b: TxnId,
+    /// The contended item.
+    pub item: ItemId,
+}
+
+/// Detect lost updates among acknowledged commits.
+pub fn check_lost_updates(oracle: &Oracle) -> Vec<LostUpdate> {
+    // Index: item -> [(txn, version read, version written)].
+    let mut by_item: BTreeMap<ItemId, Vec<(TxnId, Option<Version>, Version)>> = BTreeMap::new();
+    for (txn, rec) in &oracle.commits {
+        if !oracle.acked.contains_key(txn) {
+            continue;
+        }
+        for w in &rec.writes {
+            let read_v = rec
+                .readset
+                .iter()
+                .find(|(i, _)| *i == w.item)
+                .map(|(_, v)| *v);
+            by_item
+                .entry(w.item)
+                .or_default()
+                .push((*txn, read_v, w.version));
+        }
+    }
+    let mut out = Vec::new();
+    for (item, entries) in by_item {
+        for i in 0..entries.len() {
+            for j in i + 1..entries.len() {
+                let (ta, ra, _) = entries[i];
+                let (tb, rb, _) = entries[j];
+                if let (Some(ra), Some(rb)) = (ra, rb) {
+                    if ra == rb {
+                        out.push(LostUpdate {
+                            a: ta,
+                            b: tb,
+                            item,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(seq: u64) -> TxnId {
+        TxnId { client: 0, seq }
+    }
+
+    fn w(item: u32, version: u64) -> WriteOp {
+        WriteOp {
+            item: ItemId(item),
+            value: 1,
+            version,
+        }
+    }
+
+    #[test]
+    fn abort_rate_counts_both_outcomes() {
+        let mut o = Oracle::default();
+        o.record_ack(t(1), SimTime::ZERO, 10.0);
+        o.record_ack(t(2), SimTime::ZERO, 10.0);
+        o.aborts = 2;
+        assert!((o.abort_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(Oracle::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_acks_dedup() {
+        let mut o = Oracle::default();
+        o.record_ack(t(1), SimTime::ZERO, 10.0);
+        o.record_ack(t(1), SimTime::from_millis(5), 12.0);
+        assert_eq!(o.acked.len(), 1);
+        assert_eq!(o.commit_acks, 2);
+    }
+
+    #[test]
+    fn lost_update_detection() {
+        let mut o = Oracle::default();
+        // Both read version 0 of item 7 and wrote it: lost update.
+        o.record_commit(t(1), NodeId(0), vec![(ItemId(7), 0)], vec![w(7, 100)]);
+        o.record_commit(t(2), NodeId(1), vec![(ItemId(7), 0)], vec![w(7, 101)]);
+        o.record_ack(t(1), SimTime::ZERO, 1.0);
+        o.record_ack(t(2), SimTime::ZERO, 1.0);
+        let lu = check_lost_updates(&o);
+        assert_eq!(lu.len(), 1);
+        assert_eq!(lu[0].item, ItemId(7));
+        // If the second read the first's version, it is a normal overwrite.
+        let mut o2 = Oracle::default();
+        o2.record_commit(t(1), NodeId(0), vec![(ItemId(7), 0)], vec![w(7, 100)]);
+        o2.record_commit(t(2), NodeId(1), vec![(ItemId(7), 100)], vec![w(7, 101)]);
+        o2.record_ack(t(1), SimTime::ZERO, 1.0);
+        o2.record_ack(t(2), SimTime::ZERO, 1.0);
+        assert!(check_lost_updates(&o2).is_empty());
+    }
+
+    #[test]
+    fn unacked_commits_do_not_count_as_lost_updates() {
+        let mut o = Oracle::default();
+        o.record_commit(t(1), NodeId(0), vec![(ItemId(7), 0)], vec![w(7, 100)]);
+        o.record_commit(t(2), NodeId(1), vec![(ItemId(7), 0)], vec![w(7, 101)]);
+        // Neither acked.
+        assert!(check_lost_updates(&o).is_empty());
+    }
+}

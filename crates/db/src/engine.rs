@@ -1,0 +1,586 @@
+//! The local database engine: executes operations with simulated timing,
+//! enforces ACID locally, and recovers from its WAL after crashes.
+//!
+//! The engine is passive: methods take the current instant and return
+//! completion instants computed against the server's shared resources
+//! (CPU, log disk, data disk); the owning server actor schedules its
+//! continuations at those instants. State changes are applied eagerly at
+//! call time (the standard simulator simplification; the interleaving
+//! semantics are governed by the caller's concurrency control).
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use groupsafe_sim::{Disk, Fcfs, SimDuration, SimTime};
+
+use crate::buffer::{BufferModel, BufferPool};
+use crate::lock::{LockManager, LockMode, LockOutcome};
+use crate::types::{ItemId, ItemState, TxnId, Value, Version, WriteOp};
+use crate::wal::{CommitRecord, FlushPolicy, Lsn, Wal};
+
+/// Engine configuration (defaults follow Table 4).
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Number of items in the database (Table 4: 10 000).
+    pub n_items: u32,
+    /// CPU time per disk I/O (Table 4: 0.4 ms).
+    pub cpu_per_io: SimDuration,
+    /// CPU time per logical operation served from the buffer.
+    pub cpu_per_op: SimDuration,
+    /// Buffer model (Table 4: probabilistic, 20 % hits).
+    pub buffer: BufferModel,
+    /// WAL flush policy (chosen by the replication technique's safety
+    /// level: sync for 1-safe/group-1-safe, async for group-safe).
+    pub flush_policy: FlushPolicy,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            n_items: 10_000,
+            cpu_per_io: SimDuration::from_micros(400),
+            cpu_per_op: SimDuration::from_micros(50),
+            buffer: BufferModel::Probabilistic { hit_ratio: 0.2 },
+            flush_policy: FlushPolicy::Sync,
+        }
+    }
+}
+
+/// Engine counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbStats {
+    /// Read operations served.
+    pub reads: u64,
+    /// Reads that went to the data disk.
+    pub read_misses: u64,
+    /// Transactions committed (first time).
+    pub commits: u64,
+    /// Duplicate commit attempts suppressed (testable transactions).
+    pub duplicate_commits: u64,
+    /// Background page-flush batches.
+    pub page_flushes: u64,
+}
+
+/// Result of a read: when it completes and what it saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Completion instant (CPU + optional disk).
+    pub done: SimTime,
+    /// The committed value observed.
+    pub value: Value,
+    /// The committed version observed (certification input).
+    pub version: Version,
+}
+
+/// Result of a commit application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitResult {
+    /// Instant at which the commit is processed (and, under the sync
+    /// policy, durable).
+    pub done: SimTime,
+    /// If a flush was started, the host must call
+    /// [`DbEngine::wal_mark_durable`] with this LSN at `flush_done`.
+    pub flush: Option<(SimTime, Lsn)>,
+    /// The commit was a duplicate (already committed — testable
+    /// transactions make this a no-op).
+    pub duplicate: bool,
+}
+
+/// The local database engine.
+pub struct DbEngine {
+    config: DbConfig,
+    cpu: Rc<RefCell<Fcfs>>,
+    data_disk: Rc<RefCell<Disk>>,
+    rng: StdRng,
+
+    // Volatile (rebuilt by redo on recovery).
+    items: Vec<ItemState>,
+    committed: BTreeSet<TxnId>,
+    buffer: BufferPool,
+    locks: LockManager,
+    dirty_pages: usize,
+    stats: DbStats,
+
+    // Stable.
+    wal: Wal,
+}
+
+/// A full application checkpoint (state transfer payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbCheckpoint {
+    /// All item states.
+    pub items: Vec<ItemState>,
+    /// Committed transaction ids (testable-transaction table).
+    pub committed: BTreeSet<TxnId>,
+}
+
+impl DbEngine {
+    /// Create an engine over the given shared resources.
+    pub fn new(
+        config: DbConfig,
+        cpu: Rc<RefCell<Fcfs>>,
+        log_disk: Rc<RefCell<Disk>>,
+        data_disk: Rc<RefCell<Disk>>,
+        rng: StdRng,
+    ) -> Self {
+        let buffer = BufferPool::new(config.buffer.clone());
+        DbEngine {
+            items: vec![ItemState::default(); config.n_items as usize],
+            committed: BTreeSet::new(),
+            buffer,
+            locks: LockManager::new(),
+            dirty_pages: 0,
+            stats: DbStats::default(),
+            wal: Wal::new(log_disk),
+            config,
+            cpu,
+            data_disk,
+            rng,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Current committed state of `item`.
+    pub fn item(&self, item: ItemId) -> ItemState {
+        self.items[item.index()]
+    }
+
+    /// True if `txn` already committed here (testable transactions).
+    pub fn is_committed(&self, txn: TxnId) -> bool {
+        self.committed.contains(&txn)
+    }
+
+    /// Number of committed transactions.
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// The set of committed transaction ids.
+    pub fn committed_txns(&self) -> &BTreeSet<TxnId> {
+        &self.committed
+    }
+
+    /// The lock manager (2PL paths: local execution, lazy technique).
+    pub fn locks(&mut self) -> &mut LockManager {
+        &mut self.locks
+    }
+
+    /// Read `item` at `now`: returns value, version and completion time
+    /// (buffer hit: CPU only; miss: CPU + data-disk access, plus a
+    /// write-back if a dirty page was evicted).
+    pub fn read(&mut self, now: SimTime, item: ItemId) -> ReadResult {
+        self.stats.reads += 1;
+        let access = self.buffer.access(item, &mut self.rng);
+        let done = if access.hit {
+            self.cpu.borrow_mut().request(now, self.config.cpu_per_op)
+        } else {
+            self.stats.read_misses += 1;
+            let cpu_done = self.cpu.borrow_mut().request(now, self.config.cpu_per_io);
+            let mut disk = self.data_disk.borrow_mut();
+            let mut t = cpu_done;
+            if access.writeback {
+                t = disk.access(t, &mut self.rng);
+            }
+            disk.access(t, &mut self.rng)
+        };
+        let s = self.items[item.index()];
+        ReadResult {
+            done,
+            value: s.value,
+            version: s.version,
+        }
+    }
+
+    /// Apply and commit `writes` for `txn` at `now`.
+    ///
+    /// Exactly-once: a duplicate commit is detected via the committed-
+    /// transaction table and applies nothing. Under [`FlushPolicy::Sync`]
+    /// the returned `done` includes the log flush (group commit); under
+    /// [`FlushPolicy::Async`] the records wait for the next background
+    /// flush and `done` only covers the in-memory apply.
+    pub fn commit(&mut self, now: SimTime, txn: TxnId, writes: &[WriteOp]) -> CommitResult {
+        if !self.committed.insert(txn) {
+            self.stats.duplicate_commits += 1;
+            return CommitResult {
+                done: now,
+                flush: None,
+                duplicate: true,
+            };
+        }
+        self.stats.commits += 1;
+        // Apply to the committed in-memory state and dirty the pages.
+        let cpu_time = self.config.cpu_per_op * writes.len().max(1) as u64;
+        let cpu_done = self.cpu.borrow_mut().request(now, cpu_time);
+        for w in writes {
+            self.items[w.item.index()] = ItemState {
+                value: w.value,
+                version: w.version,
+            };
+            self.buffer.mark_dirty(w.item);
+        }
+        self.dirty_pages += writes.len();
+        self.wal.append(CommitRecord {
+            txn,
+            writes: writes.to_vec(),
+        });
+        match self.config.flush_policy {
+            FlushPolicy::Sync => {
+                let flush = self.wal.flush(cpu_done, &mut self.rng);
+                let done = flush.map(|(d, _)| d).unwrap_or(cpu_done);
+                CommitResult {
+                    done,
+                    flush,
+                    duplicate: false,
+                }
+            }
+            FlushPolicy::Async => CommitResult {
+                done: cpu_done,
+                flush: None,
+                duplicate: false,
+            },
+        }
+    }
+
+    /// Apply `writes` only where newer than the current version (Thomas
+    /// write rule — the lazy technique's reconciliation-free apply).
+    /// Returns the writes actually applied.
+    pub fn apply_newer(&mut self, now: SimTime, txn: TxnId, writes: &[WriteOp]) -> CommitResult {
+        let newer: Vec<WriteOp> = writes
+            .iter()
+            .copied()
+            .filter(|w| w.version > self.items[w.item.index()].version)
+            .collect();
+        self.commit(now, txn, &newer)
+    }
+
+    /// Background WAL flush (async policy; the host drives it on a timer).
+    /// Returns `(completion, covered_lsn)` when a batch was started.
+    pub fn flush_wal(&mut self, now: SimTime) -> Option<(SimTime, Lsn)> {
+        self.wal.flush(now, &mut self.rng)
+    }
+
+    /// Synchronous critical-path WAL flush: unbatched random writes (see
+    /// [`Wal::flush_unbatched`]). Used by techniques that must log before
+    /// replying (1-safe, group-1-safe, 2-safe).
+    pub fn flush_wal_sync(&mut self, now: SimTime) -> Option<(SimTime, Lsn)> {
+        self.wal.flush_unbatched(now, &mut self.rng)
+    }
+
+    /// Apply `writes` to the in-memory committed state *without logging*
+    /// (lazy replication's remote apply: 1-safe durability lives only in
+    /// the delegate's log; a crashed remote re-synchronises from peers).
+    /// Applies the Thomas write rule and testable-transaction dedup.
+    pub fn apply_unlogged(&mut self, now: SimTime, txn: TxnId, writes: &[WriteOp]) -> CommitResult {
+        if !self.committed.insert(txn) {
+            self.stats.duplicate_commits += 1;
+            return CommitResult {
+                done: now,
+                flush: None,
+                duplicate: true,
+            };
+        }
+        self.stats.commits += 1;
+        let cpu_time = self.config.cpu_per_op * writes.len().max(1) as u64;
+        let cpu_done = self.cpu.borrow_mut().request(now, cpu_time);
+        for w in writes {
+            if w.version > self.items[w.item.index()].version {
+                self.items[w.item.index()] = ItemState {
+                    value: w.value,
+                    version: w.version,
+                };
+                self.buffer.mark_dirty(w.item);
+                self.dirty_pages += 1;
+            }
+        }
+        CommitResult {
+            done: cpu_done,
+            flush: None,
+            duplicate: false,
+        }
+    }
+
+    /// A WAL flush completed: records below `lsn` are durable.
+    pub fn wal_mark_durable(&mut self, lsn: Lsn) {
+        self.wal.mark_durable(lsn);
+    }
+
+    /// LSN after the last appended record.
+    pub fn wal_end_lsn(&self) -> Lsn {
+        self.wal.end_lsn()
+    }
+
+    /// LSN after the last durable record.
+    pub fn wal_durable_lsn(&self) -> Lsn {
+        self.wal.durable_lsn()
+    }
+
+    /// Install `pages` dirty pages synchronously (inside the transaction
+    /// boundary — what group-1-safe pays and group-safety avoids, §5.1).
+    /// The pages go out as one per-transaction sequential batch and no
+    /// longer wait for the background flush.
+    pub fn sync_install(&mut self, now: SimTime, pages: usize) -> SimTime {
+        if pages == 0 {
+            return now;
+        }
+        let done = self
+            .data_disk
+            .borrow_mut()
+            .sequential_batch(now, pages, &mut self.rng);
+        self.dirty_pages = self.dirty_pages.saturating_sub(pages);
+        done
+    }
+
+    /// Background data-page flush: write all dirtied pages as one
+    /// sequential batch (write caching — what group-safety permits).
+    /// Returns the completion instant if anything was dirty.
+    pub fn flush_pages(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.dirty_pages == 0 {
+            return None;
+        }
+        self.stats.page_flushes += 1;
+        let done = self
+            .data_disk
+            .borrow_mut()
+            .sequential_batch(now, self.dirty_pages, &mut self.rng);
+        self.dirty_pages = 0;
+        self.buffer.flush_all();
+        Some(done)
+    }
+
+    /// Take a checkpoint of the committed state (state-transfer payload).
+    pub fn checkpoint(&self) -> DbCheckpoint {
+        DbCheckpoint {
+            items: self.items.clone(),
+            committed: self.committed.clone(),
+        }
+    }
+
+    /// Replace the committed state with `ckpt` (joining replica).
+    pub fn install_checkpoint(&mut self, ckpt: DbCheckpoint) {
+        assert_eq!(
+            ckpt.items.len(),
+            self.items.len(),
+            "checkpoint shape mismatch"
+        );
+        self.items = ckpt.items;
+        self.committed = ckpt.committed;
+        // The checkpointed state is authoritative; local WAL history no
+        // longer matters for redo (a real system would reset the log).
+        self.wal.crash();
+        self.dirty_pages = 0;
+    }
+
+    /// Crash: volatile state is lost; rebuild the committed state by
+    /// redoing the durable WAL prefix.
+    pub fn crash(&mut self) {
+        self.wal.crash();
+        self.buffer.clear();
+        self.locks.clear();
+        self.dirty_pages = 0;
+        self.items = vec![ItemState::default(); self.config.n_items as usize];
+        self.committed.clear();
+        // Redo.
+        for rec in self.wal.durable_records() {
+            for w in &rec.writes {
+                self.items[w.item.index()] = ItemState {
+                    value: w.value,
+                    version: w.version,
+                };
+            }
+            self.committed.insert(rec.txn);
+        }
+    }
+
+    /// Highest committed version in the database (the sequence-number
+    /// watermark used when restarting a group after total failure).
+    pub fn max_version(&self) -> Version {
+        self.items.iter().map(|s| s.version).max().unwrap_or(0)
+    }
+
+    /// FNV-1a digest of the committed state (replica-consistency checks).
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for (i, s) in self.items.iter().enumerate() {
+            if s.version != 0 {
+                mix(i as u64);
+                mix(s.value as u64);
+                mix(s.version);
+            }
+        }
+        h
+    }
+
+    /// Convenience for tests: acquire a lock.
+    pub fn lock(&mut self, txn: TxnId, item: ItemId, mode: LockMode) -> LockOutcome {
+        self.locks.acquire(txn, item, mode)
+    }
+
+    /// Convenience for tests: release a transaction's locks.
+    pub fn unlock_all(&mut self, txn: TxnId) -> Vec<(TxnId, ItemId)> {
+        self.locks.release_all(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn engine(policy: FlushPolicy) -> DbEngine {
+        let cfg = DbConfig {
+            n_items: 100,
+            flush_policy: policy,
+            ..DbConfig::default()
+        };
+        DbEngine::new(
+            cfg,
+            Rc::new(RefCell::new(Fcfs::new(2))),
+            Rc::new(RefCell::new(Disk::paper_default())),
+            Rc::new(RefCell::new(Disk::paper_default())),
+            StdRng::seed_from_u64(7),
+        )
+    }
+
+    fn t(seq: u64) -> TxnId {
+        TxnId { client: 0, seq }
+    }
+
+    fn w(item: u32, value: i64, version: u64) -> WriteOp {
+        WriteOp {
+            item: ItemId(item),
+            value,
+            version,
+        }
+    }
+
+    #[test]
+    fn read_timing_hit_vs_miss() {
+        let mut e = engine(FlushPolicy::Sync);
+        let mut hits = 0;
+        let mut misses = 0;
+        for i in 0..200u32 {
+            let r = e.read(SimTime::from_secs(i as u64), ItemId(i % 100));
+            let elapsed = r.done - SimTime::from_secs(i as u64);
+            if elapsed < SimDuration::from_millis(1) {
+                hits += 1;
+            } else {
+                assert!(elapsed >= SimDuration::from_millis(4));
+                misses += 1;
+            }
+        }
+        assert!(hits > 10, "some hits expected, got {hits}");
+        assert!(misses > 100, "80% misses expected, got {misses}");
+        assert_eq!(e.stats().reads, 200);
+        assert_eq!(e.stats().read_misses, misses);
+    }
+
+    #[test]
+    fn commit_applies_and_sync_flushes() {
+        let mut e = engine(FlushPolicy::Sync);
+        let res = e.commit(SimTime::ZERO, t(1), &[w(5, 42, 1)]);
+        assert!(!res.duplicate);
+        let (flush_done, lsn) = res.flush.expect("sync commit flushes");
+        assert_eq!(res.done, flush_done);
+        assert!(flush_done >= SimTime::from_millis(4), "log write ≈ 8 ms");
+        e.wal_mark_durable(lsn);
+        assert_eq!(e.item(ItemId(5)), ItemState { value: 42, version: 1 });
+        assert!(e.is_committed(t(1)));
+        assert_eq!(e.wal_durable_lsn(), 1);
+    }
+
+    #[test]
+    fn async_commit_returns_fast_and_flushes_later() {
+        let mut e = engine(FlushPolicy::Async);
+        let res = e.commit(SimTime::ZERO, t(1), &[w(5, 42, 1)]);
+        assert!(res.flush.is_none());
+        assert!(res.done < SimTime::from_millis(1), "no disk wait");
+        let (done, lsn) = e.flush_wal(SimTime::from_millis(10)).expect("background flush");
+        assert!(done > SimTime::from_millis(10));
+        e.wal_mark_durable(lsn);
+        assert!(e.wal_durable_lsn() == 1);
+    }
+
+    #[test]
+    fn duplicate_commit_is_noop() {
+        let mut e = engine(FlushPolicy::Sync);
+        e.commit(SimTime::ZERO, t(1), &[w(5, 42, 1)]);
+        let res = e.commit(SimTime::from_millis(50), t(1), &[w(5, 99, 2)]);
+        assert!(res.duplicate);
+        assert_eq!(e.item(ItemId(5)).value, 42, "duplicate must not re-apply");
+        assert_eq!(e.stats().duplicate_commits, 1);
+    }
+
+    #[test]
+    fn crash_recovers_durable_prefix_only() {
+        let mut e = engine(FlushPolicy::Sync);
+        let r1 = e.commit(SimTime::ZERO, t(1), &[w(1, 10, 1)]);
+        e.wal_mark_durable(r1.flush.expect("sync").1);
+        // Second commit: appended, flush started, but the completion event
+        // never fires (we never call wal_mark_durable).
+        e.commit(SimTime::from_millis(20), t(2), &[w(2, 20, 2)]);
+        // t(2)'s flush was started by the sync policy but never completed
+        // (no mark_durable call) — the crash drops it.
+        e.crash();
+        assert_eq!(e.item(ItemId(1)).value, 10, "durable commit survived");
+        assert_eq!(e.item(ItemId(2)).value, 0, "unflushed commit lost");
+        assert!(e.is_committed(t(1)));
+        assert!(!e.is_committed(t(2)));
+    }
+
+    #[test]
+    fn thomas_write_rule_skips_stale() {
+        let mut e = engine(FlushPolicy::Async);
+        e.commit(SimTime::ZERO, t(1), &[w(1, 10, 5)]);
+        e.apply_newer(SimTime::from_millis(1), t(2), &[w(1, 99, 3)]);
+        assert_eq!(e.item(ItemId(1)).value, 10, "stale write skipped");
+        e.apply_newer(SimTime::from_millis(2), t(3), &[w(1, 77, 9)]);
+        assert_eq!(e.item(ItemId(1)).value, 77, "newer write applied");
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut e = engine(FlushPolicy::Async);
+        e.commit(SimTime::ZERO, t(1), &[w(1, 10, 1), w(2, 20, 1)]);
+        let ckpt = e.checkpoint();
+        let mut other = engine(FlushPolicy::Async);
+        other.install_checkpoint(ckpt);
+        assert_eq!(other.item(ItemId(2)).value, 20);
+        assert!(other.is_committed(t(1)));
+        assert_eq!(e.state_digest(), other.state_digest());
+    }
+
+    #[test]
+    fn page_flush_batches_dirty_pages() {
+        let mut e = engine(FlushPolicy::Async);
+        e.commit(SimTime::ZERO, t(1), &[w(1, 1, 1), w(2, 2, 1), w(3, 3, 1)]);
+        let done = e.flush_pages(SimTime::from_millis(5)).expect("dirty pages");
+        assert!(done > SimTime::from_millis(5));
+        assert!(e.flush_pages(SimTime::from_millis(50)).is_none(), "clean now");
+        assert_eq!(e.stats().page_flushes, 1);
+    }
+
+    #[test]
+    fn digests_differ_on_divergence() {
+        let mut a = engine(FlushPolicy::Async);
+        let mut b = engine(FlushPolicy::Async);
+        a.commit(SimTime::ZERO, t(1), &[w(1, 10, 1)]);
+        b.commit(SimTime::ZERO, t(1), &[w(1, 11, 1)]);
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+}

@@ -1,0 +1,32 @@
+//! # groupsafe-db — the local database engine
+//!
+//! The paper assumes each server hosts a database component providing
+//! local ACID execution, serialisability, and testable transactions
+//! (§2.2). This crate is that substrate, built on the simulated resources
+//! of [`groupsafe_sim`]:
+//!
+//! * [`BufferPool`] — Table 4's probabilistic 20 %-hit buffer plus a real
+//!   LRU variant for ablations,
+//! * [`LockManager`] — strict two-phase locking with wait-for-graph
+//!   deadlock detection,
+//! * [`Wal`] — write-ahead log with group commit and sync/async flush
+//!   policies (async is the optimisation group-safety legitimises),
+//! * [`DbEngine`] — operation execution with simulated timing, exactly-
+//!   once commits (testable transactions), WAL-redo crash recovery,
+//!   checkpoints for state transfer, and state digests for replica-
+//!   consistency verification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod engine;
+pub mod lock;
+pub mod types;
+pub mod wal;
+
+pub use buffer::{BufferAccess, BufferModel, BufferPool, BufferStats, ITEMS_PER_PAGE};
+pub use engine::{CommitResult, DbCheckpoint, DbConfig, DbEngine, DbStats, ReadResult};
+pub use lock::{LockManager, LockMode, LockOutcome};
+pub use types::{ItemId, ItemState, Operation, TxnId, Value, Version, WriteOp};
+pub use wal::{CommitRecord, FlushPolicy, Lsn, Wal, WalStats};

@@ -1,0 +1,111 @@
+//! Core identifiers and values of the local database engine.
+
+use std::fmt;
+
+/// A data item (the paper's database is a set of 10 000 items).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Globally unique transaction identity: submitting client plus a
+/// client-local sequence number. Survives resubmissions (the dedup key of
+/// testable transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// The client that created the transaction.
+    pub client: u32,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.client, self.seq)
+    }
+}
+
+/// A stored value.
+pub type Value = i64;
+
+/// Committed version of an item. The database state machine uses the
+/// global delivery sequence number (identical at every replica); the lazy
+/// technique uses origin timestamps (Thomas write rule).
+pub type Version = u64;
+
+/// One operation of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the item.
+    Read(ItemId),
+    /// Overwrite the item with a value derived from the payload.
+    Write(ItemId, Value),
+}
+
+impl Operation {
+    /// The item this operation touches.
+    pub fn item(self) -> ItemId {
+        match self {
+            Operation::Read(i) | Operation::Write(i, _) => i,
+        }
+    }
+
+    /// True for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, Operation::Write(..))
+    }
+}
+
+/// The state of an item: current committed value and version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ItemState {
+    /// Committed value.
+    pub value: Value,
+    /// Version of the last committed writer.
+    pub version: Version,
+}
+
+/// A write carried by a commit record or a replication message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOp {
+    /// Target item.
+    pub item: ItemId,
+    /// New value.
+    pub value: Value,
+    /// Version assigned to the write.
+    pub version: Version,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_accessors() {
+        let r = Operation::Read(ItemId(3));
+        let w = Operation::Write(ItemId(4), 9);
+        assert_eq!(r.item(), ItemId(3));
+        assert_eq!(w.item(), ItemId(4));
+        assert!(!r.is_write());
+        assert!(w.is_write());
+    }
+
+    #[test]
+    fn txn_ids_order_by_client_then_seq() {
+        let a = TxnId { client: 0, seq: 9 };
+        let b = TxnId { client: 1, seq: 1 };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "t0.9");
+    }
+}

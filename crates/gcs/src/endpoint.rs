@@ -1,0 +1,1338 @@
+//! The group communication endpoint: a fixed-sequencer atomic broadcast
+//! with optional uniformity, view-based membership (dynamic crash
+//! no-recovery model), persistent logging (static crash-recovery model)
+//! and the paper's end-to-end extension.
+//!
+//! The endpoint is a *passive state machine* embedded in a host actor (a
+//! replicated-database server, or the test harness). The host feeds it
+//! network messages and timers; the endpoint sends protocol messages
+//! itself through the shared [`Network`] and returns application-facing
+//! effects as [`GcsOutput`] values.
+//!
+//! # Protocol sketch
+//!
+//! * `A-broadcast(m)`: send `Forward(m)` to the sequencer (the smallest
+//!   member of the current view). The sequencer assigns the next global
+//!   sequence number and broadcasts `Ordered(seq, m)`.
+//! * *Non-uniform* delivery: deliver in sequence order on receipt.
+//! * *Uniform* delivery ("safe delivery"): on receiving `Ordered`, each
+//!   process acknowledges to all; an entry is *stable* — and deliverable —
+//!   once a majority of the view has acknowledged it. Group-safety rests
+//!   on exactly this guarantee.
+//! * *Crash-recovery model*: the endpoint persists each entry to its log
+//!   disk before acknowledging, marks entries `delivered` (write-ahead)
+//!   before handing them up, and on recovery rebuilds from the stable log
+//!   and catches up from peers. Without the end-to-end extension it must
+//!   not redeliver entries marked `delivered` (uniform integrity) — the
+//!   paper's §3 gap. With `end_to_end = true` it instead tracks the
+//!   application's `ack(m)` and redelivers everything unacknowledged
+//!   (§4.2), closing the gap.
+//! * *View changes* (dynamic model): a heartbeat failure detector drives a
+//!   coordinator-led flush: collect ordering state from surviving members,
+//!   fill gaps, retransmit, then install the new view with a watermark
+//!   that everyone delivers up to first (virtual synchrony).
+//!
+//! Partitionable membership is out of scope (as in the paper, §8): the
+//! view-change rule follows the crash-chain (survivors of the old view),
+//! which is single-partition-safe only. Partition experiments use the
+//! static crash-recovery model, where a minority side blocks naturally.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use groupsafe_net::{Network, NodeId};
+use groupsafe_sim::{Ctx, Disk, SimTime};
+
+use crate::config::{DeliveryGuarantee, GcsConfig, GcsModel};
+use crate::message::{Entry, GcsTimer, MsgId, Wire};
+use crate::output::GcsOutput;
+use crate::view::View;
+
+/// Counters exposed by an endpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcsStats {
+    /// Messages A-broadcast by this endpoint.
+    pub broadcasts: u64,
+    /// Entries delivered to the application (first deliveries).
+    pub delivered: u64,
+    /// Redeliveries after recovery (end-to-end mode only).
+    pub redelivered: u64,
+    /// Stable-log writes performed (crash-recovery model).
+    pub persists: u64,
+    /// Acknowledgement messages sent.
+    pub acks_sent: u64,
+    /// View changes completed (coordinator or member side).
+    pub view_changes: u64,
+}
+
+/// One entry of the crash-recovery stable log.
+#[derive(Debug, Clone)]
+struct StableEntry<P> {
+    id: MsgId,
+    payload: P,
+    /// Write-ahead delivery mark (set before the entry is handed up).
+    delivered: bool,
+    /// Application-level `ack(m)` received (end-to-end mode).
+    acked: bool,
+}
+
+/// Coordinator-side state of a view-change attempt.
+struct ViewChange {
+    epoch: u64,
+    proposed: Vec<NodeId>,
+    joiners: Vec<(NodeId, u64)>,
+    /// member -> (max_seq, next_deliver)
+    replies: BTreeMap<NodeId, (u64, u64)>,
+    /// Waiting for entries from this member to fill our own gaps.
+    fetching_from: Option<NodeId>,
+}
+
+/// Joiner-side state while waiting for a state transfer.
+struct JoinState {
+    generation: u64,
+}
+
+/// The group communication endpoint. See the module docs.
+///
+/// `P`: application payload (a replicated transaction). `S`: application
+/// checkpoint handed over during state transfer.
+pub struct GcsEndpoint<P, S> {
+    cfg: GcsConfig,
+    me: NodeId,
+    group: Vec<NodeId>,
+    net: Network,
+    log_disk: Option<Rc<RefCell<Disk>>>,
+    rng: StdRng,
+
+    // ---- volatile state (cleared by `on_crash`) ----
+    started: bool,
+    joined: bool,
+    view: View,
+    epoch: u64,
+    next_counter: u64,
+    /// My broadcasts not yet seen ordered (resent on view change).
+    pending: BTreeMap<MsgId, P>,
+    /// Sequencer state: next sequence number to assign (if I am sequencer).
+    seq_assign: Option<u64>,
+    /// Ids already ordered (sequencer dedup and resend dedup).
+    ordered_ids: BTreeSet<MsgId>,
+    /// Ordered entries received, by sequence number.
+    ordered: BTreeMap<u64, (MsgId, P)>,
+    /// Stability votes per sequence number.
+    acks: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Sequence numbers persisted locally (crash-recovery model).
+    persisted: BTreeSet<u64>,
+    /// Next sequence number to deliver.
+    next_deliver: u64,
+    /// Every sequence number at or below this is known stable (learned
+    /// from peers during catch-up; rebuilt after crashes).
+    stable_floor: u64,
+    /// Highest sequence number seen in any entry.
+    max_seq_seen: u64,
+    /// Failure detector bookkeeping.
+    last_heard: BTreeMap<NodeId, SimTime>,
+    suspected: BTreeSet<NodeId>,
+    /// In-flight coordinator-side view change.
+    vc: Option<ViewChange>,
+    /// Joiners waiting for the next view change (coordinator side).
+    waiting_joiners: Vec<(NodeId, u64)>,
+    /// Joiner-side state.
+    join: Option<JoinState>,
+    /// State transfers awaiting an application checkpoint:
+    /// (joiner, generation, view to install, flush watermark).
+    pending_state_transfers: Vec<(NodeId, u64, View, u64)>,
+    /// Sequence numbers already handed to the application in this
+    /// incarnation (guards against duplicate emission when recovery
+    /// replays overlap with normal delivery).
+    already_emitted: BTreeSet<u64>,
+    /// A `ResendPending` timer is outstanding (static model).
+    resend_armed: bool,
+    /// The recovering sequencer may not assign sequence numbers until it
+    /// has heard catch-up replies from a majority (static model).
+    seq_resume_votes: Option<BTreeSet<NodeId>>,
+    stats: GcsStats,
+
+    // ---- survives crashes ----
+    /// Incarnation generation (bumped by `on_recover`).
+    generation: u64,
+    /// The stable log (crash-recovery model only; empty otherwise).
+    stable: BTreeMap<u64, StableEntry<P>>,
+    /// Marker for the checkpoint type used in state transfer.
+    _state: PhantomData<S>,
+}
+
+impl<P, S> GcsEndpoint<P, S>
+where
+    P: Clone + 'static,
+    S: Clone + 'static,
+{
+    /// Create an endpoint for `me` over the static `group`.
+    ///
+    /// `log_disk` must be `Some` in the crash-recovery model (stable-log
+    /// writes are charged to it).
+    pub fn new(
+        cfg: GcsConfig,
+        me: NodeId,
+        mut group: Vec<NodeId>,
+        net: Network,
+        log_disk: Option<Rc<RefCell<Disk>>>,
+        rng: StdRng,
+    ) -> Self {
+        group.sort_unstable();
+        group.dedup();
+        assert!(
+            cfg.model == GcsModel::ViewBased || log_disk.is_some(),
+            "the crash-recovery model needs a log disk"
+        );
+        let view = View::initial(group.clone());
+        GcsEndpoint {
+            cfg,
+            me,
+            group,
+            net,
+            log_disk,
+            rng,
+            started: false,
+            joined: true,
+            view,
+            epoch: 0,
+            next_counter: 0,
+            pending: BTreeMap::new(),
+            seq_assign: None,
+            ordered_ids: BTreeSet::new(),
+            ordered: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            persisted: BTreeSet::new(),
+            next_deliver: 1,
+            stable_floor: 0,
+            max_seq_seen: 0,
+            last_heard: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            vc: None,
+            waiting_joiners: Vec::new(),
+            join: None,
+            pending_state_transfers: Vec::new(),
+            already_emitted: BTreeSet::new(),
+            resend_armed: false,
+            seq_resume_votes: None,
+            stats: GcsStats::default(),
+            generation: 0,
+            stable: BTreeMap::new(),
+            _state: PhantomData,
+        }
+    }
+
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// True if this endpoint currently acts as the sequencer.
+    pub fn is_sequencer(&self) -> bool {
+        self.sequencer() == Some(self.me)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> GcsStats {
+        self.stats
+    }
+
+    /// Next sequence number this endpoint would deliver.
+    pub fn next_deliver(&self) -> u64 {
+        self.next_deliver
+    }
+
+    /// True if this endpoint is a functioning group member (not mid-join).
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    fn sequencer(&self) -> Option<NodeId> {
+        match self.cfg.model {
+            // Static model: fixed sequencer (liveness requires it to be a
+            // yellow process — it eventually recovers, see module docs).
+            GcsModel::CrashRecovery => self.group.first().copied(),
+            GcsModel::ViewBased => self.view.coordinator(),
+        }
+    }
+
+    fn majority(&self) -> usize {
+        match self.cfg.model {
+            GcsModel::CrashRecovery => self.group.len() / 2 + 1,
+            GcsModel::ViewBased => self.view.majority(),
+        }
+    }
+
+    /// Start protocol activity (heartbeats, sequencer duty). Call once from
+    /// the host's initialisation event.
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = true;
+        if self.sequencer() == Some(self.me) {
+            self.seq_assign = Some(1);
+        }
+        let now = ctx.now();
+        for &p in &self.group {
+            self.last_heard.insert(p, now);
+        }
+        if self.cfg.model == GcsModel::ViewBased {
+            ctx.timer(self.cfg.hb_interval, GcsTimer::Heartbeat);
+        }
+    }
+
+    /// `A-broadcast(m)`: submit `payload` to the total order. Returns the
+    /// message id. Resent automatically across view changes until ordered.
+    pub fn broadcast(&mut self, ctx: &mut Ctx<'_>, payload: P) -> MsgId {
+        self.next_counter += 1;
+        let id = MsgId {
+            origin: self.me,
+            counter: self.next_counter,
+        };
+        self.stats.broadcasts += 1;
+        self.pending.insert(id, payload.clone());
+        if let Some(seq_node) = self.sequencer() {
+            self.net
+                .send(ctx, self.me, seq_node, Wire::<P, S>::Forward { id, payload });
+        }
+        if self.cfg.model == GcsModel::CrashRecovery && !self.resend_armed {
+            // No view change exists in the static model to trigger resends;
+            // retry until the sequencer orders the message.
+            self.resend_armed = true;
+            ctx.timer(self.cfg.change_timeout, GcsTimer::ResendPending);
+        }
+        id
+    }
+
+    /// Application-level `ack(m)` (end-to-end mode, §4.2): the message at
+    /// `seq` was processed (successfully delivered). Idempotent.
+    pub fn app_ack(&mut self, _ctx: &mut Ctx<'_>, seq: u64) {
+        if let Some(e) = self.stable.get_mut(&seq) {
+            e.acked = true;
+        }
+    }
+
+    /// Handle an incoming network message.
+    pub fn on_net(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        wire: Wire<P, S>,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        self.last_heard.insert(from, ctx.now());
+        match wire {
+            Wire::Forward { id, payload } => self.on_forward(ctx, id, payload),
+            Wire::Ordered { view, entry } => self.on_ordered(ctx, view, entry, out),
+            Wire::Ack { seq } => {
+                self.record_ack(from, seq);
+                self.try_deliver(ctx, out);
+            }
+            Wire::Heartbeat => {}
+            Wire::ViewStart { epoch, proposed } => {
+                self.on_view_start(ctx, from, epoch, proposed)
+            }
+            Wire::SyncReply {
+                epoch,
+                max_seq,
+                next_deliver,
+            } => self.on_sync_reply(ctx, from, epoch, max_seq, next_deliver, out),
+            Wire::SyncFetch { epoch, have_up_to } => {
+                self.on_view_change_fetch(ctx, from, have_up_to, epoch)
+            }
+            Wire::SyncEntries { epoch, entries } => {
+                self.on_sync_entries(ctx, epoch, entries, out)
+            }
+            Wire::Retransmit { entries } => {
+                for e in entries {
+                    self.store_entry(ctx, e);
+                }
+                self.try_deliver(ctx, out);
+            }
+            Wire::NewView { view, watermark } => self.on_new_view(ctx, view, watermark, out),
+            Wire::JoinReq { generation } => self.on_join_req(ctx, from, generation, out),
+            Wire::StateTransfer {
+                view,
+                applied_seq,
+                tail,
+                state,
+                watermark,
+            } => self.on_state_transfer(ctx, view, applied_seq, tail, state, watermark, out),
+            Wire::CatchUpReq { have_up_to } => self.on_catch_up_req(ctx, from, have_up_to),
+            Wire::CatchUp {
+                entries,
+                stable_up_to,
+            } => {
+                self.stable_floor = self.stable_floor.max(stable_up_to);
+                for e in entries {
+                    self.store_entry(ctx, e);
+                }
+                // A recovering sequencer resumes assigning only after a
+                // majority of peers confirmed what they hold, so it can
+                // never reuse a sequence number it lost in the crash.
+                if let Some(votes) = &mut self.seq_resume_votes {
+                    votes.insert(from);
+                    if votes.len() + 1 >= self.majority() {
+                        self.seq_resume_votes = None;
+                        self.seq_assign = Some(self.max_seq_seen + 1);
+                    }
+                }
+                self.try_deliver(ctx, out);
+            }
+        }
+    }
+
+    /// Handle a timer previously scheduled by this endpoint.
+    pub fn on_timer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        timer: GcsTimer,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        match timer {
+            GcsTimer::Heartbeat => self.on_heartbeat_timer(ctx, out),
+            GcsTimer::Persisted { seq } => self.on_persisted(ctx, seq, out),
+            GcsTimer::DeliveredMarked { seq } => {
+                // The write-ahead "delivered" mark is modelled as free in
+                // time (piggybacked metadata) — the timer fires immediately
+                // and exists so the semantics stay explicit in the code.
+                let _ = seq;
+            }
+            GcsTimer::ViewChangeRetry { epoch } => {
+                if self.vc.as_ref().is_some_and(|vc| vc.epoch == epoch) {
+                    self.vc = None;
+                    self.maybe_start_view_change(ctx, out);
+                }
+            }
+            GcsTimer::JoinRetry { generation } => {
+                if self.join.as_ref().is_some_and(|j| j.generation == generation) {
+                    self.send_join_req(ctx);
+                }
+            }
+            GcsTimer::ResendPending => {
+                self.resend_armed = false;
+                if !self.pending.is_empty() {
+                    if let Some(seq_node) = self.sequencer() {
+                        let pending: Vec<(MsgId, P)> =
+                            self.pending.iter().map(|(k, v)| (*k, v.clone())).collect();
+                        for (id, payload) in pending {
+                            self.net.send(
+                                ctx,
+                                self.me,
+                                seq_node,
+                                Wire::<P, S>::Forward { id, payload },
+                            );
+                        }
+                    }
+                    self.resend_armed = true;
+                    ctx.timer(self.cfg.change_timeout, GcsTimer::ResendPending);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ordering fast path
+    // ------------------------------------------------------------------
+
+    fn on_forward(&mut self, ctx: &mut Ctx<'_>, id: MsgId, payload: P) {
+        let Some(next) = self.seq_assign else {
+            return; // not the sequencer (stale forward); sender will resend
+        };
+        if self.ordered_ids.contains(&id) {
+            return; // duplicate (resend after view change or retry timer)
+        }
+        // Record immediately: a duplicate forward arriving before our own
+        // Ordered loops back must not get a second sequence number.
+        self.ordered_ids.insert(id);
+        self.seq_assign = Some(next + 1);
+        let entry = Entry {
+            seq: next,
+            id,
+            payload,
+        };
+        let members = match self.cfg.model {
+            GcsModel::ViewBased => self.view.members.clone(),
+            GcsModel::CrashRecovery => self.group.clone(),
+        };
+        let view = self.view.id;
+        self.net
+            .multicast(ctx, self.me, &members, Wire::<P, S>::Ordered { view, entry });
+    }
+
+    /// Record an ordered entry locally; in the view model also acknowledge.
+    fn store_entry(&mut self, ctx: &mut Ctx<'_>, entry: Entry<P>) {
+        if self.ordered.contains_key(&entry.seq) || entry.seq < self.next_deliver {
+            return;
+        }
+        self.max_seq_seen = self.max_seq_seen.max(entry.seq);
+        self.ordered_ids.insert(entry.id);
+        self.pending.remove(&entry.id);
+        self.ordered
+            .insert(entry.seq, (entry.id, entry.payload.clone()));
+        match self.cfg.model {
+            GcsModel::ViewBased => {
+                if self.cfg.guarantee == DeliveryGuarantee::Uniform {
+                    self.send_ack(ctx, entry.seq);
+                }
+            }
+            GcsModel::CrashRecovery => {
+                // Persist before acknowledging: stability is backed by
+                // stable storage in this model.
+                let disk = self.log_disk.as_ref().expect("checked in new").clone();
+                let done = disk.borrow_mut().access(ctx.now(), &mut self.rng);
+                self.stats.persists += 1;
+                ctx.timer(done - ctx.now(), GcsTimer::Persisted { seq: entry.seq });
+            }
+        }
+    }
+
+    fn on_ordered(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        _view: u64,
+        entry: Entry<P>,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        if !self.joined {
+            return; // mid-join: the state transfer will cover this entry
+        }
+        self.store_entry(ctx, entry);
+        self.try_deliver(ctx, out);
+    }
+
+    fn on_persisted(&mut self, ctx: &mut Ctx<'_>, seq: u64, out: &mut Vec<GcsOutput<P, S>>) {
+        let Some((id, payload)) = self.ordered.get(&seq).cloned() else {
+            return;
+        };
+        self.persisted.insert(seq);
+        self.stable.insert(
+            seq,
+            StableEntry {
+                id,
+                payload,
+                delivered: false,
+                acked: false,
+            },
+        );
+        self.send_ack(ctx, seq);
+        self.try_deliver(ctx, out);
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        self.record_ack(self.me, seq);
+        let targets: Vec<NodeId> = match self.cfg.model {
+            GcsModel::ViewBased => self.view.members.iter().copied().filter(|&p| p != self.me).collect(),
+            GcsModel::CrashRecovery => self.group.iter().copied().filter(|&p| p != self.me).collect(),
+        };
+        self.stats.acks_sent += 1;
+        self.net
+            .multicast(ctx, self.me, &targets, Wire::<P, S>::Ack { seq });
+    }
+
+    fn record_ack(&mut self, from: NodeId, seq: u64) {
+        self.acks.entry(seq).or_default().insert(from);
+    }
+
+    fn is_stable(&self, seq: u64) -> bool {
+        if seq <= self.stable_floor {
+            return true;
+        }
+        let Some(votes) = self.acks.get(&seq) else {
+            return false;
+        };
+        let voters: &[NodeId] = match self.cfg.model {
+            GcsModel::ViewBased => &self.view.members,
+            GcsModel::CrashRecovery => &self.group,
+        };
+        let count = votes.iter().filter(|v| voters.contains(v)).count();
+        count >= self.majority()
+    }
+
+    fn try_deliver(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<GcsOutput<P, S>>) {
+        if !self.joined {
+            return;
+        }
+        loop {
+            let seq = self.next_deliver;
+            if !self.ordered.contains_key(&seq) {
+                return;
+            }
+            let deliverable = match self.cfg.guarantee {
+                DeliveryGuarantee::NonUniform => true,
+                DeliveryGuarantee::Uniform => {
+                    // In the crash-recovery model an entry must additionally
+                    // be persisted locally before delivery (otherwise a
+                    // crash right after delivery leaves no local record).
+                    let local_ok = self.cfg.model == GcsModel::ViewBased
+                        || self.persisted.contains(&seq);
+                    local_ok && self.is_stable(seq)
+                }
+            };
+            if !deliverable {
+                return;
+            }
+            self.deliver_one(ctx, seq, false, out);
+        }
+    }
+
+    fn deliver_one(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        seq: u64,
+        redelivery: bool,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        let (id, payload) = self.ordered.get(&seq).cloned().expect("entry present");
+        // Entries already handed up in this incarnation, or already
+        // *successfully* delivered in a previous one (end-to-end mode),
+        // advance the cursor without a second emission (refined uniform
+        // integrity: successful delivery at most once).
+        let already_done = self.already_emitted.contains(&seq)
+            || (self.cfg.end_to_end && self.stable.get(&seq).is_some_and(|e| e.acked));
+        if self.cfg.model == GcsModel::CrashRecovery {
+            // Write-ahead delivery mark (see module docs). The mark itself
+            // is free in time (piggybacked metadata write).
+            if let Some(e) = self.stable.get_mut(&seq) {
+                e.delivered = true;
+            }
+        }
+        self.next_deliver = self.next_deliver.max(seq + 1);
+        if already_done {
+            return;
+        }
+        self.already_emitted.insert(seq);
+        if redelivery {
+            self.stats.redelivered += 1;
+        } else {
+            self.stats.delivered += 1;
+        }
+        out.push(GcsOutput::Deliver {
+            seq,
+            id,
+            payload,
+            redelivery,
+        });
+    }
+
+    /// Deliver everything up to `watermark` unconditionally (view-change
+    /// flush: all members of the incoming view hold these entries).
+    fn flush_up_to(&mut self, ctx: &mut Ctx<'_>, watermark: u64, out: &mut Vec<GcsOutput<P, S>>) {
+        while self.next_deliver <= watermark {
+            let seq = self.next_deliver;
+            if self.ordered.contains_key(&seq) {
+                self.deliver_one(ctx, seq, false, out);
+            } else {
+                debug_assert!(false, "flush gap at seq {seq} (missing retransmit)");
+                self.next_deliver += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detection and view changes (dynamic model)
+    // ------------------------------------------------------------------
+
+    fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<GcsOutput<P, S>>) {
+        if !self.joined {
+            ctx.timer(self.cfg.hb_interval, GcsTimer::Heartbeat);
+            return;
+        }
+        let targets: Vec<NodeId> = self
+            .view
+            .members
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect();
+        self.net
+            .multicast(ctx, self.me, &targets, Wire::<P, S>::Heartbeat);
+        let now = ctx.now();
+        let mut newly = false;
+        for &p in &self.view.members {
+            if p == self.me || self.suspected.contains(&p) {
+                continue;
+            }
+            let heard = self.last_heard.get(&p).copied().unwrap_or(SimTime::ZERO);
+            if now.since(heard) > self.cfg.hb_timeout {
+                self.suspected.insert(p);
+                newly = true;
+            }
+        }
+        if newly {
+            // A running attempt that still counts a now-suspected member
+            // must be restarted.
+            if let Some(vc) = &self.vc {
+                if vc.proposed.iter().any(|p| self.suspected.contains(p)) {
+                    self.vc = None;
+                }
+            }
+            if self.suspected.len() == self.view.members.len() - 1 && self.view.len() > 1 {
+                // Everyone else looks down: from this process's vantage
+                // point the group has failed (it may still continue alone,
+                // but durability-by-the-group is gone).
+                out.push(GcsOutput::GroupFailed);
+            }
+            self.maybe_start_view_change(ctx, out);
+        }
+        ctx.timer(self.cfg.hb_interval, GcsTimer::Heartbeat);
+    }
+
+    /// The coordinator among un-suspected members starts the view change.
+    fn maybe_start_view_change(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<GcsOutput<P, S>>) {
+        if self.vc.is_some() || !self.joined {
+            return;
+        }
+        let survivors: Vec<NodeId> = self
+            .view
+            .members
+            .iter()
+            .copied()
+            .filter(|p| !self.suspected.contains(p))
+            .collect();
+        let need_change = survivors.len() != self.view.members.len() || !self.waiting_joiners.is_empty();
+        if !need_change {
+            return;
+        }
+        if survivors.first() != Some(&self.me) {
+            return; // not the coordinator
+        }
+        // Primary-partition rule: the next view must contain a majority of
+        // the current view's members (rejoining incarnations of old
+        // members count). A minority side stays blocked — it keeps the old
+        // view, cannot reach stability, and therefore cannot acknowledge
+        // anything (this is what makes uniform delivery group-safe under
+        // partitions, unlike non-uniform delivery).
+        if self.cfg.guarantee == DeliveryGuarantee::Uniform {
+            let rejoining = self
+                .waiting_joiners
+                .iter()
+                .filter(|(n, _)| self.view.contains(*n) && !survivors.contains(n))
+                .count();
+            if survivors.len() + rejoining < self.view.majority() {
+                return;
+            }
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut vc = ViewChange {
+            epoch,
+            proposed: survivors.clone(),
+            joiners: std::mem::take(&mut self.waiting_joiners),
+            replies: BTreeMap::new(),
+            fetching_from: None,
+        };
+        vc.replies
+            .insert(self.me, (self.max_seq_seen, self.next_deliver));
+        self.vc = Some(vc);
+        let others: Vec<NodeId> = survivors.iter().copied().filter(|&p| p != self.me).collect();
+        self.net.multicast(
+            ctx,
+            self.me,
+            &others,
+            Wire::<P, S>::ViewStart {
+                epoch,
+                proposed: survivors,
+            },
+        );
+        ctx.timer(self.cfg.change_timeout, GcsTimer::ViewChangeRetry { epoch });
+        self.check_view_change_done(ctx, out);
+    }
+
+    fn on_view_start(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        epoch: u64,
+        _proposed: Vec<NodeId>,
+    ) {
+        if epoch < self.epoch || !self.joined {
+            return;
+        }
+        self.epoch = epoch;
+        self.net.send(
+            ctx,
+            self.me,
+            from,
+            Wire::<P, S>::SyncReply {
+                epoch,
+                max_seq: self.max_seq_seen,
+                next_deliver: self.next_deliver,
+            },
+        );
+    }
+
+    fn on_sync_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        epoch: u64,
+        max_seq: u64,
+        next_deliver: u64,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        let Some(vc) = &mut self.vc else {
+            return;
+        };
+        if vc.epoch != epoch {
+            return;
+        }
+        vc.replies.insert(from, (max_seq, next_deliver));
+        self.check_view_change_done(ctx, out);
+    }
+
+    /// If every proposed member replied, fill our gaps then finish.
+    fn check_view_change_done(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<GcsOutput<P, S>>) {
+        let Some(vc) = &self.vc else {
+            return;
+        };
+        if vc.fetching_from.is_some() {
+            return;
+        }
+        if !vc.proposed.iter().all(|p| vc.replies.contains_key(p)) {
+            return;
+        }
+        let watermark = vc.replies.values().map(|r| r.0).max().unwrap_or(0);
+        // Do we hold every entry up to the watermark?
+        let have_all = (self.next_deliver..=watermark).all(|s| self.ordered.contains_key(&s));
+        if !have_all {
+            // Fetch from the other member holding the most.
+            let holder = vc
+                .replies
+                .iter()
+                .filter(|(n, _)| **n != self.me)
+                .max_by_key(|(_, r)| r.0)
+                .map(|(n, _)| *n);
+            if let Some(holder) = holder {
+                let epoch = vc.epoch;
+                self.vc.as_mut().expect("checked").fetching_from = Some(holder);
+                let have = self.next_deliver.saturating_sub(1);
+                self.net.send(
+                    ctx,
+                    self.me,
+                    holder,
+                    Wire::<P, S>::SyncFetch {
+                        epoch,
+                        have_up_to: have,
+                    },
+                );
+                return;
+            }
+        }
+        self.finish_view_change(ctx, watermark, out);
+    }
+
+    fn on_sync_entries(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        epoch: u64,
+        entries: Vec<Entry<P>>,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        for e in entries {
+            self.store_entry(ctx, e);
+        }
+        if let Some(vc) = &mut self.vc {
+            if vc.epoch == epoch {
+                vc.fetching_from = None;
+            }
+        }
+        self.try_deliver(ctx, out);
+        self.check_view_change_done(ctx, out);
+    }
+
+    fn finish_view_change(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        watermark: u64,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        let vc = self.vc.take().expect("called with vc");
+        let min_nd = vc.replies.values().map(|r| r.1).min().unwrap_or(1);
+        // Retransmit everything any member might miss.
+        let entries: Vec<Entry<P>> = (min_nd..=watermark)
+            .filter_map(|s| {
+                self.ordered.get(&s).map(|(id, p)| Entry {
+                    seq: s,
+                    id: *id,
+                    payload: p.clone(),
+                })
+            })
+            .collect();
+        let joiner_nodes: Vec<NodeId> = vc.joiners.iter().map(|(n, _)| *n).collect();
+        let new_view = View {
+            id: self.view.id + 1,
+            members: {
+                let mut m = vc.proposed.clone();
+                m.extend(joiner_nodes.iter().copied());
+                m.sort_unstable();
+                m.dedup();
+                m
+            },
+        };
+        let old_members: Vec<NodeId> = vc
+            .proposed
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect();
+        if !entries.is_empty() {
+            self.net.multicast(
+                ctx,
+                self.me,
+                &old_members,
+                Wire::<P, S>::Retransmit {
+                    entries: entries.clone(),
+                },
+            );
+        }
+        self.net.multicast(
+            ctx,
+            self.me,
+            &old_members,
+            Wire::<P, S>::NewView {
+                view: new_view.clone(),
+                watermark,
+            },
+        );
+        // Joiners are served via state transfer; ask the application for a
+        // checkpoint (the host answers through `checkpoint_ready`).
+        self.pending_state_transfers = vc
+            .joiners
+            .iter()
+            .map(|&(n, g)| (n, g, new_view.clone(), watermark))
+            .collect();
+        // Install locally (this also flushes up to the watermark).
+        self.install_view(ctx, new_view, watermark, out);
+        for &(joiner, generation) in &vc.joiners {
+            out.push(GcsOutput::CheckpointRequest { joiner, generation });
+        }
+    }
+
+    fn on_new_view(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        view: View,
+        watermark: u64,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        if view.id <= self.view.id || !self.joined {
+            return;
+        }
+        self.install_view(ctx, view, watermark, out);
+    }
+
+    fn install_view(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        view: View,
+        watermark: u64,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        self.flush_up_to(ctx, watermark, out);
+        self.view = view.clone();
+        self.vc = None;
+        self.stats.view_changes += 1;
+        // Reset suspicion wholesale: members that are genuinely still down
+        // are re-suspected after one heartbeat timeout, and a node that
+        // rejoined under a fresh incarnation must not inherit suspicion.
+        self.suspected.clear();
+        // Fresh members must not be instantly re-suspected.
+        let now = ctx.now();
+        for &p in &self.view.members {
+            self.last_heard.insert(p, now);
+        }
+        self.seq_assign = if self.view.coordinator() == Some(self.me) {
+            Some(self.max_seq_seen.max(watermark) + 1)
+        } else {
+            None
+        };
+        // Resend un-ordered broadcasts to the new sequencer.
+        if let Some(seq_node) = self.sequencer() {
+            let pending: Vec<(MsgId, P)> =
+                self.pending.iter().map(|(k, v)| (*k, v.clone())).collect();
+            for (id, payload) in pending {
+                self.net
+                    .send(ctx, self.me, seq_node, Wire::<P, S>::Forward { id, payload });
+            }
+        }
+        out.push(GcsOutput::ViewInstalled { view });
+        self.try_deliver(ctx, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Join / state transfer (dynamic model)
+    // ------------------------------------------------------------------
+
+    fn send_join_req(&mut self, ctx: &mut Ctx<'_>) {
+        let generation = self.generation;
+        let targets: Vec<NodeId> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect();
+        self.net
+            .multicast(ctx, self.me, &targets, Wire::<P, S>::JoinReq { generation });
+        ctx.timer(self.cfg.change_timeout, GcsTimer::JoinRetry { generation });
+    }
+
+    fn on_join_req(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        generation: u64,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        if !self.joined {
+            return;
+        }
+        if self.view.contains(from) {
+            // A process only sends JoinReq after recovering, so its old
+            // incarnation — still listed in the view — must be gone.
+            // Suspect it so the view change drops the stale incarnation
+            // while the join adds the fresh one.
+            self.suspected.insert(from);
+        }
+        if self
+            .pending_state_transfers
+            .iter()
+            .any(|&(n, g, _, _)| n == from && g >= generation)
+        {
+            return; // transfer already being prepared
+        }
+        if self
+            .waiting_joiners
+            .iter()
+            .any(|&(n, g)| n == from && g >= generation)
+        {
+            return;
+        }
+        self.waiting_joiners.retain(|&(n, _)| n != from);
+        self.waiting_joiners.push((from, generation));
+        self.maybe_start_view_change(ctx, out);
+    }
+
+    /// The host answers a [`GcsOutput::CheckpointRequest`] with the
+    /// application state: `state` covers all deliveries up to
+    /// `applied_seq`.
+    pub fn checkpoint_ready(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        joiner: NodeId,
+        generation: u64,
+        state: S,
+        applied_seq: u64,
+    ) {
+        let Some(pos) = self
+            .pending_state_transfers
+            .iter()
+            .position(|(n, g, _, _)| *n == joiner && *g == generation)
+        else {
+            return;
+        };
+        let (_, _, view, watermark) = self.pending_state_transfers.remove(pos);
+        let tail: Vec<Entry<P>> = (applied_seq + 1..=watermark)
+            .filter_map(|s| {
+                self.ordered.get(&s).map(|(id, p)| Entry {
+                    seq: s,
+                    id: *id,
+                    payload: p.clone(),
+                })
+            })
+            .collect();
+        self.net.send(
+            ctx,
+            self.me,
+            joiner,
+            Wire::<P, S>::StateTransfer {
+                view,
+                applied_seq,
+                tail,
+                state,
+                watermark,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_state_transfer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        view: View,
+        applied_seq: u64,
+        tail: Vec<Entry<P>>,
+        state: S,
+        watermark: u64,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        if self.join.is_none() {
+            return; // not joining (duplicate transfer)
+        }
+        self.join = None;
+        self.joined = true;
+        self.view = view.clone();
+        self.next_deliver = applied_seq + 1;
+        self.max_seq_seen = watermark;
+        self.ordered.clear();
+        self.acks.clear();
+        for e in &tail {
+            self.ordered.insert(e.seq, (e.id, e.payload.clone()));
+            self.ordered_ids.insert(e.id);
+        }
+        let now = ctx.now();
+        for &p in &view.members {
+            self.last_heard.insert(p, now);
+        }
+        out.push(GcsOutput::InstallState { state, applied_seq });
+        // Deliver the tail (checkpoint gap) immediately: these entries were
+        // flushed, so every member of the view holds them.
+        self.flush_up_to(ctx, watermark, out);
+        out.push(GcsOutput::Joined { view });
+        self.stats.view_changes += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Catch-up (crash-recovery model and view-change gap fill)
+    // ------------------------------------------------------------------
+
+    /// Highest sequence number with the whole prefix persisted locally.
+    fn contiguous_persisted(&self) -> u64 {
+        let mut k = 0;
+        while self.persisted.contains(&(k + 1)) {
+            k += 1;
+        }
+        k
+    }
+
+    fn on_catch_up_req(&mut self, ctx: &mut Ctx<'_>, from: NodeId, have_up_to: u64) {
+        let entries: Vec<Entry<P>> = self
+            .ordered
+            .range(have_up_to + 1..)
+            .map(|(s, (id, p))| Entry {
+                seq: *s,
+                id: *id,
+                payload: p.clone(),
+            })
+            .collect();
+        // A peer recovering at the same time is a fresh source: if this
+        // endpoint is itself waiting to resume sequencing, re-request a
+        // catch-up from that peer (the original request may have been sent
+        // while the peer was still down).
+        if self.seq_resume_votes.is_some() {
+            let have = self.contiguous_persisted();
+            self.net
+                .send(ctx, self.me, from, Wire::<P, S>::CatchUpReq { have_up_to: have });
+        }
+        // Everything this endpoint has delivered under the uniform
+        // guarantee is stable; let the requester skip re-collecting votes.
+        let stable_up_to = match self.cfg.guarantee {
+            DeliveryGuarantee::Uniform => self.next_deliver.saturating_sub(1),
+            DeliveryGuarantee::NonUniform => 0,
+        };
+        self.net.send(
+            ctx,
+            self.me,
+            from,
+            Wire::<P, S>::CatchUp {
+                entries,
+                stable_up_to,
+            },
+        );
+    }
+
+    /// A coordinator mid-view-change asks a member for entries it misses.
+    fn on_view_change_fetch(&mut self, ctx: &mut Ctx<'_>, from: NodeId, have_up_to: u64, epoch: u64) {
+        let entries: Vec<Entry<P>> = self
+            .ordered
+            .range(have_up_to + 1..)
+            .map(|(s, (id, p))| Entry {
+                seq: *s,
+                id: *id,
+                payload: p.clone(),
+            })
+            .collect();
+        self.net
+            .send(ctx, self.me, from, Wire::<P, S>::SyncEntries { epoch, entries });
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / recovery
+    // ------------------------------------------------------------------
+
+    /// The host actor crashed: wipe volatile state. The stable log and the
+    /// generation counter survive.
+    pub fn on_crash(&mut self) {
+        self.started = false;
+        self.joined = false;
+        self.view = View::initial(self.group.clone());
+        self.pending.clear();
+        self.seq_assign = None;
+        self.ordered_ids.clear();
+        self.ordered.clear();
+        self.acks.clear();
+        self.persisted.clear();
+        self.next_deliver = 1;
+        self.stable_floor = 0;
+        self.max_seq_seen = 0;
+        self.last_heard.clear();
+        self.suspected.clear();
+        self.vc = None;
+        self.waiting_joiners.clear();
+        self.join = None;
+        self.pending_state_transfers.clear();
+        self.already_emitted.clear();
+        self.resend_armed = false;
+        self.seq_resume_votes = None;
+    }
+
+    /// The host actor recovered. In the dynamic model this starts a join
+    /// (new identity, state transfer). In the crash-recovery model it
+    /// rebuilds from the stable log, redelivers per the end-to-end rules
+    /// and catches up from peers.
+    pub fn on_recover(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<GcsOutput<P, S>>) {
+        self.generation += 1;
+        self.started = true;
+        // MsgId counters must never repeat across incarnations.
+        self.next_counter = self.generation << 32;
+        match self.cfg.model {
+            GcsModel::ViewBased => {
+                self.joined = false;
+                self.join = Some(JoinState {
+                    generation: self.generation,
+                });
+                self.send_join_req(ctx);
+                ctx.timer(self.cfg.hb_interval, GcsTimer::Heartbeat);
+            }
+            GcsModel::CrashRecovery => {
+                self.joined = true;
+                // Rebuild the ordering state from the stable log.
+                let mut delivered_prefix = 0;
+                for (&seq, e) in &self.stable {
+                    self.ordered.insert(seq, (e.id, e.payload.clone()));
+                    self.ordered_ids.insert(e.id);
+                    self.persisted.insert(seq);
+                    self.max_seq_seen = self.max_seq_seen.max(seq);
+                    if e.delivered && seq == delivered_prefix + 1 {
+                        delivered_prefix = seq;
+                    }
+                }
+                // Highest sequence number such that the whole prefix is in
+                // the log (persist completions can have holes).
+                let contiguous = self.contiguous_persisted();
+                if self.cfg.end_to_end {
+                    // §4.2: replay, in order, every logged entry that was
+                    // handed up before the crash but never acknowledged by
+                    // the application. Acked entries are skipped (refined
+                    // uniform integrity: successful delivery at most once).
+                    // Entries persisted but never delivered flow through the
+                    // normal ordered path below.
+                    let to_redeliver: Vec<u64> = self
+                        .stable
+                        .iter()
+                        .filter(|(_, e)| e.delivered && !e.acked)
+                        .map(|(s, _)| *s)
+                        .collect();
+                    for seq in to_redeliver {
+                        self.deliver_one(ctx, seq, true, out);
+                    }
+                    self.next_deliver = delivered_prefix + 1;
+                } else {
+                    // Classic integrity: entries marked delivered must not
+                    // be delivered again — even if the application never
+                    // processed them. This is the paper's §3 gap.
+                    self.next_deliver = delivered_prefix + 1;
+                }
+                // Help others' stability and catch up on what we missed.
+                let persisted: Vec<u64> = self.persisted.iter().copied().collect();
+                for seq in persisted {
+                    self.send_ack(ctx, seq);
+                }
+                let targets: Vec<NodeId> = self
+                    .group
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != self.me)
+                    .collect();
+                self.net.multicast(
+                    ctx,
+                    self.me,
+                    &targets,
+                    Wire::<P, S>::CatchUpReq {
+                        have_up_to: contiguous,
+                    },
+                );
+                if self.sequencer() == Some(self.me) {
+                    // Do not resume sequencing yet: entries this sequencer
+                    // ordered just before the crash may exist only on other
+                    // nodes. Wait for catch-up replies from a majority
+                    // first (`seq_resume_votes`), unless the group is a
+                    // singleton.
+                    if self.group.len() == 1 {
+                        self.seq_assign = Some(self.max_seq_seen + 1);
+                    } else {
+                        self.seq_resume_votes = Some(BTreeSet::new());
+                    }
+                }
+                self.try_deliver(ctx, out);
+            }
+        }
+    }
+
+    /// Driver-orchestrated restart after a *total* group failure in the
+    /// dynamic model (Fig. 5): the surviving processes form a brand-new
+    /// group; all group-communication history is gone. The application
+    /// recovers from its own local stable state — any transaction that was
+    /// delivered but never processed is lost, which is exactly the
+    /// scenario the paper uses to show classic GC is not 2-safe.
+    pub fn restart_group(&mut self, ctx: &mut Ctx<'_>, members: Vec<NodeId>, seq_base: u64) {
+        assert_eq!(
+            self.cfg.model,
+            GcsModel::ViewBased,
+            "restart_group is a dynamic-model operation"
+        );
+        self.on_crash();
+        self.generation += 1;
+        self.started = true;
+        self.joined = true;
+        self.next_counter = self.generation << 32;
+        self.view = View {
+            id: (self.generation + 1) * 1_000_000, // fresh group: view ids restart above old ones
+            members: {
+                let mut m = members;
+                m.sort_unstable();
+                m.dedup();
+                m
+            },
+        };
+        // Sequence numbers continue above `seq_base` so versions derived
+        // from them never regress below the recovered application state.
+        self.next_deliver = seq_base + 1;
+        self.max_seq_seen = seq_base;
+        if self.view.coordinator() == Some(self.me) {
+            self.seq_assign = Some(seq_base + 1);
+        }
+        let now = ctx.now();
+        for &p in &self.view.members {
+            self.last_heard.insert(p, now);
+        }
+        ctx.timer(self.cfg.hb_interval, GcsTimer::Heartbeat);
+    }
+
+    /// Entries currently in the stable log (inspection/test helper).
+    pub fn stable_log_seqs(&self) -> Vec<u64> {
+        self.stable.keys().copied().collect()
+    }
+
+    /// Whether the stable-log entry at `seq` carries the application ack.
+    pub fn stable_entry_acked(&self, seq: u64) -> Option<bool> {
+        self.stable.get(&seq).map(|e| e.acked)
+    }
+}

@@ -1,0 +1,313 @@
+//! A minimal host application for exercising the group communication
+//! endpoint: used by this crate's scenario tests, by benchmarks, and by
+//! the Fig. 5 / Fig. 7 reproductions.
+//!
+//! The application is deliberately simple — it appends delivered `u64`
+//! payloads to a state vector — but it faithfully models the paper's
+//! crucial distinction between *delivery* and *processing*: a delivered
+//! message is only applied to the (stable) application state after a
+//! configurable processing delay, and a crash inside that window loses the
+//! message at this replica unless the end-to-end primitive replays it.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use groupsafe_net::{Incoming, NetConfig, Network, NodeId};
+use groupsafe_sim::{Actor, ActorId, Ctx, Disk, Engine, Payload, SimDuration, SimTime};
+
+use crate::config::GcsConfig;
+use crate::endpoint::GcsEndpoint;
+use crate::message::{GcsTimer, MsgId, Wire};
+use crate::output::GcsOutput;
+use crate::properties::RunObservation;
+
+/// Application checkpoint used by state transfer in the harness.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AppCheckpoint {
+    /// Processed payloads in processing order.
+    pub values: Vec<u64>,
+    /// Identities of processed messages (testable-transaction dedup).
+    pub processed_ids: BTreeSet<MsgId>,
+    /// Sequence number of the last processed delivery.
+    pub applied_seq: u64,
+}
+
+type HostEndpoint = GcsEndpoint<u64, AppCheckpoint>;
+type HostWire = Wire<u64, AppCheckpoint>;
+type HostOutput = GcsOutput<u64, AppCheckpoint>;
+
+/// Driver-injected request: A-broadcast `value`.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastCmd(pub u64);
+
+/// Driver-injected: start the endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct InitCmd;
+
+/// Driver-injected (dynamic model, total failure): form a fresh group.
+#[derive(Debug, Clone)]
+pub struct RestartGroupCmd(pub Vec<NodeId>);
+
+/// Internal: processing of a delivered message finished.
+#[derive(Debug, Clone, Copy)]
+struct ProcessDone {
+    seq: u64,
+    id: MsgId,
+    value: u64,
+}
+
+/// Host actor embedding a [`GcsEndpoint`] and the toy application.
+pub struct GcsHost {
+    node: NodeId,
+    endpoint: HostEndpoint,
+    net: Network,
+    obs: Rc<RefCell<RunObservation>>,
+    /// Time between `A-deliver` and the application finishing processing.
+    process_delay: SimDuration,
+
+    // Volatile application state.
+    volatile_seen: Vec<u64>,
+
+    // Stable application state (the application's own "disk").
+    stable_values: Vec<u64>,
+    processed_ids: BTreeSet<MsgId>,
+    applied_seq: u64,
+}
+
+impl GcsHost {
+    /// Create a host; `process_delay` models the §3 window between
+    /// delivery and successful delivery.
+    pub fn new(
+        node: NodeId,
+        endpoint: HostEndpoint,
+        net: Network,
+        obs: Rc<RefCell<RunObservation>>,
+        process_delay: SimDuration,
+    ) -> Self {
+        GcsHost {
+            node,
+            endpoint,
+            net,
+            obs,
+            process_delay,
+            volatile_seen: Vec::new(),
+            stable_values: Vec::new(),
+            processed_ids: BTreeSet::new(),
+            applied_seq: 0,
+        }
+    }
+
+    /// The application's stable (processed) state.
+    pub fn stable_values(&self) -> &[u64] {
+        &self.stable_values
+    }
+
+    /// Read access to the embedded endpoint.
+    pub fn endpoint(&self) -> &HostEndpoint {
+        &self.endpoint
+    }
+
+    fn handle_outputs(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<HostOutput>) {
+        for o in outputs {
+            match o {
+                GcsOutput::Deliver {
+                    seq, id, payload, ..
+                } => {
+                    self.volatile_seen.push(payload);
+                    let now = ctx.now();
+                    self.obs
+                        .borrow_mut()
+                        .record_delivery(self.node, seq, id, false, now);
+                    ctx.timer(
+                        self.process_delay,
+                        ProcessDone {
+                            seq,
+                            id,
+                            value: payload,
+                        },
+                    );
+                }
+                GcsOutput::CheckpointRequest { joiner, generation } => {
+                    let ckpt = AppCheckpoint {
+                        values: self.stable_values.clone(),
+                        processed_ids: self.processed_ids.clone(),
+                        applied_seq: self.applied_seq,
+                    };
+                    let applied = self.applied_seq;
+                    self.endpoint
+                        .checkpoint_ready(ctx, joiner, generation, ckpt, applied);
+                }
+                GcsOutput::InstallState { state, applied_seq } => {
+                    self.stable_values = state.values;
+                    self.processed_ids = state.processed_ids;
+                    self.applied_seq = applied_seq.max(state.applied_seq);
+                    self.volatile_seen.clear();
+                }
+                GcsOutput::ViewInstalled { .. }
+                | GcsOutput::Joined { .. }
+                | GcsOutput::GroupFailed => {}
+            }
+        }
+    }
+}
+
+impl Actor for GcsHost {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let mut outputs = Vec::new();
+        let payload = match payload.downcast::<InitCmd>() {
+            Ok(_) => {
+                self.endpoint.start(ctx);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<BroadcastCmd>() {
+            Ok(cmd) => {
+                let id = self.endpoint.broadcast(ctx, cmd.0);
+                self.obs.borrow_mut().broadcast.insert(id);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<RestartGroupCmd>() {
+            Ok(cmd) => {
+                self.endpoint.restart_group(ctx, cmd.0, 0);
+                // Application-level local recovery: volatile state is
+                // rebuilt from the stable state.
+                self.volatile_seen = self.stable_values.clone();
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<HostWire>>() {
+            Ok(inc) => {
+                self.endpoint.on_net(ctx, inc.from, inc.msg, &mut outputs);
+                self.handle_outputs(ctx, outputs);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<GcsTimer>() {
+            Ok(t) => {
+                self.endpoint.on_timer(ctx, *t, &mut outputs);
+                self.handle_outputs(ctx, outputs);
+                return;
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<ProcessDone>() {
+            Ok(done) => {
+                // Testable transactions: process each message at most once.
+                if self.processed_ids.insert(done.id) {
+                    self.stable_values.push(done.value);
+                    self.applied_seq = self.applied_seq.max(done.seq);
+                    self.obs.borrow_mut().mark_processed(self.node, done.id);
+                }
+                self.endpoint.app_ack(ctx, done.seq);
+            }
+            Err(_) => panic!("gcs harness: unhandled event payload"),
+        }
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        self.endpoint.on_crash();
+        self.volatile_seen.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        let mut outputs = Vec::new();
+        self.endpoint.on_recover(ctx, &mut outputs);
+        self.volatile_seen = self.stable_values.clone();
+        self.handle_outputs(ctx, outputs);
+    }
+
+    fn name(&self) -> &str {
+        "gcs-host"
+    }
+}
+
+/// A fully wired group for scenario tests and benches.
+pub struct Cluster {
+    /// The simulation engine.
+    pub engine: Engine,
+    /// The shared network.
+    pub net: Network,
+    /// Host actor ids, indexed by node.
+    pub hosts: Vec<ActorId>,
+    /// Shared observation for the property checkers.
+    pub obs: Rc<RefCell<RunObservation>>,
+}
+
+impl Cluster {
+    /// Build `n` hosts with the given GC configuration. Each node gets its
+    /// own simulated log disk. All endpoints are started at t = 0.
+    pub fn new(n: u32, cfg: GcsConfig, seed: u64) -> Self {
+        Self::with_process_delay(n, cfg, seed, SimDuration::from_millis(5))
+    }
+
+    /// As [`Cluster::new`] with an explicit delivery→processing delay.
+    pub fn with_process_delay(
+        n: u32,
+        cfg: GcsConfig,
+        seed: u64,
+        process_delay: SimDuration,
+    ) -> Self {
+        let mut engine = Engine::new(seed);
+        let net = Network::new(NetConfig::default());
+        let obs = Rc::new(RefCell::new(RunObservation::default()));
+        let group: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut hosts = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let node = NodeId(i);
+            let disk = Rc::new(RefCell::new(Disk::paper_default()));
+            let endpoint = HostEndpoint::new(
+                cfg.clone(),
+                node,
+                group.clone(),
+                net.clone(),
+                Some(disk),
+                StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1))),
+            );
+            let host = GcsHost::new(node, endpoint, net.clone(), obs.clone(), process_delay);
+            let id = engine.add_actor(Box::new(host));
+            net.register(node, id);
+            hosts.push(id);
+        }
+        for &h in &hosts {
+            engine.schedule(SimTime::ZERO, h, InitCmd);
+        }
+        Cluster {
+            engine,
+            net,
+            hosts,
+            obs,
+        }
+    }
+
+    /// Schedule a broadcast of `value` from `node` at `at`. Delivered as
+    /// long as the node is up at `at` (scripted scenarios inject work
+    /// after planned recoveries).
+    pub fn broadcast_at(&mut self, at: SimTime, node: NodeId, value: u64) {
+        let host = self.hosts[node.index()];
+        self.engine.schedule_resilient(at, host, BroadcastCmd(value));
+    }
+
+    /// The stable application state of `node`.
+    pub fn stable_values(&self, node: NodeId) -> Vec<u64> {
+        let host: &GcsHost = self.engine.actor(self.hosts[node.index()]);
+        host.stable_values().to_vec()
+    }
+}
+
+// The `net` field is kept so drivers can partition/heal mid-run even
+// though the harness itself only reads it during construction.
+impl GcsHost {
+    /// The network handle (drivers occasionally need it).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}

@@ -1,0 +1,39 @@
+//! # groupsafe-gcs — group communication for the group-safety reproduction
+//!
+//! Implements the paper's group communication component (Wiesmann &
+//! Schiper, EDBT 2004, §2.3–§4):
+//!
+//! * fixed-sequencer **atomic broadcast** with uniform ("safe") or
+//!   non-uniform delivery,
+//! * the **dynamic crash no-recovery** model: views, heartbeat failure
+//!   detection, virtual-synchrony flush on view changes, join with
+//!   checkpoint **state transfer**,
+//! * the **static crash-recovery** model: persistent entry log, write-ahead
+//!   delivery marks, catch-up after recovery,
+//! * the paper's proposed **end-to-end atomic broadcast** (§4): application
+//!   `ack(m)` tracking and redelivery of unacknowledged messages after
+//!   recovery, with the refined uniform integrity property,
+//! * runtime **property checkers** for validity, uniform agreement,
+//!   uniform integrity (both flavours), uniform total order and the
+//!   end-to-end property,
+//! * the green/yellow/red **process classes** of §2.3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod endpoint;
+pub mod harness;
+pub mod message;
+pub mod output;
+pub mod process;
+pub mod properties;
+pub mod view;
+
+pub use config::{DeliveryGuarantee, GcsConfig, GcsModel};
+pub use endpoint::{GcsEndpoint, GcsStats};
+pub use message::{Entry, GcsTimer, MsgId, Wire};
+pub use output::GcsOutput;
+pub use process::{classify, LifecycleEvent, ProcessClass};
+pub use properties::{DeliveryRecord, RunObservation, Violation};
+pub use view::View;

@@ -1,0 +1,205 @@
+//! Wire messages and message identities for the group communication layer.
+
+use groupsafe_net::NodeId;
+
+use crate::view::View;
+
+/// Globally unique message identity: origin node plus an origin-local
+/// counter. Survives reordering and resends (dedup key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// The node that A-broadcast the message.
+    pub origin: NodeId,
+    /// Origin-local sequence number.
+    pub counter: u64,
+}
+
+/// A totally-ordered log entry: global sequence number, identity, payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry<P> {
+    /// Position in the global total order (1-based).
+    pub seq: u64,
+    /// Message identity.
+    pub id: MsgId,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// Wire protocol of the group communication component.
+///
+/// `P` is the application payload, `S` the application checkpoint type
+/// (used by state transfer in the dynamic crash no-recovery model).
+#[derive(Debug, Clone)]
+pub enum Wire<P, S> {
+    /// Sender → sequencer: please order this message.
+    Forward {
+        /// Message identity (dedup key for resends).
+        id: MsgId,
+        /// Payload.
+        payload: P,
+    },
+    /// Sequencer → all: the message got position `seq` in the total order.
+    Ordered {
+        /// View (or era) in which the order was assigned.
+        view: u64,
+        /// The ordered entry.
+        entry: Entry<P>,
+    },
+    /// All → all: "I have (and, in the crash-recovery model, have
+    /// persisted) the entry at `seq`". Majority of acks ⇒ stability.
+    Ack {
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// Failure-detector heartbeat.
+    Heartbeat,
+    /// Coordinator → proposed members: start synchronising for a new view.
+    ViewStart {
+        /// Monotone epoch of this view-change attempt.
+        epoch: u64,
+        /// Proposed member set.
+        proposed: Vec<NodeId>,
+    },
+    /// Member → coordinator: my ordering state for the view change.
+    SyncReply {
+        /// Epoch being answered.
+        epoch: u64,
+        /// Highest sequence number I have seen an entry for.
+        max_seq: u64,
+        /// My next undelivered sequence number.
+        next_deliver: u64,
+    },
+    /// Coordinator → member: send me entries above `have_up_to` so I can
+    /// complete the flush (answered with [`Wire::SyncEntries`]).
+    SyncFetch {
+        /// Epoch of the running view change.
+        epoch: u64,
+        /// Highest contiguous sequence number the coordinator holds.
+        have_up_to: u64,
+    },
+    /// Member → coordinator: entries the coordinator asked for.
+    SyncEntries {
+        /// Epoch being answered.
+        epoch: u64,
+        /// The requested entries.
+        entries: Vec<Entry<P>>,
+    },
+    /// Coordinator → member: entries you may be missing (flush).
+    Retransmit {
+        /// Entries in ascending `seq` order.
+        entries: Vec<Entry<P>>,
+    },
+    /// Coordinator → members: install this view; all entries up to
+    /// `watermark` must be delivered in it (virtual-synchrony flush).
+    NewView {
+        /// The new view.
+        view: View,
+        /// Every member delivers up to here before switching.
+        watermark: u64,
+    },
+    /// Recovered process (new incarnation) → all: let me join.
+    JoinReq {
+        /// Joiner's incarnation generation (dedup across retries).
+        generation: u64,
+    },
+    /// Coordinator → joiner: application checkpoint plus the entries the
+    /// checkpoint does not yet cover.
+    StateTransfer {
+        /// View the joiner becomes part of.
+        view: View,
+        /// The checkpoint covers all deliveries up to this sequence number.
+        applied_seq: u64,
+        /// Entries in `(applied_seq, watermark]`, redelivered at the joiner.
+        tail: Vec<Entry<P>>,
+        /// Application checkpoint.
+        state: S,
+        /// Watermark of the flush that accompanied the join.
+        watermark: u64,
+    },
+    /// Recovering process (crash-recovery model) → all: send me entries
+    /// with `seq > have_up_to`.
+    CatchUpReq {
+        /// Highest sequence number present in the requester's stable log.
+        have_up_to: u64,
+    },
+    /// Reply to [`Wire::CatchUpReq`].
+    CatchUp {
+        /// Entries in ascending `seq` order.
+        entries: Vec<Entry<P>>,
+        /// Everything at or below this sequence number is stable at the
+        /// responder (it delivered them under the uniform guarantee), so
+        /// the requester may treat them as stable too.
+        stable_up_to: u64,
+    },
+}
+
+/// Timers the endpoint schedules on its host actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcsTimer {
+    /// Emit a heartbeat and check peers for silence.
+    Heartbeat,
+    /// A stable-log write finished for `seq` (crash-recovery model).
+    Persisted {
+        /// The sequence number whose entry is now on disk.
+        seq: u64,
+    },
+    /// The "delivered" flag write finished for `seq` (write-ahead delivery,
+    /// crash-recovery model without end-to-end guarantees).
+    DeliveredMarked {
+        /// The sequence number now marked delivered on disk.
+        seq: u64,
+    },
+    /// A view-change attempt timed out; retry.
+    ViewChangeRetry {
+        /// Epoch of the timed-out attempt.
+        epoch: u64,
+    },
+    /// A join attempt timed out; retry.
+    JoinRetry {
+        /// Generation of the timed-out attempt.
+        generation: u64,
+    },
+    /// Re-send not-yet-ordered broadcasts to the sequencer (static
+    /// crash-recovery model, where there is no view change to trigger it).
+    ResendPending,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_orders_by_origin_then_counter() {
+        let a = MsgId {
+            origin: NodeId(0),
+            counter: 5,
+        };
+        let b = MsgId {
+            origin: NodeId(1),
+            counter: 1,
+        };
+        assert!(a < b);
+        let c = MsgId {
+            origin: NodeId(0),
+            counter: 6,
+        };
+        assert!(a < c);
+    }
+
+    #[test]
+    fn entries_carry_payloads() {
+        let e = Entry {
+            seq: 3,
+            id: MsgId {
+                origin: NodeId(2),
+                counter: 1,
+            },
+            payload: "txn".to_string(),
+        };
+        let w: Wire<String, ()> = Wire::Ordered { view: 0, entry: e };
+        match w {
+            Wire::Ordered { entry, .. } => assert_eq!(entry.payload, "txn"),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Process classes (paper §2.3, Fig. 3).
+//!
+//! The paper classifies processes by their crash behaviour:
+//!
+//! * **green** — never crashes,
+//! * **yellow** — crashes one or more times but is eventually forever up,
+//! * **red** — crashes forever, or is unstable (crashes and recovers
+//!   indefinitely).
+//!
+//! Green/yellow correspond to Aguilera et al.'s *good* processes, red to
+//! *bad* ones. The dynamic crash no-recovery model only has green and red
+//! processes; the static crash-recovery model also has yellow ones.
+
+use groupsafe_net::NodeId;
+use groupsafe_sim::SimTime;
+
+/// The paper's process classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessClass {
+    /// Never crashes.
+    Green,
+    /// Crashes at least once but is eventually forever up.
+    Yellow,
+    /// Crashes forever, or keeps crashing without staying up.
+    Red,
+}
+
+impl ProcessClass {
+    /// Good processes (Aguilera et al. terminology) are green or yellow.
+    pub fn is_good(self) -> bool {
+        matches!(self, ProcessClass::Green | ProcessClass::Yellow)
+    }
+}
+
+/// A crash/recover event observed for a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// The node went down.
+    Crash(SimTime),
+    /// The node came back up.
+    Recover(SimTime),
+}
+
+/// Classify a node from its lifecycle history over a finite run.
+///
+/// The run is observed up to `horizon`; a process whose last event is a
+/// crash is treated as crashed-forever (red), one that recovered and stayed
+/// up is yellow, and one with no events at all is green. This is the
+/// finite-run projection of the paper's asymptotic definitions and is what
+/// the fault-injection experiments report.
+pub fn classify(history: &[LifecycleEvent], _horizon: SimTime) -> ProcessClass {
+    if history.is_empty() {
+        return ProcessClass::Green;
+    }
+    match history.last().expect("non-empty") {
+        LifecycleEvent::Crash(_) => ProcessClass::Red,
+        LifecycleEvent::Recover(_) => ProcessClass::Yellow,
+    }
+}
+
+/// A node together with its classification (reporting convenience).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifiedNode {
+    /// The node.
+    pub node: NodeId,
+    /// Its class over the observed run.
+    pub class: ProcessClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn no_events_is_green() {
+        assert_eq!(classify(&[], t(100)), ProcessClass::Green);
+    }
+
+    #[test]
+    fn crash_without_recovery_is_red() {
+        assert_eq!(
+            classify(&[LifecycleEvent::Crash(t(10))], t(100)),
+            ProcessClass::Red
+        );
+    }
+
+    #[test]
+    fn crash_then_recover_is_yellow() {
+        let h = [LifecycleEvent::Crash(t(10)), LifecycleEvent::Recover(t(20))];
+        assert_eq!(classify(&h, t(100)), ProcessClass::Yellow);
+    }
+
+    #[test]
+    fn repeated_crashes_ending_down_is_red() {
+        let h = [
+            LifecycleEvent::Crash(t(10)),
+            LifecycleEvent::Recover(t(20)),
+            LifecycleEvent::Crash(t(30)),
+        ];
+        assert_eq!(classify(&h, t(100)), ProcessClass::Red);
+    }
+
+    #[test]
+    fn goodness() {
+        assert!(ProcessClass::Green.is_good());
+        assert!(ProcessClass::Yellow.is_good());
+        assert!(!ProcessClass::Red.is_good());
+    }
+}

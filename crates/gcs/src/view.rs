@@ -1,0 +1,114 @@
+//! Group views (paper §2.3, dynamic crash no-recovery model).
+//!
+//! The history of a dynamic group is a sequence of views `v0, v1, ...`;
+//! a new view is installed whenever a process joins or leaves.
+
+use groupsafe_net::NodeId;
+
+/// A group view: an identifier plus the member list, sorted by node id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Monotonically increasing view number.
+    pub id: u64,
+    /// Members, sorted ascending.
+    pub members: Vec<NodeId>,
+}
+
+impl View {
+    /// Create the initial view (id 0) over `members`.
+    pub fn initial(mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        View { id: 0, members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the view has no members (a dead group).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True if `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The view coordinator/sequencer: the smallest member id.
+    pub fn coordinator(&self) -> Option<NodeId> {
+        self.members.first().copied()
+    }
+
+    /// Majority threshold of this view (⌊len/2⌋ + 1).
+    pub fn majority(&self) -> usize {
+        self.len() / 2 + 1
+    }
+
+    /// The successor view without `leavers` and with `joiners` added.
+    pub fn successor(&self, leavers: &[NodeId], joiners: &[NodeId]) -> View {
+        let mut members: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !leavers.contains(m))
+            .collect();
+        for j in joiners {
+            if !members.contains(j) {
+                members.push(*j);
+            }
+        }
+        members.sort_unstable();
+        View {
+            id: self.id + 1,
+            members,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn initial_sorts_and_dedups() {
+        let v = View::initial(vec![n(2), n(0), n(1), n(2)]);
+        assert_eq!(v.id, 0);
+        assert_eq!(v.members, vec![n(0), n(1), n(2)]);
+        assert_eq!(v.coordinator(), Some(n(0)));
+        assert_eq!(v.majority(), 2);
+    }
+
+    #[test]
+    fn successor_removes_and_adds() {
+        let v = View::initial(vec![n(0), n(1), n(2)]);
+        let v1 = v.successor(&[n(0)], &[]);
+        assert_eq!(v1.id, 1);
+        assert_eq!(v1.members, vec![n(1), n(2)]);
+        assert_eq!(v1.coordinator(), Some(n(1)));
+        let v2 = v1.successor(&[], &[n(0)]);
+        assert_eq!(v2.members, vec![n(0), n(1), n(2)]);
+        assert!(v2.contains(n(0)));
+    }
+
+    #[test]
+    fn empty_view_is_dead() {
+        let v = View::initial(vec![n(0)]);
+        let v1 = v.successor(&[n(0)], &[]);
+        assert!(v1.is_empty());
+        assert_eq!(v1.coordinator(), None);
+    }
+
+    #[test]
+    fn majority_thresholds() {
+        assert_eq!(View::initial((0..3).map(NodeId).collect()).majority(), 2);
+        assert_eq!(View::initial((0..4).map(NodeId).collect()).majority(), 3);
+        assert_eq!(View::initial((0..9).map(NodeId).collect()).majority(), 5);
+    }
+}

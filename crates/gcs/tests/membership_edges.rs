@@ -1,0 +1,132 @@
+//! Membership edge cases: primary-partition blocking, healed partitions,
+//! coordinator crashes during view changes, and fast crash-recover cycles.
+
+use groupsafe_gcs::harness::{Cluster, GcsHost};
+use groupsafe_gcs::GcsConfig;
+use groupsafe_net::NodeId;
+use groupsafe_sim::SimTime;
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_millis(v)
+}
+
+/// A partitioned minority under uniform delivery must block: no new
+/// deliveries on the minority side, so nothing it cannot guarantee.
+#[test]
+fn minority_partition_blocks_under_uniform_delivery() {
+    let n = 5;
+    let mut cluster = Cluster::new(n, GcsConfig::view_based_uniform(), 61);
+    for i in 0..5u64 {
+        cluster.broadcast_at(ms(10 + i * 5), NodeId(0), 100 + i);
+    }
+    cluster.engine.run_until(ms(200));
+    // Isolate nodes 0 and 1 (node 0 is the sequencer).
+    cluster
+        .net
+        .partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3), NodeId(4)]]);
+    // Broadcasts submitted on the minority side must NOT be delivered
+    // there (no majority => no stability => no delivery).
+    cluster.broadcast_at(ms(250), NodeId(1), 900);
+    cluster.engine.run_until(ms(1_500));
+    let minority_state = cluster.stable_values(NodeId(1));
+    assert!(
+        !minority_state.contains(&900),
+        "minority must not deliver: {minority_state:?}"
+    );
+    // The majority side elects a new sequencer and keeps going.
+    cluster.broadcast_at(ms(1_600), NodeId(3), 901);
+    cluster.engine.run_until(ms(3_000));
+    assert!(
+        cluster.stable_values(NodeId(3)).contains(&901),
+        "majority side must continue"
+    );
+    // Heal: the minority side rejoins the primary view and converges.
+    cluster.net.heal();
+    cluster.engine.run_until(ms(8_000));
+    let host1: &GcsHost = cluster.engine.actor(cluster.hosts[1]);
+    assert!(
+        host1.endpoint().view().len() >= 3,
+        "healed member must be back in the primary view: {:?}",
+        host1.endpoint().view()
+    );
+}
+
+/// The coordinator crashing *during* a view change must not wedge the
+/// group: the next coordinator restarts the change.
+#[test]
+fn coordinator_crash_during_view_change() {
+    let n = 4;
+    let mut cluster = Cluster::new(n, GcsConfig::view_based_uniform(), 67);
+    for i in 0..5u64 {
+        cluster.broadcast_at(ms(10 + i * 5), NodeId(1), 200 + i);
+    }
+    // Crash node 3 to trigger a view change; crash node 0 (the
+    // coordinator) in the middle of the detection/sync window.
+    cluster.engine.schedule_crash(ms(100), cluster.hosts[3]);
+    cluster.engine.schedule_crash(ms(140), cluster.hosts[0]);
+    // The remaining pair {1, 2} must finish a view change and keep
+    // ordering new messages (2 of 4 = majority boundary: survivors of the
+    // last installed view).
+    for i in 0..5u64 {
+        cluster.broadcast_at(ms(1_000 + i * 10), NodeId(2), 300 + i);
+    }
+    cluster.engine.run_until(ms(5_000));
+    let s1 = cluster.stable_values(NodeId(1));
+    let s2 = cluster.stable_values(NodeId(2));
+    assert_eq!(s1, s2, "survivors diverged");
+    for v in 300..305 {
+        assert!(s1.contains(&v), "post-failover broadcast {v} missing: {s1:?}");
+    }
+}
+
+/// A node that crashes and recovers faster than the failure detector
+/// notices must still be able to rejoin (its stale incarnation is
+/// replaced).
+#[test]
+fn fast_crash_recover_cycle_rejoins() {
+    let n = 3;
+    let mut cluster = Cluster::new(n, GcsConfig::view_based_uniform(), 71);
+    for i in 0..4u64 {
+        cluster.broadcast_at(ms(10 + i * 5), NodeId(0), 400 + i);
+    }
+    // Down for only 10 ms — well under the 35 ms detection timeout.
+    cluster.engine.schedule_crash(ms(100), cluster.hosts[2]);
+    cluster.engine.schedule_recover(ms(110), cluster.hosts[2]);
+    for i in 0..4u64 {
+        cluster.broadcast_at(ms(1_500 + i * 5), NodeId(1), 500 + i);
+    }
+    cluster.engine.run_until(ms(6_000));
+    let s0 = cluster.stable_values(NodeId(0));
+    let s2 = cluster.stable_values(NodeId(2));
+    assert_eq!(s0, s2, "rejoined replica diverged");
+    for v in 500..504 {
+        assert!(s2.contains(&v), "post-rejoin broadcast {v} missing");
+    }
+    let host2: &GcsHost = cluster.engine.actor(cluster.hosts[2]);
+    assert_eq!(host2.endpoint().view().len(), 3);
+}
+
+/// Repeated crash/recover cycles of the same node (an unstable process)
+/// must not corrupt the survivors' order or state.
+#[test]
+fn unstable_node_does_not_corrupt_survivors() {
+    let n = 3;
+    let mut cluster = Cluster::new(n, GcsConfig::view_based_uniform(), 73);
+    for round in 0..3u64 {
+        let base = 1_000 + round * 2_000;
+        for i in 0..3u64 {
+            cluster.broadcast_at(ms(base + i * 10), NodeId(0), round * 10 + i);
+        }
+        cluster
+            .engine
+            .schedule_crash(ms(base + 100), cluster.hosts[2]);
+        cluster
+            .engine
+            .schedule_recover(ms(base + 700), cluster.hosts[2]);
+    }
+    cluster.engine.run_until(ms(10_000));
+    let s0 = cluster.stable_values(NodeId(0));
+    let s1 = cluster.stable_values(NodeId(1));
+    assert_eq!(s0, s1, "stable members diverged");
+    assert_eq!(s0.len(), 9, "all broadcasts delivered: {s0:?}");
+}

@@ -1,0 +1,385 @@
+//! The simulated LAN.
+//!
+//! Models the paper's Table 4 network: a 100 Mb/s LAN where a message or a
+//! (hardware-multicast) broadcast costs 0.07 ms on the wire. The network is
+//! a passive shared object — senders compute the delivery instant and
+//! schedule the event through their [`Ctx`]; the kernel's incarnation check
+//! makes messages to crashed nodes vanish, matching the crash model.
+//!
+//! Supports unicast, multicast and broadcast, network partitions (messages
+//! across a partition are silently dropped), and optional probabilistic
+//! message loss for fault-injection tests.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use groupsafe_sim::{ActorId, Ctx, SimDuration};
+
+use crate::node::NodeId;
+
+/// Configuration of the simulated LAN.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Wire time per message or broadcast (Table 4: 0.07 ms).
+    pub latency: SimDuration,
+    /// Additional uniformly-distributed jitter upper bound (0 = none).
+    pub jitter: SimDuration,
+    /// Probability that any given point-to-point delivery is lost
+    /// (0.0 = quasi-reliable channels, the paper's assumption).
+    pub loss_probability: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: SimDuration::from_micros(70),
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// CPU time a network operation costs the sending/receiving host
+/// (Table 4: 0.07 ms). Charged by callers on their own CPU resource.
+pub const NET_CPU: SimDuration = SimDuration::from_micros(70);
+
+/// Delivery counters for the whole network.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    /// Point-to-point deliveries scheduled.
+    pub sent: u64,
+    /// Multicast/broadcast operations (each fans out into `sent` deliveries).
+    pub broadcasts: u64,
+    /// Deliveries dropped because sender and receiver were partitioned.
+    pub dropped_partition: u64,
+    /// Deliveries dropped by probabilistic loss.
+    pub dropped_loss: u64,
+}
+
+/// A message as it arrives at a node: payload plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incoming<M> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The message body.
+    pub msg: M,
+}
+
+struct NetworkState {
+    config: NetConfig,
+    actors: Vec<Option<ActorId>>,
+    /// Partition colouring: nodes can talk iff colours are equal.
+    colour: Vec<u32>,
+    stats: NetStats,
+}
+
+/// Cloneable handle to the shared network state.
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<RefCell<NetworkState>>,
+}
+
+impl Network {
+    /// Create a network with the given configuration.
+    pub fn new(config: NetConfig) -> Self {
+        Network {
+            inner: Rc::new(RefCell::new(NetworkState {
+                config,
+                actors: Vec::new(),
+                colour: Vec::new(),
+                stats: NetStats::default(),
+            })),
+        }
+    }
+
+    /// Create a network with the paper's Table 4 parameters.
+    pub fn paper_default() -> Self {
+        Network::new(NetConfig::default())
+    }
+
+    /// Attach `actor` as the implementation of `node`. Nodes must be
+    /// registered densely starting at 0.
+    pub fn register(&self, node: NodeId, actor: ActorId) {
+        let mut s = self.inner.borrow_mut();
+        let idx = node.index();
+        if s.actors.len() <= idx {
+            s.actors.resize(idx + 1, None);
+            s.colour.resize(idx + 1, 0);
+        }
+        s.actors[idx] = Some(actor);
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().actors.len()
+    }
+
+    /// All registered node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let s = self.inner.borrow();
+        (0..s.actors.len() as u32).map(NodeId).collect()
+    }
+
+    /// The actor implementing `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` was never registered.
+    pub fn actor_of(&self, node: NodeId) -> ActorId {
+        self.inner.borrow().actors[node.index()].expect("unregistered node")
+    }
+
+    fn delivery_delay(&self, ctx: &mut Ctx<'_>) -> SimDuration {
+        let (latency, jitter) = {
+            let s = self.inner.borrow();
+            (s.config.latency, s.config.jitter)
+        };
+        if jitter.is_zero() {
+            latency
+        } else {
+            let extra = ctx.rng().random_range(0..=jitter.as_nanos());
+            latency + SimDuration::from_nanos(extra)
+        }
+    }
+
+    fn should_drop(&self, ctx: &mut Ctx<'_>, from: NodeId, to: NodeId) -> bool {
+        let loss = {
+            let s = self.inner.borrow();
+            if s.colour[from.index()] != s.colour[to.index()] {
+                drop(s);
+                self.inner.borrow_mut().stats.dropped_partition += 1;
+                return true;
+            }
+            s.config.loss_probability
+        };
+        if loss > 0.0 && ctx.rng().random_bool(loss) {
+            self.inner.borrow_mut().stats.dropped_loss += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Send `msg` from `from` to `to`. The receiver gets an
+    /// [`Incoming<M>`] event after the wire latency. Messages to
+    /// partitioned or crashed nodes are lost.
+    pub fn send<M: Any>(&self, ctx: &mut Ctx<'_>, from: NodeId, to: NodeId, msg: M) {
+        if self.should_drop(ctx, from, to) {
+            return;
+        }
+        let delay = self.delivery_delay(ctx);
+        let actor = self.actor_of(to);
+        self.inner.borrow_mut().stats.sent += 1;
+        ctx.send(actor, delay, Incoming { from, msg });
+    }
+
+    /// Multicast `msg` from `from` to every node in `targets` (the sender
+    /// may include itself; self-delivery also pays the wire latency, which
+    /// models the loopback through the network stack).
+    pub fn multicast<M: Any + Clone>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        targets: &[NodeId],
+        msg: M,
+    ) {
+        self.inner.borrow_mut().stats.broadcasts += 1;
+        for &t in targets {
+            self.send(ctx, from, t, msg.clone());
+        }
+    }
+
+    /// Broadcast `msg` from `from` to every registered node (including the
+    /// sender). One hardware multicast: one broadcast counter tick.
+    pub fn broadcast<M: Any + Clone>(&self, ctx: &mut Ctx<'_>, from: NodeId, msg: M) {
+        let targets = self.nodes();
+        self.multicast(ctx, from, &targets, msg);
+    }
+
+    /// Split the network: nodes in the same group keep talking, messages
+    /// across groups are dropped. Nodes absent from every group form an
+    /// implicit final group.
+    pub fn partition(&self, groups: &[&[NodeId]]) {
+        let mut s = self.inner.borrow_mut();
+        let spare = groups.len() as u32 + 1;
+        for c in &mut s.colour {
+            *c = spare;
+        }
+        for (i, group) in groups.iter().enumerate() {
+            for node in group.iter() {
+                s.colour[node.index()] = i as u32 + 1;
+            }
+        }
+    }
+
+    /// Heal all partitions.
+    pub fn heal(&self) {
+        let mut s = self.inner.borrow_mut();
+        for c in &mut s.colour {
+            *c = 0;
+        }
+    }
+
+    /// True if `a` and `b` are currently in the same partition component.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        let s = self.inner.borrow();
+        s.colour[a.index()] == s.colour[b.index()]
+    }
+
+    /// Set the probabilistic per-delivery loss rate.
+    pub fn set_loss_probability(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.inner.borrow_mut().config.loss_probability = p;
+    }
+
+    /// Snapshot of delivery counters.
+    pub fn stats(&self) -> NetStats {
+        self.inner.borrow().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupsafe_sim::{Actor, Engine, Payload, SimTime};
+
+    struct Receiver {
+        node: NodeId,
+        net: Network,
+        got: Vec<(NodeId, u32)>,
+        echo: bool,
+    }
+
+    impl Actor for Receiver {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            let inc = payload
+                .downcast::<Incoming<u32>>()
+                .expect("only u32 messages in this test");
+            self.got.push((inc.from, inc.msg));
+            if self.echo && inc.msg < 3 {
+                let net = self.net.clone();
+                net.send(ctx, self.node, inc.from, inc.msg + 1);
+            }
+        }
+        fn name(&self) -> &str {
+            "receiver"
+        }
+    }
+
+    fn build(n: u32, echo: bool) -> (Engine, Network, Vec<ActorId>) {
+        let mut eng = Engine::new(99);
+        let net = Network::paper_default();
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let id = eng.add_actor(Box::new(Receiver {
+                node: NodeId(i),
+                net: net.clone(),
+                got: Vec::new(),
+                echo,
+            }));
+            net.register(NodeId(i), id);
+            ids.push(id);
+        }
+        (eng, net, ids)
+    }
+
+    /// A bootstrap payload that makes node 0 broadcast `val`.
+    struct Kick;
+    struct Kicker {
+        net: Network,
+        val: u32,
+    }
+    impl Actor for Kicker {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            if payload.downcast::<Kick>().is_ok() {
+                let net = self.net.clone();
+                net.broadcast(ctx, NodeId(0), self.val);
+            }
+        }
+    }
+
+    #[test]
+    fn echo_chain_pays_latency_per_hop() {
+        let (mut eng, net, ids) = build(2, true);
+        // Broadcast 0; echoes bounce until the counter reaches 3, so the
+        // longest chain is broadcast + 3 echo hops = 4 × 70 µs.
+        let kicker = eng.add_actor(Box::new(Kicker {
+            net: net.clone(),
+            val: 0,
+        }));
+        eng.schedule(SimTime::ZERO, kicker, Kick);
+        eng.run_to_completion();
+        let r1: &Receiver = eng.actor(ids[1]);
+        assert_eq!(r1.got.first(), Some(&(NodeId(0), 0)));
+        assert_eq!(eng.now(), SimTime::from_micros(70 * 4));
+        assert_eq!(net.stats().broadcasts, 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_sender() {
+        let (mut eng, net, ids) = build(3, false);
+        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        eng.schedule(SimTime::ZERO, kicker, Kick);
+        eng.run_to_completion();
+        for id in &ids {
+            let r: &Receiver = eng.actor(*id);
+            assert_eq!(r.got, vec![(NodeId(0), 7)]);
+        }
+        assert_eq!(net.stats().sent, 3);
+    }
+
+    #[test]
+    fn partition_drops_cross_messages() {
+        let (mut eng, net, ids) = build(3, false);
+        net.partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2)]]);
+        assert!(net.connected(NodeId(0), NodeId(1)));
+        assert!(!net.connected(NodeId(0), NodeId(2)));
+        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        eng.schedule(SimTime::ZERO, kicker, Kick);
+        eng.run_to_completion();
+        let r1: &Receiver = eng.actor(ids[1]);
+        let r2: &Receiver = eng.actor(ids[2]);
+        assert_eq!(r1.got.len(), 1);
+        assert_eq!(r2.got.len(), 0);
+        assert_eq!(net.stats().dropped_partition, 1);
+        net.heal();
+        assert!(net.connected(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn crashed_node_loses_messages() {
+        let (mut eng, net, ids) = build(2, false);
+        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        eng.schedule_crash(SimTime::ZERO, ids[1]);
+        eng.schedule(SimTime::from_micros(1), kicker, Kick);
+        eng.schedule_recover(SimTime::from_millis(1), ids[1]);
+        eng.run_to_completion();
+        // The message was in flight while node 1 was down: lost, and not
+        // replayed after recovery.
+        let r1: &Receiver = eng.actor(ids[1]);
+        assert!(r1.got.is_empty());
+    }
+
+    #[test]
+    fn probabilistic_loss_drops_some() {
+        let (mut eng, net, ids) = build(2, false);
+        net.set_loss_probability(0.5);
+        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        for i in 0..200 {
+            eng.schedule(SimTime::from_micros(i * 10), kicker, Kick);
+        }
+        eng.run_to_completion();
+        let r1: &Receiver = eng.actor(ids[1]);
+        let delivered = r1.got.len();
+        assert!(delivered > 50 && delivered < 150, "delivered {delivered}/200");
+        assert_eq!(net.stats().dropped_loss as usize + net.stats().sent as usize, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_loss_probability_rejected() {
+        let net = Network::paper_default();
+        net.set_loss_probability(1.5);
+    }
+}

@@ -1,0 +1,34 @@
+//! Network node identities.
+
+use std::fmt;
+
+/// Identifies a node on the simulated LAN (a database server or a client
+/// machine). Distinct from [`groupsafe_sim::ActorId`]: the network maps
+/// node identities to the actors that implement them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).index(), 3);
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,80 @@
+//! Network jitter: enabled jitter spreads delivery times, stays within
+//! its bound, and remains deterministic per seed.
+
+use groupsafe_net::{Incoming, NetConfig, Network, NodeId};
+use groupsafe_sim::{Actor, Ctx, Engine, Payload, SimDuration, SimTime};
+
+struct Recorder {
+    arrivals: Vec<SimTime>,
+}
+
+impl Actor for Recorder {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        if payload.downcast::<Incoming<u32>>().is_ok() {
+            self.arrivals.push(ctx.now());
+        }
+    }
+}
+
+struct Sender {
+    net: Network,
+    count: u32,
+}
+struct Go;
+
+impl Actor for Sender {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        if payload.downcast::<Go>().is_ok() {
+            for i in 0..self.count {
+                let net = self.net.clone();
+                net.send(ctx, NodeId(0), NodeId(1), i);
+            }
+        }
+    }
+}
+
+fn run(seed: u64, jitter_us: u64) -> Vec<SimTime> {
+    let mut eng = Engine::new(seed);
+    let net = Network::new(NetConfig {
+        latency: SimDuration::from_micros(70),
+        jitter: SimDuration::from_micros(jitter_us),
+        loss_probability: 0.0,
+    });
+    let sender = eng.add_actor(Box::new(Sender {
+        net: net.clone(),
+        count: 50,
+    }));
+    let recorder = eng.add_actor(Box::new(Recorder { arrivals: vec![] }));
+    net.register(NodeId(0), sender);
+    net.register(NodeId(1), recorder);
+    eng.schedule(SimTime::from_millis(1), sender, Go);
+    eng.run_to_completion();
+    let r: &Recorder = eng.actor(recorder);
+    r.arrivals.clone()
+}
+
+#[test]
+fn zero_jitter_is_constant_latency() {
+    let arrivals = run(1, 0);
+    assert_eq!(arrivals.len(), 50);
+    assert!(arrivals
+        .iter()
+        .all(|&t| t == SimTime::from_millis(1) + SimDuration::from_micros(70)));
+}
+
+#[test]
+fn jitter_spreads_within_bound() {
+    let arrivals = run(1, 100);
+    let base = SimTime::from_millis(1) + SimDuration::from_micros(70);
+    let max = SimTime::from_millis(1) + SimDuration::from_micros(170);
+    assert!(arrivals.iter().all(|&t| t >= base && t <= max));
+    // With 50 samples over a 100 µs range, they cannot all coincide.
+    let distinct: std::collections::BTreeSet<_> = arrivals.iter().collect();
+    assert!(distinct.len() > 10, "jitter must actually spread arrivals");
+}
+
+#[test]
+fn jitter_is_deterministic_per_seed() {
+    assert_eq!(run(7, 100), run(7, 100));
+    assert_ne!(run(7, 100), run(8, 100));
+}

@@ -1,0 +1,655 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine is a single-threaded event loop over a priority queue ordered
+//! by `(time, sequence-number)`. Determinism is absolute: the same actor
+//! graph and seed produce the same dispatch sequence, which the kernel
+//! fingerprints with a running FNV-1a hash (see [`Engine::fingerprint`]).
+//!
+//! # Actors and crashes
+//!
+//! Simulated components implement [`Actor`]. Every actor carries an
+//! *incarnation* counter. Events are stamped with the target's incarnation
+//! at scheduling time and silently dropped at dispatch if the target has
+//! since crashed (stale timers, in-flight messages to a down node). This
+//! implements the paper's §2.4 model: intra-process inter-component
+//! messages are reliable *except in case of a crash*, and network messages
+//! to a crashed process are lost.
+//!
+//! Crash and recovery are engine-level control events scheduled with
+//! [`Engine::schedule_crash`] / [`Engine::schedule_recover`] (or from
+//! within an actor via [`Ctx::crash_me`]). On crash the engine calls
+//! [`Actor::on_crash`], where the actor must discard its volatile state
+//! while retaining anything it models as stable storage. On recovery the
+//! incarnation is bumped and [`Actor::on_recover`] runs the recovery
+//! procedure.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Identifies an actor registered with the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// The raw index of this actor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dynamically-typed event payload exchanged between actors.
+///
+/// Each crate defines its own concrete event structs and downcasts on
+/// receipt; see [`crate::downcast_payload`] for the ergonomic helper.
+pub type Payload = Box<dyn Any>;
+
+/// A simulated component driven by events.
+///
+/// The [`AsAny`] supertrait (blanket-implemented for every `'static` type)
+/// lets drivers downcast registered actors back to their concrete type via
+/// [`Engine::actor`] after a run.
+pub trait Actor: AsAny {
+    /// Handle an event addressed to this actor.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload);
+
+    /// The actor has crashed: drop all volatile state. State the actor
+    /// models as *stable storage* (write-ahead logs, group-communication
+    /// message logs) must survive this call.
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// The actor recovers with a fresh incarnation: run its recovery
+    /// procedure (read stable storage, rejoin the group, ...).
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Human-readable name for traces and error messages.
+    fn name(&self) -> &str {
+        "actor"
+    }
+}
+
+/// Sentinel incarnation: deliver whenever the target is alive.
+const ANY_INCARNATION: u32 = u32::MAX;
+
+enum EventKind {
+    /// Deliver `payload` to `target` if its incarnation still matches
+    /// (or matches any incarnation, for driver-injected events).
+    Dispatch {
+        target: ActorId,
+        incarnation: u32,
+        payload: Payload,
+    },
+    /// Crash `target` (idempotent if already down).
+    Crash(ActorId),
+    /// Recover `target` (idempotent if already up).
+    Recover(ActorId),
+    /// Stop the run immediately.
+    Halt,
+}
+
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Order by (time, seq): the heap is a max-heap so we wrap in `Reverse` at
+// the call sites; equality/ordering here only consider the (time, seq) key.
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Mutable kernel state shared with actors during dispatch via [`Ctx`].
+pub struct Kernel {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    incarnations: Vec<u32>,
+    alive: Vec<bool>,
+    rng: StdRng,
+    /// Metrics registry shared by the whole simulation.
+    pub metrics: Metrics,
+    /// Optional execution trace (disabled by default).
+    pub trace: Trace,
+    fingerprint: u64,
+    dispatched: u64,
+    halted: bool,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Kernel {
+    fn new(seed: u64) -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            incarnations: Vec::new(),
+            alive: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            trace: Trace::disabled(),
+            fingerprint: FNV_OFFSET,
+            dispatched: 0,
+            halted: false,
+        }
+    }
+
+    fn mix(&mut self, v: u64) {
+        self.fingerprint ^= v;
+        self.fingerprint = self.fingerprint.wrapping_mul(FNV_PRIME);
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    fn schedule_dispatch(&mut self, at: SimTime, target: ActorId, payload: Payload) {
+        let incarnation = self.incarnations[target.index()];
+        self.push(
+            at,
+            EventKind::Dispatch {
+                target,
+                incarnation,
+                payload,
+            },
+        );
+    }
+}
+
+/// The context handed to actors while they handle an event.
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    me: ActorId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The id of the actor currently executing.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Schedule `payload` for `target` after `delay`. The event is dropped
+    /// if `target` crashes (or crashes and recovers) before it fires.
+    pub fn send(&mut self, target: ActorId, delay: SimDuration, payload: impl Any) {
+        let at = self.kernel.now + delay;
+        self.kernel.schedule_dispatch(at, target, Box::new(payload));
+    }
+
+    /// Schedule an event to the executing actor itself (a timer).
+    pub fn timer(&mut self, delay: SimDuration, payload: impl Any) {
+        self.send(self.me, delay, payload);
+    }
+
+    /// True if `target` is currently up.
+    pub fn is_alive(&self, target: ActorId) -> bool {
+        self.kernel.alive[target.index()]
+    }
+
+    /// Crash the executing actor immediately (its `on_crash` runs when the
+    /// control event is processed, at the current instant).
+    pub fn crash_me(&mut self) {
+        let me = self.me;
+        self.kernel.push(self.kernel.now, EventKind::Crash(me));
+    }
+
+    /// Schedule a crash of `target` after `delay`.
+    pub fn schedule_crash(&mut self, target: ActorId, delay: SimDuration) {
+        let at = self.kernel.now + delay;
+        self.kernel.push(at, EventKind::Crash(target));
+    }
+
+    /// Schedule a recovery of `target` after `delay`.
+    pub fn schedule_recover(&mut self, target: ActorId, delay: SimDuration) {
+        let at = self.kernel.now + delay;
+        self.kernel.push(at, EventKind::Recover(target));
+    }
+
+    /// Stop the whole simulation at the current instant.
+    pub fn halt(&mut self) {
+        self.kernel.push(self.kernel.now, EventKind::Halt);
+    }
+
+    /// The simulation-wide deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.kernel.rng
+    }
+
+    /// Derive an independent deterministic RNG stream (for components that
+    /// must not perturb the global stream).
+    pub fn fork_rng(&mut self) -> StdRng {
+        StdRng::seed_from_u64(self.kernel.rng.random())
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// Record a trace line (no-op unless tracing is enabled).
+    pub fn trace(&mut self, label: impl FnOnce() -> String) {
+        let now = self.kernel.now;
+        let me = self.me;
+        self.kernel.trace.record(now, me, label);
+    }
+}
+
+/// The simulation engine: actor registry plus kernel.
+pub struct Engine {
+    actors: Vec<Option<Box<dyn Actor>>>,
+    kernel: Kernel,
+}
+
+impl Engine {
+    /// Create an engine whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            actors: Vec::new(),
+            kernel: Kernel::new(seed),
+        }
+    }
+
+    /// Enable execution tracing (records every dispatch label).
+    pub fn enable_trace(&mut self) {
+        self.kernel.trace = Trace::enabled();
+    }
+
+    /// Register an actor; returns its id. All actors start alive with
+    /// incarnation 0.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        self.kernel.incarnations.push(0);
+        self.kernel.alive.push(true);
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Schedule `payload` for `target` at absolute time `at` (driver-side
+    /// injection, e.g. workload arrivals or scripted scenarios). The event
+    /// is dropped if `target` crashes before it fires.
+    pub fn schedule(&mut self, at: SimTime, target: ActorId, payload: impl Any) {
+        assert!(at >= self.kernel.now, "cannot schedule into the past");
+        self.kernel.schedule_dispatch(at, target, Box::new(payload));
+    }
+
+    /// Like [`Engine::schedule`], but the event is delivered as long as
+    /// `target` is *alive at delivery time*, regardless of intervening
+    /// crash/recovery cycles. Use for scripted scenarios that inject work
+    /// after a planned recovery.
+    pub fn schedule_resilient(&mut self, at: SimTime, target: ActorId, payload: impl Any) {
+        assert!(at >= self.kernel.now, "cannot schedule into the past");
+        self.kernel.push(
+            at,
+            EventKind::Dispatch {
+                target,
+                incarnation: ANY_INCARNATION,
+                payload: Box::new(payload),
+            },
+        );
+    }
+
+    /// Schedule a crash of `target` at absolute time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, target: ActorId) {
+        self.kernel.push(at, EventKind::Crash(target));
+    }
+
+    /// Schedule a recovery of `target` at absolute time `at`.
+    pub fn schedule_recover(&mut self, at: SimTime, target: ActorId) {
+        self.kernel.push(at, EventKind::Recover(target));
+    }
+
+    /// True if `target` is currently up.
+    pub fn is_alive(&self, target: ActorId) -> bool {
+        self.kernel.alive[target.index()]
+    }
+
+    /// Run until the queue drains or `deadline` passes, whichever is first.
+    /// Returns the time of the last processed event.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(ev)) = self.kernel.queue.peek() {
+            if ev.time > deadline || self.kernel.halted {
+                break;
+            }
+            let Reverse(ev) = self.kernel.queue.pop().expect("peeked");
+            self.process(ev);
+        }
+        // Advance the clock to the deadline even if the queue drained early,
+        // so repeated run_until calls observe monotone time.
+        if !self.kernel.halted && deadline > self.kernel.now && deadline != SimTime::MAX {
+            self.kernel.now = deadline;
+        }
+        self.kernel.now
+    }
+
+    /// Run until the event queue is empty (or a halt is requested).
+    pub fn run_to_completion(&mut self) -> SimTime {
+        while let Some(Reverse(ev)) = self.kernel.queue.pop() {
+            if self.kernel.halted {
+                break;
+            }
+            self.process(ev);
+        }
+        self.kernel.now
+    }
+
+    fn process(&mut self, ev: QueuedEvent) {
+        debug_assert!(ev.time >= self.kernel.now, "time went backwards");
+        self.kernel.now = ev.time;
+        match ev.kind {
+            EventKind::Dispatch {
+                target,
+                incarnation,
+                payload,
+            } => {
+                let idx = target.index();
+                if !self.kernel.alive[idx]
+                    || (incarnation != ANY_INCARNATION
+                        && self.kernel.incarnations[idx] != incarnation)
+                {
+                    return; // stale event: target crashed since scheduling
+                }
+                self.kernel.dispatched += 1;
+                self.kernel.mix(ev.time.as_nanos());
+                self.kernel.mix(target.0 as u64);
+                let mut actor = self.actors[idx].take().expect("actor reentrancy");
+                let mut ctx = Ctx {
+                    kernel: &mut self.kernel,
+                    me: target,
+                };
+                actor.on_event(&mut ctx, payload);
+                self.actors[idx] = Some(actor);
+            }
+            EventKind::Crash(target) => {
+                let idx = target.index();
+                if !self.kernel.alive[idx] {
+                    return;
+                }
+                self.kernel.alive[idx] = false;
+                self.kernel.mix(0xDEAD);
+                self.kernel.mix(target.0 as u64);
+                let mut actor = self.actors[idx].take().expect("actor reentrancy");
+                let mut ctx = Ctx {
+                    kernel: &mut self.kernel,
+                    me: target,
+                };
+                actor.on_crash(&mut ctx);
+                self.actors[idx] = Some(actor);
+            }
+            EventKind::Recover(target) => {
+                let idx = target.index();
+                if self.kernel.alive[idx] {
+                    return;
+                }
+                self.kernel.alive[idx] = true;
+                self.kernel.incarnations[idx] += 1;
+                self.kernel.mix(0x11FE);
+                self.kernel.mix(target.0 as u64);
+                let mut actor = self.actors[idx].take().expect("actor reentrancy");
+                let mut ctx = Ctx {
+                    kernel: &mut self.kernel,
+                    me: target,
+                };
+                actor.on_recover(&mut ctx);
+                self.actors[idx] = Some(actor);
+            }
+            EventKind::Halt => {
+                self.kernel.halted = true;
+            }
+        }
+    }
+
+    /// FNV-1a fingerprint of the dispatch sequence so far. Two runs with the
+    /// same seed and inputs must report the same fingerprint (determinism).
+    pub fn fingerprint(&self) -> u64 {
+        self.kernel.fingerprint
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.kernel.dispatched
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.kernel.metrics
+    }
+
+    /// Mutable access to the shared metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.kernel.trace
+    }
+
+    /// Borrow a registered actor (e.g. to read results after a run).
+    ///
+    /// # Panics
+    /// Panics if the actor is not of type `T`.
+    pub fn actor<T: Actor + 'static>(&self, id: ActorId) -> &T {
+        let actor: &dyn Actor = &**self.actors[id.index()].as_ref().expect("actor reentrancy");
+        actor
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("actor type mismatch")
+    }
+
+    /// Mutably borrow a registered actor.
+    ///
+    /// # Panics
+    /// Panics if the actor is not of type `T`.
+    pub fn actor_mut<T: Actor + 'static>(&mut self, id: ActorId) -> &mut T {
+        let actor: &mut dyn Actor =
+            &mut **self.actors[id.index()].as_mut().expect("actor reentrancy");
+        actor
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch")
+    }
+}
+
+/// Object-safe downcast support for [`Actor`] trait objects.
+///
+/// Blanket-implemented for all sized actors; used by [`Engine::actor`].
+pub trait AsAny {
+    /// Upcast to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        ticks: u32,
+        volatile: u32,
+        stable: u32,
+        recoveries: u32,
+    }
+
+    struct Tick;
+
+    impl Actor for Counter {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            if payload.downcast::<Tick>().is_ok() {
+                self.ticks += 1;
+                self.volatile += 1;
+                self.stable += 1;
+                if self.ticks < 5 {
+                    ctx.timer(SimDuration::from_millis(10), Tick);
+                }
+            }
+        }
+        fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+            self.volatile = 0;
+        }
+        fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+            self.recoveries += 1;
+            ctx.timer(SimDuration::from_millis(1), Tick);
+        }
+        fn name(&self) -> &str {
+            "counter"
+        }
+    }
+
+    fn counter() -> Box<Counter> {
+        Box::new(Counter {
+            ticks: 0,
+            volatile: 0,
+            stable: 0,
+            recoveries: 0,
+        })
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut eng = Engine::new(1);
+        let id = eng.add_actor(counter());
+        eng.schedule(SimTime::from_millis(1), id, Tick);
+        eng.run_to_completion();
+        let c: &Counter = eng.actor(id);
+        assert_eq!(c.ticks, 5);
+        assert_eq!(eng.now(), SimTime::from_millis(41));
+    }
+
+    #[test]
+    fn crash_drops_stale_timers_and_recover_bumps_incarnation() {
+        let mut eng = Engine::new(1);
+        let id = eng.add_actor(counter());
+        eng.schedule(SimTime::from_millis(1), id, Tick);
+        // Crash at 15ms: ticks at 1ms and 11ms fire; the timer set for 21ms
+        // must be dropped. Recover at 50ms restarts ticking.
+        eng.schedule_crash(SimTime::from_millis(15), id);
+        eng.schedule_recover(SimTime::from_millis(50), id);
+        eng.run_to_completion();
+        let c: &Counter = eng.actor(id);
+        assert_eq!(c.recoveries, 1);
+        // 2 ticks before crash + 3 more after recovery (ticks counts to 5).
+        assert_eq!(c.ticks, 5);
+        // Volatile state was wiped at crash; stable survived.
+        assert_eq!(c.volatile, 3);
+        assert_eq!(c.stable, 5);
+    }
+
+    #[test]
+    fn events_to_dead_actor_are_lost() {
+        let mut eng = Engine::new(1);
+        let id = eng.add_actor(counter());
+        eng.schedule_crash(SimTime::from_millis(1), id);
+        // Scheduled while alive, arrives while dead: lost.
+        eng.schedule(SimTime::from_millis(5), id, Tick);
+        eng.run_to_completion();
+        let c: &Counter = eng.actor(id);
+        assert_eq!(c.ticks, 0);
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint() {
+        let run = |seed| {
+            let mut eng = Engine::new(seed);
+            let id = eng.add_actor(counter());
+            eng.schedule(SimTime::from_millis(1), id, Tick);
+            eng.schedule_crash(SimTime::from_millis(15), id);
+            eng.schedule_recover(SimTime::from_millis(50), id);
+            eng.run_to_completion();
+            (eng.fingerprint(), eng.dispatched())
+        };
+        assert_eq!(run(7), run(7));
+        assert_eq!(run(7).1, run(9).1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new(1);
+        let id = eng.add_actor(counter());
+        eng.schedule(SimTime::from_millis(1), id, Tick);
+        eng.run_until(SimTime::from_millis(12));
+        let c: &Counter = eng.actor(id);
+        assert_eq!(c.ticks, 2);
+        assert_eq!(eng.now(), SimTime::from_millis(12));
+        eng.run_to_completion();
+        let c: &Counter = eng.actor(id);
+        assert_eq!(c.ticks, 5);
+    }
+
+    #[test]
+    fn halt_stops_processing() {
+        struct Halter;
+        struct Go;
+        impl Actor for Halter {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, _p: Payload) {
+                ctx.halt();
+                ctx.timer(SimDuration::from_millis(1), Go);
+            }
+        }
+        let mut eng = Engine::new(1);
+        let id = eng.add_actor(Box::new(Halter));
+        eng.schedule(SimTime::from_millis(1), id, Go);
+        eng.run_to_completion();
+        assert_eq!(eng.now(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn double_crash_and_double_recover_are_idempotent() {
+        let mut eng = Engine::new(1);
+        let id = eng.add_actor(counter());
+        eng.schedule_crash(SimTime::from_millis(1), id);
+        eng.schedule_crash(SimTime::from_millis(2), id);
+        eng.schedule_recover(SimTime::from_millis(3), id);
+        eng.schedule_recover(SimTime::from_millis(4), id);
+        eng.run_to_completion();
+        let c: &Counter = eng.actor(id);
+        assert_eq!(c.recoveries, 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Simulation metrics: counters and sample histograms.
+//!
+//! Metrics are keyed by `&'static str` names. Histograms keep raw samples
+//! (simulated runs are bounded, so memory stays modest) which makes exact
+//! percentiles trivial and avoids bucket-resolution artefacts in the
+//! paper-figure reproductions.
+
+use std::collections::BTreeMap;
+
+/// A histogram over `f64` samples with exact quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation (0.0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile by nearest-rank (`q` in `[0, 1]`; 0.0 if empty).
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.samples.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.samples.len() - 1);
+        self.samples[idx]
+    }
+
+    /// Smallest sample (0.0 if empty).
+    pub fn min(&mut self) -> f64 {
+        self.quantile(0.0)
+    }
+
+    /// Largest sample (0.0 if empty).
+    pub fn max(&mut self) -> f64 {
+        self.quantile(1.0)
+    }
+
+    /// Borrow the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Registry of named counters and histograms.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `by` to counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a sample into histogram `name` (creating it if absent).
+    pub fn record(&mut self, name: &'static str, v: f64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Borrow histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mutably borrow histogram `name`, creating it if absent.
+    pub fn histogram_mut(&mut self, name: &'static str) -> &mut Histogram {
+        self.histograms.entry(name).or_default()
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterate histogram names in order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.histograms.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.add("a", 4);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [4.0, 8.0, 6.0, 2.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 6.0).abs() < 1e-12);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 10.0);
+        assert_eq!(h.quantile(0.5), 6.0);
+        assert!((h.stddev() - (10.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.95), 95.0);
+        assert_eq!(h.quantile(0.99), 99.0);
+        assert_eq!(h.quantile(0.01), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.stddev(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn registry_histograms() {
+        let mut m = Metrics::new();
+        m.record("resp", 10.0);
+        m.record("resp", 20.0);
+        assert_eq!(m.histogram("resp").unwrap().count(), 2);
+        assert_eq!(m.histogram_mut("resp").quantile(1.0), 20.0);
+        assert!(m.histogram("nope").is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! Time is a monotone `u64` nanosecond counter wrapped in newtypes so that
+//! instants ([`SimTime`]) and durations ([`SimDuration`]) cannot be mixed up.
+//! Nanosecond resolution comfortably covers the paper's parameter range
+//! (0.07 ms network operations up to multi-minute simulated runs).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulated clock, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Build an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Build an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Build an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Build an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The instant expressed as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// The instant expressed as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero if `earlier` is
+    /// in the future (callers comparing out-of-order probes rely on this).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Build a duration from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Build a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Build a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Build a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Build a duration from fractional milliseconds (negative clamps to 0).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms.max(0.0) * 1.0e6).round() as u64)
+    }
+
+    /// Build a duration from fractional seconds (negative clamps to 0).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1.0e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration expressed as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// The duration expressed as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_micros(70).as_nanos(), 70_000);
+        assert_eq!(SimTime::from_secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(SimDuration::from_millis_f64(0.07).as_nanos(), 70_000);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis_f64(), 1500.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
+        // Saturating subtraction: an earlier minus a later instant is zero.
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(9),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
+        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_millis(3);
+        let b = SimTime::from_millis(8);
+        assert_eq!(b.since(a), SimDuration::from_millis(5));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert!(SimTime::from_millis(1) < SimTime::MAX);
+        assert!(SimDuration::from_micros(70) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn negative_float_clamps() {
+        assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-0.1), SimDuration::ZERO);
+    }
+}

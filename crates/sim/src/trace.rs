@@ -1,0 +1,92 @@
+//! Optional execution tracing.
+//!
+//! Tracing is off by default (the hot path pays only a branch). When
+//! enabled, actors can record labelled events which scenario tests and the
+//! group-communication property checkers inspect after the run.
+
+use crate::engine::ActorId;
+use crate::time::SimTime;
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When the entry was recorded.
+    pub time: SimTime,
+    /// The actor that recorded it.
+    pub actor: ActorId,
+    /// Free-form label (producer-defined format).
+    pub label: String,
+}
+
+/// A sequence of trace entries, recorded only when enabled.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// A trace that ignores all records.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A trace that records everything.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an entry; `label` is only evaluated when tracing is on.
+    pub fn record(&mut self, time: SimTime, actor: ActorId, label: impl FnOnce() -> String) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                time,
+                actor,
+                label: label(),
+            });
+        }
+    }
+
+    /// All recorded entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries whose label starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.label.starts_with(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, ActorId(0), || "x".to_string());
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_millis(1), ActorId(0), || "a:1".to_string());
+        t.record(SimTime::from_millis(2), ActorId(1), || "b:2".to_string());
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.entries()[0].label, "a:1");
+        assert_eq!(t.with_prefix("b:").count(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the simulation kernel.
+
+use groupsafe_sim::{Fcfs, Histogram, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// FCFS completions never precede their request and never overlap more
+    /// than `k` ways.
+    #[test]
+    fn fcfs_completions_are_sane(
+        servers in 1usize..4,
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..60)
+    ) {
+        let mut r = Fcfs::new(servers);
+        let mut sorted = jobs.clone();
+        sorted.sort_unstable();
+        let mut intervals = Vec::new();
+        let mut total_service = 0u64;
+        for (arrive_us, service_us) in sorted {
+            let now = SimTime::from_micros(arrive_us);
+            let service = SimDuration::from_micros(service_us);
+            let done = r.request(now, service);
+            // Completion must cover the full service after arrival.
+            prop_assert!(done >= now + service);
+            intervals.push((done.as_nanos() - service.as_nanos(), done.as_nanos()));
+            total_service += service_us;
+        }
+        // Busy time equals the sum of service times.
+        prop_assert_eq!(r.busy_time().as_nanos(), total_service * 1_000);
+        // At no instant do more than `servers` jobs run concurrently:
+        // check at every interval start.
+        for &(start, _) in &intervals {
+            let overlapping = intervals
+                .iter()
+                .filter(|&&(s, e)| s <= start && start < e)
+                .count();
+            prop_assert!(
+                overlapping <= servers,
+                "{overlapping} concurrent jobs on {servers} servers"
+            );
+        }
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max; the mean lies
+    /// between them.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..200),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..10)
+    ) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone");
+        }
+        let (mn, mx) = (h.min(), h.max());
+        prop_assert!(values.iter().all(|v| (mn..=mx).contains(v)));
+        prop_assert!(h.mean() >= mn - 1e-9 && h.mean() <= mx + 1e-9);
+    }
+
+    /// Time arithmetic never panics and preserves ordering.
+    #[test]
+    fn time_arithmetic_is_total(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        let d = tb.since(ta);
+        if b >= a {
+            prop_assert_eq!(ta + d, tb);
+        } else {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        }
+        prop_assert_eq!(ta.max(tb).since(ta.min(tb)), ta - tb + (tb - ta));
+    }
+}

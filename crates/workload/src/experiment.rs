@@ -1,0 +1,277 @@
+//! The experiment runner: build a system, run warm-up + measurement +
+//! drain, and report the metrics the paper's evaluation uses.
+
+use groupsafe_core::{StopClient, System, SystemConfig};
+use groupsafe_core::{LoadModel, ReplicaConfig, Technique};
+use groupsafe_net::NetConfig;
+use groupsafe_sim::{SimDuration, SimTime};
+
+use crate::generator::table4_generator;
+use crate::params::PaperParams;
+
+/// One experiment run's configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Replication technique under test.
+    pub technique: Technique,
+    /// Offered load, transactions per second (whole system).
+    pub load_tps: f64,
+    /// Closed-loop clients (the paper's model: 4 clients per server whose
+    /// think time is calibrated for the target load assuming
+    /// `assumed_resp_ms`). When false, open-loop Poisson arrivals.
+    pub closed_loop: bool,
+    /// Assumed base response time for the closed-loop think calibration.
+    pub assumed_resp_ms: f64,
+    /// Lazy propagation batching interval, ms (the 1-safe inconsistency
+    /// window; only affects `Technique::Lazy`).
+    pub lazy_prop_ms: f64,
+    /// Background WAL flush interval, ms (the asynchronous-durability
+    /// window group-safety exposes on total failure).
+    pub wal_flush_ms: f64,
+    /// Table 4 parameters.
+    pub params: PaperParams,
+    /// Warm-up (excluded from measurements).
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub duration: SimDuration,
+    /// Drain window after measurement (no new arrivals; used for the
+    /// convergence check).
+    pub drain: SimDuration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A paper-defaults run at `load_tps` for `technique`.
+    pub fn paper(technique: Technique, load_tps: f64, seed: u64) -> Self {
+        RunConfig {
+            technique,
+            load_tps,
+            closed_loop: true,
+            assumed_resp_ms: 70.0,
+            lazy_prop_ms: 20.0,
+            wal_flush_ms: 20.0,
+            params: PaperParams::default(),
+            warmup: SimDuration::from_secs(5),
+            duration: SimDuration::from_secs(60),
+            drain: SimDuration::from_secs(3),
+            seed,
+        }
+    }
+}
+
+/// The measured outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Technique label.
+    pub technique: &'static str,
+    /// Offered load (tps).
+    pub offered_tps: f64,
+    /// Achieved committed throughput in the measurement window (tps).
+    pub achieved_tps: f64,
+    /// Mean end-to-end response time (submission to commit, including
+    /// abort resubmissions), ms — what Fig. 9 plots.
+    pub mean_ms: f64,
+    /// Median response time, ms.
+    pub p50_ms: f64,
+    /// 95th percentile response time, ms.
+    pub p95_ms: f64,
+    /// Certification/deadlock abort rate (aborted attempts over answered
+    /// attempts, whole run).
+    pub abort_rate: f64,
+    /// Committed-transaction acknowledgements in the measurement window.
+    pub samples: usize,
+    /// Acknowledged transactions missing from all live replicas.
+    pub lost: usize,
+    /// Number of distinct state digests across live replicas after the
+    /// drain (1 = converged).
+    pub distinct_states: usize,
+    /// Lost updates among acknowledged commits (lazy anomaly, §7).
+    pub lost_updates: usize,
+}
+
+impl RunReport {
+    /// One CSV row (see [`csv_header`]).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.1},{:.2},{:.2},{:.2},{:.2},{:.4},{},{},{},{}",
+            self.technique,
+            self.offered_tps,
+            self.achieved_tps,
+            self.mean_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.abort_rate,
+            self.samples,
+            self.lost,
+            self.distinct_states,
+            self.lost_updates,
+        )
+    }
+}
+
+/// Header for [`RunReport::csv_row`].
+pub fn csv_header() -> &'static str {
+    "technique,offered_tps,achieved_tps,mean_ms,p50_ms,p95_ms,abort_rate,samples,lost,distinct_states,lost_updates"
+}
+
+/// Build the [`SystemConfig`] a run implies.
+pub fn system_config(cfg: &RunConfig) -> SystemConfig {
+    let p = &cfg.params;
+    let n_clients = p.n_clients().max(1);
+    let load = if cfg.closed_loop {
+        // Closed loop (the paper's 4 clients/server): think time chosen so
+        // that n_clients / (think + resp) ≈ load_tps at the assumed base
+        // response time. Under overload the population self-limits, which
+        // is what bounds the paper's group-1-safe curve.
+        let cycle = n_clients as f64 / cfg.load_tps.max(1e-9);
+        let think = (cycle - cfg.assumed_resp_ms / 1_000.0).max(0.001);
+        LoadModel::Closed {
+            mean_think: SimDuration::from_secs_f64(think),
+        }
+    } else {
+        // Open loop: each client contributes load_tps / n_clients.
+        LoadModel::Open {
+            mean_interarrival: SimDuration::from_secs_f64(
+                n_clients as f64 / cfg.load_tps.max(1e-9),
+            ),
+        }
+    };
+    SystemConfig {
+        n_servers: p.n_servers,
+        clients_per_server: p.clients_per_server,
+        replica: ReplicaConfig {
+            technique: cfg.technique,
+            db: p.db_config(),
+            cpus: p.cpus_per_server as usize,
+            lazy_prop_interval: SimDuration::from_millis_f64(cfg.lazy_prop_ms),
+            wal_flush_interval: SimDuration::from_millis_f64(cfg.wal_flush_ms),
+            ..ReplicaConfig::default()
+        },
+        load,
+        client_timeout: SimDuration::from_secs(5),
+        measure_from: SimTime::ZERO + cfg.warmup,
+        net: NetConfig {
+            latency: SimDuration::from_millis_f64(p.net_ms),
+            ..NetConfig::default()
+        },
+        seed: cfg.seed,
+    }
+}
+
+/// Run one experiment to completion and report.
+pub fn run(cfg: &RunConfig) -> RunReport {
+    let sys_cfg = system_config(cfg);
+    let params = cfg.params.clone();
+    let mut system = System::build(sys_cfg, |_| table4_generator(&params));
+    system.start();
+    let measure_end = SimTime::ZERO + cfg.warmup + cfg.duration;
+    system.engine.run_until(measure_end);
+    // Drain: stop new arrivals, let outstanding work finish.
+    for &c in &system.clients.clone() {
+        system.engine.schedule_resilient(measure_end, c, StopClient);
+    }
+    system.engine.run_until(measure_end + cfg.drain);
+    report(cfg, &mut system)
+}
+
+/// Extract a [`RunReport`] from a finished system.
+pub fn report(cfg: &RunConfig, system: &mut System) -> RunReport {
+    let lost = system.lost_transactions().len();
+    let distinct_states = system.convergence().len();
+    let lost_updates = groupsafe_core::check_lost_updates(&system.oracle.borrow()).len();
+    let abort_rate = system.oracle.borrow().abort_rate();
+    let technique = system.technique().label();
+    let h = system.engine.metrics_mut().histogram_mut("response_total_ms");
+    let samples = h.count();
+    let mean_ms = h.mean();
+    let p50_ms = h.quantile(0.50);
+    let p95_ms = h.quantile(0.95);
+    RunReport {
+        technique,
+        offered_tps: cfg.load_tps,
+        achieved_tps: samples as f64 / cfg.duration.as_secs_f64().max(1e-9),
+        mean_ms,
+        p50_ms,
+        p95_ms,
+        abort_rate,
+        samples,
+        lost,
+        distinct_states,
+        lost_updates,
+    }
+}
+
+/// Run a load sweep for one technique.
+pub fn sweep(technique: Technique, loads: &[f64], base: &RunConfig) -> Vec<RunReport> {
+    loads
+        .iter()
+        .map(|&tps| {
+            let cfg = RunConfig {
+                technique,
+                load_tps: tps,
+                ..base.clone()
+            };
+            run(&cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupsafe_core::SafetyLevel;
+
+    /// A small smoke run: the whole stack commits transactions, replicas
+    /// converge, nothing is lost.
+    #[test]
+    fn group_safe_smoke_run() {
+        let cfg = RunConfig {
+            technique: Technique::Dsm(SafetyLevel::GroupSafe),
+            load_tps: 10.0,
+            closed_loop: false,
+            assumed_resp_ms: 70.0,
+            lazy_prop_ms: 20.0,
+            wal_flush_ms: 20.0,
+            params: PaperParams {
+                n_servers: 3,
+                clients_per_server: 2,
+                ..PaperParams::default()
+            },
+            warmup: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(5),
+            drain: SimDuration::from_secs(2),
+            seed: 7,
+        };
+        let r = run(&cfg);
+        assert!(r.samples > 20, "expected commits, got {}", r.samples);
+        assert!(r.mean_ms > 1.0, "responses should cost time: {}", r.mean_ms);
+        assert_eq!(r.lost, 0, "no transaction may be lost");
+        assert_eq!(r.distinct_states, 1, "replicas must converge");
+    }
+
+    #[test]
+    fn lazy_smoke_run() {
+        let cfg = RunConfig {
+            technique: Technique::Lazy,
+            load_tps: 10.0,
+            closed_loop: false,
+            assumed_resp_ms: 70.0,
+            lazy_prop_ms: 20.0,
+            wal_flush_ms: 20.0,
+            params: PaperParams {
+                n_servers: 3,
+                clients_per_server: 2,
+                ..PaperParams::default()
+            },
+            warmup: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(5),
+            drain: SimDuration::from_secs(2),
+            seed: 11,
+        };
+        let r = run(&cfg);
+        assert!(r.samples > 20, "expected commits, got {}", r.samples);
+        assert_eq!(r.lost, 0);
+        assert_eq!(r.distinct_states, 1, "lazy converges after drain");
+    }
+}

@@ -1,0 +1,113 @@
+//! Transaction generation per Table 4: 10–20 operations, each a read or a
+//! write with equal probability, over a uniformly (or hotspot-) accessed
+//! database of 10 000 items.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use groupsafe_core::OpGenerator;
+use groupsafe_db::{ItemId, Operation};
+
+use crate::params::PaperParams;
+
+/// Draw one item id under the (optional) hotspot model.
+fn draw_item(p: &PaperParams, rng: &mut StdRng) -> ItemId {
+    let hot_items = ((p.n_items as f64 * p.hot_set_fraction) as u32).max(1);
+    if p.hot_access_fraction > 0.0 && rng.random_bool(p.hot_access_fraction) {
+        ItemId(rng.random_range(0..hot_items))
+    } else {
+        ItemId(rng.random_range(0..p.n_items))
+    }
+}
+
+/// Generate one transaction's operations (Table 4: 10–20 operations,
+/// each a read or a write with probability ½). The replication layer
+/// treats every write as an update of the current value (it records the
+/// overwritten version), so write-write races are observable as
+/// certification conflicts and as lazy lost updates without extra I/O.
+pub fn generate_txn(p: &PaperParams, rng: &mut StdRng) -> Vec<Operation> {
+    let len = rng.random_range(p.txn_len_min..=p.txn_len_max);
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let item = draw_item(p, rng);
+        if rng.random_bool(p.write_probability) {
+            ops.push(Operation::Write(item, rng.random_range(-1_000_000..1_000_000)));
+        } else {
+            ops.push(Operation::Read(item));
+        }
+    }
+    ops
+}
+
+/// Build a per-client [`OpGenerator`] closure over these parameters.
+pub fn table4_generator(p: &PaperParams) -> OpGenerator {
+    let p = p.clone();
+    Box::new(move |rng: &mut StdRng| generate_txn(&p, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_mix_match_table4() {
+        let p = PaperParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut writes = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let ops = generate_txn(&p, &mut rng);
+            assert!((10..=20).contains(&ops.len()), "len {}", ops.len());
+            writes += ops.iter().filter(|o| o.is_write()).count();
+            total += ops.len();
+        }
+        let ratio = writes as f64 / total as f64;
+        assert!((0.45..=0.55).contains(&ratio), "write ratio {ratio}");
+    }
+
+    #[test]
+    fn items_in_range() {
+        let p = PaperParams::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            for op in generate_txn(&p, &mut rng) {
+                assert!(op.item().0 < p.n_items);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let p = PaperParams {
+            hot_access_fraction: 0.8,
+            hot_set_fraction: 0.1,
+            ..PaperParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let hot_limit = (p.n_items as f64 * p.hot_set_fraction) as u32;
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..300 {
+            for op in generate_txn(&p, &mut rng) {
+                if op.item().0 < hot_limit {
+                    hot += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.7, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn generator_closure_is_reusable() {
+        let p = PaperParams::default();
+        let mut g = table4_generator(&p);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = g(&mut rng);
+        let b = g(&mut rng);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert_ne!(a, b, "distinct transactions expected");
+    }
+}

@@ -1,0 +1,20 @@
+//! # groupsafe-workload — Table 4 workloads and the experiment runner
+//!
+//! Generates the paper's workload (10–20 operations per transaction, 50 %
+//! writes, 10 000 items, 9 servers × 4 clients), assembles full systems
+//! through [`groupsafe_core::System`], and runs warm-up / measurement /
+//! drain phases producing [`RunReport`]s — the rows of Fig. 9 and of the
+//! fault-injection tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod faults;
+pub mod generator;
+pub mod params;
+
+pub use experiment::{csv_header, report, run, sweep, system_config, RunConfig, RunReport};
+pub use faults::{run_crash_scenario, CrashOutcome, CrashScenario, RecoveryPlan};
+pub use generator::{generate_txn, table4_generator};
+pub use params::PaperParams;

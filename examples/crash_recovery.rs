@@ -1,0 +1,60 @@
+//! The paper's Fig. 5 / Fig. 7 story, told on the replicated database:
+//! a group-safe system loses a freshly acknowledged transaction when the
+//! whole group fails, while the 2-safe system (end-to-end atomic
+//! broadcast) replays and keeps it — and a minority crash hurts neither.
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use groupsafe::core::{SafetyLevel, Technique};
+use groupsafe::sim::SimDuration;
+use groupsafe::workload::{run_crash_scenario, CrashScenario, RecoveryPlan};
+
+fn show(label: &str, technique: Technique, crash: Vec<u32>, recover: bool) -> usize {
+    let sc = CrashScenario {
+        recovery: if recover {
+            RecoveryPlan::Recover {
+                downtime: SimDuration::from_millis(400),
+            }
+        } else {
+            RecoveryPlan::StayDown
+        },
+        ..CrashScenario::small(technique, crash, 4242)
+    };
+    let out = run_crash_scenario(&sc);
+    println!(
+        "  {label:<42} acked {:>4}  lost {:>2}  progress after crash: {}",
+        out.acked,
+        out.lost,
+        if out.acked_after_crash > 0 { "yes" } else { "no" }
+    );
+    out.lost
+}
+
+fn main() {
+    println!("crash/recovery on 5 replicas (Table 4 workload):\n");
+    let a = show(
+        "group-safe, 2 of 5 crash (stay down)",
+        Technique::Dsm(SafetyLevel::GroupSafe),
+        vec![1, 3],
+        false,
+    );
+    let b = show(
+        "group-safe, all 5 crash, recover + restart",
+        Technique::Dsm(SafetyLevel::GroupSafe),
+        vec![0, 1, 2, 3, 4],
+        true,
+    );
+    let c = show(
+        "2-safe (end-to-end), all 5 crash, recover",
+        Technique::Dsm(SafetyLevel::TwoSafe),
+        vec![0, 1, 2, 3, 4],
+        true,
+    );
+    println!();
+    assert_eq!(a, 0, "minority crashes never lose under group-safety");
+    assert!(b > 0, "total failure exposes group-safety's async window");
+    assert_eq!(c, 0, "end-to-end atomic broadcast replays everything");
+    println!("as in the paper: group-safety trades the all-crash case for");
+    println!("disk-free response times; end-to-end atomic broadcast closes");
+    println!("that last window at the cost of a log force per delivery.");
+}

@@ -1,0 +1,48 @@
+//! §7 in miniature: run the same contended workload under lazy (1-safe)
+//! replication and under the group-safe database state machine, and count
+//! lost updates. Lazy replication silently destroys concurrent updates
+//! even though no failure ever happens; certification aborts them.
+//!
+//! Run with: `cargo run --release --example lost_update_lazy`
+
+use groupsafe::core::Technique;
+use groupsafe::core::SafetyLevel;
+use groupsafe::sim::SimDuration;
+use groupsafe::workload::{run, PaperParams, RunConfig};
+
+fn measure(technique: Technique) -> (usize, usize, f64) {
+    let cfg = RunConfig {
+        technique,
+        load_tps: 40.0,
+        lazy_prop_ms: 200.0,
+        params: PaperParams {
+            n_servers: 5,
+            // A hot workload: contention is the whole point here.
+            hot_access_fraction: 0.5,
+            hot_set_fraction: 0.01,
+            ..PaperParams::default()
+        },
+        warmup: SimDuration::from_secs(1),
+        duration: SimDuration::from_secs(20),
+        ..RunConfig::paper(technique, 40.0, 31)
+    };
+    let r = run(&cfg);
+    (r.lost_updates, r.samples, r.abort_rate)
+}
+
+fn main() {
+    println!("contended updates, 5 replicas, 40 tps, no failures:\n");
+    let (lazy_lu, lazy_n, _) = measure(Technique::Lazy);
+    let (gs_lu, gs_n, gs_abort) = measure(Technique::Dsm(SafetyLevel::GroupSafe));
+    println!(
+        "  lazy (1-safe):  {lazy_lu} lost updates among {lazy_n} acknowledged commits"
+    );
+    println!(
+        "  group-safe:     {gs_lu} lost updates among {gs_n} commits ({:.1}% aborted+retried instead)",
+        gs_abort * 100.0
+    );
+    assert!(lazy_lu > 0, "lazy must exhibit lost updates under contention");
+    assert_eq!(gs_lu, 0, "certification must prevent every lost update");
+    println!("\n§7's point: lazy replication violates ACID with no failure at all;");
+    println!("the group-safe state machine converts those races into clean aborts.");
+}

@@ -1,0 +1,52 @@
+//! A miniature Fig. 9: response time of the three techniques at one
+//! moderate load point, printed side by side with their guarantees.
+//!
+//! Run with: `cargo run --release --example safety_comparison`
+
+use groupsafe::core::{SafetyLevel, Technique};
+use groupsafe::workload::{run, RunConfig};
+use groupsafe::sim::SimDuration;
+
+fn main() {
+    println!("three techniques, Table 4 configuration, 26 tps, 20 s:\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} {:>7}  guarantee when the client is told \"committed\"",
+        "technique", "mean ms", "p95 ms", "abort%", "lost"
+    );
+    let mut means = Vec::new();
+    for (tech, guarantee) in [
+        (
+            Technique::Dsm(SafetyLevel::GroupSafe),
+            "delivered on all available replicas (durability by the group)",
+        ),
+        (
+            Technique::Lazy,
+            "logged on the delegate only (a single crash can lose it)",
+        ),
+        (
+            Technique::Dsm(SafetyLevel::GroupOneSafe),
+            "delivered on all + logged on the delegate",
+        ),
+    ] {
+        let cfg = RunConfig {
+            duration: SimDuration::from_secs(20),
+            ..RunConfig::paper(tech, 26.0, 5)
+        };
+        let r = run(&cfg);
+        println!(
+            "{:<14} {:>9.1} {:>9.1} {:>7.1}% {:>7}  {}",
+            r.technique,
+            r.mean_ms,
+            r.p95_ms,
+            r.abort_rate * 100.0,
+            r.lost,
+            guarantee
+        );
+        means.push(r.mean_ms);
+    }
+    println!();
+    assert!(means[0] < means[2], "group-safe beats group-1-safe");
+    println!("group-safe answers fastest because every disk write left the");
+    println!("transaction boundary — yet unlike lazy replication it still");
+    println!("guarantees the group holds the transaction.");
+}

@@ -1,0 +1,111 @@
+//! Client-side behaviour across failures: timeout-driven failover to
+//! another delegate (update-everywhere), exactly-once commits across
+//! retries, and abort resubmission.
+
+use groupsafe::core::{SafetyLevel, StopClient, System, Technique};
+use groupsafe::db::TxnId;
+use groupsafe::sim::{SimDuration, SimTime};
+use groupsafe::workload::{system_config, table4_generator, PaperParams, RunConfig};
+
+fn build(seed: u64) -> (System, RunConfig) {
+    let params = PaperParams {
+        n_servers: 3,
+        clients_per_server: 1,
+        ..PaperParams::default()
+    };
+    let cfg = RunConfig {
+        technique: Technique::Dsm(SafetyLevel::GroupSafe),
+        load_tps: 10.0,
+        closed_loop: false,
+        assumed_resp_ms: 70.0,
+        lazy_prop_ms: 20.0,
+        wal_flush_ms: 20.0,
+        params: params.clone(),
+        warmup: SimDuration::ZERO,
+        duration: SimDuration::from_secs(20),
+        drain: SimDuration::from_secs(3),
+        seed,
+    };
+    let mut system = System::build(system_config(&cfg), |_| table4_generator(&params));
+    system.start();
+    (system, cfg)
+}
+
+/// Crash a delegate mid-run but let the group survive: its clients must
+/// fail over to other servers and finish their work exactly once.
+#[test]
+fn clients_fail_over_when_their_delegate_dies() {
+    let (mut system, cfg) = build(404);
+    // Crash server 0 (home of client 0) at 5 s; it stays down.
+    system.engine.schedule_crash(SimTime::from_secs(5), system.servers[0]);
+    let end = SimTime::ZERO + cfg.duration;
+    system.engine.run_until(end);
+    for &c in &system.clients.clone() {
+        system.engine.schedule_resilient(end, c, StopClient);
+    }
+    system.engine.run_until(end + cfg.drain);
+
+    let oracle = system.oracle.borrow();
+    assert!(oracle.timeouts > 0, "requests to the dead delegate must time out");
+    // Client 0's transactions after the crash carry its id; they must
+    // still be acknowledged (served by another delegate).
+    let post_crash_acks_client0 = oracle
+        .acked
+        .iter()
+        .filter(|(txn, ack)| txn.client == 0 && ack.at > SimTime::from_secs(6))
+        .count();
+    assert!(
+        post_crash_acks_client0 > 10,
+        "client 0 must keep committing through other delegates \
+         (got {post_crash_acks_client0})"
+    );
+    drop(oracle);
+    assert!(system.lost_transactions().is_empty());
+    assert_eq!(system.convergence().len(), 1, "survivors agree");
+}
+
+/// Exactly-once across retries: no transaction id is ever committed with
+/// two different write sets, and commit acknowledgements are unique per
+/// transaction.
+#[test]
+fn retries_commit_exactly_once() {
+    let (mut system, cfg) = build(405);
+    // Make life hard: crash and recover a server mid-run.
+    system.engine.schedule_crash(SimTime::from_secs(4), system.servers[1]);
+    system
+        .engine
+        .schedule_recover(SimTime::from_secs(8), system.servers[1]);
+    let end = SimTime::ZERO + cfg.duration;
+    system.engine.run_until(end);
+    for &c in &system.clients.clone() {
+        system.engine.schedule_resilient(end, c, StopClient);
+    }
+    system.engine.run_until(end + cfg.drain);
+
+    // Every acknowledged update transaction is committed on every live
+    // replica exactly once — the testable-transaction table dedups
+    // resubmissions that raced a slow first execution.
+    let oracle = system.oracle.borrow();
+    let acked: Vec<TxnId> = oracle.acked.keys().copied().collect();
+    drop(oracle);
+    let mut on_all = 0;
+    for txn in &acked {
+        let everywhere = (0..system.n_servers)
+            .all(|i| system.server(i).db().is_committed(*txn));
+        if everywhere {
+            on_all += 1;
+        }
+    }
+    // Read-only transactions never enter the committed table; the rest
+    // must be everywhere after the drain.
+    let oracle = system.oracle.borrow();
+    let updates = acked
+        .iter()
+        .filter(|t| oracle.commits.contains_key(t))
+        .count();
+    assert_eq!(
+        on_all, updates,
+        "every acknowledged update must be committed on all replicas"
+    );
+    assert!(updates > 100, "need a meaningful sample, got {updates}");
+}

@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: determinism of the whole stack and
+//! one-copy-serialisability-style consistency checks.
+
+use groupsafe::core::{SafetyLevel, StopClient, Technique};
+use groupsafe::db::{ItemState, WriteOp};
+use groupsafe::sim::{SimDuration, SimTime};
+use groupsafe::workload::{system_config, table4_generator, PaperParams, RunConfig};
+
+fn small_cfg(technique: Technique, seed: u64) -> RunConfig {
+    RunConfig {
+        technique,
+        load_tps: 15.0,
+        closed_loop: false,
+        assumed_resp_ms: 70.0,
+        lazy_prop_ms: 20.0,
+        wal_flush_ms: 20.0,
+        params: PaperParams {
+            n_servers: 3,
+            clients_per_server: 2,
+            ..PaperParams::default()
+        },
+        warmup: SimDuration::from_secs(1),
+        duration: SimDuration::from_secs(8),
+        drain: SimDuration::from_secs(2),
+        seed,
+    }
+}
+
+fn run_system(cfg: &RunConfig) -> (u64, usize, Vec<u64>) {
+    let params = cfg.params.clone();
+    let mut system =
+        groupsafe::core::System::build(system_config(cfg), |_| table4_generator(&params));
+    system.start();
+    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+    system.engine.run_until(end);
+    for &c in &system.clients.clone() {
+        system.engine.schedule_resilient(end, c, StopClient);
+    }
+    system.engine.run_until(end + cfg.drain);
+    let fingerprint = system.engine.fingerprint();
+    let commits = system.oracle.borrow().acked.len();
+    let digests = system.convergence();
+    (fingerprint, commits, digests)
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 77);
+    let a = run_system(&cfg);
+    let b = run_system(&cfg);
+    assert_eq!(a.0, b.0, "dispatch fingerprints must match");
+    assert_eq!(a.1, b.1, "commit counts must match");
+    assert_eq!(a.2, b.2, "final states must match");
+}
+
+#[test]
+fn different_seeds_still_converge() {
+    for seed in [1, 2, 3, 4] {
+        let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), seed);
+        let (_, commits, digests) = run_system(&cfg);
+        assert!(commits > 20, "seed {seed}: too few commits ({commits})");
+        assert_eq!(digests.len(), 1, "seed {seed}: replicas diverged");
+    }
+}
+
+#[test]
+fn lazy_converges_after_drain() {
+    for seed in [5, 6, 7] {
+        let cfg = small_cfg(Technique::Lazy, seed);
+        let (_, commits, digests) = run_system(&cfg);
+        assert!(commits > 20);
+        assert_eq!(digests.len(), 1, "seed {seed}: lazy replicas diverged");
+    }
+}
+
+/// One-copy serialisability witness for the database state machine: the
+/// committed transactions, replayed in version (= delivery) order against
+/// a fresh database, must reproduce every replica's final state exactly.
+#[test]
+fn dsm_commit_history_replays_to_the_replica_state() {
+    let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 123);
+    let params = cfg.params.clone();
+    let mut system =
+        groupsafe::core::System::build(system_config(&cfg), |_| table4_generator(&params));
+    system.start();
+    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+    system.engine.run_until(end);
+    for &c in &system.clients.clone() {
+        system.engine.schedule_resilient(end, c, StopClient);
+    }
+    system.engine.run_until(end + cfg.drain);
+
+    // Gather the committed write sets and sort by version (delivery seq).
+    let oracle = system.oracle.borrow();
+    let mut history: Vec<(u64, Vec<WriteOp>)> = oracle
+        .commits
+        .values()
+        .filter(|r| !r.writes.is_empty())
+        .map(|r| (r.writes[0].version, r.writes.clone()))
+        .collect();
+    drop(oracle);
+    history.sort_by_key(|(v, _)| *v);
+
+    // Replay into a fresh image.
+    let n_items = cfg.params.n_items as usize;
+    let mut image = vec![ItemState::default(); n_items];
+    for (_, writes) in &history {
+        for w in writes {
+            image[w.item.index()] = ItemState {
+                value: w.value,
+                version: w.version,
+            };
+        }
+    }
+
+    // Compare with every replica.
+    for i in 0..system.n_servers {
+        let db = system.server(i).db();
+        for (idx, expect) in image.iter().enumerate() {
+            let got = db.item(groupsafe::db::ItemId(idx as u32));
+            assert_eq!(
+                got, *expect,
+                "replica {i}, item {idx}: serial replay mismatch"
+            );
+        }
+    }
+}
+
+/// The certification invariant: no committed transaction observed a stale
+/// read — for every (item, version) in a committed read set, no other
+/// committed transaction wrote that item with a version between the read
+/// version and the reader's own commit version.
+#[test]
+fn dsm_no_committed_transaction_read_stale_data() {
+    let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 321);
+    let params = cfg.params.clone();
+    let mut system =
+        groupsafe::core::System::build(system_config(&cfg), |_| table4_generator(&params));
+    system.start();
+    system.engine.run_until(SimTime::from_secs(10));
+
+    let oracle = system.oracle.borrow();
+    // item -> sorted committed write versions
+    let mut writes_by_item: std::collections::BTreeMap<u32, Vec<u64>> = Default::default();
+    for rec in oracle.commits.values() {
+        for w in &rec.writes {
+            writes_by_item.entry(w.item.0).or_default().push(w.version);
+        }
+    }
+    for v in writes_by_item.values_mut() {
+        v.sort_unstable();
+    }
+    let mut checked = 0;
+    for rec in oracle.commits.values() {
+        let Some(own) = rec.writes.first().map(|w| w.version) else {
+            continue;
+        };
+        for (item, read_v) in &rec.readset {
+            if let Some(vs) = writes_by_item.get(&item.0) {
+                let conflicting = vs
+                    .iter()
+                    .any(|&wv| wv > *read_v && wv < own);
+                assert!(
+                    !conflicting,
+                    "committed txn at version {own} read item {item} at stale version {read_v}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 100, "the invariant must actually be exercised");
+}

@@ -1,0 +1,112 @@
+//! The very-safe level (§2.1): the client is notified only when the
+//! transaction is logged on *all* servers — so it survives anything, but
+//! "a single crash renders the system unavailable".
+
+use groupsafe::core::{SafetyLevel, StopClient, System, Technique};
+use groupsafe::sim::{SimDuration, SimTime};
+use groupsafe::workload::{
+    run_crash_scenario, system_config, table4_generator, CrashScenario, PaperParams,
+    RecoveryPlan, RunConfig,
+};
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        technique: Technique::Dsm(SafetyLevel::VerySafe),
+        load_tps: 10.0,
+        closed_loop: false,
+        assumed_resp_ms: 70.0,
+        lazy_prop_ms: 20.0,
+        wal_flush_ms: 20.0,
+        params: PaperParams {
+            n_servers: 3,
+            clients_per_server: 2,
+            ..PaperParams::default()
+        },
+        warmup: SimDuration::from_secs(1),
+        duration: SimDuration::from_secs(10),
+        drain: SimDuration::from_secs(3),
+        seed,
+    }
+}
+
+#[test]
+fn very_safe_commits_when_everyone_is_up() {
+    let c = cfg(61);
+    let params = c.params.clone();
+    let mut system = System::build(system_config(&c), |_| table4_generator(&params));
+    system.start();
+    let end = SimTime::ZERO + c.warmup + c.duration;
+    system.engine.run_until(end);
+    for &cl in &system.clients.clone() {
+        system.engine.schedule_resilient(end, cl, StopClient);
+    }
+    system.engine.run_until(end + c.drain);
+    let acked = system.oracle.borrow().acked.len();
+    assert!(acked > 40, "very-safe must make progress when all are up ({acked})");
+    assert!(system.lost_transactions().is_empty());
+    assert_eq!(system.convergence().len(), 1);
+    // Every acknowledged update transaction is durable on EVERY replica —
+    // the defining property.
+    let oracle = system.oracle.borrow();
+    for (txn, _) in oracle.acked.iter() {
+        if !oracle.commits.contains_key(txn) {
+            continue; // read-only
+        }
+        for i in 0..system.n_servers {
+            let db = system.server(i).db();
+            assert!(db.is_committed(*txn), "acked {txn} missing on replica {i}");
+        }
+    }
+}
+
+#[test]
+fn very_safe_blocks_while_any_server_is_down() {
+    // One crash: after a short grace period for in-flight confirmations,
+    // no commit acknowledgement completes while the server is down — but
+    // nothing is lost. (Contrast: group-safe keeps committing, see
+    // tests/system_safety.rs.)
+    let c = cfg(63);
+    let params = c.params.clone();
+    let mut system = System::build(system_config(&c), |_| table4_generator(&params));
+    system.start();
+    let crash_at = SimTime::from_secs(4);
+    system.engine.schedule_crash(crash_at, system.servers[2]);
+    system.engine.run_until(SimTime::from_secs(9));
+    let oracle = system.oracle.borrow();
+    let pre = oracle.acked.values().filter(|a| a.at <= crash_at).count();
+    let grace = crash_at + SimDuration::from_millis(500);
+    // Read-only transactions never broadcast and keep answering; the
+    // blocking property is about update transactions.
+    let post_grace = oracle
+        .acked
+        .iter()
+        .filter(|(txn, a)| a.at > grace && oracle.commits.contains_key(txn))
+        .count();
+    drop(oracle);
+    assert!(pre > 5, "pre-crash commits must have completed ({pre})");
+    assert_eq!(
+        post_grace, 0,
+        "very-safe must block while a server is down (§2.1: a single crash \
+         renders the system unavailable)"
+    );
+    assert!(system.lost_transactions().is_empty(), "blocking, not losing");
+}
+
+#[test]
+fn very_safe_survives_total_failure() {
+    // All crash and recover: the end-to-end broadcast replays unlogged
+    // deliveries; nothing acknowledged can be missing anywhere.
+    let out = run_crash_scenario(&CrashScenario {
+        load_tps: 10.0,
+        recovery: RecoveryPlan::Recover {
+            downtime: SimDuration::from_millis(400),
+        },
+        ..CrashScenario::small(
+            Technique::Dsm(SafetyLevel::VerySafe),
+            vec![0, 1, 2, 3, 4],
+            67,
+        )
+    });
+    assert_eq!(out.lost, 0, "very-safe can never lose an acknowledged txn");
+    assert!(out.acked > 5);
+}
