@@ -30,9 +30,11 @@ fn bench_abcast(c: &mut Criterion) {
         ("crash_recovery", GcsConfig::crash_recovery()),
         ("end_to_end", GcsConfig::end_to_end()),
     ] {
-        g.bench_with_input(BenchmarkId::new("deliver_200_msgs_9_nodes", name), &cfg, |b, cfg| {
-            b.iter(|| black_box(run_broadcasts(cfg.clone())))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("deliver_200_msgs_9_nodes", name),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(run_broadcasts(cfg.clone()))),
+        );
     }
     g.finish();
 }

@@ -46,11 +46,7 @@ fn bench_db(c: &mut Criterion) {
                     version: seq,
                 })
                 .collect();
-            black_box(e.commit(
-                SimTime::from_micros(seq),
-                TxnId { client: 0, seq },
-                &writes,
-            ))
+            black_box(e.commit(SimTime::from_micros(seq), TxnId { client: 0, seq }, &writes))
         })
     });
 

@@ -2,35 +2,41 @@
 //! simulating one technique for 5 simulated seconds at 30 tps.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use groupsafe_core::{SafetyLevel, Technique};
+use groupsafe_core::{Load, System, Technique};
 use groupsafe_sim::SimDuration;
-use groupsafe_workload::{run, PaperParams, RunConfig};
 use std::hint::black_box;
 
 fn one_run(technique: Technique, seed: u64) -> usize {
-    let cfg = RunConfig {
-        technique,
-        load_tps: 30.0,
-        closed_loop: true,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: PaperParams::default(),
-        warmup: SimDuration::from_secs(1),
-        duration: SimDuration::from_secs(5),
-        drain: SimDuration::from_secs(1),
-        seed,
-    };
-    run(&cfg).samples
+    System::builder()
+        .technique(technique)
+        .load(Load::closed_tps(30.0))
+        .client_timeout(SimDuration::from_secs(5))
+        .warmup(SimDuration::from_secs(1))
+        .measure(SimDuration::from_secs(5))
+        .drain(SimDuration::from_secs(1))
+        .seed(seed)
+        .build()
+        .expect("a valid configuration")
+        .execute()
+        .commits
 }
 
 fn bench_system(c: &mut Criterion) {
     let mut g = c.benchmark_group("system");
     g.sample_size(10);
     for (name, tech) in [
-        ("group_safe", Technique::Dsm(SafetyLevel::GroupSafe)),
-        ("group_1_safe", Technique::Dsm(SafetyLevel::GroupOneSafe)),
-        ("two_safe", Technique::Dsm(SafetyLevel::TwoSafe)),
+        (
+            "group_safe",
+            Technique::Dsm(groupsafe_core::SafetyLevel::GroupSafe),
+        ),
+        (
+            "group_1_safe",
+            Technique::Dsm(groupsafe_core::SafetyLevel::GroupOneSafe),
+        ),
+        (
+            "two_safe",
+            Technique::Dsm(groupsafe_core::SafetyLevel::TwoSafe),
+        ),
         ("lazy", Technique::Lazy),
     ] {
         g.bench_with_input(

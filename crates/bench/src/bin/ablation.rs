@@ -7,36 +7,27 @@
 //!    itself costs;
 //! 3. hotspot on/off — the contention calibration;
 //! 4. probabilistic vs real-LRU buffer — Table 4's 20 % hit model.
+//!
+//! Each variant is one builder chain off a shared base.
 
-use groupsafe_core::{SafetyLevel, StopClient, System, Technique};
-use groupsafe_db::BufferModel;
-use groupsafe_sim::{SimDuration, SimTime};
-use groupsafe_workload::{report, system_config, table4_generator, PaperParams, RunConfig};
+use groupsafe_core::{Load, Report, SafetyLevel, System, SystemBuilder, WorkloadSpec};
+use groupsafe_db::{BufferModel, DbConfig, FlushPolicy};
+use groupsafe_sim::SimDuration;
 
-fn base_cfg() -> RunConfig {
-    RunConfig {
-        duration: SimDuration::from_secs(20),
-        ..RunConfig::paper(Technique::Dsm(SafetyLevel::GroupSafe), 28.0, 13)
-    }
+fn base() -> SystemBuilder {
+    System::builder()
+        .safety(SafetyLevel::GroupSafe)
+        .load(Load::closed_tps(28.0))
+        // The historical harness condition: failover only after 5 s.
+        .client_timeout(SimDuration::from_secs(5))
+        .warmup(SimDuration::from_secs(5))
+        .measure(SimDuration::from_secs(20))
+        .drain(SimDuration::from_secs(3))
+        .seed(13)
 }
 
-/// Run with a hook that may mutate the built SystemConfig.
-fn run_with(
-    cfg: &RunConfig,
-    tweak: impl FnOnce(&mut groupsafe_core::SystemConfig),
-) -> groupsafe_workload::RunReport {
-    let mut sys_cfg = system_config(cfg);
-    tweak(&mut sys_cfg);
-    let params = cfg.params.clone();
-    let mut system = System::build(sys_cfg, |_| table4_generator(&params));
-    system.start();
-    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + cfg.drain);
-    report(cfg, &mut system)
+fn execute(builder: SystemBuilder) -> Report {
+    builder.build().expect("a valid configuration").execute()
 }
 
 fn main() {
@@ -45,7 +36,7 @@ fn main() {
         "{:<44} {:>9} {:>9} {:>8}",
         "variant", "mean ms", "p95 ms", "abort%"
     );
-    let show = |label: &str, r: &groupsafe_workload::RunReport| {
+    let show = |label: &str, r: &Report| {
         println!(
             "{label:<44} {:>9.1} {:>9.1} {:>7.1}%",
             r.mean_ms,
@@ -55,9 +46,8 @@ fn main() {
     };
 
     // 1. Write caching.
-    let cfg = base_cfg();
-    let cached = run_with(&cfg, |_| {});
-    let uncached = run_with(&cfg, |sc| sc.replica.disk_sequential_factor = 1.0);
+    let cached = execute(base());
+    let uncached = execute(base().disk_sequential_factor(1.0));
     show("write caching ON (sequential batches, 0.3x)", &cached);
     show("write caching OFF (every page random)", &uncached);
     assert!(
@@ -67,13 +57,7 @@ fn main() {
     );
 
     // 2. Uniform vs non-uniform delivery.
-    let zero = run_with(
-        &RunConfig {
-            technique: Technique::Dsm(SafetyLevel::ZeroSafe),
-            ..base_cfg()
-        },
-        |_| {},
-    );
+    let zero = execute(base().safety(SafetyLevel::ZeroSafe));
     show("\nuniform delivery (group-safe)".trim_start(), &cached);
     show("non-uniform delivery (0-safe)", &zero);
     assert!(
@@ -82,16 +66,10 @@ fn main() {
     );
 
     // 3. Contention.
-    let uniform_items = run_with(
-        &RunConfig {
-            params: PaperParams {
-                hot_access_fraction: 0.0,
-                ..PaperParams::default()
-            },
-            ..base_cfg()
-        },
-        |_| {},
-    );
+    let uniform_items = execute(base().workload(WorkloadSpec {
+        hot_access_fraction: 0.0,
+        ..WorkloadSpec::table4()
+    }));
     show("\nhotspot 15%/2% (default)".trim_start(), &cached);
     show("uniform access (no hotspot)", &uniform_items);
     assert!(
@@ -100,12 +78,19 @@ fn main() {
     );
 
     // 4. Buffer model.
-    let lru = run_with(&base_cfg(), |sc| {
+    let lru = execute(base().db(DbConfig {
         // 200 pages of 10 items = 2 000 of 10 000 items cached: the
         // emergent hit ratio is workload-dependent instead of fixed.
-        sc.replica.db.buffer = BufferModel::Lru { capacity: 200 };
-    });
-    show("\nbuffer: probabilistic 20% (Table 4)".trim_start(), &cached);
+        buffer: BufferModel::Lru { capacity: 200 },
+        // The replica server orchestrates all flushing per safety level;
+        // the engine must never flush inside `commit`.
+        flush_policy: FlushPolicy::Async,
+        ..DbConfig::default()
+    }));
+    show(
+        "\nbuffer: probabilistic 20% (Table 4)".trim_start(),
+        &cached,
+    );
     show("buffer: real LRU, 200 pages", &lru);
 
     println!("\nall ablation expectations hold.");

@@ -24,8 +24,7 @@ struct Outcome {
 
 fn run_scenario(label: &str, cfg: GcsConfig, restart: bool) -> Outcome {
     let n = 3;
-    let mut cluster =
-        Cluster::with_process_delay(n, cfg, 1234, SimDuration::from_millis(50));
+    let mut cluster = Cluster::with_process_delay(n, cfg, 1234, SimDuration::from_millis(50));
     // t is broadcast at 10 ms; delivery completes within ~20 ms; the
     // processing (logging) would finish at ~60 ms or later.
     cluster.broadcast_at(ms(10), NodeId(0), 4242);

@@ -2,47 +2,48 @@
 //! for group-safe, group-1-safe and lazy (1-safe) replication, on the
 //! Table 4 configuration.
 //!
-//! Usage: `fig9 [--quick] [--csv <path>]`
+//! Usage: `fig9 [--quick] [--csv <path>] [--json <path>]`
 //!   --quick   shorter runs (10 s measurement instead of 60 s)
 //!   --csv     also write a CSV with one row per (technique, load)
+//!   --json    also write a JSON array of full structured reports
 
 use groupsafe_bench::plot::ascii_chart;
-use groupsafe_core::{SafetyLevel, Technique};
+use groupsafe_core::{Load, Report, SafetyLevel, System};
 use groupsafe_sim::SimDuration;
-use groupsafe_workload::{csv_header, sweep, PaperParams, RunConfig, RunReport};
+use groupsafe_workload::{csv_header, RunReport};
+
+fn run_point(level: SafetyLevel, tps: f64, quick: bool) -> Report {
+    System::builder()
+        .safety(level)
+        .load(Load::closed_tps(tps))
+        // The historical harness condition: failover only after 5 s.
+        .client_timeout(SimDuration::from_secs(5))
+        .warmup(SimDuration::from_secs(5))
+        .measure(SimDuration::from_secs(if quick { 10 } else { 60 }))
+        .drain(SimDuration::from_secs(3))
+        .seed(42)
+        .build()
+        .expect("the Table 4 configuration is valid")
+        .execute()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let path_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let csv_path = path_after("--csv");
+    let json_path = path_after("--json");
 
     let loads: Vec<f64> = (20..=40).step_by(2).map(|v| v as f64).collect();
-    let base = RunConfig {
-        technique: Technique::Dsm(SafetyLevel::GroupSafe),
-        load_tps: 0.0,
-        closed_loop: true,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: PaperParams::default(),
-        warmup: SimDuration::from_secs(5),
-        duration: if quick {
-            SimDuration::from_secs(10)
-        } else {
-            SimDuration::from_secs(60)
-        },
-        drain: SimDuration::from_secs(3),
-        seed: 42,
-    };
-
-    let techniques = [
-        Technique::Dsm(SafetyLevel::GroupSafe),
-        Technique::Lazy,
-        Technique::Dsm(SafetyLevel::GroupOneSafe),
+    let levels = [
+        SafetyLevel::GroupSafe,
+        SafetyLevel::OneSafe,
+        SafetyLevel::GroupOneSafe,
     ];
 
     println!("Fig. 9 — response time vs load (Table 4 configuration)");
@@ -50,16 +51,17 @@ fn main() {
         "{:<14} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6} {:>5}",
         "technique", "load", "achieved", "mean ms", "p50 ms", "p95 ms", "abort%", "lost", "conv"
     );
-    let mut all: Vec<RunReport> = Vec::new();
+    let mut all: Vec<Report> = Vec::new();
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
-    for tech in techniques {
-        let reports = sweep(tech, &loads, &base);
+    for level in levels {
         let mut curve = Vec::new();
-        for r in &reports {
+        let mut label = String::new();
+        for &tps in &loads {
+            let r = run_point(level, tps, quick);
             println!(
                 "{:<14} {:>6.0} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.1}% {:>6} {:>5}",
                 r.technique,
-                r.offered_tps,
+                tps,
                 r.achieved_tps,
                 r.mean_ms,
                 r.p50_ms,
@@ -68,23 +70,32 @@ fn main() {
                 r.lost,
                 r.distinct_states,
             );
-            curve.push((r.offered_tps, r.mean_ms));
+            curve.push((tps, r.mean_ms));
+            label = r.technique.to_string();
+            all.push(r);
         }
-        series.push((reports[0].technique.to_string(), curve));
-        all.extend(reports);
+        series.push((label, curve));
         println!();
     }
 
-    println!("{}", ascii_chart(&series, "load [tps]", "response [ms]", 72, 24));
+    println!(
+        "{}",
+        ascii_chart(&series, "load [tps]", "response [ms]", 72, 24)
+    );
 
     if let Some(path) = csv_path {
         let mut out = String::from(csv_header());
         out.push('\n');
         for r in &all {
-            out.push_str(&r.csv_row());
+            out.push_str(&RunReport::from_report(r.offered_tps.unwrap_or(0.0), r).csv_row());
             out.push('\n');
         }
         std::fs::write(&path, out).expect("write csv");
+        println!("wrote {path}");
+    }
+    if let Some(path) = json_path {
+        let rows: Vec<String> = all.iter().map(Report::to_json).collect();
+        std::fs::write(&path, format!("[{}]\n", rows.join(",\n"))).expect("write json");
         println!("wrote {path}");
     }
 

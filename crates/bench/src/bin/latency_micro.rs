@@ -40,7 +40,10 @@ fn abcast_mean_ms() -> f64 {
         .engine
         .run_until(SimTime::from_millis(100 + (count + 50) * spacing));
     let obs = cluster.obs.borrow();
-    let recs = obs.deliveries.get(&NodeId(0)).expect("deliveries at origin");
+    let recs = obs
+        .deliveries
+        .get(&NodeId(0))
+        .expect("deliveries at origin");
     assert_eq!(recs.len() as u64, count, "all broadcasts must deliver");
     let mut total = 0.0;
     for (i, r) in recs.iter().enumerate() {
@@ -60,7 +63,10 @@ fn main() {
         "  -> durability by the group is ~{:.0}x cheaper than by the disk",
         disk_ms / abcast_ms.max(1e-9)
     );
-    assert!((7.0..9.0).contains(&disk_ms), "disk mean should be ~8 ms, got {disk_ms}");
+    assert!(
+        (7.0..9.0).contains(&disk_ms),
+        "disk mean should be ~8 ms, got {disk_ms}"
+    );
     assert!(
         abcast_ms < 1.5,
         "abcast should be ~1 ms or less, got {abcast_ms}"

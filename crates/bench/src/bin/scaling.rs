@@ -11,33 +11,29 @@
 //!   chance is pⁿ — it shrinks as n grows. Measured by Monte-Carlo
 //!   sampling of the crash model (the paper's own argument is analytic).
 
-use groupsafe_core::Technique;
+use groupsafe_core::{Load, SafetyLevel, System};
 use groupsafe_sim::SimDuration;
-use groupsafe_workload::{PaperParams, RunConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn lazy_lost_updates(n: u32, seed: u64) -> (usize, usize) {
-    let cfg = RunConfig {
-        technique: Technique::Lazy,
+    let r = System::builder()
+        .servers(n)
+        .clients_per_server(4)
+        .safety(SafetyLevel::OneSafe)
         // Constant per-server load: the system grows with n.
-        load_tps: 4.0 * n as f64,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 100.0,
-        wal_flush_ms: 20.0,
-        params: PaperParams {
-            n_servers: n,
-            clients_per_server: 4,
-            ..PaperParams::default()
-        },
-        warmup: SimDuration::from_secs(2),
-        duration: SimDuration::from_secs(20),
-        drain: SimDuration::from_secs(2),
-        seed,
-    };
-    let r = groupsafe_workload::run(&cfg);
-    (r.lost_updates, r.samples)
+        .load(Load::open_tps(4.0 * n as f64))
+        // The historical harness condition: failover only after 5 s.
+        .client_timeout(SimDuration::from_secs(5))
+        .lazy_prop_interval(SimDuration::from_millis(100))
+        .warmup(SimDuration::from_secs(2))
+        .measure(SimDuration::from_secs(20))
+        .drain(SimDuration::from_secs(2))
+        .seed(seed)
+        .build()
+        .expect("a valid configuration")
+        .execute();
+    (r.lost_updates, r.commits)
 }
 
 fn group_failure_fraction(n: u32, p: f64, trials: u32, seed: u64) -> f64 {

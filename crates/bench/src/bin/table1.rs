@@ -2,8 +2,8 @@
 //! from (transaction delivered on …) × (transaction logged on …) — plus
 //! two empirical anchors from the crash machinery.
 
-use groupsafe_core::{Guarantee, SafetyLevel, Technique};
 use groupsafe_core::table1;
+use groupsafe_core::{Guarantee, SafetyLevel, Technique};
 use groupsafe_workload::{run_crash_scenario, CrashScenario};
 
 fn cell_label(d: Guarantee, l: Guarantee) -> String {
@@ -60,23 +60,32 @@ fn main() {
         );
     }
 
-    // Empirical anchors: the matrix's two extremes, measured.
-    println!("\nEmpirical anchors (n = 5, delegate crash):");
-    let lazy = run_crash_scenario(&CrashScenario::small(Technique::Lazy, vec![0], 301));
+    // Empirical anchors: the matrix's two extremes, measured. Loss at a
+    // delegate crash is a *window*, so each anchor accumulates a few
+    // adversarial seeds.
+    println!("\nEmpirical anchors (n = 5, delegate crash, 4 seeds):");
+    let anchor = |technique: Technique| -> (usize, usize) {
+        let mut acked = 0;
+        let mut lost = 0;
+        for seed in [301, 307, 311, 313] {
+            let out = run_crash_scenario(&CrashScenario {
+                load_tps: 40.0,
+                ..CrashScenario::small(technique, vec![0], seed)
+            });
+            acked += out.acked;
+            lost += out.lost;
+        }
+        (acked, lost)
+    };
+    let (lazy_acked, lazy_lost) = anchor(Technique::Lazy);
     println!(
-        "  1-safe (logged on one):      lost {}/{} acknowledged  (loss expected)",
-        lazy.lost, lazy.acked
+        "  1-safe (logged on one):      lost {lazy_lost}/{lazy_acked} acknowledged  (loss expected)"
     );
-    let gs = run_crash_scenario(&CrashScenario::small(
-        Technique::Dsm(SafetyLevel::GroupSafe),
-        vec![0],
-        307,
-    ));
+    let (gs_acked, gs_lost) = anchor(Technique::Dsm(SafetyLevel::GroupSafe));
     println!(
-        "  group-safe (delivered on all): lost {}/{} acknowledged  (no loss expected)",
-        gs.lost, gs.acked
+        "  group-safe (delivered on all): lost {gs_lost}/{gs_acked} acknowledged  (no loss expected)"
     );
-    assert!(lazy.lost > 0, "1-safe anchor must exhibit loss");
-    assert_eq!(gs.lost, 0, "group-safe anchor must not lose");
+    assert!(lazy_lost > 0, "1-safe anchor must exhibit loss");
+    assert_eq!(gs_lost, 0, "group-safe anchor must not lose");
     println!("\nTable 1 anchors verified.");
 }

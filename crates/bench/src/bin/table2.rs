@@ -38,8 +38,7 @@ fn scenario(technique: Technique, crash: Vec<u32>, seed: u64) -> CrashScenario {
         } else {
             RecoveryPlan::StayDown
         },
-        partition_before: if technique == Technique::Dsm(SafetyLevel::ZeroSafe)
-            && crash.len() == 1
+        partition_before: if technique == Technique::Dsm(SafetyLevel::ZeroSafe) && crash.len() == 1
         {
             crash.clone()
         } else {
@@ -101,7 +100,10 @@ fn main() {
     // The paper's claims, as assertions.
     let get = |l: &str| rows.iter().find(|r| r.label == l).expect("row");
     assert!(get("0-safe").one.1 > 0, "0-safe must lose under 1 crash");
-    assert!(get("1-safe (lazy)").one.1 > 0, "1-safe must lose under 1 crash");
+    assert!(
+        get("1-safe (lazy)").one.1 > 0,
+        "1-safe must lose under 1 crash"
+    );
     for l in ["group-safe", "group-1-safe", "2-safe (e2e)"] {
         assert_eq!(get(l).one.1, 0, "{l} must survive 1 crash");
         assert_eq!(get(l).minority.1, 0, "{l} must survive n-1 crashes");
@@ -115,7 +117,11 @@ fn main() {
         0,
         "2-safe must survive the crash of all n servers"
     );
-    for col in [get("very-safe").one, get("very-safe").minority, get("very-safe").all] {
+    for col in [
+        get("very-safe").one,
+        get("very-safe").minority,
+        get("very-safe").all,
+    ] {
         assert_eq!(col.1, 0, "very-safe can never lose (it may only block)");
     }
     println!("\nTable 2 claims verified: 0/1-safe lose at 1 crash; group levels survive < n; 2-safe survives n.");

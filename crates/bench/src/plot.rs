@@ -47,10 +47,7 @@ pub fn ascii_chart(
     out.push('+');
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!(
-        " {x_label}: {:.1} .. {:.1}\n",
-        x_min, x_max
-    ));
+    out.push_str(&format!(" {x_label}: {:.1} .. {:.1}\n", x_min, x_max));
     for (i, (label, _)) in series.iter().enumerate() {
         out.push_str(&format!(" {} = {}\n", GLYPHS[i % GLYPHS.len()], label));
     }

@@ -1,0 +1,1301 @@
+//! The fluent system-assembly API: [`SystemBuilder`] → [`Run`] →
+//! [`Report`].
+//!
+//! One declarative entry point replaces the three historical config
+//! layers (`SystemConfig`, the workload crate's `RunConfig`, and the
+//! drivers' hand-rolled warm-up / measure / stop-clients / drain loops):
+//!
+//! ```ignore
+//! let report = System::builder()
+//!     .servers(9)
+//!     .clients_per_server(4)
+//!     .safety(SafetyLevel::GroupSafe)
+//!     .load(Load::open_tps(50.0))
+//!     .measure(SimDuration::from_secs(30))
+//!     .faults(FaultPlan::crash(NodeId(2), SimTime::from_secs(10)))
+//!     .build()?
+//!     .execute();
+//! println!("{report}");
+//! ```
+//!
+//! * [`SystemBuilder`] validates the configuration ([`BuildError`]) and
+//!   wires the full system exactly as [`System::build`] always has — the
+//!   same seed produces the same commit count and state digests,
+//! * [`Run`] owns the warm-up → measure → stop-clients → drain lifecycle
+//!   and offers phase hooks ([`Run::at`], [`Run::switch_safety_at`]) for
+//!   mid-run commands such as [`SwitchSafetyCmd`],
+//! * [`Report`] is the structured outcome — commits, mean/p95/p99,
+//!   aborts, lost transactions, convergence digests, per-phase stats —
+//!   with [`Display`](std::fmt::Display) and JSON renderings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use groupsafe_db::{DbConfig, ItemId, Operation};
+use groupsafe_net::{NetConfig, NodeId};
+use groupsafe_sim::{SimDuration, SimTime};
+
+use crate::client::{LoadModel, OpGenerator, StopClient};
+use crate::safety::SafetyLevel;
+use crate::server::{ReplicaConfig, SwitchSafetyCmd, Technique};
+use crate::system::{System, SystemConfig};
+use crate::verify::{self, LostTransaction};
+
+// ---------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------
+
+/// How the clients generate load, expressed at the whole-system level.
+///
+/// Resolved against the client population at build time: `open_tps(30.0)`
+/// on 36 clients becomes a per-client Poisson process at 30/36 tps.
+#[derive(Debug, Clone, Copy)]
+pub enum Load {
+    /// Open loop at a system-wide offered rate (Poisson arrivals,
+    /// independent of outstanding work).
+    OpenTps(f64),
+    /// Closed loop calibrated for a system-wide target rate: each client
+    /// keeps one transaction outstanding and thinks between replies, with
+    /// the think time chosen so that `n_clients / (think + resp) ≈ tps`
+    /// at the assumed base response time. Under overload the population
+    /// self-limits (the paper's client model).
+    ClosedTps {
+        /// Target system throughput.
+        tps: f64,
+        /// Assumed base response time for the think-time calibration.
+        assumed_resp_ms: f64,
+    },
+    /// Open loop with an explicit per-client mean inter-arrival time.
+    OpenInterarrival(SimDuration),
+    /// Closed loop with an explicit per-client mean think time.
+    ClosedThink(SimDuration),
+}
+
+/// The assumed base response time `Load::closed_tps` calibrates against
+/// (the historical `RunConfig` default).
+pub const DEFAULT_ASSUMED_RESP_MS: f64 = 70.0;
+
+impl Load {
+    /// Open-loop Poisson arrivals at `tps` across the whole system.
+    pub fn open_tps(tps: f64) -> Load {
+        Load::OpenTps(tps)
+    }
+
+    /// Closed-loop clients calibrated for `tps` across the whole system
+    /// (assuming the default base response time).
+    pub fn closed_tps(tps: f64) -> Load {
+        Load::ClosedTps {
+            tps,
+            assumed_resp_ms: DEFAULT_ASSUMED_RESP_MS,
+        }
+    }
+
+    /// Closed-loop clients calibrated for `tps`, assuming a base response
+    /// time of `assumed_resp_ms` for the think-time computation.
+    pub fn closed_tps_assuming(tps: f64, assumed_resp_ms: f64) -> Load {
+        Load::ClosedTps {
+            tps,
+            assumed_resp_ms,
+        }
+    }
+
+    /// Open loop with an explicit per-client mean inter-arrival time.
+    pub fn open_interarrival(mean: SimDuration) -> Load {
+        Load::OpenInterarrival(mean)
+    }
+
+    /// Closed loop with an explicit per-client mean think time.
+    pub fn closed_think(mean: SimDuration) -> Load {
+        Load::ClosedThink(mean)
+    }
+
+    /// The system-wide offered rate, when one is implied.
+    pub fn offered_tps(&self) -> Option<f64> {
+        match *self {
+            Load::OpenTps(tps) | Load::ClosedTps { tps, .. } => Some(tps),
+            Load::OpenInterarrival(_) | Load::ClosedThink(_) => None,
+        }
+    }
+
+    /// Resolve to the per-client [`LoadModel`], mirroring the historical
+    /// `workload::system_config` arithmetic exactly.
+    fn resolve(&self, n_clients: u32) -> Result<LoadModel, BuildError> {
+        let n = n_clients.max(1) as f64;
+        match *self {
+            Load::OpenTps(tps) => {
+                if tps.is_nan() || tps <= 0.0 {
+                    return Err(BuildError::NonPositiveLoad { tps });
+                }
+                Ok(LoadModel::Open {
+                    mean_interarrival: SimDuration::from_secs_f64(n / tps.max(1e-9)),
+                })
+            }
+            Load::ClosedTps {
+                tps,
+                assumed_resp_ms,
+            } => {
+                if tps.is_nan() || tps <= 0.0 {
+                    return Err(BuildError::NonPositiveLoad { tps });
+                }
+                let cycle = n / tps.max(1e-9);
+                let think = (cycle - assumed_resp_ms / 1_000.0).max(0.001);
+                Ok(LoadModel::Closed {
+                    mean_think: SimDuration::from_secs_f64(think),
+                })
+            }
+            Load::OpenInterarrival(mean) => {
+                if mean == SimDuration::ZERO {
+                    return Err(BuildError::NonPositiveLoad { tps: f64::INFINITY });
+                }
+                Ok(LoadModel::Open {
+                    mean_interarrival: mean,
+                })
+            }
+            Load::ClosedThink(mean) => Ok(LoadModel::Closed { mean_think: mean }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------
+
+/// The shape of the transactions the built-in generator produces
+/// (Table 4 of the paper by default): `txn_len_min..=txn_len_max`
+/// operations, each a write with probability `write_probability`, over
+/// `n_items` items with an optional hotspot.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of items in the database.
+    pub n_items: u32,
+    /// Minimum operations per transaction.
+    pub txn_len_min: usize,
+    /// Maximum operations per transaction.
+    pub txn_len_max: usize,
+    /// Probability that an operation is a write.
+    pub write_probability: f64,
+    /// Fraction of accesses directed at the hot set (0 = uniform).
+    pub hot_access_fraction: f64,
+    /// Fraction of the database forming the hot set.
+    pub hot_set_fraction: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec::table4()
+    }
+}
+
+impl WorkloadSpec {
+    /// Table 4's workload: 10 000 items, 10–20 operations, 50 % writes,
+    /// plus the mild hotspot calibrated for the paper's abort rate.
+    pub fn table4() -> Self {
+        WorkloadSpec {
+            n_items: 10_000,
+            txn_len_min: 10,
+            txn_len_max: 20,
+            write_probability: 0.5,
+            hot_access_fraction: 0.15,
+            hot_set_fraction: 0.02,
+        }
+    }
+
+    fn validate(&self) -> Result<(), BuildError> {
+        if self.n_items == 0 {
+            return Err(BuildError::EmptyDatabase);
+        }
+        if self.txn_len_min > self.txn_len_max || self.txn_len_max == 0 {
+            return Err(BuildError::BadTxnLength {
+                min: self.txn_len_min,
+                max: self.txn_len_max,
+            });
+        }
+        for (name, p) in [
+            ("write_probability", self.write_probability),
+            ("hot_access_fraction", self.hot_access_fraction),
+            ("hot_set_fraction", self.hot_set_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BuildError::BadProbability { name, value: p });
+            }
+        }
+        Ok(())
+    }
+
+    /// One transaction's operations. The draw order matches the
+    /// historical `workload::generate_txn` exactly, so seeded runs
+    /// reproduce the old wiring bit-for-bit.
+    pub fn generate_txn(&self, rng: &mut StdRng) -> Vec<Operation> {
+        let len = rng.random_range(self.txn_len_min..=self.txn_len_max);
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let item = self.draw_item(rng);
+            if rng.random_bool(self.write_probability) {
+                ops.push(Operation::Write(
+                    item,
+                    rng.random_range(-1_000_000..1_000_000),
+                ));
+            } else {
+                ops.push(Operation::Read(item));
+            }
+        }
+        ops
+    }
+
+    fn draw_item(&self, rng: &mut StdRng) -> ItemId {
+        let hot_items = ((self.n_items as f64 * self.hot_set_fraction) as u32).max(1);
+        if self.hot_access_fraction > 0.0 && rng.random_bool(self.hot_access_fraction) {
+            ItemId(rng.random_range(0..hot_items))
+        } else {
+            ItemId(rng.random_range(0..self.n_items))
+        }
+    }
+
+    /// A per-client operation generator over this spec.
+    pub fn generator(&self) -> OpGenerator {
+        let spec = self.clone();
+        Box::new(move |rng: &mut StdRng| spec.generate_txn(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------
+
+/// One scripted fault-schedule entry.
+#[derive(Debug, Clone)]
+enum FaultEvent {
+    Crash { server: NodeId, at: SimTime },
+    Recover { server: NodeId, at: SimTime },
+    SwitchSafety { level: SafetyLevel, at: SimTime },
+}
+
+/// A declarative fault schedule applied when the run starts.
+///
+/// ```ignore
+/// FaultPlan::crash(NodeId(2), SimTime::from_secs(5))
+///     .recover(NodeId(2), SimTime::from_secs(9))
+///     .switch_safety(SafetyLevel::GroupOneSafe, SimTime::from_secs(12))
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan starting with one crash.
+    pub fn crash(server: NodeId, at: SimTime) -> Self {
+        FaultPlan::none().also_crash(server, at)
+    }
+
+    /// Add a crash of `server` at `at`.
+    pub fn also_crash(mut self, server: NodeId, at: SimTime) -> Self {
+        self.events.push(FaultEvent::Crash { server, at });
+        self
+    }
+
+    /// Add a recovery of `server` at `at`.
+    pub fn recover(mut self, server: NodeId, at: SimTime) -> Self {
+        self.events.push(FaultEvent::Recover { server, at });
+        self
+    }
+
+    /// Switch every server's safety level at `at` (group-safe ↔
+    /// group-1-safe, §5.2).
+    pub fn switch_safety(mut self, level: SafetyLevel, at: SimTime) -> Self {
+        self.events.push(FaultEvent::SwitchSafety { level, at });
+        self
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn validate(&self, n_servers: u32) -> Result<(), BuildError> {
+        for ev in &self.events {
+            let server = match ev {
+                FaultEvent::Crash { server, .. } | FaultEvent::Recover { server, .. } => *server,
+                FaultEvent::SwitchSafety { .. } => continue,
+            };
+            if server.0 >= n_servers {
+                return Err(BuildError::FaultTargetOutOfRange {
+                    server: server.0,
+                    n_servers,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a [`SystemBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// `servers(0)`: a replicated database needs at least one replica.
+    NoServers,
+    /// No clients at all: nothing would ever be submitted.
+    NoClients,
+    /// A rate-style [`Load`] with `tps <= 0` (or a zero inter-arrival
+    /// time, reported as infinite tps).
+    NonPositiveLoad {
+        /// The offending rate.
+        tps: f64,
+    },
+    /// `n_items == 0` in the workload spec.
+    EmptyDatabase,
+    /// Inverted or empty transaction-length range.
+    BadTxnLength {
+        /// Configured minimum.
+        min: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// A probability parameter outside `[0, 1]`.
+    BadProbability {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fault plan names a server the system does not have.
+    FaultTargetOutOfRange {
+        /// The requested server id.
+        server: u32,
+        /// The system size.
+        n_servers: u32,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoServers => write!(f, "a system needs at least one server"),
+            BuildError::NoClients => write!(f, "a system needs at least one client"),
+            BuildError::NonPositiveLoad { tps } => {
+                write!(f, "offered load must be positive, got {tps} tps")
+            }
+            BuildError::EmptyDatabase => write!(f, "the database needs at least one item"),
+            BuildError::BadTxnLength { min, max } => {
+                write!(f, "invalid transaction length range {min}..={max}")
+            }
+            BuildError::BadProbability { name, value } => {
+                write!(f, "{name} must be in [0, 1], got {value}")
+            }
+            BuildError::FaultTargetOutOfRange { server, n_servers } => {
+                write!(
+                    f,
+                    "fault plan names server {server} but the system has {n_servers}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+// ---------------------------------------------------------------------
+// SystemBuilder
+// ---------------------------------------------------------------------
+
+/// Factory for per-client operation generators (called once per client
+/// with its numeric id).
+pub type GeneratorFactory = Box<dyn FnMut(u32) -> OpGenerator>;
+
+/// Fluent configuration of a full replicated-database experiment.
+///
+/// Obtain one with [`System::builder`]. Defaults reproduce
+/// [`SystemConfig::default`] (9 servers × 4 clients, group-safe DSM,
+/// Table 4 database and network, seed 42) with a 60 s measurement window
+/// and 3 s drain.
+pub struct SystemBuilder {
+    n_servers: u32,
+    clients_per_server: u32,
+    replica: ReplicaConfig,
+    load: Load,
+    client_timeout: SimDuration,
+    net: NetConfig,
+    seed: u64,
+    warmup: SimDuration,
+    measure: SimDuration,
+    drain: SimDuration,
+    workload: WorkloadSpec,
+    generator: Option<GeneratorFactory>,
+    faults: FaultPlan,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        let base = SystemConfig::default();
+        SystemBuilder {
+            n_servers: base.n_servers,
+            clients_per_server: base.clients_per_server,
+            replica: base.replica,
+            load: Load::OpenInterarrival(SimDuration::from_millis(1_200)),
+            client_timeout: base.client_timeout,
+            net: base.net,
+            seed: base.seed,
+            warmup: SimDuration::ZERO,
+            measure: SimDuration::from_secs(60),
+            drain: SimDuration::from_secs(3),
+            workload: WorkloadSpec::default(),
+            generator: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl System {
+    /// Start configuring a system fluently.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+}
+
+impl SystemBuilder {
+    /// Number of replica servers.
+    pub fn servers(mut self, n: u32) -> Self {
+        self.n_servers = n;
+        self
+    }
+
+    /// Clients attached to each server.
+    pub fn clients_per_server(mut self, n: u32) -> Self {
+        self.clients_per_server = n;
+        self
+    }
+
+    /// Choose the replication technique by its client-visible safety
+    /// level: [`SafetyLevel::OneSafe`] selects the lazy baseline, every
+    /// other level the database state machine at that level.
+    pub fn safety(mut self, level: SafetyLevel) -> Self {
+        self.replica.technique = match level {
+            SafetyLevel::OneSafe => Technique::Lazy,
+            other => Technique::Dsm(other),
+        };
+        self
+    }
+
+    /// Choose the replication technique explicitly.
+    pub fn technique(mut self, technique: Technique) -> Self {
+        self.replica.technique = technique;
+        self
+    }
+
+    /// The client load model.
+    pub fn load(mut self, load: Load) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Network parameters.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Master seed (drives every random stream in the simulation).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Warm-up window; response samples before its end are discarded.
+    pub fn warmup(mut self, d: SimDuration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Measurement window (after warm-up).
+    pub fn measure(mut self, d: SimDuration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Drain window after measurement: clients stop submitting, in-flight
+    /// work completes, then convergence is checked.
+    pub fn drain(mut self, d: SimDuration) -> Self {
+        self.drain = d;
+        self
+    }
+
+    /// Client request timeout (failover trigger).
+    pub fn client_timeout(mut self, d: SimDuration) -> Self {
+        self.client_timeout = d;
+        self
+    }
+
+    /// Replace the whole server configuration.
+    pub fn replica(mut self, replica: ReplicaConfig) -> Self {
+        self.replica = replica;
+        self
+    }
+
+    /// Local database configuration (items default to the workload spec's
+    /// `n_items` unless set explicitly here).
+    pub fn db(mut self, db: DbConfig) -> Self {
+        self.replica.db = db;
+        self
+    }
+
+    /// CPUs per server.
+    pub fn cpus(mut self, cpus: usize) -> Self {
+        self.replica.cpus = cpus;
+        self
+    }
+
+    /// Background WAL flush period (the asynchronous-durability window
+    /// group-safety exposes on total failure).
+    pub fn wal_flush_interval(mut self, d: SimDuration) -> Self {
+        self.replica.wal_flush_interval = d;
+        self
+    }
+
+    /// Lazy propagation batching period (the 1-safe inconsistency
+    /// window; only affects [`Technique::Lazy`]).
+    pub fn lazy_prop_interval(mut self, d: SimDuration) -> Self {
+        self.replica.lazy_prop_interval = d;
+        self
+    }
+
+    /// Sequential-batch discount of the disk pool (1.0 disables write
+    /// caching — the §5.1 ablation).
+    pub fn disk_sequential_factor(mut self, factor: f64) -> Self {
+        self.replica.disk_sequential_factor = factor;
+        self
+    }
+
+    /// The transaction shape for the built-in generator.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = spec;
+        self
+    }
+
+    /// Replace the built-in generator with a custom per-client factory.
+    pub fn generator(mut self, factory: impl FnMut(u32) -> OpGenerator + 'static) -> Self {
+        self.generator = Some(Box::new(factory));
+        self
+    }
+
+    /// The scripted fault schedule.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// The system-wide offered rate this configuration implies, if any.
+    pub fn offered_tps(&self) -> Option<f64> {
+        self.load.offered_tps()
+    }
+
+    fn validate(&self) -> Result<(), BuildError> {
+        if self.n_servers == 0 {
+            return Err(BuildError::NoServers);
+        }
+        if self.clients_per_server == 0 {
+            return Err(BuildError::NoClients);
+        }
+        if self.generator.is_none() {
+            self.workload.validate()?;
+        }
+        self.faults.validate(self.n_servers)?;
+        // Resolve eagerly so rate errors surface at build time.
+        self.load
+            .resolve(self.n_servers * self.clients_per_server)
+            .map(|_| ())
+    }
+
+    /// The [`SystemConfig`] this builder denotes — the exact struct the
+    /// pre-builder API consumed, kept public so the deprecated shims (and
+    /// the equivalence tests) can prove the wiring is unchanged.
+    pub fn to_system_config(&self) -> Result<SystemConfig, BuildError> {
+        self.validate()?;
+        let n_clients = self.n_servers * self.clients_per_server;
+        let mut db = self.replica.db.clone();
+        if self.generator.is_none() {
+            // The built-in generator draws from the workload spec's item
+            // space; keep the engine's catalogue in sync with it. Custom
+            // generators own their item space via `.db(..)`.
+            db.n_items = self.workload.n_items;
+        }
+        Ok(SystemConfig {
+            n_servers: self.n_servers,
+            clients_per_server: self.clients_per_server,
+            replica: ReplicaConfig {
+                db,
+                ..self.replica.clone()
+            },
+            load: self.load.resolve(n_clients)?,
+            client_timeout: self.client_timeout,
+            measure_from: SimTime::ZERO + self.warmup,
+            net: self.net.clone(),
+            seed: self.seed,
+        })
+    }
+
+    /// Validate, wire the system, schedule the fault plan, and hand back
+    /// a [`Run`] ready to [`execute`](Run::execute).
+    pub fn build(mut self) -> Result<Run, BuildError> {
+        let cfg = self.to_system_config()?;
+        let offered_tps = self.load.offered_tps();
+        let spec = self.workload.clone();
+        let mut system = match self.generator.take() {
+            Some(factory) => System::build(cfg, factory),
+            None => System::build(cfg, move |_| spec.generator()),
+        };
+        // Script the fault plan up front: engine events carry their own
+        // instants, so scheduling before `start` keeps `Run` linear.
+        for ev in &self.faults.events {
+            match *ev {
+                FaultEvent::Crash { server, at } => {
+                    system
+                        .engine
+                        .schedule_crash(at, system.servers[server.index()]);
+                }
+                FaultEvent::Recover { server, at } => {
+                    system
+                        .engine
+                        .schedule_recover(at, system.servers[server.index()]);
+                }
+                FaultEvent::SwitchSafety { level, at } => {
+                    for &s in &system.servers.clone() {
+                        system
+                            .engine
+                            .schedule_resilient(at, s, SwitchSafetyCmd(level));
+                    }
+                }
+            }
+        }
+        Ok(Run::new(
+            system,
+            self.warmup,
+            self.measure,
+            self.drain,
+            offered_tps,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------
+
+type Hook = Box<dyn FnOnce(&mut System)>;
+
+/// A wired system plus its run lifecycle: warm-up → measure →
+/// stop-clients → drain, with optional mid-run phase hooks.
+///
+/// [`Run::execute`] performs the whole lifecycle; the stepwise methods
+/// ([`Run::start`], [`Run::run_until`], [`Run::stop_clients_at`],
+/// [`Run::finish`]) expose the same pieces for scripted scenarios that
+/// need manual control between phases.
+pub struct Run {
+    system: System,
+    warmup: SimDuration,
+    measure: SimDuration,
+    drain: SimDuration,
+    offered_tps: Option<f64>,
+    hooks: Vec<(SimTime, &'static str, Hook)>,
+    /// `(label, samples-so-far)` phase boundaries, in time order.
+    marks: Vec<(&'static str, usize)>,
+    started: bool,
+}
+
+impl Run {
+    fn new(
+        system: System,
+        warmup: SimDuration,
+        measure: SimDuration,
+        drain: SimDuration,
+        offered_tps: Option<f64>,
+    ) -> Run {
+        Run {
+            system,
+            warmup,
+            measure,
+            drain,
+            offered_tps,
+            hooks: Vec::new(),
+            marks: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Borrow the underlying system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutably borrow the underlying system (escape hatch for scripted
+    /// scenarios: partitions, checkpoint installs, ...).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// When the measurement window ends (warm-up + measure).
+    pub fn measure_end(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.measure
+    }
+
+    /// Register a phase hook: at simulated time `at`, [`Run::execute`]
+    /// pauses the event loop and hands the system to `hook`. The label
+    /// names the phase that *begins* at the hook for the per-phase
+    /// breakdown in the report.
+    pub fn at(
+        mut self,
+        at: SimTime,
+        label: &'static str,
+        hook: impl FnOnce(&mut System) + 'static,
+    ) -> Self {
+        self.hooks.push((at, label, Box::new(hook)));
+        self
+    }
+
+    /// Convenience hook: switch every server's safety level at `at`
+    /// (group-safe ↔ group-1-safe, §5.2).
+    pub fn switch_safety_at(self, at: SimTime, level: SafetyLevel) -> Self {
+        let label = match level {
+            SafetyLevel::GroupOneSafe => "group-1-safe",
+            SafetyLevel::GroupSafe => "group-safe",
+            _ => "switched",
+        };
+        self.at(at, label, move |system| {
+            let now = system.engine.now();
+            for &s in &system.servers.clone() {
+                system
+                    .engine
+                    .schedule_resilient(now.max(at), s, SwitchSafetyCmd(level));
+            }
+        })
+    }
+
+    /// Start the servers and clients (idempotent; [`Run::execute`] calls
+    /// it automatically).
+    pub fn start(&mut self) {
+        if !self.started {
+            self.system.start();
+            self.started = true;
+        }
+    }
+
+    /// Advance simulated time (starting the system first if needed).
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start();
+        self.system.engine.run_until(t);
+    }
+
+    /// Record a phase boundary at the current instant for the report's
+    /// per-phase breakdown.
+    pub fn mark_phase(&mut self, label: &'static str) {
+        let samples = self
+            .system
+            .engine
+            .metrics()
+            .histogram("response_total_ms")
+            .map_or(0, |h| h.count());
+        self.marks.push((label, samples));
+    }
+
+    /// Stop every client at `t` (outstanding transactions still finish).
+    pub fn stop_clients_at(&mut self, t: SimTime) {
+        for &c in &self.system.clients.clone() {
+            self.system.engine.schedule_resilient(t, c, StopClient);
+        }
+    }
+
+    /// Run the complete lifecycle and report: warm-up, measurement (with
+    /// any phase hooks), stop clients, drain, audit.
+    pub fn execute(mut self) -> Report {
+        self.start();
+        let measure_start = SimTime::ZERO + self.warmup;
+        let measure_end = self.measure_end();
+        self.run_until(measure_start);
+        self.mark_phase("measure");
+        let mut hooks = std::mem::take(&mut self.hooks);
+        hooks.sort_by_key(|(at, _, _)| *at);
+        for (at, label, hook) in hooks {
+            self.run_until(at);
+            self.mark_phase(label);
+            hook(&mut self.system);
+        }
+        self.run_until(measure_end);
+        self.mark_phase("drain");
+        // A hook may legitimately sit past the measurement window; never
+        // schedule the stop into the past.
+        let stop_at = measure_end.max(self.system.engine.now());
+        self.stop_clients_at(stop_at);
+        let drain = self.drain;
+        self.run_until(stop_at + drain);
+        self.finish()
+    }
+
+    /// Audit the system as it stands and produce the [`Report`]
+    /// (stepwise-API terminal; [`Run::execute`] ends here too).
+    pub fn finish(mut self) -> Report {
+        // Terminator mark: closes the last open phase.
+        self.mark_phase("end");
+        let system = &mut self.system;
+        let lost_transactions = system.lost_transactions();
+        let digests = system.convergence();
+        let (abort_rate, aborts, timeouts, acked, lost_updates) = {
+            let oracle = system.oracle.borrow();
+            (
+                oracle.abort_rate(),
+                oracle.aborts,
+                oracle.timeouts,
+                oracle.acked.len(),
+                verify::check_lost_updates(&oracle).len(),
+            )
+        };
+        let technique = system.technique().label();
+        let fingerprint = system.engine.fingerprint();
+
+        // Per-phase stats from the sample slices between marks. Samples
+        // append in simulated-time order, so index ranges captured at the
+        // boundaries segment the run exactly; compute before any quantile
+        // call sorts the histogram in place.
+        let mut phases = Vec::new();
+        {
+            let all: Vec<f64> = system
+                .engine
+                .metrics()
+                .histogram("response_total_ms")
+                .map_or_else(Vec::new, |h| h.samples().to_vec());
+            for w in self.marks.windows(2) {
+                let (label, from) = w[0];
+                let (_, to) = w[1];
+                let slice = &all[from.min(all.len())..to.min(all.len())];
+                phases.push(PhaseStats::from_samples(label, slice));
+            }
+        }
+
+        let h = system
+            .engine
+            .metrics_mut()
+            .histogram_mut("response_total_ms");
+        let commits = h.count();
+        Report {
+            technique,
+            offered_tps: self.offered_tps,
+            achieved_tps: commits as f64 / self.measure.as_secs_f64().max(1e-9),
+            commits,
+            acked,
+            mean_ms: h.mean(),
+            p50_ms: h.quantile(0.50),
+            p95_ms: h.quantile(0.95),
+            p99_ms: h.quantile(0.99),
+            abort_rate,
+            aborts,
+            timeouts,
+            lost: lost_transactions.len(),
+            lost_transactions,
+            distinct_states: digests.len(),
+            digests,
+            lost_updates,
+            phases,
+            fingerprint,
+        }
+    }
+
+    /// Consume the run and hand the raw system back (for audits the
+    /// report does not cover).
+    pub fn into_system(self) -> System {
+        self.system
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+/// Response-time statistics for one phase of a run.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase label (`"measure"`, a hook label, `"drain"`, ...).
+    pub label: &'static str,
+    /// Commit acknowledgements recorded during the phase.
+    pub commits: usize,
+    /// Mean end-to-end response time, ms.
+    pub mean_ms: f64,
+    /// 95th-percentile response time, ms.
+    pub p95_ms: f64,
+}
+
+impl PhaseStats {
+    fn from_samples(label: &'static str, samples: &[f64]) -> PhaseStats {
+        if samples.is_empty() {
+            return PhaseStats {
+                label,
+                commits: 0,
+                mean_ms: 0.0,
+                p95_ms: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let idx = ((0.95 * sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(sorted.len() - 1);
+        PhaseStats {
+            label,
+            commits: samples.len(),
+            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+            p95_ms: sorted[idx],
+        }
+    }
+}
+
+/// The structured outcome of a [`Run`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Technique label (e.g. `"group-safe"`).
+    pub technique: &'static str,
+    /// Offered system load, when the [`Load`] implied one.
+    pub offered_tps: Option<f64>,
+    /// Committed throughput over the measurement window, tps.
+    pub achieved_tps: f64,
+    /// Commit acknowledgements inside the measurement window (the
+    /// response-time sample count).
+    pub commits: usize,
+    /// All acknowledgements over the whole run (including warm-up).
+    pub acked: usize,
+    /// Mean end-to-end response time (submission to commit, including
+    /// abort resubmissions), ms.
+    pub mean_ms: f64,
+    /// Median response time, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile response time, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile response time, ms.
+    pub p99_ms: f64,
+    /// Aborted attempts over answered attempts, whole run.
+    pub abort_rate: f64,
+    /// Total aborted attempts.
+    pub aborts: u64,
+    /// Client-observed timeouts (failovers).
+    pub timeouts: u64,
+    /// Acknowledged transactions missing from every live replica.
+    pub lost: usize,
+    /// The missing transactions themselves.
+    pub lost_transactions: Vec<LostTransaction>,
+    /// Distinct state digests across live replicas (1 = converged).
+    pub distinct_states: usize,
+    /// The digests themselves.
+    pub digests: Vec<u64>,
+    /// Lost updates among acknowledged commits (lazy anomaly, §7).
+    pub lost_updates: usize,
+    /// Per-phase response-time breakdown.
+    pub phases: Vec<PhaseStats>,
+    /// The engine's dispatch fingerprint (determinism witness).
+    pub fingerprint: u64,
+}
+
+impl Report {
+    /// True when nothing acknowledged was lost and all live replicas
+    /// agree.
+    pub fn is_safe_and_convergent(&self) -> bool {
+        self.lost == 0 && self.distinct_states == 1
+    }
+
+    /// Render as a JSON object (hand-rolled; the workspace builds
+    /// offline, without serde).
+    pub fn to_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::from("{");
+        s.push_str(&format!("\"technique\":\"{}\",", self.technique));
+        match self.offered_tps {
+            Some(t) => s.push_str(&format!("\"offered_tps\":{},", f(t))),
+            None => s.push_str("\"offered_tps\":null,"),
+        }
+        s.push_str(&format!("\"achieved_tps\":{},", f(self.achieved_tps)));
+        s.push_str(&format!("\"commits\":{},", self.commits));
+        s.push_str(&format!("\"acked\":{},", self.acked));
+        s.push_str(&format!("\"mean_ms\":{},", f(self.mean_ms)));
+        s.push_str(&format!("\"p50_ms\":{},", f(self.p50_ms)));
+        s.push_str(&format!("\"p95_ms\":{},", f(self.p95_ms)));
+        s.push_str(&format!("\"p99_ms\":{},", f(self.p99_ms)));
+        s.push_str(&format!("\"abort_rate\":{},", f(self.abort_rate)));
+        s.push_str(&format!("\"aborts\":{},", self.aborts));
+        s.push_str(&format!("\"timeouts\":{},", self.timeouts));
+        s.push_str(&format!("\"lost\":{},", self.lost));
+        s.push_str(&format!("\"distinct_states\":{},", self.distinct_states));
+        s.push_str(&format!("\"lost_updates\":{},", self.lost_updates));
+        s.push_str("\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"label\":\"{}\",\"commits\":{},\"mean_ms\":{},\"p95_ms\":{}}}",
+                p.label,
+                p.commits,
+                f(p.mean_ms),
+                f(p.p95_ms)
+            ));
+        }
+        s.push_str("],");
+        s.push_str(&format!("\"fingerprint\":\"{:#x}\"", self.fingerprint));
+        s.push('}');
+        s
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "technique              : {}", self.technique)?;
+        if let Some(t) = self.offered_tps {
+            writeln!(f, "offered load           : {t:.1} tps")?;
+        }
+        writeln!(
+            f,
+            "achieved throughput    : {:.2} tps ({} commits)",
+            self.achieved_tps, self.commits
+        )?;
+        writeln!(
+            f,
+            "response time          : mean {:.1} ms, p50 {:.1}, p95 {:.1}, p99 {:.1}",
+            self.mean_ms, self.p50_ms, self.p95_ms, self.p99_ms
+        )?;
+        writeln!(
+            f,
+            "aborts                 : {} ({:.1} % of answered attempts)",
+            self.aborts,
+            self.abort_rate * 100.0
+        )?;
+        writeln!(f, "client timeouts        : {}", self.timeouts)?;
+        writeln!(f, "lost transactions      : {}", self.lost)?;
+        writeln!(
+            f,
+            "distinct replica states: {} (1 = converged)",
+            self.distinct_states
+        )?;
+        writeln!(f, "lost updates           : {}", self.lost_updates)?;
+        if self.phases.len() > 1 {
+            for p in &self.phases {
+                writeln!(
+                    f,
+                    "  phase {:<14} : {} commits, mean {:.1} ms, p95 {:.1} ms",
+                    p.label, p.commits, p.mean_ms, p.p95_ms
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_system_config_default() {
+        let cfg = System::builder().to_system_config().expect("valid");
+        let base = SystemConfig::default();
+        assert_eq!(cfg.n_servers, base.n_servers);
+        assert_eq!(cfg.clients_per_server, base.clients_per_server);
+        assert_eq!(cfg.seed, base.seed);
+        assert_eq!(cfg.client_timeout, base.client_timeout);
+        assert_eq!(cfg.measure_from, base.measure_from);
+        assert_eq!(cfg.replica.technique, base.replica.technique);
+        assert_eq!(cfg.replica.cpus, base.replica.cpus);
+        assert_eq!(
+            cfg.replica.wal_flush_interval,
+            base.replica.wal_flush_interval
+        );
+        assert_eq!(
+            cfg.replica.lazy_prop_interval,
+            base.replica.lazy_prop_interval
+        );
+        match (cfg.load, base.load) {
+            (
+                LoadModel::Open {
+                    mean_interarrival: a,
+                },
+                LoadModel::Open {
+                    mean_interarrival: b,
+                },
+            ) => assert_eq!(a, b),
+            other => panic!("load models differ: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_servers_is_a_typed_error() {
+        assert_eq!(
+            System::builder().servers(0).build().err(),
+            Some(BuildError::NoServers)
+        );
+    }
+
+    #[test]
+    fn zero_clients_is_a_typed_error() {
+        assert_eq!(
+            System::builder().clients_per_server(0).build().err(),
+            Some(BuildError::NoClients)
+        );
+    }
+
+    #[test]
+    fn zero_tps_is_a_typed_error() {
+        let err = System::builder()
+            .load(Load::open_tps(0.0))
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, BuildError::NonPositiveLoad { .. }), "{err}");
+        let err = System::builder()
+            .load(Load::closed_tps(-3.0))
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, BuildError::NonPositiveLoad { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_workload_is_a_typed_error() {
+        let err = System::builder()
+            .workload(WorkloadSpec {
+                n_items: 0,
+                ..WorkloadSpec::table4()
+            })
+            .build()
+            .err();
+        assert_eq!(err, Some(BuildError::EmptyDatabase));
+        let err = System::builder()
+            .workload(WorkloadSpec {
+                txn_len_min: 9,
+                txn_len_max: 3,
+                ..WorkloadSpec::table4()
+            })
+            .build()
+            .err();
+        assert_eq!(err, Some(BuildError::BadTxnLength { min: 9, max: 3 }));
+        let err = System::builder()
+            .workload(WorkloadSpec {
+                write_probability: 1.5,
+                ..WorkloadSpec::table4()
+            })
+            .build()
+            .err();
+        assert!(matches!(err, Some(BuildError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn fault_plan_targets_are_validated() {
+        let err = System::builder()
+            .servers(3)
+            .faults(FaultPlan::crash(NodeId(7), SimTime::from_secs(1)))
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(BuildError::FaultTargetOutOfRange {
+                server: 7,
+                n_servers: 3
+            })
+        );
+    }
+
+    #[test]
+    fn safety_level_selects_the_technique() {
+        let b = System::builder().safety(SafetyLevel::OneSafe);
+        assert_eq!(b.replica.technique, Technique::Lazy);
+        let b = System::builder().safety(SafetyLevel::TwoSafe);
+        assert_eq!(b.replica.technique, Technique::Dsm(SafetyLevel::TwoSafe));
+    }
+
+    #[test]
+    fn small_run_executes_and_reports() {
+        let report = System::builder()
+            .servers(3)
+            .clients_per_server(2)
+            .safety(SafetyLevel::GroupSafe)
+            .load(Load::open_tps(10.0))
+            .warmup(SimDuration::from_secs(1))
+            .measure(SimDuration::from_secs(4))
+            .drain(SimDuration::from_secs(2))
+            .seed(7)
+            .build()
+            .expect("valid config")
+            .execute();
+        assert!(report.commits > 10, "commits {}", report.commits);
+        assert!(report.is_safe_and_convergent(), "{report}");
+        assert!(report.mean_ms > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"technique\":\"group-safe\""), "{json}");
+        assert!(json.contains("\"phases\":["), "{json}");
+    }
+
+    #[test]
+    fn identical_seeds_identical_reports() {
+        let run = || {
+            System::builder()
+                .servers(3)
+                .clients_per_server(2)
+                .load(Load::open_tps(12.0))
+                .measure(SimDuration::from_secs(3))
+                .drain(SimDuration::from_secs(1))
+                .seed(99)
+                .build()
+                .expect("valid")
+                .execute()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.digests, b.digests);
+    }
+
+    #[test]
+    fn hooks_after_the_measure_window_do_not_panic() {
+        let report = System::builder()
+            .servers(3)
+            .clients_per_server(1)
+            .load(Load::open_tps(8.0))
+            .measure(SimDuration::from_secs(2))
+            .drain(SimDuration::from_secs(1))
+            .seed(5)
+            .build()
+            .expect("valid")
+            // Later than warmup + measure: the lifecycle must push the
+            // stop/drain window out instead of scheduling into the past.
+            .at(SimTime::from_secs(4), "late", |_| {})
+            .execute();
+        assert!(report.commits > 0);
+        assert_eq!(report.phases.last().expect("phases").label, "drain");
+    }
+
+    #[test]
+    fn fault_plan_crash_is_applied() {
+        let report = System::builder()
+            .servers(3)
+            .clients_per_server(2)
+            .load(Load::open_tps(10.0))
+            .measure(SimDuration::from_secs(5))
+            .drain(SimDuration::from_secs(2))
+            .faults(FaultPlan::crash(NodeId(1), SimTime::from_secs(2)))
+            .seed(3)
+            .build()
+            .expect("valid")
+            .execute();
+        // The crashed minority member must not cost safety.
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.distinct_states, 1, "survivors agree");
+        assert!(report.timeouts > 0, "its clients must have failed over");
+    }
+}

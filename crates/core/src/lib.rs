@@ -15,11 +15,16 @@
 //!   timeout failover,
 //! * [`verify`] — the oracle and the lost-transaction / convergence /
 //!   lost-update checks,
-//! * [`System`] — one-call assembly of a full replicated database.
+//! * [`System`] — one-call assembly of a full replicated database,
+//! * [`builder`] — the fluent [`SystemBuilder`] → [`Run`] → [`Report`]
+//!   API: one declarative entry point over system wiring, the
+//!   warm-up / measure / stop-clients / drain lifecycle, and structured
+//!   results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod certify;
 pub mod client;
 pub mod msg;
@@ -28,11 +33,17 @@ pub mod server;
 pub mod system;
 pub mod verify;
 
+pub use builder::{
+    BuildError, FaultPlan, Load, PhaseStats, Report, Run, SystemBuilder, WorkloadSpec,
+};
 pub use certify::{certify, certify_versions, Certification};
 pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, StopClient};
 pub use msg::{ClientMsg, DsmMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest};
 pub use safety::{table1, Guarantee, SafetyLevel};
-pub use server::{InitServer, InstallCheckpointCmd, RWire, ReplicaConfig, ReplicaServer, RestartServerCmd, SwitchSafetyCmd, Technique};
+pub use server::{
+    InitServer, InstallCheckpointCmd, RWire, ReplicaConfig, ReplicaServer, RestartServerCmd,
+    SwitchSafetyCmd, Technique,
+};
 pub use system::{System, SystemConfig};
 pub use verify::{
     check_convergence, check_lost_updates, check_no_loss, LostTransaction, LostUpdate, Oracle,

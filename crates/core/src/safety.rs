@@ -55,10 +55,14 @@ impl SafetyLevel {
 
     /// Table 2: the number of simultaneous crashes (out of `n`) the level
     /// tolerates without losing an acknowledged transaction.
+    ///
+    /// Convention for `n = 0`: a system with no replicas tolerates no
+    /// crashes at any level — the group rows saturate to 0 instead of
+    /// underflowing.
     pub fn tolerated_crashes(self, n: usize) -> usize {
         match self {
             SafetyLevel::ZeroSafe | SafetyLevel::OneSafe => 0,
-            SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe => n - 1,
+            SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe => n.saturating_sub(1),
             SafetyLevel::TwoSafe | SafetyLevel::VerySafe => n,
         }
     }
@@ -150,6 +154,23 @@ mod tests {
         assert_eq!(SafetyLevel::GroupSafe.tolerated_crashes(n), 8);
         assert_eq!(SafetyLevel::GroupOneSafe.tolerated_crashes(n), 8);
         assert_eq!(SafetyLevel::TwoSafe.tolerated_crashes(n), 9);
+    }
+
+    #[test]
+    fn table2_degenerate_group_sizes_do_not_underflow() {
+        use SafetyLevel::*;
+        for level in [
+            ZeroSafe,
+            OneSafe,
+            GroupSafe,
+            GroupOneSafe,
+            TwoSafe,
+            VerySafe,
+        ] {
+            assert_eq!(level.tolerated_crashes(0), 0, "{level}: n = 0 saturates");
+        }
+        assert_eq!(GroupSafe.tolerated_crashes(1), 0);
+        assert_eq!(TwoSafe.tolerated_crashes(1), 1);
     }
 
     #[test]

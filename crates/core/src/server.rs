@@ -231,7 +231,8 @@ pub struct ReplicaServer {
     pending_confirms: Vec<(Lsn, TxnId, NodeId)>,
     /// Delegate side of very-safe commits: per transaction, the client to
     /// answer, the attempt, and the replicas that confirmed logging.
-    very_waiting: std::collections::BTreeMap<TxnId, (NodeId, u32, std::collections::BTreeSet<NodeId>)>,
+    very_waiting:
+        std::collections::BTreeMap<TxnId, (NodeId, u32, std::collections::BTreeSet<NodeId>)>,
     /// Confirmations that arrived before this delegate's own delivery
     /// opened the waiting entry (its local GC persist can lag behind a
     /// fast peer's whole flush-and-confirm path).
@@ -610,9 +611,12 @@ impl ReplicaServer {
             .collect();
         let res = self.db.commit(now, txn, &writes);
         ctx.metrics().incr("txn_committed");
-        self.oracle
-            .borrow_mut()
-            .record_commit(txn, self.node, exec.readset.clone(), writes.clone());
+        self.oracle.borrow_mut().record_commit(
+            txn,
+            self.node,
+            exec.readset.clone(),
+            writes.clone(),
+        );
         // 1-safe: reply after the local synchronous log flush.
         let reply_at = if let Some((flush_done, lsn)) = self.db.flush_wal_sync(res.done) {
             let delay = flush_done - now;
@@ -728,7 +732,8 @@ impl ReplicaServer {
                 if level == SafetyLevel::VerySafe && !res.duplicate {
                     // Confirmations flow to the delegate once each record
                     // is durable; the delegate answers after all n.
-                    self.pending_confirms.push((record_lsn, msg.txn, msg.delegate));
+                    self.pending_confirms
+                        .push((record_lsn, msg.txn, msg.delegate));
                     ctx.metrics().incr("very_confirm_registered");
                     if is_delegate {
                         let early = self.very_early.remove(&msg.txn).unwrap_or_default();
@@ -737,29 +742,57 @@ impl ReplicaServer {
                         ctx.metrics().incr("very_waiting_opened");
                         self.check_very_complete(ctx, msg.txn);
                     }
-                } else if is_delegate {
-                    if level == SafetyLevel::VerySafe {
-                        // Duplicate at the delegate: if confirmations are
-                        // still outstanding keep blocking (a resubmission
-                        // must not dodge the all-logged requirement);
-                        // otherwise the first reply was lost — repeat it.
-                        if let Some(entry) = self.very_waiting.get_mut(&msg.txn) {
-                            entry.0 = msg.client;
-                            entry.1 = msg.attempt;
+                } else if level == SafetyLevel::VerySafe {
+                    // Duplicate delivery of a very-safe transaction — a
+                    // failover resubmission through a *different* delegate,
+                    // or a retry after a lost reply. The answer must still
+                    // wait until the whole group confirms logging (a new
+                    // delegate holds none of the original confirmations),
+                    // so the group re-confirms: every replica re-announces
+                    // durability of its copy once its appended log prefix
+                    // is on disk.
+                    if is_delegate {
+                        let early = self.very_early.remove(&msg.txn).unwrap_or_default();
+                        let entry = self.very_waiting.entry(msg.txn).or_insert_with(|| {
+                            (msg.client, msg.attempt, std::collections::BTreeSet::new())
+                        });
+                        entry.0 = msg.client;
+                        entry.1 = msg.attempt;
+                        entry.2.extend(early);
+                        ctx.metrics().incr("very_waiting_reopened");
+                    }
+                    // The original record sits at an unknown earlier LSN;
+                    // the prefix appended so far covers it.
+                    let fence = self.db.wal_end_lsn();
+                    if self.db.wal_durable_lsn() >= fence {
+                        // Our copy is already durable: confirm at once.
+                        if is_delegate {
+                            self.record_confirm(ctx, msg.txn, self.node);
                         } else {
-                            let reply = ServerReply::Committed {
-                                txn: msg.txn,
-                                attempt: msg.attempt,
-                            };
-                            self.reply_at(ctx, processed_at, msg.client, reply);
+                            self.charge_net_cpu(ctx.now());
+                            self.net.send(
+                                ctx,
+                                self.node,
+                                msg.delegate,
+                                LoggedConfirm { txn: msg.txn },
+                            );
                         }
                     } else {
-                        let reply = ServerReply::Committed {
-                            txn: msg.txn,
-                            attempt: msg.attempt,
-                        };
-                        self.reply_at(ctx, processed_at, msg.client, reply);
+                        self.pending_confirms.push((
+                            fence.saturating_sub(1),
+                            msg.txn,
+                            msg.delegate,
+                        ));
                     }
+                    if is_delegate {
+                        self.check_very_complete(ctx, msg.txn);
+                    }
+                } else if is_delegate {
+                    let reply = ServerReply::Committed {
+                        txn: msg.txn,
+                        attempt: msg.attempt,
+                    };
+                    self.reply_at(ctx, processed_at, msg.client, reply);
                 }
                 if matches!(level, SafetyLevel::TwoSafe | SafetyLevel::VerySafe) {
                     if res.duplicate {

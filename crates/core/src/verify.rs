@@ -64,7 +64,9 @@ impl Oracle {
     /// Record a client-side acknowledgement.
     pub fn record_ack(&mut self, txn: TxnId, at: SimTime, response_ms: f64) {
         self.commit_acks += 1;
-        self.acked.entry(txn).or_insert(AckRecord { at, response_ms });
+        self.acked
+            .entry(txn)
+            .or_insert(AckRecord { at, response_ms });
     }
 
     /// Abort rate over all answered attempts.
@@ -164,11 +166,7 @@ pub fn check_lost_updates(oracle: &Oracle) -> Vec<LostUpdate> {
                 let (tb, rb, _) = entries[j];
                 if let (Some(ra), Some(rb)) = (ra, rb) {
                     if ra == rb {
-                        out.push(LostUpdate {
-                            a: ta,
-                            b: tb,
-                            item,
-                        });
+                        out.push(LostUpdate { a: ta, b: tb, item });
                     }
                 }
             }

@@ -350,10 +350,10 @@ impl DbEngine {
             return None;
         }
         self.stats.page_flushes += 1;
-        let done = self
-            .data_disk
-            .borrow_mut()
-            .sequential_batch(now, self.dirty_pages, &mut self.rng);
+        let done =
+            self.data_disk
+                .borrow_mut()
+                .sequential_batch(now, self.dirty_pages, &mut self.rng);
         self.dirty_pages = 0;
         self.buffer.flush_all();
         Some(done)
@@ -499,7 +499,13 @@ mod tests {
         assert_eq!(res.done, flush_done);
         assert!(flush_done >= SimTime::from_millis(4), "log write ≈ 8 ms");
         e.wal_mark_durable(lsn);
-        assert_eq!(e.item(ItemId(5)), ItemState { value: 42, version: 1 });
+        assert_eq!(
+            e.item(ItemId(5)),
+            ItemState {
+                value: 42,
+                version: 1
+            }
+        );
         assert!(e.is_committed(t(1)));
         assert_eq!(e.wal_durable_lsn(), 1);
     }
@@ -510,7 +516,9 @@ mod tests {
         let res = e.commit(SimTime::ZERO, t(1), &[w(5, 42, 1)]);
         assert!(res.flush.is_none());
         assert!(res.done < SimTime::from_millis(1), "no disk wait");
-        let (done, lsn) = e.flush_wal(SimTime::from_millis(10)).expect("background flush");
+        let (done, lsn) = e
+            .flush_wal(SimTime::from_millis(10))
+            .expect("background flush");
         assert!(done > SimTime::from_millis(10));
         e.wal_mark_durable(lsn);
         assert!(e.wal_durable_lsn() == 1);
@@ -571,7 +579,10 @@ mod tests {
         e.commit(SimTime::ZERO, t(1), &[w(1, 1, 1), w(2, 2, 1), w(3, 3, 1)]);
         let done = e.flush_pages(SimTime::from_millis(5)).expect("dirty pages");
         assert!(done > SimTime::from_millis(5));
-        assert!(e.flush_pages(SimTime::from_millis(50)).is_none(), "clean now");
+        assert!(
+            e.flush_pages(SimTime::from_millis(50)).is_none(),
+            "clean now"
+        );
         assert_eq!(e.stats().page_flushes, 1);
     }
 

@@ -168,7 +168,12 @@ impl LockManager {
     /// newly granted, in grant order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, ItemId)> {
         let mut granted = Vec::new();
-        let items: Vec<ItemId> = self.held.remove(&txn).unwrap_or_default().into_iter().collect();
+        let items: Vec<ItemId> = self
+            .held
+            .remove(&txn)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
         let waiting_on = self.waiting.remove(&txn);
         for item in items.into_iter().chain(waiting_on) {
             if let Some(lock) = self.locks.get_mut(&item) {
@@ -233,16 +238,28 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 2), x(1), LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 2), x(1), LockMode::Shared),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.held_count(t(0, 1)), 1);
     }
 
     #[test]
     fn exclusive_blocks_and_releases_grant() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 2), x(1), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 2), x(1), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         assert!(lm.is_waiting(t(0, 2)));
         let granted = lm.release_all(t(0, 1));
         assert_eq!(granted, vec![(t(0, 2), x(1))]);
@@ -252,10 +269,19 @@ mod tests {
     #[test]
     fn fifo_no_starvation_of_writers() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 2), x(1), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 2), x(1), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         // A later shared request queues behind the waiting writer.
-        assert_eq!(lm.acquire(t(0, 3), x(1), LockMode::Shared), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(0, 3), x(1), LockMode::Shared),
+            LockOutcome::Waiting
+        );
         let granted = lm.release_all(t(0, 1));
         assert_eq!(granted, vec![(t(0, 2), x(1))]);
         let granted = lm.release_all(t(0, 2));
@@ -265,18 +291,36 @@ mod tests {
     #[test]
     fn upgrade_single_holder() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         // Another reader now blocks.
-        assert_eq!(lm.acquire(t(0, 2), x(1), LockMode::Shared), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(0, 2), x(1), LockMode::Shared),
+            LockOutcome::Waiting
+        );
     }
 
     #[test]
     fn two_txn_deadlock_detected_youngest_victim() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 2), x(2), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 1), x(2), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 2), x(2), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 1), x(2), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         match lm.acquire(t(0, 2), x(1), LockMode::Exclusive) {
             LockOutcome::Deadlock { victim } => assert_eq!(victim, t(0, 2)),
             other => panic!("expected deadlock, got {other:?}"),
@@ -296,8 +340,14 @@ mod tests {
                 LockOutcome::Granted
             );
         }
-        assert_eq!(lm.acquire(t(0, 1), x(2), LockMode::Exclusive), LockOutcome::Waiting);
-        assert_eq!(lm.acquire(t(0, 2), x(3), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(2), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(t(0, 2), x(3), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         match lm.acquire(t(0, 3), x(1), LockMode::Exclusive) {
             LockOutcome::Deadlock { victim } => assert_eq!(victim, t(0, 3)),
             other => panic!("expected deadlock, got {other:?}"),
@@ -307,8 +357,14 @@ mod tests {
     #[test]
     fn release_of_waiter_cleans_queue() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 2), x(1), LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 2), x(1), LockMode::Exclusive),
+            LockOutcome::Waiting
+        );
         lm.release_all(t(0, 2)); // waiter gives up
         let granted = lm.release_all(t(0, 1));
         assert!(granted.is_empty());
@@ -317,8 +373,17 @@ mod tests {
     #[test]
     fn reacquire_held_lock_is_granted() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(t(0, 1), x(1), LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(0, 1), x(1), LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 }

@@ -109,10 +109,7 @@ impl Wal {
         self.flushing = end;
         self.stats.flushes += 1;
         self.stats.flushed_records += batch as u64;
-        let done = self
-            .log_disk
-            .borrow_mut()
-            .sequential_batch(now, batch, rng);
+        let done = self.log_disk.borrow_mut().sequential_batch(now, batch, rng);
         Some((done, end as Lsn))
     }
 

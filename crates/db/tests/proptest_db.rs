@@ -4,8 +4,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use groupsafe_db::{
-    DbConfig, DbEngine, FlushPolicy, ItemId, ItemState, LockManager, LockMode, LockOutcome,
-    TxnId, WriteOp,
+    DbConfig, DbEngine, FlushPolicy, ItemId, ItemState, LockManager, LockMode, LockOutcome, TxnId,
+    WriteOp,
 };
 use groupsafe_sim::{Disk, Fcfs, SimTime};
 use proptest::prelude::*;

@@ -38,8 +38,8 @@
 //! static crash-recovery model, where a minority side blocks naturally.
 
 use std::cell::RefCell;
-use std::marker::PhantomData;
 use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -299,8 +299,12 @@ where
         self.stats.broadcasts += 1;
         self.pending.insert(id, payload.clone());
         if let Some(seq_node) = self.sequencer() {
-            self.net
-                .send(ctx, self.me, seq_node, Wire::<P, S>::Forward { id, payload });
+            self.net.send(
+                ctx,
+                self.me,
+                seq_node,
+                Wire::<P, S>::Forward { id, payload },
+            );
         }
         if self.cfg.model == GcsModel::CrashRecovery && !self.resend_armed {
             // No view change exists in the static model to trigger resends;
@@ -336,9 +340,7 @@ where
                 self.try_deliver(ctx, out);
             }
             Wire::Heartbeat => {}
-            Wire::ViewStart { epoch, proposed } => {
-                self.on_view_start(ctx, from, epoch, proposed)
-            }
+            Wire::ViewStart { epoch, proposed } => self.on_view_start(ctx, from, epoch, proposed),
             Wire::SyncReply {
                 epoch,
                 max_seq,
@@ -347,9 +349,7 @@ where
             Wire::SyncFetch { epoch, have_up_to } => {
                 self.on_view_change_fetch(ctx, from, have_up_to, epoch)
             }
-            Wire::SyncEntries { epoch, entries } => {
-                self.on_sync_entries(ctx, epoch, entries, out)
-            }
+            Wire::SyncEntries { epoch, entries } => self.on_sync_entries(ctx, epoch, entries, out),
             Wire::Retransmit { entries } => {
                 for e in entries {
                     self.store_entry(ctx, e);
@@ -390,12 +390,7 @@ where
     }
 
     /// Handle a timer previously scheduled by this endpoint.
-    pub fn on_timer(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        timer: GcsTimer,
-        out: &mut Vec<GcsOutput<P, S>>,
-    ) {
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: GcsTimer, out: &mut Vec<GcsOutput<P, S>>) {
         match timer {
             GcsTimer::Heartbeat => self.on_heartbeat_timer(ctx, out),
             GcsTimer::Persisted { seq } => self.on_persisted(ctx, seq, out),
@@ -412,7 +407,11 @@ where
                 }
             }
             GcsTimer::JoinRetry { generation } => {
-                if self.join.as_ref().is_some_and(|j| j.generation == generation) {
+                if self
+                    .join
+                    .as_ref()
+                    .is_some_and(|j| j.generation == generation)
+                {
                     self.send_join_req(ctx);
                 }
             }
@@ -463,8 +462,12 @@ where
             GcsModel::CrashRecovery => self.group.clone(),
         };
         let view = self.view.id;
-        self.net
-            .multicast(ctx, self.me, &members, Wire::<P, S>::Ordered { view, entry });
+        self.net.multicast(
+            ctx,
+            self.me,
+            &members,
+            Wire::<P, S>::Ordered { view, entry },
+        );
     }
 
     /// Record an ordered entry locally; in the view model also acknowledge.
@@ -529,8 +532,19 @@ where
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
         self.record_ack(self.me, seq);
         let targets: Vec<NodeId> = match self.cfg.model {
-            GcsModel::ViewBased => self.view.members.iter().copied().filter(|&p| p != self.me).collect(),
-            GcsModel::CrashRecovery => self.group.iter().copied().filter(|&p| p != self.me).collect(),
+            GcsModel::ViewBased => self
+                .view
+                .members
+                .iter()
+                .copied()
+                .filter(|&p| p != self.me)
+                .collect(),
+            GcsModel::CrashRecovery => self
+                .group
+                .iter()
+                .copied()
+                .filter(|&p| p != self.me)
+                .collect(),
         };
         self.stats.acks_sent += 1;
         self.net
@@ -571,8 +585,8 @@ where
                     // In the crash-recovery model an entry must additionally
                     // be persisted locally before delivery (otherwise a
                     // crash right after delivery leaves no local record).
-                    let local_ok = self.cfg.model == GcsModel::ViewBased
-                        || self.persisted.contains(&seq);
+                    let local_ok =
+                        self.cfg.model == GcsModel::ViewBased || self.persisted.contains(&seq);
                     local_ok && self.is_stable(seq)
                 }
             };
@@ -697,7 +711,8 @@ where
             .copied()
             .filter(|p| !self.suspected.contains(p))
             .collect();
-        let need_change = survivors.len() != self.view.members.len() || !self.waiting_joiners.is_empty();
+        let need_change =
+            survivors.len() != self.view.members.len() || !self.waiting_joiners.is_empty();
         if !need_change {
             return;
         }
@@ -732,7 +747,11 @@ where
         vc.replies
             .insert(self.me, (self.max_seq_seen, self.next_deliver));
         self.vc = Some(vc);
-        let others: Vec<NodeId> = survivors.iter().copied().filter(|&p| p != self.me).collect();
+        let others: Vec<NodeId> = survivors
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect();
         self.net.multicast(
             ctx,
             self.me,
@@ -959,8 +978,12 @@ where
             let pending: Vec<(MsgId, P)> =
                 self.pending.iter().map(|(k, v)| (*k, v.clone())).collect();
             for (id, payload) in pending {
-                self.net
-                    .send(ctx, self.me, seq_node, Wire::<P, S>::Forward { id, payload });
+                self.net.send(
+                    ctx,
+                    self.me,
+                    seq_node,
+                    Wire::<P, S>::Forward { id, payload },
+                );
             }
         }
         out.push(GcsOutput::ViewInstalled { view });
@@ -1128,8 +1151,12 @@ where
         // while the peer was still down).
         if self.seq_resume_votes.is_some() {
             let have = self.contiguous_persisted();
-            self.net
-                .send(ctx, self.me, from, Wire::<P, S>::CatchUpReq { have_up_to: have });
+            self.net.send(
+                ctx,
+                self.me,
+                from,
+                Wire::<P, S>::CatchUpReq { have_up_to: have },
+            );
         }
         // Everything this endpoint has delivered under the uniform
         // guarantee is stable; let the requester skip re-collecting votes.
@@ -1146,10 +1173,31 @@ where
                 stable_up_to,
             },
         );
+        // Re-send this endpoint's stability votes. Acks are normally
+        // multicast once, at persist time; every ack that flew while the
+        // requester was down is gone, and entries the responder has not
+        // *delivered* yet (so `stable_up_to` does not cover them) would
+        // otherwise never reach majority at the requester, stalling its
+        // delivery cursor forever.
+        let persisted: Vec<u64> = self
+            .persisted
+            .iter()
+            .copied()
+            .filter(|&s| s > stable_up_to)
+            .collect();
+        for seq in persisted {
+            self.net.send(ctx, self.me, from, Wire::<P, S>::Ack { seq });
+        }
     }
 
     /// A coordinator mid-view-change asks a member for entries it misses.
-    fn on_view_change_fetch(&mut self, ctx: &mut Ctx<'_>, from: NodeId, have_up_to: u64, epoch: u64) {
+    fn on_view_change_fetch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        have_up_to: u64,
+        epoch: u64,
+    ) {
         let entries: Vec<Entry<P>> = self
             .ordered
             .range(have_up_to + 1..)
@@ -1159,8 +1207,12 @@ where
                 payload: p.clone(),
             })
             .collect();
-        self.net
-            .send(ctx, self.me, from, Wire::<P, S>::SyncEntries { epoch, entries });
+        self.net.send(
+            ctx,
+            self.me,
+            from,
+            Wire::<P, S>::SyncEntries { epoch, entries },
+        );
     }
 
     // ------------------------------------------------------------------

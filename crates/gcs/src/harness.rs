@@ -293,7 +293,8 @@ impl Cluster {
     /// after planned recoveries).
     pub fn broadcast_at(&mut self, at: SimTime, node: NodeId, value: u64) {
         let host = self.hosts[node.index()];
-        self.engine.schedule_resilient(at, host, BroadcastCmd(value));
+        self.engine
+            .schedule_resilient(at, host, BroadcastCmd(value));
     }
 
     /// The stable application state of `node`.

@@ -66,12 +66,15 @@ impl RunObservation {
         processed: bool,
         at: SimTime,
     ) {
-        self.deliveries.entry(node).or_default().push(DeliveryRecord {
-            seq,
-            id,
-            processed,
-            at,
-        });
+        self.deliveries
+            .entry(node)
+            .or_default()
+            .push(DeliveryRecord {
+                seq,
+                id,
+                processed,
+                at,
+            });
     }
 
     /// Mark the latest delivery of `id` at `node` as processed.

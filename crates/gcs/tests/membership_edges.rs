@@ -75,7 +75,10 @@ fn coordinator_crash_during_view_change() {
     let s2 = cluster.stable_values(NodeId(2));
     assert_eq!(s1, s2, "survivors diverged");
     for v in 300..305 {
-        assert!(s1.contains(&v), "post-failover broadcast {v} missing: {s1:?}");
+        assert!(
+            s1.contains(&v),
+            "post-failover broadcast {v} missing: {s1:?}"
+        );
     }
 }
 

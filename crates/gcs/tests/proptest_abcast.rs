@@ -15,10 +15,7 @@ struct Schedule {
 }
 
 fn schedule(n: u32) -> impl Strategy<Value = Schedule> {
-    let bcasts = proptest::collection::vec(
-        (10u64..1_500, 0..n, 0u64..1_000_000),
-        1..25,
-    );
+    let bcasts = proptest::collection::vec((10u64..1_500, 0..n, 0u64..1_000_000), 1..25);
     let crash = proptest::option::of((0..n, 100u64..800, 900u64..1_600));
     (bcasts, crash).prop_map(|(mut broadcasts, crash)| {
         // Distinct values so states are comparable as multisets.
@@ -29,7 +26,13 @@ fn schedule(n: u32) -> impl Strategy<Value = Schedule> {
     })
 }
 
-fn run(cfg: GcsConfig, sched: &Schedule, n: u32, seed: u64, e2e: bool) -> Result<(), TestCaseError> {
+fn run(
+    cfg: GcsConfig,
+    sched: &Schedule,
+    n: u32,
+    seed: u64,
+    e2e: bool,
+) -> Result<(), TestCaseError> {
     let mut cluster = Cluster::new(n, cfg, seed);
     for &(at, origin, value) in &sched.broadcasts {
         cluster.broadcast_at(SimTime::from_millis(at), NodeId(origin), value);

@@ -107,9 +107,7 @@ fn view_based_minority_crash_survivors_continue() {
     let mut cluster = Cluster::new(n, GcsConfig::view_based_uniform(), 23);
     broadcast_round(&mut cluster, n, 10, 6);
     // Crash node 2 at 60 ms; keep broadcasting from the survivors.
-    cluster
-        .engine
-        .schedule_crash(ms(60), cluster.hosts[2]);
+    cluster.engine.schedule_crash(ms(60), cluster.hosts[2]);
     for i in 0..6u64 {
         let node = NodeId((i % 2) as u32);
         cluster.broadcast_at(ms(200 + i * 5), node, 500 + i);
@@ -223,7 +221,10 @@ fn fig5_total_failure_loses_delivered_unprocessed_message() {
             !vals.contains(&4242),
             "node {i} should have lost the unprocessed message, has {vals:?}"
         );
-        assert!(vals.contains(&4343), "node {i} missed the post-restart message");
+        assert!(
+            vals.contains(&4343),
+            "node {i} missed the post-restart message"
+        );
     }
 }
 
@@ -232,12 +233,8 @@ fn fig5_total_failure_loses_delivered_unprocessed_message() {
 #[test]
 fn fig7_end_to_end_replays_after_total_failure() {
     let n = 3;
-    let mut cluster = Cluster::with_process_delay(
-        n,
-        GcsConfig::end_to_end(),
-        41,
-        SimDuration::from_millis(50),
-    );
+    let mut cluster =
+        Cluster::with_process_delay(n, GcsConfig::end_to_end(), 41, SimDuration::from_millis(50));
     cluster.broadcast_at(ms(10), NodeId(0), 4242);
     // Crash everyone at 45 ms: entries are persisted (disk write ≈ 4–12 ms)
     // and delivered by then, but no application has processed them.
@@ -305,12 +302,8 @@ fn crash_recovery_without_e2e_still_loses_the_message() {
 #[test]
 fn e2e_partial_crash_replays_only_unacked() {
     let n = 3;
-    let mut cluster = Cluster::with_process_delay(
-        n,
-        GcsConfig::end_to_end(),
-        47,
-        SimDuration::from_millis(30),
-    );
+    let mut cluster =
+        Cluster::with_process_delay(n, GcsConfig::end_to_end(), 47, SimDuration::from_millis(30));
     cluster.broadcast_at(ms(10), NodeId(0), 1111);
     // Node 2 crashes at 40 ms (delivered, unprocessed), recovers at 120 ms.
     cluster.engine.schedule_crash(ms(40), cluster.hosts[2]);

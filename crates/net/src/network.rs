@@ -319,7 +319,10 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone_including_sender() {
         let (mut eng, net, ids) = build(3, false);
-        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        let kicker = eng.add_actor(Box::new(Kicker {
+            net: net.clone(),
+            val: 7,
+        }));
         eng.schedule(SimTime::ZERO, kicker, Kick);
         eng.run_to_completion();
         for id in &ids {
@@ -335,7 +338,10 @@ mod tests {
         net.partition(&[&[NodeId(0), NodeId(1)], &[NodeId(2)]]);
         assert!(net.connected(NodeId(0), NodeId(1)));
         assert!(!net.connected(NodeId(0), NodeId(2)));
-        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        let kicker = eng.add_actor(Box::new(Kicker {
+            net: net.clone(),
+            val: 7,
+        }));
         eng.schedule(SimTime::ZERO, kicker, Kick);
         eng.run_to_completion();
         let r1: &Receiver = eng.actor(ids[1]);
@@ -350,7 +356,10 @@ mod tests {
     #[test]
     fn crashed_node_loses_messages() {
         let (mut eng, net, ids) = build(2, false);
-        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        let kicker = eng.add_actor(Box::new(Kicker {
+            net: net.clone(),
+            val: 7,
+        }));
         eng.schedule_crash(SimTime::ZERO, ids[1]);
         eng.schedule(SimTime::from_micros(1), kicker, Kick);
         eng.schedule_recover(SimTime::from_millis(1), ids[1]);
@@ -365,15 +374,24 @@ mod tests {
     fn probabilistic_loss_drops_some() {
         let (mut eng, net, ids) = build(2, false);
         net.set_loss_probability(0.5);
-        let kicker = eng.add_actor(Box::new(Kicker { net: net.clone(), val: 7 }));
+        let kicker = eng.add_actor(Box::new(Kicker {
+            net: net.clone(),
+            val: 7,
+        }));
         for i in 0..200 {
             eng.schedule(SimTime::from_micros(i * 10), kicker, Kick);
         }
         eng.run_to_completion();
         let r1: &Receiver = eng.actor(ids[1]);
         let delivered = r1.got.len();
-        assert!(delivered > 50 && delivered < 150, "delivered {delivered}/200");
-        assert_eq!(net.stats().dropped_loss as usize + net.stats().sent as usize, 400);
+        assert!(
+            delivered > 50 && delivered < 150,
+            "delivered {delivered}/200"
+        );
+        assert_eq!(
+            net.stats().dropped_loss as usize + net.stats().sent as usize,
+            400
+        );
     }
 
     #[test]

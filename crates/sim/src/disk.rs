@@ -104,8 +104,7 @@ impl Disk {
         self.stats.batches += 1;
         self.stats.batched_pages += pages as u64;
         let first = self.draw_service(rng);
-        let extra_ms =
-            first.as_millis_f64() * self.config.sequential_factor * (pages as f64 - 1.0);
+        let extra_ms = first.as_millis_f64() * self.config.sequential_factor * (pages as f64 - 1.0);
         let service = first + SimDuration::from_millis_f64(extra_ms);
         self.queue.request(now, service)
     }

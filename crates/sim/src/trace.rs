@@ -65,7 +65,9 @@ impl Trace {
 
     /// Entries whose label starts with `prefix`.
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
-        self.entries.iter().filter(move |e| e.label.starts_with(prefix))
+        self.entries
+            .iter()
+            .filter(move |e| e.label.starts_with(prefix))
     }
 }
 

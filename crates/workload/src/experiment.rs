@@ -1,12 +1,19 @@
-//! The experiment runner: build a system, run warm-up + measurement +
-//! drain, and report the metrics the paper's evaluation uses.
+//! The experiment runner, as a thin veneer over the core crate's
+//! [`SystemBuilder`] → [`Run`](groupsafe_core::Run) →
+//! [`Report`] pipeline.
+//!
+//! [`RunConfig`] packages the paper's experiment knobs (technique, load,
+//! Table 4 parameters, run phases); [`builder_for`] is the canonical
+//! translation into a [`SystemBuilder`]. The historical entry points
+//! ([`run`], [`sweep`], [`report`], [`csv_header`]) are kept for the
+//! figure harnesses; [`system_config`] survives only as a deprecated
+//! shim proving the builder reproduces the old wiring bit-for-bit.
 
-use groupsafe_core::{StopClient, System, SystemConfig};
-use groupsafe_core::{LoadModel, ReplicaConfig, Technique};
+use groupsafe_core::{Load, Report, System, SystemBuilder, SystemConfig};
+use groupsafe_core::{ReplicaConfig, Technique};
 use groupsafe_net::NetConfig;
-use groupsafe_sim::{SimDuration, SimTime};
+use groupsafe_sim::SimDuration;
 
-use crate::generator::table4_generator;
 use crate::params::PaperParams;
 
 /// One experiment run's configuration.
@@ -60,6 +67,39 @@ impl RunConfig {
     }
 }
 
+/// The canonical [`SystemBuilder`] a [`RunConfig`] denotes: Table 4
+/// hardware and workload, the paper's load model, and the run phases.
+pub fn builder_for(cfg: &RunConfig) -> SystemBuilder {
+    let p = &cfg.params;
+    let load = if cfg.closed_loop {
+        Load::closed_tps_assuming(cfg.load_tps, cfg.assumed_resp_ms)
+    } else {
+        Load::open_tps(cfg.load_tps)
+    };
+    System::builder()
+        .servers(p.n_servers)
+        .clients_per_server(p.clients_per_server)
+        .replica(ReplicaConfig {
+            technique: cfg.technique,
+            db: p.db_config(),
+            cpus: p.cpus_per_server as usize,
+            lazy_prop_interval: SimDuration::from_millis_f64(cfg.lazy_prop_ms),
+            wal_flush_interval: SimDuration::from_millis_f64(cfg.wal_flush_ms),
+            ..ReplicaConfig::default()
+        })
+        .workload(p.workload_spec())
+        .load(load)
+        .client_timeout(SimDuration::from_secs(5))
+        .net(NetConfig {
+            latency: SimDuration::from_millis_f64(p.net_ms),
+            ..NetConfig::default()
+        })
+        .warmup(cfg.warmup)
+        .measure(cfg.duration)
+        .drain(cfg.drain)
+        .seed(cfg.seed)
+}
+
 /// The measured outcome of one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -91,6 +131,23 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Project a core [`Report`] onto the historical CSV row shape.
+    pub fn from_report(offered_tps: f64, r: &Report) -> Self {
+        RunReport {
+            technique: r.technique,
+            offered_tps,
+            achieved_tps: r.achieved_tps,
+            mean_ms: r.mean_ms,
+            p50_ms: r.p50_ms,
+            p95_ms: r.p95_ms,
+            abort_rate: r.abort_rate,
+            samples: r.commits,
+            lost: r.lost,
+            distinct_states: r.distinct_states,
+            lost_updates: r.lost_updates,
+        }
+    }
+
     /// One CSV row (see [`csv_header`]).
     pub fn csv_row(&self) -> String {
         format!(
@@ -116,73 +173,33 @@ pub fn csv_header() -> &'static str {
 }
 
 /// Build the [`SystemConfig`] a run implies.
+#[deprecated(note = "use `builder_for` / `groupsafe_core::SystemBuilder` instead")]
 pub fn system_config(cfg: &RunConfig) -> SystemConfig {
-    let p = &cfg.params;
-    let n_clients = p.n_clients().max(1);
-    let load = if cfg.closed_loop {
-        // Closed loop (the paper's 4 clients/server): think time chosen so
-        // that n_clients / (think + resp) ≈ load_tps at the assumed base
-        // response time. Under overload the population self-limits, which
-        // is what bounds the paper's group-1-safe curve.
-        let cycle = n_clients as f64 / cfg.load_tps.max(1e-9);
-        let think = (cycle - cfg.assumed_resp_ms / 1_000.0).max(0.001);
-        LoadModel::Closed {
-            mean_think: SimDuration::from_secs_f64(think),
-        }
-    } else {
-        // Open loop: each client contributes load_tps / n_clients.
-        LoadModel::Open {
-            mean_interarrival: SimDuration::from_secs_f64(
-                n_clients as f64 / cfg.load_tps.max(1e-9),
-            ),
-        }
-    };
-    SystemConfig {
-        n_servers: p.n_servers,
-        clients_per_server: p.clients_per_server,
-        replica: ReplicaConfig {
-            technique: cfg.technique,
-            db: p.db_config(),
-            cpus: p.cpus_per_server as usize,
-            lazy_prop_interval: SimDuration::from_millis_f64(cfg.lazy_prop_ms),
-            wal_flush_interval: SimDuration::from_millis_f64(cfg.wal_flush_ms),
-            ..ReplicaConfig::default()
-        },
-        load,
-        client_timeout: SimDuration::from_secs(5),
-        measure_from: SimTime::ZERO + cfg.warmup,
-        net: NetConfig {
-            latency: SimDuration::from_millis_f64(p.net_ms),
-            ..NetConfig::default()
-        },
-        seed: cfg.seed,
-    }
+    builder_for(cfg)
+        .to_system_config()
+        .expect("a RunConfig always denotes a valid system")
 }
 
 /// Run one experiment to completion and report.
 pub fn run(cfg: &RunConfig) -> RunReport {
-    let sys_cfg = system_config(cfg);
-    let params = cfg.params.clone();
-    let mut system = System::build(sys_cfg, |_| table4_generator(&params));
-    system.start();
-    let measure_end = SimTime::ZERO + cfg.warmup + cfg.duration;
-    system.engine.run_until(measure_end);
-    // Drain: stop new arrivals, let outstanding work finish.
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(measure_end, c, StopClient);
-    }
-    system.engine.run_until(measure_end + cfg.drain);
-    report(cfg, &mut system)
+    let report = builder_for(cfg)
+        .build()
+        .expect("a RunConfig always denotes a valid system")
+        .execute();
+    RunReport::from_report(cfg.load_tps, &report)
 }
 
-/// Extract a [`RunReport`] from a finished system.
+/// Extract a [`RunReport`] from a finished, externally-driven system.
 pub fn report(cfg: &RunConfig, system: &mut System) -> RunReport {
     let lost = system.lost_transactions().len();
     let distinct_states = system.convergence().len();
     let lost_updates = groupsafe_core::check_lost_updates(&system.oracle.borrow()).len();
     let abort_rate = system.oracle.borrow().abort_rate();
     let technique = system.technique().label();
-    let h = system.engine.metrics_mut().histogram_mut("response_total_ms");
+    let h = system
+        .engine
+        .metrics_mut()
+        .histogram_mut("response_total_ms");
     let samples = h.count();
     let mean_ms = h.mean();
     let p50_ms = h.quantile(0.50);
@@ -222,17 +239,11 @@ mod tests {
     use super::*;
     use groupsafe_core::SafetyLevel;
 
-    /// A small smoke run: the whole stack commits transactions, replicas
-    /// converge, nothing is lost.
-    #[test]
-    fn group_safe_smoke_run() {
-        let cfg = RunConfig {
-            technique: Technique::Dsm(SafetyLevel::GroupSafe),
+    fn small_cfg(technique: Technique, seed: u64) -> RunConfig {
+        RunConfig {
+            technique,
             load_tps: 10.0,
             closed_loop: false,
-            assumed_resp_ms: 70.0,
-            lazy_prop_ms: 20.0,
-            wal_flush_ms: 20.0,
             params: PaperParams {
                 n_servers: 3,
                 clients_per_server: 2,
@@ -241,9 +252,15 @@ mod tests {
             warmup: SimDuration::from_secs(1),
             duration: SimDuration::from_secs(5),
             drain: SimDuration::from_secs(2),
-            seed: 7,
-        };
-        let r = run(&cfg);
+            ..RunConfig::paper(technique, 10.0, seed)
+        }
+    }
+
+    /// A small smoke run: the whole stack commits transactions, replicas
+    /// converge, nothing is lost.
+    #[test]
+    fn group_safe_smoke_run() {
+        let r = run(&small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 7));
         assert!(r.samples > 20, "expected commits, got {}", r.samples);
         assert!(r.mean_ms > 1.0, "responses should cost time: {}", r.mean_ms);
         assert_eq!(r.lost, 0, "no transaction may be lost");
@@ -252,26 +269,24 @@ mod tests {
 
     #[test]
     fn lazy_smoke_run() {
-        let cfg = RunConfig {
-            technique: Technique::Lazy,
-            load_tps: 10.0,
-            closed_loop: false,
-            assumed_resp_ms: 70.0,
-            lazy_prop_ms: 20.0,
-            wal_flush_ms: 20.0,
-            params: PaperParams {
-                n_servers: 3,
-                clients_per_server: 2,
-                ..PaperParams::default()
-            },
-            warmup: SimDuration::from_secs(1),
-            duration: SimDuration::from_secs(5),
-            drain: SimDuration::from_secs(2),
-            seed: 11,
-        };
-        let r = run(&cfg);
+        let r = run(&small_cfg(Technique::Lazy, 11));
         assert!(r.samples > 20, "expected commits, got {}", r.samples);
         assert_eq!(r.lost, 0);
         assert_eq!(r.distinct_states, 1, "lazy converges after drain");
+    }
+
+    /// The deprecated shim and the builder must denote the *same* system.
+    #[test]
+    #[allow(deprecated)]
+    fn system_config_shim_matches_builder() {
+        let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 3);
+        let shim = system_config(&cfg);
+        let built = builder_for(&cfg).to_system_config().expect("valid");
+        assert_eq!(shim.n_servers, built.n_servers);
+        assert_eq!(shim.clients_per_server, built.clients_per_server);
+        assert_eq!(shim.seed, built.seed);
+        assert_eq!(shim.measure_from, built.measure_from);
+        assert_eq!(shim.client_timeout, built.client_timeout);
+        assert_eq!(shim.replica.technique, built.replica.technique);
     }
 }

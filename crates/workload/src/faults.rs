@@ -7,15 +7,17 @@
 //! restarting the group after a total failure), and then audits the
 //! outcome: how many *acknowledged* transactions were lost, and whether
 //! the surviving replicas agree.
+//!
+//! Built on the core [`Run`](groupsafe_core::Run) handle's stepwise API:
+//! the builder wires the system, the scenario drives the phases by hand
+//! (partitions and operator-style restarts need mid-run control the
+//! declarative `FaultPlan` does not model).
 
-use groupsafe_core::{
-    InstallCheckpointCmd, RestartServerCmd, StopClient, System, Technique,
-};
+use groupsafe_core::{InstallCheckpointCmd, RestartServerCmd, Run, System, Technique};
 use groupsafe_net::NodeId;
 use groupsafe_sim::{SimDuration, SimTime};
 
-use crate::experiment::{system_config, RunConfig};
-use crate::generator::table4_generator;
+use crate::experiment::{builder_for, RunConfig};
 use crate::params::PaperParams;
 
 /// What happens to the crashed servers afterwards.
@@ -99,6 +101,28 @@ impl CrashScenario {
             seed,
         }
     }
+
+    /// Wire the scenario's system through the canonical Table 4
+    /// translation ([`builder_for`]), so crash scenarios and the
+    /// throughput harnesses always share one wiring.
+    fn run_handle(&self) -> Run {
+        let cfg = RunConfig {
+            technique: self.technique,
+            load_tps: self.load_tps,
+            closed_loop: false,
+            assumed_resp_ms: 70.0,
+            lazy_prop_ms: self.lazy_prop_ms,
+            wal_flush_ms: self.wal_flush_ms,
+            params: self.params.clone(),
+            warmup: SimDuration::ZERO,
+            duration: self.steady_for + self.run_after,
+            drain: SimDuration::from_secs(3),
+            seed: self.seed,
+        };
+        builder_for(&cfg)
+            .build()
+            .expect("a crash scenario always denotes a valid system")
+    }
 }
 
 /// Audit of a crash run.
@@ -119,30 +143,16 @@ pub struct CrashOutcome {
 
 /// Run a crash scenario to completion and audit it.
 pub fn run_crash_scenario(sc: &CrashScenario) -> CrashOutcome {
-    let run_cfg = RunConfig {
-        technique: sc.technique,
-        load_tps: sc.load_tps,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: sc.lazy_prop_ms,
-        wal_flush_ms: sc.wal_flush_ms,
-        params: sc.params.clone(),
-        warmup: SimDuration::ZERO,
-        duration: sc.steady_for + sc.run_after,
-        drain: SimDuration::from_secs(3),
-        seed: sc.seed,
-    };
-    let sys_cfg = system_config(&run_cfg);
-    let params = sc.params.clone();
-    let mut system = System::build(sys_cfg, |_| table4_generator(&params));
-    system.start();
+    let mut run = sc.run_handle();
+    run.start();
 
     let crash_at = SimTime::ZERO + sc.steady_for;
-    system.engine.run_until(crash_at);
+    run.run_until(crash_at);
 
     if !sc.partition_before.is_empty() {
         // Isolated servers take their home clients with them; everyone
         // else (servers and clients) forms the majority side.
+        let system = run.system_mut();
         let n = system.n_servers;
         let total_nodes = system.net.node_count() as u32;
         let mut isolated: Vec<NodeId> = sc.partition_before.iter().map(|&i| NodeId(i)).collect();
@@ -158,9 +168,10 @@ pub fn run_crash_scenario(sc: &CrashScenario) -> CrashOutcome {
             .collect();
         system.net.partition(&[&isolated, &rest]);
         // Let the isolated side operate on its own for a while.
-        system.engine.run_until(crash_at + sc.partition_hold);
+        run.run_until(crash_at + sc.partition_hold);
     }
 
+    let system = run.system_mut();
     let now = system.engine.now();
     for &i in &sc.crash {
         let at = match sc.crash_last {
@@ -189,29 +200,26 @@ pub fn run_crash_scenario(sc: &CrashScenario) -> CrashOutcome {
                 .schedule_recover(recover_at, system.servers[i as usize]);
         }
         let total_failure = sc.crash.len() == system.n_servers as usize;
-        if total_failure && sc.technique.gcs_config().is_some_and(|c| {
-            c.model == groupsafe_gcs::GcsModel::ViewBased
-        }) {
+        if total_failure
+            && sc
+                .technique
+                .gcs_config()
+                .is_some_and(|c| c.model == groupsafe_gcs::GcsModel::ViewBased)
+        {
             // Dynamic model, total failure: the group cannot re-form on
             // its own. Run to the recovery point, then restart and
             // reconcile (operator action).
-            system
-                .engine
-                .run_until(recover_at + SimDuration::from_millis(500));
-            restart_and_reconcile(&mut system, &recovered);
+            run.run_until(recover_at + SimDuration::from_millis(500));
+            restart_and_reconcile(run.system_mut(), &recovered);
         }
     }
 
     let end = crash_instant + sc.run_after;
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system
-        .engine
-        .run_until(end + SimDuration::from_secs(3));
+    run.run_until(end);
+    run.stop_clients_at(end);
+    run.run_until(end + SimDuration::from_secs(3));
 
-    audit(&system, crash_instant)
+    audit(run.system(), crash_instant)
 }
 
 /// Operator-driven restart after total failure: every server rejoins a
@@ -283,11 +291,7 @@ mod tests {
     /// serving (Table 2, "less than n crashes").
     #[test]
     fn group_safe_minority_crash_no_loss() {
-        let sc = CrashScenario::small(
-            Technique::Dsm(SafetyLevel::GroupSafe),
-            vec![1, 3],
-            21,
-        );
+        let sc = CrashScenario::small(Technique::Dsm(SafetyLevel::GroupSafe), vec![1, 3], 21);
         let out = run_crash_scenario(&sc);
         assert!(out.acked > 20, "acked {}", out.acked);
         assert_eq!(out.lost, 0, "group-safe must not lose under minority crash");

@@ -1,48 +1,29 @@
-//! Transaction generation per Table 4: 10–20 operations, each a read or a
-//! write with equal probability, over a uniformly (or hotspot-) accessed
-//! database of 10 000 items.
+//! Transaction generation per Table 4 — deprecated shims over the core
+//! builder's [`WorkloadSpec`](groupsafe_core::WorkloadSpec), which now
+//! owns the generator (10–20 operations, each a read or a write with
+//! equal probability, over a uniformly or hotspot-accessed database).
 
 use rand::rngs::StdRng;
-use rand::Rng;
 
 use groupsafe_core::OpGenerator;
-use groupsafe_db::{ItemId, Operation};
+use groupsafe_db::Operation;
 
 use crate::params::PaperParams;
 
-/// Draw one item id under the (optional) hotspot model.
-fn draw_item(p: &PaperParams, rng: &mut StdRng) -> ItemId {
-    let hot_items = ((p.n_items as f64 * p.hot_set_fraction) as u32).max(1);
-    if p.hot_access_fraction > 0.0 && rng.random_bool(p.hot_access_fraction) {
-        ItemId(rng.random_range(0..hot_items))
-    } else {
-        ItemId(rng.random_range(0..p.n_items))
-    }
-}
-
 /// Generate one transaction's operations (Table 4: 10–20 operations,
-/// each a read or a write with probability ½). The replication layer
-/// treats every write as an update of the current value (it records the
-/// overwritten version), so write-write races are observable as
-/// certification conflicts and as lazy lost updates without extra I/O.
+/// each a read or a write with probability ½). Delegates to
+/// [`WorkloadSpec::generate_txn`](groupsafe_core::WorkloadSpec::generate_txn);
+/// the draw sequence is unchanged, so seeded runs reproduce exactly.
 pub fn generate_txn(p: &PaperParams, rng: &mut StdRng) -> Vec<Operation> {
-    let len = rng.random_range(p.txn_len_min..=p.txn_len_max);
-    let mut ops = Vec::with_capacity(len);
-    for _ in 0..len {
-        let item = draw_item(p, rng);
-        if rng.random_bool(p.write_probability) {
-            ops.push(Operation::Write(item, rng.random_range(-1_000_000..1_000_000)));
-        } else {
-            ops.push(Operation::Read(item));
-        }
-    }
-    ops
+    p.workload_spec().generate_txn(rng)
 }
 
 /// Build a per-client [`OpGenerator`] closure over these parameters.
+#[deprecated(
+    note = "use `SystemBuilder::workload(params.workload_spec())` or `WorkloadSpec::generator` instead"
+)]
 pub fn table4_generator(p: &PaperParams) -> OpGenerator {
-    let p = p.clone();
-    Box::new(move |rng: &mut StdRng| generate_txn(&p, rng))
+    p.workload_spec().generator()
 }
 
 #[cfg(test)]
@@ -101,6 +82,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn generator_closure_is_reusable() {
         let p = PaperParams::default();
         let mut g = table4_generator(&p);
@@ -109,5 +91,20 @@ mod tests {
         let b = g(&mut rng);
         assert!(!a.is_empty() && !b.is_empty());
         assert_ne!(a, b, "distinct transactions expected");
+    }
+
+    /// The shim and the spec's own generator must produce identical
+    /// transactions from identical RNG states.
+    #[test]
+    #[allow(deprecated)]
+    fn shim_matches_workload_spec() {
+        let p = PaperParams::default();
+        let spec = p.workload_spec();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut shim = table4_generator(&p);
+        for _ in 0..50 {
+            assert_eq!(shim(&mut a), spec.generate_txn(&mut b));
+        }
     }
 }

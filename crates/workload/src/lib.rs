@@ -2,9 +2,14 @@
 //!
 //! Generates the paper's workload (10–20 operations per transaction, 50 %
 //! writes, 10 000 items, 9 servers × 4 clients), assembles full systems
-//! through [`groupsafe_core::System`], and runs warm-up / measurement /
-//! drain phases producing [`RunReport`]s — the rows of Fig. 9 and of the
-//! fault-injection tables.
+//! through the core crate's fluent
+//! [`SystemBuilder`](groupsafe_core::SystemBuilder) ([`builder_for`] is
+//! the canonical `RunConfig` → builder translation), and runs warm-up /
+//! measurement / drain phases producing [`RunReport`]s — the rows of
+//! Fig. 9 and of the fault-injection tables.
+//!
+//! `system_config` and `table4_generator` survive as deprecated shims
+//! delegating to the builder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,7 +19,11 @@ pub mod faults;
 pub mod generator;
 pub mod params;
 
-pub use experiment::{csv_header, report, run, sweep, system_config, RunConfig, RunReport};
+#[allow(deprecated)]
+pub use experiment::system_config;
+pub use experiment::{builder_for, csv_header, report, run, sweep, RunConfig, RunReport};
 pub use faults::{run_crash_scenario, CrashOutcome, CrashScenario, RecoveryPlan};
-pub use generator::{generate_txn, table4_generator};
+pub use generator::generate_txn;
+#[allow(deprecated)]
+pub use generator::table4_generator;
 pub use params::PaperParams;

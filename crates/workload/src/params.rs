@@ -1,5 +1,6 @@
 //! Table 4 of the paper, verbatim, as the canonical parameter set.
 
+use groupsafe_core::WorkloadSpec;
 use groupsafe_db::{BufferModel, DbConfig, FlushPolicy};
 use groupsafe_sim::SimDuration;
 
@@ -90,11 +91,27 @@ impl PaperParams {
         self.n_servers * self.clients_per_server
     }
 
+    /// The transaction-shape slice of these parameters, as the core
+    /// builder's [`WorkloadSpec`] (same fields, same generator draws).
+    pub fn workload_spec(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            n_items: self.n_items,
+            txn_len_min: self.txn_len_min,
+            txn_len_max: self.txn_len_max,
+            write_probability: self.write_probability,
+            hot_access_fraction: self.hot_access_fraction,
+            hot_set_fraction: self.hot_set_fraction,
+        }
+    }
+
     /// Render Table 4 in the paper's layout.
     pub fn render_table(&self) -> String {
         let mut s = String::new();
         let rows: Vec<(&str, String)> = vec![
-            ("Number of items in the database", format!("{}", self.n_items)),
+            (
+                "Number of items in the database",
+                format!("{}", self.n_items),
+            ),
             ("Number of Servers", format!("{}", self.n_servers)),
             (
                 "Number of Clients per Server",

@@ -1,0 +1,134 @@
+//! The builder must reproduce the pre-builder wiring *bit-for-bit*: the
+//! same seed has to yield the same dispatch fingerprint, the same commit
+//! count and the same convergence digests as the historical
+//! `system_config` + manual-lifecycle path.
+
+#![allow(deprecated)] // the point of this file is to exercise the shims
+
+use groupsafe_core::{SafetyLevel, StopClient, System, Technique};
+use groupsafe_sim::{SimDuration, SimTime};
+use groupsafe_workload::{builder_for, system_config, table4_generator, PaperParams, RunConfig};
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        load_tps: 12.0,
+        closed_loop: false,
+        params: PaperParams {
+            n_servers: 3,
+            clients_per_server: 2,
+            ..PaperParams::default()
+        },
+        warmup: SimDuration::from_secs(1),
+        duration: SimDuration::from_secs(6),
+        drain: SimDuration::from_secs(2),
+        ..RunConfig::paper(Technique::Dsm(SafetyLevel::GroupSafe), 12.0, seed)
+    }
+}
+
+/// The historical ritual, verbatim: shim config, shim generator, manual
+/// warm-up / measure / stop / drain.
+fn old_wiring(cfg: &RunConfig) -> (u64, usize, Vec<u64>) {
+    let params = cfg.params.clone();
+    let mut system = System::build(system_config(cfg), |_| table4_generator(&params));
+    system.start();
+    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+    system.engine.run_until(end);
+    for &c in &system.clients.clone() {
+        system.engine.schedule_resilient(end, c, StopClient);
+    }
+    system.engine.run_until(end + cfg.drain);
+    let acked = system.oracle.borrow().acked.len();
+    (system.engine.fingerprint(), acked, system.convergence())
+}
+
+#[test]
+fn builder_run_reproduces_the_old_wiring_exactly() {
+    for seed in [7, 42, 1234] {
+        let c = cfg(seed);
+        let (old_fp, old_acked, old_digests) = old_wiring(&c);
+        let report = builder_for(&c).build().expect("valid").execute();
+        assert_eq!(report.fingerprint, old_fp, "seed {seed}: dispatch diverged");
+        assert_eq!(
+            report.acked, old_acked,
+            "seed {seed}: commit count diverged"
+        );
+        assert_eq!(report.digests, old_digests, "seed {seed}: states diverged");
+    }
+}
+
+#[test]
+fn closed_loop_paper_config_reproduces_too() {
+    let c = RunConfig {
+        duration: SimDuration::from_secs(5),
+        warmup: SimDuration::from_secs(1),
+        params: PaperParams {
+            n_servers: 3,
+            clients_per_server: 2,
+            ..PaperParams::default()
+        },
+        ..RunConfig::paper(Technique::Dsm(SafetyLevel::GroupOneSafe), 8.0, 5)
+    };
+    let (old_fp, old_acked, old_digests) = old_wiring(&c);
+    let report = builder_for(&c).build().expect("valid").execute();
+    assert_eq!(report.fingerprint, old_fp);
+    assert_eq!(report.acked, old_acked);
+    assert_eq!(report.digests, old_digests);
+}
+
+#[test]
+fn lazy_technique_reproduces_too() {
+    let c = cfg(99);
+    let c = RunConfig {
+        technique: Technique::Lazy,
+        ..c
+    };
+    let (old_fp, old_acked, old_digests) = old_wiring(&c);
+    let report = builder_for(&c).build().expect("valid").execute();
+    assert_eq!(report.fingerprint, old_fp);
+    assert_eq!(report.acked, old_acked);
+    assert_eq!(report.digests, old_digests);
+}
+
+/// Round trip: the deprecated `system_config` shim and the builder's
+/// `to_system_config` denote identical systems — proven by running both
+/// through the same manual lifecycle and comparing fingerprints.
+#[test]
+fn system_config_shim_round_trips_through_the_builder() {
+    let c = cfg(31);
+    let params = c.params.clone();
+    let drive = |config: groupsafe_core::SystemConfig| {
+        let mut system = System::build(config, |_| table4_generator(&params));
+        system.start();
+        let end = SimTime::ZERO + c.warmup + c.duration;
+        system.engine.run_until(end);
+        let acked = system.oracle.borrow().acked.len();
+        (system.engine.fingerprint(), acked)
+    };
+    let via_shim = drive(system_config(&c));
+    let via_builder = drive(builder_for(&c).to_system_config().expect("valid"));
+    assert_eq!(via_shim, via_builder);
+}
+
+/// `System::builder()` defaults reproduce `SystemConfig::default()`:
+/// identical fingerprints for a short default-config run.
+#[test]
+fn builder_defaults_match_system_config_default_wiring() {
+    let spec = groupsafe_core::WorkloadSpec::table4();
+    let drive_default = || {
+        let mut system = System::build(groupsafe_core::SystemConfig::default(), |_| {
+            spec.generator()
+        });
+        system.start();
+        system.engine.run_until(SimTime::from_secs(3));
+        let acked = system.oracle.borrow().acked.len();
+        (system.engine.fingerprint(), acked)
+    };
+    let via_builder = {
+        let mut run = System::builder().build().expect("defaults are valid");
+        run.run_until(SimTime::from_secs(3));
+        let system = run.system();
+        let acked = system.oracle.borrow().acked.len();
+        (system.engine.fingerprint(), acked)
+    };
+    assert_eq!(drive_default(), via_builder);
+}

@@ -1,17 +1,15 @@
-//! A small banking scenario on the raw replication API: accounts are
-//! items; transfers are update transactions. Shows how the database state
+//! A small banking scenario on a custom workload: accounts are items;
+//! transfers are update transactions. Shows how the database state
 //! machine keeps every replica's books identical, and how certification
 //! turns a conflicting concurrent transfer into an abort + retry instead
-//! of a lost update.
+//! of a lost update — with the whole system wired by the fluent builder
+//! and a custom operation generator.
 //!
 //! Run with: `cargo run --release --example bank`
 
-use groupsafe::core::{
-    LoadModel, OpGenerator, SafetyLevel, StopClient, System, SystemConfig, Technique,
-};
-use groupsafe::db::{ItemId, Operation};
-use groupsafe::net::NetConfig;
-use groupsafe::sim::{SimDuration, SimTime};
+use groupsafe::core::{Load, OpGenerator, SafetyLevel, System};
+use groupsafe::db::{DbConfig, FlushPolicy, ItemId, Operation};
+use groupsafe::sim::SimDuration;
 use rand::Rng;
 
 const ACCOUNTS: u32 = 200;
@@ -22,8 +20,6 @@ const OPENING_BALANCE: i64 = 1_000;
 /// the certification layer guarantees the read balances are still current
 /// at commit time, so the arithmetic is safe.)
 fn transfer_generator() -> OpGenerator {
-    // Track balances client-side for realistic written values; the
-    // authoritative copy lives in the replicated database.
     Box::new(move |rng| {
         let from = ItemId(rng.random_range(0..ACCOUNTS));
         let mut to = ItemId(rng.random_range(0..ACCOUNTS));
@@ -41,51 +37,43 @@ fn transfer_generator() -> OpGenerator {
 }
 
 fn main() {
-    let cfg = SystemConfig {
-        n_servers: 3,
-        clients_per_server: 4,
-        replica: groupsafe::core::ReplicaConfig {
-            technique: Technique::Dsm(SafetyLevel::GroupSafe),
-            db: groupsafe::db::DbConfig {
-                n_items: ACCOUNTS,
-                flush_policy: groupsafe::db::FlushPolicy::Async,
-                ..groupsafe::db::DbConfig::default()
-            },
-            ..groupsafe::core::ReplicaConfig::default()
-        },
-        load: LoadModel::Open {
-            mean_interarrival: SimDuration::from_millis(200),
-        },
-        client_timeout: SimDuration::from_secs(2),
-        measure_from: SimTime::ZERO,
-        net: NetConfig::default(),
-        seed: 99,
-    };
-    let mut system = System::build(cfg, |_| transfer_generator());
-    system.start();
-    let end = SimTime::from_secs(20);
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + SimDuration::from_secs(2));
+    let report = System::builder()
+        .servers(3)
+        .clients_per_server(4)
+        .safety(SafetyLevel::GroupSafe)
+        .db(DbConfig {
+            n_items: ACCOUNTS,
+            flush_policy: FlushPolicy::Async,
+            ..DbConfig::default()
+        })
+        .generator(|_| transfer_generator())
+        .load(Load::open_interarrival(SimDuration::from_millis(200)))
+        .measure(SimDuration::from_secs(20))
+        .drain(SimDuration::from_secs(2))
+        .seed(99)
+        .build()
+        .expect("a valid configuration")
+        .execute();
 
-    let commits = system.oracle.borrow().acked.len();
-    let aborts = system.oracle.borrow().aborts;
-    let digests = system.convergence();
     println!("bank demo: {ACCOUNTS} accounts, 12 tellers, 3 replicas, 20 s:");
-    println!("  transfers committed : {commits}");
+    println!("  transfers committed : {}", report.acked);
     println!(
-        "  conflicting attempts: {aborts} (aborted by certification, retried by the teller)"
+        "  conflicting attempts: {} (aborted by certification, retried by the teller)",
+        report.aborts
     );
-    println!("  distinct ledgers    : {} (1 = every branch agrees)", digests.len());
-    assert!(commits > 50);
-    assert_eq!(digests.len(), 1, "the books must balance on every replica");
+    println!(
+        "  distinct ledgers    : {} (1 = every branch agrees)",
+        report.distinct_states
+    );
+    assert!(report.acked > 50);
+    assert_eq!(
+        report.distinct_states, 1,
+        "the books must balance on every replica"
+    );
     // With certification there are no lost updates — conflicts abort.
-    let lost_updates = groupsafe::core::check_lost_updates(&system.oracle.borrow());
-    assert!(
-        lost_updates.is_empty(),
-        "the state machine must not lose updates: {lost_updates:?}"
+    assert_eq!(
+        report.lost_updates, 0,
+        "the state machine must not lose updates"
     );
     println!("\nno lost updates: certification aborted every conflicting transfer.");
 }

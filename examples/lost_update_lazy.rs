@@ -5,43 +5,46 @@
 //!
 //! Run with: `cargo run --release --example lost_update_lazy`
 
-use groupsafe::core::Technique;
-use groupsafe::core::SafetyLevel;
+use groupsafe::core::{Load, SafetyLevel, System, WorkloadSpec};
 use groupsafe::sim::SimDuration;
-use groupsafe::workload::{run, PaperParams, RunConfig};
 
-fn measure(technique: Technique) -> (usize, usize, f64) {
-    let cfg = RunConfig {
-        technique,
-        load_tps: 40.0,
-        lazy_prop_ms: 200.0,
-        params: PaperParams {
-            n_servers: 5,
+fn measure(level: SafetyLevel) -> (usize, usize, f64) {
+    let r = System::builder()
+        .servers(5)
+        .safety(level)
+        .load(Load::closed_tps(40.0))
+        // The historical harness condition: failover only after 5 s.
+        .client_timeout(SimDuration::from_secs(5))
+        .lazy_prop_interval(SimDuration::from_millis(200))
+        .workload(WorkloadSpec {
             // A hot workload: contention is the whole point here.
             hot_access_fraction: 0.5,
             hot_set_fraction: 0.01,
-            ..PaperParams::default()
-        },
-        warmup: SimDuration::from_secs(1),
-        duration: SimDuration::from_secs(20),
-        ..RunConfig::paper(technique, 40.0, 31)
-    };
-    let r = run(&cfg);
-    (r.lost_updates, r.samples, r.abort_rate)
+            ..WorkloadSpec::table4()
+        })
+        .warmup(SimDuration::from_secs(1))
+        .measure(SimDuration::from_secs(20))
+        .drain(SimDuration::from_secs(3))
+        .seed(31)
+        .build()
+        .expect("a valid configuration")
+        .execute();
+    (r.lost_updates, r.commits, r.abort_rate)
 }
 
 fn main() {
     println!("contended updates, 5 replicas, 40 tps, no failures:\n");
-    let (lazy_lu, lazy_n, _) = measure(Technique::Lazy);
-    let (gs_lu, gs_n, gs_abort) = measure(Technique::Dsm(SafetyLevel::GroupSafe));
-    println!(
-        "  lazy (1-safe):  {lazy_lu} lost updates among {lazy_n} acknowledged commits"
-    );
+    let (lazy_lu, lazy_n, _) = measure(SafetyLevel::OneSafe);
+    let (gs_lu, gs_n, gs_abort) = measure(SafetyLevel::GroupSafe);
+    println!("  lazy (1-safe):  {lazy_lu} lost updates among {lazy_n} acknowledged commits");
     println!(
         "  group-safe:     {gs_lu} lost updates among {gs_n} commits ({:.1}% aborted+retried instead)",
         gs_abort * 100.0
     );
-    assert!(lazy_lu > 0, "lazy must exhibit lost updates under contention");
+    assert!(
+        lazy_lu > 0,
+        "lazy must exhibit lost updates under contention"
+    );
     assert_eq!(gs_lu, 0, "certification must prevent every lost update");
     println!("\n§7's point: lazy replication violates ACID with no failure at all;");
     println!("the group-safe state machine converts those races into clean aborts.");

@@ -1,62 +1,36 @@
 //! Quickstart: build a 3-server group-safe replicated database, run a
 //! small workload, and verify that the replicas converge with nothing
-//! lost.
+//! lost — the whole experiment is one fluent builder chain.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use groupsafe::core::{SafetyLevel, StopClient, System, Technique};
-use groupsafe::sim::{SimDuration, SimTime};
-use groupsafe::workload::{system_config, table4_generator, PaperParams, RunConfig};
+use groupsafe::core::{Load, SafetyLevel, System};
+use groupsafe::sim::SimDuration;
 
 fn main() {
-    // Table 4 parameters, shrunk to a 3-server group for a quick demo.
-    let params = PaperParams {
-        n_servers: 3,
-        clients_per_server: 2,
-        ..PaperParams::default()
-    };
-    let cfg = RunConfig {
-        technique: Technique::Dsm(SafetyLevel::GroupSafe),
-        load_tps: 15.0,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: params.clone(),
-        warmup: SimDuration::from_secs(1),
-        duration: SimDuration::from_secs(10),
-        drain: SimDuration::from_secs(2),
-        seed: 7,
-    };
+    // 3 replica servers, 6 clients, a simulated LAN, ~15 tps for 10 s
+    // after a 1 s warm-up; the oracle records everything clients are told.
+    let report = System::builder()
+        .servers(3)
+        .clients_per_server(2)
+        .safety(SafetyLevel::GroupSafe)
+        .load(Load::open_tps(15.0))
+        .warmup(SimDuration::from_secs(1))
+        .measure(SimDuration::from_secs(10))
+        .drain(SimDuration::from_secs(2))
+        .seed(7)
+        .build()
+        .expect("a valid configuration")
+        .execute();
 
-    // Build the system: 3 replica servers, 6 clients, a simulated LAN, an
-    // oracle recording everything clients are told.
-    let mut system = System::build(system_config(&cfg), |_| table4_generator(&params));
-    system.start();
+    println!("group-safe replication, 3 servers, ~15 tps for 10 s:\n");
+    print!("{report}");
 
-    // Run: warm-up + measurement, then stop the clients and drain.
-    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + cfg.drain);
-
-    // Inspect the outcome.
-    let (mean_ms, p95_ms, commits) = system.response_stats();
-    let aborts = system.oracle.borrow().aborts;
-    let lost = system.lost_transactions();
-    let digests = system.convergence();
-
-    println!("group-safe replication, 3 servers, ~15 tps for 10 s:");
-    println!("  committed transactions : {commits}");
-    println!("  mean response          : {mean_ms:.1} ms (p95 {p95_ms:.1} ms)");
-    println!("  certification aborts   : {aborts} (clients resubmitted them)");
-    println!("  lost transactions      : {}", lost.len());
-    println!("  distinct replica states: {} (1 = converged)", digests.len());
-
-    assert!(commits > 50, "the system should have committed plenty");
-    assert!(lost.is_empty(), "group-safe must not lose acknowledged work");
-    assert_eq!(digests.len(), 1, "replicas must agree bit-for-bit");
+    assert!(
+        report.commits > 50,
+        "the system should have committed plenty"
+    );
+    assert_eq!(report.lost, 0, "group-safe must not lose acknowledged work");
+    assert_eq!(report.distinct_states, 1, "replicas must agree bit-for-bit");
     println!("\nall good: every acknowledged transaction is on every replica.");
 }

@@ -1,52 +1,52 @@
 //! Client-side behaviour across failures: timeout-driven failover to
 //! another delegate (update-everywhere), exactly-once commits across
-//! retries, and abort resubmission.
+//! retries, and abort resubmission. Systems are wired by the builder;
+//! crashes come from the declarative `FaultPlan`; the audits use the
+//! `Run` handle's stepwise API for direct oracle access.
 
-use groupsafe::core::{SafetyLevel, StopClient, System, Technique};
+use groupsafe::core::{FaultPlan, Load, Run, SafetyLevel, System};
 use groupsafe::db::TxnId;
+use groupsafe::net::NodeId;
 use groupsafe::sim::{SimDuration, SimTime};
-use groupsafe::workload::{system_config, table4_generator, PaperParams, RunConfig};
 
-fn build(seed: u64) -> (System, RunConfig) {
-    let params = PaperParams {
-        n_servers: 3,
-        clients_per_server: 1,
-        ..PaperParams::default()
-    };
-    let cfg = RunConfig {
-        technique: Technique::Dsm(SafetyLevel::GroupSafe),
-        load_tps: 10.0,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: params.clone(),
-        warmup: SimDuration::ZERO,
-        duration: SimDuration::from_secs(20),
-        drain: SimDuration::from_secs(3),
-        seed,
-    };
-    let mut system = System::build(system_config(&cfg), |_| table4_generator(&params));
-    system.start();
-    (system, cfg)
+const MEASURE: SimDuration = SimDuration::from_secs(20);
+const DRAIN: SimDuration = SimDuration::from_secs(3);
+
+fn build(seed: u64, faults: FaultPlan) -> Run {
+    System::builder()
+        .servers(3)
+        .clients_per_server(1)
+        .safety(SafetyLevel::GroupSafe)
+        .load(Load::open_tps(10.0))
+        .measure(MEASURE)
+        .drain(DRAIN)
+        .faults(faults)
+        .seed(seed)
+        .build()
+        .expect("a valid configuration")
+}
+
+fn drive_to_completion(run: &mut Run) {
+    let end = SimTime::ZERO + MEASURE;
+    run.run_until(end);
+    run.stop_clients_at(end);
+    run.run_until(end + DRAIN);
 }
 
 /// Crash a delegate mid-run but let the group survive: its clients must
 /// fail over to other servers and finish their work exactly once.
 #[test]
 fn clients_fail_over_when_their_delegate_dies() {
-    let (mut system, cfg) = build(404);
     // Crash server 0 (home of client 0) at 5 s; it stays down.
-    system.engine.schedule_crash(SimTime::from_secs(5), system.servers[0]);
-    let end = SimTime::ZERO + cfg.duration;
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + cfg.drain);
+    let mut run = build(404, FaultPlan::crash(NodeId(0), SimTime::from_secs(5)));
+    drive_to_completion(&mut run);
 
+    let system = run.system();
     let oracle = system.oracle.borrow();
-    assert!(oracle.timeouts > 0, "requests to the dead delegate must time out");
+    assert!(
+        oracle.timeouts > 0,
+        "requests to the dead delegate must time out"
+    );
     // Client 0's transactions after the crash carry its id; they must
     // still be acknowledged (served by another delegate).
     let post_crash_acks_client0 = oracle
@@ -69,18 +69,14 @@ fn clients_fail_over_when_their_delegate_dies() {
 /// transaction.
 #[test]
 fn retries_commit_exactly_once() {
-    let (mut system, cfg) = build(405);
     // Make life hard: crash and recover a server mid-run.
-    system.engine.schedule_crash(SimTime::from_secs(4), system.servers[1]);
-    system
-        .engine
-        .schedule_recover(SimTime::from_secs(8), system.servers[1]);
-    let end = SimTime::ZERO + cfg.duration;
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + cfg.drain);
+    let mut run = build(
+        405,
+        FaultPlan::crash(NodeId(1), SimTime::from_secs(4))
+            .recover(NodeId(1), SimTime::from_secs(8)),
+    );
+    drive_to_completion(&mut run);
+    let system = run.system();
 
     // Every acknowledged update transaction is committed on every live
     // replica exactly once — the testable-transaction table dedups
@@ -90,8 +86,7 @@ fn retries_commit_exactly_once() {
     drop(oracle);
     let mut on_all = 0;
     for txn in &acked {
-        let everywhere = (0..system.n_servers)
-            .all(|i| system.server(i).db().is_committed(*txn));
+        let everywhere = (0..system.n_servers).all(|i| system.server(i).db().is_committed(*txn));
         if everywhere {
             on_all += 1;
         }

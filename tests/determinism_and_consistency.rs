@@ -1,75 +1,71 @@
 //! Cross-crate integration tests: determinism of the whole stack and
-//! one-copy-serialisability-style consistency checks.
+//! one-copy-serialisability-style consistency checks, driven through the
+//! builder API.
 
-use groupsafe::core::{SafetyLevel, StopClient, Technique};
+use groupsafe::core::{Load, Report, SafetyLevel, System, SystemBuilder};
 use groupsafe::db::{ItemState, WriteOp};
 use groupsafe::sim::{SimDuration, SimTime};
-use groupsafe::workload::{system_config, table4_generator, PaperParams, RunConfig};
 
-fn small_cfg(technique: Technique, seed: u64) -> RunConfig {
-    RunConfig {
-        technique,
-        load_tps: 15.0,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: PaperParams {
-            n_servers: 3,
-            clients_per_server: 2,
-            ..PaperParams::default()
-        },
-        warmup: SimDuration::from_secs(1),
-        duration: SimDuration::from_secs(8),
-        drain: SimDuration::from_secs(2),
-        seed,
-    }
+const N_ITEMS: u32 = 10_000;
+
+fn small_builder(level: SafetyLevel, seed: u64) -> SystemBuilder {
+    System::builder()
+        .servers(3)
+        .clients_per_server(2)
+        .safety(level)
+        .load(Load::open_tps(15.0))
+        .warmup(SimDuration::from_secs(1))
+        .measure(SimDuration::from_secs(8))
+        .drain(SimDuration::from_secs(2))
+        .seed(seed)
 }
 
-fn run_system(cfg: &RunConfig) -> (u64, usize, Vec<u64>) {
-    let params = cfg.params.clone();
-    let mut system =
-        groupsafe::core::System::build(system_config(cfg), |_| table4_generator(&params));
-    system.start();
-    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + cfg.drain);
-    let fingerprint = system.engine.fingerprint();
-    let commits = system.oracle.borrow().acked.len();
-    let digests = system.convergence();
-    (fingerprint, commits, digests)
+fn run_system(level: SafetyLevel, seed: u64) -> Report {
+    small_builder(level, seed)
+        .build()
+        .expect("a valid configuration")
+        .execute()
+}
+
+/// Run the full lifecycle but keep the system for post-hoc inspection.
+fn run_and_keep(level: SafetyLevel, seed: u64) -> System {
+    let mut run = small_builder(level, seed)
+        .build()
+        .expect("a valid configuration");
+    let end = SimTime::from_secs(9);
+    run.run_until(end);
+    run.stop_clients_at(end);
+    run.run_until(end + SimDuration::from_secs(2));
+    run.into_system()
 }
 
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
-    let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 77);
-    let a = run_system(&cfg);
-    let b = run_system(&cfg);
-    assert_eq!(a.0, b.0, "dispatch fingerprints must match");
-    assert_eq!(a.1, b.1, "commit counts must match");
-    assert_eq!(a.2, b.2, "final states must match");
+    let a = run_system(SafetyLevel::GroupSafe, 77);
+    let b = run_system(SafetyLevel::GroupSafe, 77);
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "dispatch fingerprints must match"
+    );
+    assert_eq!(a.acked, b.acked, "commit counts must match");
+    assert_eq!(a.digests, b.digests, "final states must match");
 }
 
 #[test]
 fn different_seeds_still_converge() {
     for seed in [1, 2, 3, 4] {
-        let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), seed);
-        let (_, commits, digests) = run_system(&cfg);
-        assert!(commits > 20, "seed {seed}: too few commits ({commits})");
-        assert_eq!(digests.len(), 1, "seed {seed}: replicas diverged");
+        let r = run_system(SafetyLevel::GroupSafe, seed);
+        assert!(r.acked > 20, "seed {seed}: too few commits ({})", r.acked);
+        assert_eq!(r.distinct_states, 1, "seed {seed}: replicas diverged");
     }
 }
 
 #[test]
 fn lazy_converges_after_drain() {
     for seed in [5, 6, 7] {
-        let cfg = small_cfg(Technique::Lazy, seed);
-        let (_, commits, digests) = run_system(&cfg);
-        assert!(commits > 20);
-        assert_eq!(digests.len(), 1, "seed {seed}: lazy replicas diverged");
+        let r = run_system(SafetyLevel::OneSafe, seed);
+        assert!(r.acked > 20);
+        assert_eq!(r.distinct_states, 1, "seed {seed}: lazy replicas diverged");
     }
 }
 
@@ -78,17 +74,7 @@ fn lazy_converges_after_drain() {
 /// a fresh database, must reproduce every replica's final state exactly.
 #[test]
 fn dsm_commit_history_replays_to_the_replica_state() {
-    let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 123);
-    let params = cfg.params.clone();
-    let mut system =
-        groupsafe::core::System::build(system_config(&cfg), |_| table4_generator(&params));
-    system.start();
-    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + cfg.drain);
+    let system = run_and_keep(SafetyLevel::GroupSafe, 123);
 
     // Gather the committed write sets and sort by version (delivery seq).
     let oracle = system.oracle.borrow();
@@ -102,8 +88,7 @@ fn dsm_commit_history_replays_to_the_replica_state() {
     history.sort_by_key(|(v, _)| *v);
 
     // Replay into a fresh image.
-    let n_items = cfg.params.n_items as usize;
-    let mut image = vec![ItemState::default(); n_items];
+    let mut image = vec![ItemState::default(); N_ITEMS as usize];
     for (_, writes) in &history {
         for w in writes {
             image[w.item.index()] = ItemState {
@@ -132,12 +117,11 @@ fn dsm_commit_history_replays_to_the_replica_state() {
 /// version and the reader's own commit version.
 #[test]
 fn dsm_no_committed_transaction_read_stale_data() {
-    let cfg = small_cfg(Technique::Dsm(SafetyLevel::GroupSafe), 321);
-    let params = cfg.params.clone();
-    let mut system =
-        groupsafe::core::System::build(system_config(&cfg), |_| table4_generator(&params));
-    system.start();
-    system.engine.run_until(SimTime::from_secs(10));
+    let mut run = small_builder(SafetyLevel::GroupSafe, 321)
+        .build()
+        .expect("a valid configuration");
+    run.run_until(SimTime::from_secs(10));
+    let system = run.system();
 
     let oracle = system.oracle.borrow();
     // item -> sorted committed write versions
@@ -157,9 +141,7 @@ fn dsm_no_committed_transaction_read_stale_data() {
         };
         for (item, read_v) in &rec.readset {
             if let Some(vs) = writes_by_item.get(&item.0) {
-                let conflicting = vs
-                    .iter()
-                    .any(|&wv| wv > *read_v && wv < own);
+                let conflicting = vs.iter().any(|&wv| wv > *read_v && wv < own);
                 assert!(
                     !conflicting,
                     "committed txn at version {own} read item {item} at stale version {read_v}"

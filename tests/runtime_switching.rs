@@ -1,86 +1,56 @@
 //! §5.2: "switching between group-1-safe and group-safe can be done
 //! easily at runtime". Run one system, flip every server's safety level
-//! mid-run, and verify (a) the response-time regime changes accordingly,
-//! (b) nothing is lost and the replicas stay convergent throughout.
+//! mid-run through the `Run` handle's phase hooks, and verify (a) the
+//! response-time regime changes accordingly, (b) nothing is lost and the
+//! replicas stay convergent throughout.
 
-use groupsafe::core::{SafetyLevel, StopClient, SwitchSafetyCmd, System, Technique};
+use groupsafe::core::{Load, SafetyLevel, SwitchSafetyCmd, System};
 use groupsafe::sim::{SimDuration, SimTime};
-use groupsafe::workload::{system_config, table4_generator, PaperParams, RunConfig};
-
-fn phase_mean(system: &mut System, name: &'static str) -> f64 {
-    let h = system.engine.metrics_mut().histogram_mut(name);
-    h.mean()
-}
 
 #[test]
 fn switching_changes_the_reply_point_live() {
-    let params = PaperParams {
-        n_servers: 5,
-        clients_per_server: 3,
-        ..PaperParams::default()
-    };
-    let cfg = RunConfig {
-        technique: Technique::Dsm(SafetyLevel::GroupSafe),
-        load_tps: 20.0,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: params.clone(),
-        warmup: SimDuration::ZERO,
-        duration: SimDuration::from_secs(40),
-        drain: SimDuration::from_secs(2),
-        seed: 55,
-    };
-    let mut system = System::build(system_config(&cfg), |_| table4_generator(&params));
-    system.start();
+    let report = System::builder()
+        .servers(5)
+        .clients_per_server(3)
+        .safety(SafetyLevel::GroupSafe)
+        .load(Load::open_tps(20.0))
+        .measure(SimDuration::from_secs(40))
+        .drain(SimDuration::from_secs(2))
+        .seed(55)
+        .build()
+        .expect("a valid configuration")
+        // Phase 1: group-safe for 12 s. Then switch every server to
+        // group-1-safe for 12 s, then back for the rest.
+        .switch_safety_at(SimTime::from_secs(12), SafetyLevel::GroupOneSafe)
+        .switch_safety_at(SimTime::from_secs(24), SafetyLevel::GroupSafe)
+        .execute();
 
-    // Phase 1: group-safe for 12 s.
-    system.engine.run_until(SimTime::from_secs(12));
-    let phase1 = phase_mean(&mut system, "response_total_ms");
-
-    // Switch every server to group-1-safe; run 12 more seconds.
-    let now = system.engine.now();
-    for &s in &system.servers.clone() {
-        system
-            .engine
-            .schedule_resilient(now, s, SwitchSafetyCmd(SafetyLevel::GroupOneSafe));
-    }
-    system.engine.run_until(SimTime::from_secs(24));
-    let cumulative2 = phase_mean(&mut system, "response_total_ms");
-
-    // Switch back; run to the end and drain.
-    let now = system.engine.now();
-    for &s in &system.servers.clone() {
-        system
-            .engine
-            .schedule_resilient(now, s, SwitchSafetyCmd(SafetyLevel::GroupSafe));
-    }
-    let end = SimTime::from_secs(40);
-    system.engine.run_until(end);
-    for &c in &system.clients.clone() {
-        system.engine.schedule_resilient(end, c, StopClient);
-    }
-    system.engine.run_until(end + SimDuration::from_secs(2));
-
-    // The group-1-safe phase must have pushed the cumulative mean up
-    // noticeably (its reply point includes a synchronous log force and
-    // page install).
+    // The per-phase breakdown names each hook's phase after its label.
+    assert_eq!(report.phases.len(), 4, "measure + 2 switches + drain");
+    let gs1 = &report.phases[0];
+    let g1s = &report.phases[1];
+    let gs2 = &report.phases[2];
+    assert!(gs1.commits > 50 && g1s.commits > 50 && gs2.commits > 50);
+    // The group-1-safe phase must be noticeably slower (its reply point
+    // includes a synchronous log force and page install).
     assert!(
-        cumulative2 > phase1 * 1.3,
-        "group-1-safe phase must slow responses: {phase1:.1} -> {cumulative2:.1} ms"
+        g1s.mean_ms > gs1.mean_ms * 1.3,
+        "group-1-safe phase must slow responses: {:.1} -> {:.1} ms",
+        gs1.mean_ms,
+        g1s.mean_ms
     );
-    assert_eq!(
-        system.engine.metrics().counter("safety_switches"),
-        10,
-        "five servers switched twice"
+    assert!(
+        gs2.mean_ms < g1s.mean_ms,
+        "switching back must speed responses up again: {:.1} -> {:.1} ms",
+        g1s.mean_ms,
+        gs2.mean_ms
     );
 
     // Safety held throughout: nothing lost, replicas agree.
-    assert!(system.lost_transactions().is_empty());
-    assert_eq!(system.convergence().len(), 1);
+    assert_eq!(report.lost, 0);
+    assert_eq!(report.distinct_states, 1);
     assert!(
-        system.oracle.borrow().acked.len() > 300,
+        report.acked > 300,
         "the system must have processed plenty across all three phases"
     );
 }
@@ -88,27 +58,18 @@ fn switching_changes_the_reply_point_live() {
 #[test]
 #[should_panic(expected = "runtime switching is defined between")]
 fn switching_to_two_safe_is_rejected() {
-    let params = PaperParams {
-        n_servers: 3,
-        clients_per_server: 1,
-        ..PaperParams::default()
-    };
-    let cfg = RunConfig {
-        technique: Technique::Dsm(SafetyLevel::GroupSafe),
-        load_tps: 5.0,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: params.clone(),
-        warmup: SimDuration::ZERO,
-        duration: SimDuration::from_secs(2),
-        drain: SimDuration::ZERO,
-        seed: 1,
-    };
-    let mut system = System::build(system_config(&cfg), |_| table4_generator(&params));
-    system.start();
-    system.engine.run_until(SimTime::from_secs(1));
+    let mut run = System::builder()
+        .servers(3)
+        .clients_per_server(1)
+        .safety(SafetyLevel::GroupSafe)
+        .load(Load::open_tps(5.0))
+        .measure(SimDuration::from_secs(2))
+        .drain(SimDuration::ZERO)
+        .seed(1)
+        .build()
+        .expect("a valid configuration");
+    run.run_until(SimTime::from_secs(1));
+    let system = run.system_mut();
     let now = system.engine.now();
     let s0 = system.servers[0];
     system
@@ -116,5 +77,5 @@ fn switching_to_two_safe_is_rejected() {
         .schedule_resilient(now, s0, SwitchSafetyCmd(SafetyLevel::TwoSafe));
     // 2-safe needs a different broadcast primitive (end-to-end): the
     // switch must be refused loudly, not silently mis-configured.
-    system.engine.run_until(SimTime::from_secs(2));
+    run.run_until(SimTime::from_secs(2));
 }

@@ -2,47 +2,39 @@
 //! transaction is logged on *all* servers — so it survives anything, but
 //! "a single crash renders the system unavailable".
 
-use groupsafe::core::{SafetyLevel, StopClient, System, Technique};
+use groupsafe::core::{FaultPlan, Load, Run, SafetyLevel, System, Technique};
+use groupsafe::net::NodeId;
 use groupsafe::sim::{SimDuration, SimTime};
-use groupsafe::workload::{
-    run_crash_scenario, system_config, table4_generator, CrashScenario, PaperParams,
-    RecoveryPlan, RunConfig,
-};
+use groupsafe::workload::{run_crash_scenario, CrashScenario, RecoveryPlan};
 
-fn cfg(seed: u64) -> RunConfig {
-    RunConfig {
-        technique: Technique::Dsm(SafetyLevel::VerySafe),
-        load_tps: 10.0,
-        closed_loop: false,
-        assumed_resp_ms: 70.0,
-        lazy_prop_ms: 20.0,
-        wal_flush_ms: 20.0,
-        params: PaperParams {
-            n_servers: 3,
-            clients_per_server: 2,
-            ..PaperParams::default()
-        },
-        warmup: SimDuration::from_secs(1),
-        duration: SimDuration::from_secs(10),
-        drain: SimDuration::from_secs(3),
-        seed,
-    }
+fn build(seed: u64, faults: FaultPlan) -> Run {
+    System::builder()
+        .servers(3)
+        .clients_per_server(2)
+        .safety(SafetyLevel::VerySafe)
+        .load(Load::open_tps(10.0))
+        .warmup(SimDuration::from_secs(1))
+        .measure(SimDuration::from_secs(10))
+        .drain(SimDuration::from_secs(3))
+        .faults(faults)
+        .seed(seed)
+        .build()
+        .expect("a valid configuration")
 }
 
 #[test]
 fn very_safe_commits_when_everyone_is_up() {
-    let c = cfg(61);
-    let params = c.params.clone();
-    let mut system = System::build(system_config(&c), |_| table4_generator(&params));
-    system.start();
-    let end = SimTime::ZERO + c.warmup + c.duration;
-    system.engine.run_until(end);
-    for &cl in &system.clients.clone() {
-        system.engine.schedule_resilient(end, cl, StopClient);
-    }
-    system.engine.run_until(end + c.drain);
+    let mut run = build(61, FaultPlan::none());
+    let end = SimTime::from_secs(11);
+    run.run_until(end);
+    run.stop_clients_at(end);
+    run.run_until(end + SimDuration::from_secs(3));
+    let system = run.system();
     let acked = system.oracle.borrow().acked.len();
-    assert!(acked > 40, "very-safe must make progress when all are up ({acked})");
+    assert!(
+        acked > 40,
+        "very-safe must make progress when all are up ({acked})"
+    );
     assert!(system.lost_transactions().is_empty());
     assert_eq!(system.convergence().len(), 1);
     // Every acknowledged update transaction is durable on EVERY replica —
@@ -65,13 +57,10 @@ fn very_safe_blocks_while_any_server_is_down() {
     // no commit acknowledgement completes while the server is down — but
     // nothing is lost. (Contrast: group-safe keeps committing, see
     // tests/system_safety.rs.)
-    let c = cfg(63);
-    let params = c.params.clone();
-    let mut system = System::build(system_config(&c), |_| table4_generator(&params));
-    system.start();
     let crash_at = SimTime::from_secs(4);
-    system.engine.schedule_crash(crash_at, system.servers[2]);
-    system.engine.run_until(SimTime::from_secs(9));
+    let mut run = build(63, FaultPlan::crash(NodeId(2), crash_at));
+    run.run_until(SimTime::from_secs(9));
+    let system = run.system();
     let oracle = system.oracle.borrow();
     let pre = oracle.acked.values().filter(|a| a.at <= crash_at).count();
     let grace = crash_at + SimDuration::from_millis(500);
@@ -89,7 +78,10 @@ fn very_safe_blocks_while_any_server_is_down() {
         "very-safe must block while a server is down (§2.1: a single crash \
          renders the system unavailable)"
     );
-    assert!(system.lost_transactions().is_empty(), "blocking, not losing");
+    assert!(
+        system.lost_transactions().is_empty(),
+        "blocking, not losing"
+    );
 }
 
 #[test]

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the bench-definition API the workspace's benches use
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`]) backed by
+//! a deliberately simple harness: fixed warm-up, a handful of timed
+//! batches, median-of-batches reporting. No statistics, plots or
+//! baselines — enough to compare orders of magnitude and to keep
+//! `cargo bench` working.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The bench registry/driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower or raise the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark case.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to the measured closure; its [`iter`](Bencher::iter) runs and
+/// times the workload.
+pub struct Bencher {
+    batch_times: Vec<Duration>,
+    iters_per_batch: u64,
+    batches: usize,
+}
+
+/// How much setup output to batch per timing pass (API parity only; this
+/// harness always uses one input per measured call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_batch = 1;
+        for _ in 0..self.batches {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.batch_times.push(t0.elapsed());
+        }
+    }
+
+    /// Time `f`, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for batches of at least
+        // ~10 ms so Instant resolution noise stays negligible.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        self.iters_per_batch = per_batch as u64;
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(f());
+            }
+            self.batch_times.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        batch_times: Vec::new(),
+        iters_per_batch: 1,
+        batches: sample_size,
+    };
+    f(&mut b);
+    if b.batch_times.is_empty() {
+        println!("{label:<50} (no measurement)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .batch_times
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / b.iters_per_batch as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let (min, max) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!(
+        "{label:<50} median {:>12} /iter   [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Group benchmark functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

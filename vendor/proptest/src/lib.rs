@@ -1,0 +1,455 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the proptest API the workspace's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, range/tuple/collection/option strategies, [`prop_oneof!`],
+//! `any::<bool>()`, `prop_assert!`/`prop_assert_eq!`, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its case index and seed,
+//!   not a minimised input;
+//! * **fixed deterministic seeding** — each test derives its RNG from the
+//!   test name and case index, so failures are reproducible across runs;
+//! * fewer strategy combinators (only what the workspace needs).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Strategy combinators and core types.
+pub mod strategy {
+    use super::StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (backs [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.random_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// A length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        low: usize,
+        high_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                low: n,
+                high_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                low: r.start,
+                high_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                low: *r.start(),
+                high_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.random_range(self.size.low..self.size.high_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// Strategy for `Option<S::Value>`: `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The result of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.random_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-domain strategy for `bool`.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            use rand::Rng;
+            rng.random_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the simulation-heavy
+            // property tests inside a comfortable `cargo test` budget.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+        /// The input was rejected (unused here, kept for API parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure carrying `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "assertion failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// FNV-1a over the test name: the per-test base seed.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Assert inside a proptest body; on failure the case errors (does not
+/// panic directly, mirroring real proptest).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} == {} failed: {:?} != {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} ({:?} != {:?})",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn it_holds(x in 0u32..10, v in proptest::collection::vec(0u64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @run ($crate::test_runner::ProptestConfig::default())
+            $(#[$meta])* fn $name $($rest)*
+        );
+    };
+    (
+        @run ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let seed = $crate::seed_for(stringify!($name), case);
+                    let mut rng =
+                        <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg = ($strategy).generate(&mut rng);)+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {case} (seed {seed:#x}): {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (not the upstream ChaCha12; seeds produce *different*
+//!   streams than real `rand`, which is fine — the simulation only needs
+//!   determinism and statistical quality, not cross-crate reproducibility),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::random`], [`Rng::random_range`] (integer and float ranges,
+//!   half-open and inclusive) and [`Rng::random_bool`].
+//!
+//! Uniform integer sampling uses Lemire's widening-multiply method, so
+//! there is no modulo bias.
+
+#![forbid(unsafe_code)]
+
+/// Named generators (mirror of `rand::rngs`).
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+pub use std_rng::StdRng;
+
+/// A source of random `u64`s (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds (mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Derive a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A 53-bit-precision uniform draw in `[0, 1)`.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that [`Rng::random`] can produce.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+/// Unbiased draw in `[0, span)` by widening multiply (Lemire).
+fn draw_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // The multiply maps the 64-bit draw onto [0, span) with at most one
+    // rejection round needed for exactness; for simulation purposes the
+    // single widening multiply's bias (< 2^-64 * span) is negligible, so
+    // no rejection loop is used.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Types usable as [`Rng::random_range`] bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw in `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64);
+                // wrapping: a full-width inclusive range has span 2^64,
+                // which wraps to 0 and takes the any-draw branch below.
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    if inclusive {
+                        // Inclusive full-width range: any draw is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    panic!("cannot sample empty range");
+                }
+                low.wrapping_add(draw_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Two's complement: the unsigned distance low -> high is
+                // exact even across zero.
+                let span = (high as u64).wrapping_sub(low as u64);
+                // wrapping: see the unsigned case — full-width inclusive
+                // ranges wrap to 0 and take the any-draw branch.
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    if inclusive {
+                        return rng.next_u64() as $t;
+                    }
+                    panic!("cannot sample empty range");
+                }
+                low.wrapping_add(draw_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                low + (unit_f64(rng) as $t) * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+/// User-facing generator methods (mirror of `rand::Rng`), blanket-
+/// implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn random_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(0..17);
+            assert!(v < 17);
+            let w: usize = rng.random_range(10..=20);
+            assert!((10..=20).contains(&w));
+            let x: i64 = rng.random_range(-1_000_000..1_000_000);
+            assert!((-1_000_000..1_000_000).contains(&x));
+            let f: f64 = rng.random_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let _: i64 = rng.random_range(i64::MIN..=i64::MAX);
+        let _: u8 = rng.random_range(0..=u8::MAX);
+    }
+
+    #[test]
+    fn bool_probability_rough() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.2)).count();
+        assert!((18_000..22_000).contains(&hits), "hits {hits}");
+    }
+}
