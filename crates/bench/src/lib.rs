@@ -6,9 +6,12 @@
 //! * `table3` — group-safe vs group-1-safe loss conditions,
 //! * `table4` — the simulator parameters in use,
 //! * `fig5_fig7` — the lost-transaction and end-to-end recovery scenarios,
-//! * `fig9` — response time vs load for the three techniques,
+//! * `fig9` — response time vs load for the three techniques (plus
+//!   `--batch`: batched vs unbatched group-safe curves),
 //! * `scaling` — §7/Fig. 10: lazy vs group-safe risk as n grows,
-//! * `latency_micro` — disk write vs atomic broadcast latency (§6).
+//! * `latency_micro` — disk write vs atomic broadcast latency (§6),
+//! * `batching` — abcast batch-size sweep under open-loop overload
+//!   (asserts the ≥2× saturated-throughput claim).
 //!
 //! Criterion micro-benches live under `benches/`.
 
@@ -16,3 +19,21 @@
 #![warn(missing_docs)]
 
 pub mod plot;
+
+use groupsafe_core::WorkloadSpec;
+
+/// The ordering-bound workload the batching harnesses share (`batching`
+/// and `fig9 --batch`): short write-only transactions over the Table 4
+/// database, so the per-transaction abcast traffic — not the read
+/// phase or the data path — saturates first. Keeping it in one place
+/// keeps the two harnesses measuring the same regime.
+pub fn ordering_bound_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        n_items: 10_000,
+        txn_len_min: 2,
+        txn_len_max: 4,
+        write_probability: 1.0,
+        hot_access_fraction: 0.0,
+        hot_set_fraction: 0.02,
+    }
+}

@@ -32,6 +32,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use groupsafe_db::{DbConfig, ItemId, Operation};
+use groupsafe_gcs::BatchConfig;
 use groupsafe_net::{NetConfig, NodeId};
 use groupsafe_sim::{SimDuration, SimTime};
 
@@ -431,6 +432,10 @@ pub struct SystemBuilder {
     workload: WorkloadSpec,
     generator: Option<GeneratorFactory>,
     faults: FaultPlan,
+    /// An explicit [`SystemBuilder::batching`] call; takes precedence
+    /// over the `GROUPSAFE_BATCHING` env profile and over whatever
+    /// `batch` a [`SystemBuilder::replica`] config carries.
+    batch_override: Option<BatchConfig>,
 }
 
 impl Default for SystemBuilder {
@@ -450,6 +455,7 @@ impl Default for SystemBuilder {
             workload: WorkloadSpec::default(),
             generator: None,
             faults: FaultPlan::none(),
+            batch_override: None,
         }
     }
 }
@@ -488,6 +494,21 @@ impl SystemBuilder {
     /// Choose the replication technique explicitly.
     pub fn technique(mut self, technique: Technique) -> Self {
         self.replica.technique = technique;
+        self
+    }
+
+    /// Batching knobs of the atomic-broadcast pipeline: the sequencer
+    /// packs up to `batch.max_msgs` pending broadcasts (flushed after at
+    /// most `batch.max_delay`) into one ordered frame, and the replicas
+    /// persist and vote per frame instead of per transaction.
+    /// [`BatchConfig::unbatched`] (the default) reproduces the classic
+    /// per-message pipeline bit-for-bit.
+    ///
+    /// Precedence at build time: an explicit call here beats the
+    /// `GROUPSAFE_BATCHING` env profile, which beats the `batch` carried
+    /// by a [`SystemBuilder::replica`] config.
+    pub fn batching(mut self, batch: BatchConfig) -> Self {
+        self.batch_override = Some(batch);
         self
     }
 
@@ -627,11 +648,21 @@ impl SystemBuilder {
             // generators own their item space via `.db(..)`.
             db.n_items = self.workload.n_items;
         }
+        // Batching precedence: explicit `.batching(..)` call, then the
+        // `GROUPSAFE_BATCHING` env profile (the CI hook that runs the
+        // same suite batched and unbatched — resolved here, after every
+        // setter, so a later `.replica(..)` cannot silently shed it),
+        // then whatever the replica config carries.
+        let batch = self
+            .batch_override
+            .or_else(BatchConfig::from_env)
+            .unwrap_or(self.replica.batch);
         Ok(SystemConfig {
             n_servers: self.n_servers,
             clients_per_server: self.clients_per_server,
             replica: ReplicaConfig {
                 db,
+                batch,
                 ..self.replica.clone()
             },
             load: self.load.resolve(n_clients)?,
@@ -858,6 +889,7 @@ impl Run {
         };
         let technique = system.technique().label();
         let fingerprint = system.engine.fingerprint();
+        let (gcs, batch_hist) = system.gcs_stats();
 
         // Per-phase stats from the sample slices between marks. Samples
         // append in simulated-time order, so index ranges captured at the
@@ -901,6 +933,10 @@ impl Run {
             distinct_states: digests.len(),
             digests,
             lost_updates,
+            abcast_batches: gcs.batches_sent,
+            mean_batch_size: gcs.mean_batch_size(),
+            votes_per_delivery: gcs.votes_per_delivery(),
+            batch_hist,
             phases,
             fingerprint,
         }
@@ -993,6 +1029,17 @@ pub struct Report {
     pub digests: Vec<u64>,
     /// Lost updates among acknowledged commits (lazy anomaly, §7).
     pub lost_updates: usize,
+    /// Atomic-broadcast batch frames flushed across the group (0 when
+    /// batching is off or the technique uses no group communication).
+    pub abcast_batches: u64,
+    /// Mean messages per flushed batch frame (1.0 unbatched).
+    pub mean_batch_size: f64,
+    /// Stability-vote messages per delivered entry, both summed per-node
+    /// over the whole group — the amortisation batching buys (1.0
+    /// unbatched: one vote per node per entry; `≈ 1 / batch` batched).
+    pub votes_per_delivery: f64,
+    /// Batch-size histogram across the group: (size, frame count).
+    pub batch_hist: Vec<(u32, u64)>,
     /// Per-phase response-time breakdown.
     pub phases: Vec<PhaseStats>,
     /// The engine's dispatch fingerprint (determinism witness).
@@ -1035,6 +1082,20 @@ impl Report {
         s.push_str(&format!("\"lost\":{},", self.lost));
         s.push_str(&format!("\"distinct_states\":{},", self.distinct_states));
         s.push_str(&format!("\"lost_updates\":{},", self.lost_updates));
+        s.push_str(&format!("\"abcast_batches\":{},", self.abcast_batches));
+        s.push_str(&format!("\"mean_batch_size\":{},", f(self.mean_batch_size)));
+        s.push_str(&format!(
+            "\"votes_per_delivery\":{},",
+            f(self.votes_per_delivery)
+        ));
+        s.push_str("\"batch_hist\":[");
+        for (i, (size, count)) in self.batch_hist.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{size},{count}]"));
+        }
+        s.push_str("],");
         s.push_str("\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -1085,6 +1146,13 @@ impl std::fmt::Display for Report {
             self.distinct_states
         )?;
         writeln!(f, "lost updates           : {}", self.lost_updates)?;
+        if self.abcast_batches > 0 {
+            writeln!(
+                f,
+                "abcast batching        : {} frames, mean {:.1} msgs/frame, {:.2} votes/delivery",
+                self.abcast_batches, self.mean_batch_size, self.votes_per_delivery
+            )?;
+        }
         if self.phases.len() > 1 {
             for p in &self.phases {
                 writeln!(

@@ -38,6 +38,7 @@ pub use builder::{
 };
 pub use certify::{certify, certify_versions, Certification};
 pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, StopClient};
+pub use groupsafe_gcs::BatchConfig;
 pub use msg::{ClientMsg, DsmMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest};
 pub use safety::{table1, Guarantee, SafetyLevel};
 pub use server::{

@@ -32,7 +32,7 @@ use groupsafe_db::{
     DbCheckpoint, DbConfig, DbEngine, FlushPolicy, ItemId, LockMode, LockOutcome, Lsn, Operation,
     TxnId, Value, Version, WriteOp,
 };
-use groupsafe_gcs::{GcsConfig, GcsEndpoint, GcsOutput, GcsTimer, Wire};
+use groupsafe_gcs::{BatchConfig, GcsConfig, GcsEndpoint, GcsOutput, GcsTimer, Wire};
 use groupsafe_net::{Incoming, Network, NodeId, NET_CPU};
 use groupsafe_sim::{Actor, Ctx, Disk, Fcfs, Payload, SimDuration, SimTime};
 
@@ -109,6 +109,10 @@ pub struct ReplicaConfig {
     /// access charged per extra page; 1.0 disables write caching — the
     /// §5.1 ablation).
     pub disk_sequential_factor: f64,
+    /// Batching knobs of the atomic-broadcast pipeline (applied to
+    /// whatever [`GcsConfig`] the technique selects; ignored by
+    /// [`Technique::Lazy`], which uses no group communication).
+    pub batch: BatchConfig,
 }
 
 impl Default for ReplicaConfig {
@@ -126,6 +130,7 @@ impl Default for ReplicaConfig {
             page_flush_interval: SimDuration::from_millis(100),
             lazy_prop_interval: SimDuration::from_millis(20),
             disk_sequential_factor: 0.3,
+            batch: BatchConfig::unbatched(),
         }
     }
 }
@@ -273,7 +278,7 @@ impl ReplicaServer {
         let group: Vec<NodeId> = (0..n_servers).map(NodeId).collect();
         let gcs = cfg.technique.gcs_config().map(|gcfg| {
             GcsEndpoint::new(
-                gcfg,
+                gcfg.with_batching(cfg.batch),
                 node,
                 group,
                 net.clone(),
@@ -645,13 +650,24 @@ impl ReplicaServer {
     // DSM delivery handling (every replica)
     // ------------------------------------------------------------------
 
-    fn on_deliver(&mut self, ctx: &mut Ctx<'_>, seq: u64, msg: DsmMsg, redelivery: bool) {
+    fn on_deliver(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        seq: u64,
+        msg: DsmMsg,
+        redelivery: bool,
+        span: u32,
+    ) {
         let now = ctx.now();
         // CPU cost of the ordering traffic this delivery represents
         // (ordered message + the view's acknowledgements), charged in bulk
-        // rather than one event per ack. See DESIGN.md.
+        // rather than one event per ack. See DESIGN.md. Under the batched
+        // pipeline the frame and its aggregated votes are shared by every
+        // entry they carry, so each delivery pays its amortised share.
         let acks = self.n_servers as u64;
-        self.cpu.borrow_mut().request(now, NET_CPU * (acks + 1));
+        self.cpu
+            .borrow_mut()
+            .request(now, NET_CPU * (acks + 1) / u64::from(span.max(1)));
         // Delivered transactions are processed strictly in delivery order
         // (determinism requires it): processing starts when the pipeline
         // frees up.
@@ -823,7 +839,10 @@ impl ReplicaServer {
                     payload,
                     redelivery,
                     ..
-                } => self.on_deliver(ctx, seq, payload, redelivery),
+                } => {
+                    let span = self.gcs.as_ref().map_or(1, |g| g.frame_span(seq));
+                    self.on_deliver(ctx, seq, payload, redelivery, span)
+                }
                 GcsOutput::CheckpointRequest { joiner, generation } => {
                     let ckpt = self.db.checkpoint();
                     let applied = self.applied_seq;

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use groupsafe_db::DbEngine;
+use groupsafe_gcs::GcsStats;
 use groupsafe_net::{NetConfig, Network, NodeId};
 use groupsafe_sim::{ActorId, Engine, SimDuration, SimTime};
 
@@ -177,5 +178,24 @@ impl System {
     /// The technique's label (from the first server's config).
     pub fn technique(&self) -> Technique {
         self.server(0).technique()
+    }
+
+    /// Whole-group atomic-broadcast counters plus the merged batch-size
+    /// histogram (size → frame count), summed over every server's
+    /// endpoint. Empty/default for techniques without group
+    /// communication.
+    pub fn gcs_stats(&self) -> (GcsStats, Vec<(u32, u64)>) {
+        let mut total = GcsStats::default();
+        let mut hist: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for &id in &self.servers {
+            let s: &ReplicaServer = self.engine.actor(id);
+            if let Some(g) = s.gcs() {
+                total.merge(&g.stats());
+                for (&size, &count) in g.batch_histogram() {
+                    *hist.entry(size).or_insert(0) += count;
+                }
+            }
+        }
+        (total, hist.into_iter().collect())
     }
 }

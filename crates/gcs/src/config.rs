@@ -2,6 +2,117 @@
 
 use groupsafe_sim::SimDuration;
 
+/// Sequencer-side batching of the ordering pipeline.
+///
+/// With `max_msgs > 1` the sequencer accumulates pending broadcasts and
+/// ships them as one `OrderedBatch` frame carrying a contiguous sequence
+/// range; receivers persist the whole frame with a single stable-log
+/// write and acknowledge it with one aggregated `AckRange` vote instead
+/// of one message per sequence number. Sequence numbers are assigned at
+/// forward-receipt time exactly as in the unbatched path, so the total
+/// order a run produces is independent of the knobs — only the framing
+/// (and therefore the per-transaction message and CPU cost) changes.
+///
+/// A batch is flushed as soon as *any* trigger fires:
+/// * it holds `max_msgs` messages,
+/// * its estimated payload volume reaches `max_bytes` (0 disables the
+///   byte trigger; payload sizes are estimated as `size_of::<P>()` —
+///   an in-memory proxy, adequate for the simulation),
+/// * `max_delay` elapsed since the first message entered the
+///   accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush when this many messages accumulated. `1` disables batching
+    /// (the endpoint runs the classic per-message path bit-for-bit).
+    pub max_msgs: usize,
+    /// Flush when the accumulated payload estimate reaches this many
+    /// bytes (0 = no byte trigger).
+    pub max_bytes: usize,
+    /// Flush when the oldest accumulated message has waited this long.
+    pub max_delay: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::unbatched()
+    }
+}
+
+impl BatchConfig {
+    /// One message per frame: the classic unbatched pipeline.
+    pub fn unbatched() -> Self {
+        BatchConfig {
+            max_msgs: 1,
+            max_bytes: 0,
+            max_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Batch up to `max_msgs` messages, flushing after at most
+    /// `max_delay` (no byte trigger).
+    pub fn of(max_msgs: usize, max_delay: SimDuration) -> Self {
+        assert!(max_msgs >= 1, "a batch holds at least one message");
+        BatchConfig {
+            max_msgs,
+            max_bytes: 0,
+            max_delay,
+        }
+    }
+
+    /// True when the batched pipeline is in force.
+    pub fn enabled(&self) -> bool {
+        self.max_msgs > 1 || self.max_bytes > 0
+    }
+
+    /// The profile selected by the `GROUPSAFE_BATCHING` environment
+    /// variable, if any. Recognised values:
+    ///
+    /// * unset, empty, or `off` → `None` (callers keep their default),
+    /// * `on` → `Some(BatchConfig::of(8, 500 µs))`,
+    /// * `msgs=N[,delay_us=D][,bytes=B]` → the explicit knobs.
+    ///
+    /// Used by CI to run the same integration suite with batching on and
+    /// off without touching the test sources.
+    ///
+    /// # Panics
+    /// Panics on any malformed value: a typo must fail the run loudly,
+    /// not silently select the unbatched profile (which would make a
+    /// "batching on" CI pass vacuous).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("GROUPSAFE_BATCHING").ok()?;
+        let raw = raw.trim();
+        if raw.is_empty() || raw.eq_ignore_ascii_case("off") {
+            return None;
+        }
+        if raw.eq_ignore_ascii_case("on") {
+            return Some(BatchConfig::of(8, SimDuration::from_micros(500)));
+        }
+        let bad = |part: &str| -> ! {
+            panic!(
+                "GROUPSAFE_BATCHING: cannot parse {part:?} (expected \
+                 off | on | msgs=N[,delay_us=D][,bytes=B], got {raw:?})"
+            )
+        };
+        let mut cfg = BatchConfig::of(8, SimDuration::from_micros(500));
+        for part in raw.split(',') {
+            let mut kv = part.splitn(2, '=');
+            let (Some(key), Some(value)) = (kv.next(), kv.next()) else {
+                bad(part);
+            };
+            let Ok(value) = value.trim().parse::<u64>() else {
+                bad(part);
+            };
+            match key.trim() {
+                "msgs" if value >= 1 => cfg.max_msgs = value as usize,
+                "delay_us" => cfg.max_delay = SimDuration::from_micros(value),
+                "bytes" => cfg.max_bytes = value as usize,
+                _ => bad(part),
+            }
+        }
+        Some(cfg)
+    }
+}
+
 /// Which of the paper's two system models the endpoint runs in (§2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GcsModel {
@@ -47,6 +158,15 @@ pub struct GcsConfig {
     pub hb_timeout: SimDuration,
     /// Timeout for view-change and join attempts before retrying.
     pub change_timeout: SimDuration,
+    /// Sequencer-side batching of the ordering pipeline.
+    pub batch: BatchConfig,
+}
+
+impl GcsConfig {
+    /// This configuration with the given batching knobs.
+    pub fn with_batching(self, batch: BatchConfig) -> Self {
+        GcsConfig { batch, ..self }
+    }
 }
 
 impl GcsConfig {
@@ -60,6 +180,7 @@ impl GcsConfig {
             hb_interval: SimDuration::from_millis(10),
             hb_timeout: SimDuration::from_millis(35),
             change_timeout: SimDuration::from_millis(50),
+            batch: BatchConfig::unbatched(),
         }
     }
 
@@ -122,5 +243,41 @@ mod tests {
     fn heartbeat_timeout_exceeds_interval() {
         let c = GcsConfig::view_based_uniform();
         assert!(c.hb_timeout > c.hb_interval);
+    }
+
+    #[test]
+    fn presets_default_to_unbatched() {
+        for cfg in [
+            GcsConfig::view_based_uniform(),
+            GcsConfig::view_based_non_uniform(),
+            GcsConfig::crash_recovery(),
+            GcsConfig::end_to_end(),
+        ] {
+            assert!(!cfg.batch.enabled());
+        }
+        let batched = GcsConfig::end_to_end()
+            .with_batching(BatchConfig::of(16, SimDuration::from_micros(300)));
+        assert!(batched.batch.enabled());
+        assert_eq!(batched.batch.max_msgs, 16);
+    }
+
+    // `BatchConfig::from_env` parse/panic behavior is pinned in
+    // `tests/batching_env_profile.rs` (root package): the env var is
+    // process-global, so the test must live alone in its own binary
+    // rather than race this crate's parallel unit tests.
+
+    #[test]
+    fn batch_config_triggers() {
+        assert!(!BatchConfig::unbatched().enabled());
+        assert!(BatchConfig::of(2, SimDuration::ZERO).enabled());
+        assert!(
+            BatchConfig {
+                max_msgs: 1,
+                max_bytes: 4096,
+                max_delay: SimDuration::ZERO,
+            }
+            .enabled(),
+            "a byte trigger alone enables the batched pipeline"
+        );
     }
 }

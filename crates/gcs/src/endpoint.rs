@@ -61,12 +61,54 @@ pub struct GcsStats {
     pub delivered: u64,
     /// Redeliveries after recovery (end-to-end mode only).
     pub redelivered: u64,
-    /// Stable-log writes performed (crash-recovery model).
+    /// Stable-log writes performed (crash-recovery model). A batched
+    /// frame persists with ONE write covering all its entries.
     pub persists: u64,
-    /// Acknowledgement messages sent.
+    /// Stability-vote messages sent. An aggregated [`Wire::AckRange`]
+    /// covering a whole batch counts once.
     pub acks_sent: u64,
     /// View changes completed (coordinator or member side).
     pub view_changes: u64,
+    /// Batch frames flushed by this endpoint as sequencer.
+    pub batches_sent: u64,
+    /// Application messages carried in those frames.
+    pub batch_msgs_sent: u64,
+}
+
+impl GcsStats {
+    /// Fold another endpoint's counters into this one (whole-group
+    /// aggregation for reports).
+    pub fn merge(&mut self, other: &GcsStats) {
+        self.broadcasts += other.broadcasts;
+        self.delivered += other.delivered;
+        self.redelivered += other.redelivered;
+        self.persists += other.persists;
+        self.acks_sent += other.acks_sent;
+        self.view_changes += other.view_changes;
+        self.batches_sent += other.batches_sent;
+        self.batch_msgs_sent += other.batch_msgs_sent;
+    }
+
+    /// Mean messages per flushed batch (1.0 when nothing was batched).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_sent == 0 {
+            1.0
+        } else {
+            self.batch_msgs_sent as f64 / self.batches_sent as f64
+        }
+    }
+
+    /// Stability-vote messages per delivered entry. Both counters sum
+    /// per-node over the group, so the unbatched pipeline measures 1.0
+    /// (each node sends one vote for each entry it delivers); the
+    /// batched pipeline measures ≈ `1 / batch`.
+    pub fn votes_per_delivery(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.acks_sent as f64 / self.delivered as f64
+        }
+    }
 }
 
 /// One entry of the crash-recovery stable log.
@@ -149,6 +191,23 @@ pub struct GcsEndpoint<P, S> {
     /// incarnation (guards against duplicate emission when recovery
     /// replays overlap with normal delivery).
     already_emitted: BTreeSet<u64>,
+    /// Sequencer-side batch accumulator: entries with assigned sequence
+    /// numbers not yet multicast (batched pipeline only).
+    batch_acc: Vec<Entry<P>>,
+    /// Estimated payload volume of the accumulator (byte trigger).
+    batch_acc_bytes: usize,
+    /// Bumped on every flush, crash and view change; a `BatchFlush`
+    /// timer is honoured only if its epoch still matches, so stale
+    /// deadlines can never flush a later incarnation's accumulator.
+    batch_epoch: u64,
+    /// A `BatchFlush` deadline is outstanding for the current epoch.
+    batch_timer_armed: bool,
+    /// seq → number of messages in the frame that carried it (absent =
+    /// 1, the unbatched path). Hosts use this to amortise per-delivery
+    /// CPU accounting over the frame.
+    frame_spans: BTreeMap<u64, u32>,
+    /// Batch size → flush count (sequencer side).
+    batch_hist: BTreeMap<u32, u64>,
     /// A `ResendPending` timer is outstanding (static model).
     resend_armed: bool,
     /// The recovering sequencer may not assign sequence numbers until it
@@ -217,6 +276,12 @@ where
             join: None,
             pending_state_transfers: Vec::new(),
             already_emitted: BTreeSet::new(),
+            batch_acc: Vec::new(),
+            batch_acc_bytes: 0,
+            batch_epoch: 0,
+            batch_timer_armed: false,
+            frame_spans: BTreeMap::new(),
+            batch_hist: BTreeMap::new(),
             resend_armed: false,
             seq_resume_votes: None,
             stats: GcsStats::default(),
@@ -244,6 +309,24 @@ where
     /// Counter snapshot.
     pub fn stats(&self) -> GcsStats {
         self.stats
+    }
+
+    /// Number of messages in the frame that carried `seq` (1 when it
+    /// arrived on the unbatched path or via catch-up/retransmit).
+    pub fn frame_span(&self, seq: u64) -> u32 {
+        self.frame_spans.get(&seq).copied().unwrap_or(1).max(1)
+    }
+
+    /// Batch-size histogram of the frames this endpoint flushed as
+    /// sequencer: size → count.
+    pub fn batch_histogram(&self) -> &BTreeMap<u32, u64> {
+        &self.batch_hist
+    }
+
+    /// Entries currently waiting in the sequencer's batch accumulator
+    /// (inspection/test helper).
+    pub fn accumulator_len(&self) -> usize {
+        self.batch_acc.len()
     }
 
     /// Next sequence number this endpoint would deliver.
@@ -335,8 +418,15 @@ where
         match wire {
             Wire::Forward { id, payload } => self.on_forward(ctx, id, payload),
             Wire::Ordered { view, entry } => self.on_ordered(ctx, view, entry, out),
+            Wire::OrderedBatch { view, entries } => self.on_ordered_batch(ctx, view, entries, out),
             Wire::Ack { seq } => {
                 self.record_ack(from, seq);
+                self.try_deliver(ctx, out);
+            }
+            Wire::AckRange { lo, hi } => {
+                for seq in lo..=hi {
+                    self.record_ack(from, seq);
+                }
                 self.try_deliver(ctx, out);
             }
             Wire::Heartbeat => {}
@@ -415,6 +505,15 @@ where
                     self.send_join_req(ctx);
                 }
             }
+            GcsTimer::BatchFlush { epoch } => {
+                // Honour the deadline only if nothing flushed, crashed or
+                // changed view since it was armed: a stale deadline must
+                // never flush a later incarnation's accumulator.
+                if self.started && epoch == self.batch_epoch {
+                    self.flush_batch(ctx);
+                }
+            }
+            GcsTimer::BatchPersisted { lo, hi } => self.on_batch_persisted(ctx, lo, hi, out),
             GcsTimer::ResendPending => {
                 self.resend_armed = false;
                 if !self.pending.is_empty() {
@@ -457,10 +556,11 @@ where
             id,
             payload,
         };
-        let members = match self.cfg.model {
-            GcsModel::ViewBased => self.view.members.clone(),
-            GcsModel::CrashRecovery => self.group.clone(),
-        };
+        if self.cfg.batch.enabled() {
+            self.accumulate(ctx, entry);
+            return;
+        }
+        let members = self.ordering_targets();
         let view = self.view.id;
         self.net.multicast(
             ctx,
@@ -470,20 +570,106 @@ where
         );
     }
 
-    /// Record an ordered entry locally; in the view model also acknowledge.
-    fn store_entry(&mut self, ctx: &mut Ctx<'_>, entry: Entry<P>) {
-        if self.ordered.contains_key(&entry.seq) || entry.seq < self.next_deliver {
+    /// The nodes an ordering frame goes to (the whole view or group,
+    /// including the sequencer itself — self-delivery through the
+    /// loopback keeps both pipelines symmetric).
+    fn ordering_targets(&self) -> Vec<NodeId> {
+        match self.cfg.model {
+            GcsModel::ViewBased => self.view.members.clone(),
+            GcsModel::CrashRecovery => self.group.clone(),
+        }
+    }
+
+    /// Sequencer side of the batched pipeline: hold the freshly ordered
+    /// entry until a flush trigger fires (size, bytes or deadline). The
+    /// sequence number is already assigned, so accumulation changes the
+    /// framing of the total order, never the order itself.
+    fn accumulate(&mut self, ctx: &mut Ctx<'_>, entry: Entry<P>) {
+        self.batch_acc_bytes += std::mem::size_of::<P>();
+        self.batch_acc.push(entry);
+        let full = self.batch_acc.len() >= self.cfg.batch.max_msgs
+            || (self.cfg.batch.max_bytes > 0 && self.batch_acc_bytes >= self.cfg.batch.max_bytes);
+        if full {
+            self.flush_batch(ctx);
+        } else if !self.batch_timer_armed {
+            self.batch_timer_armed = true;
+            ctx.timer(
+                self.cfg.batch.max_delay,
+                GcsTimer::BatchFlush {
+                    epoch: self.batch_epoch,
+                },
+            );
+        }
+    }
+
+    /// Ship the accumulator as one `OrderedBatch` frame.
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_>) {
+        if self.batch_acc.is_empty() {
             return;
+        }
+        let entries = std::mem::take(&mut self.batch_acc);
+        self.batch_acc_bytes = 0;
+        self.batch_timer_armed = false;
+        self.batch_epoch += 1; // invalidate any armed deadline
+        let n = entries.len() as u64;
+        self.stats.batches_sent += 1;
+        self.stats.batch_msgs_sent += n;
+        *self.batch_hist.entry(n as u32).or_insert(0) += 1;
+        let members = self.ordering_targets();
+        let view = self.view.id;
+        self.net.multicast_frame(
+            ctx,
+            self.me,
+            &members,
+            Wire::<P, S>::OrderedBatch { view, entries },
+            n,
+        );
+    }
+
+    /// Throw the accumulator away and return its sequence numbers to the
+    /// assigner (view changes). Nothing in the accumulator was ever
+    /// multicast, so the rollback is invisible: the senders still hold
+    /// the payloads in `pending` and re-forward them to the sequencer of
+    /// the new view, where they are ordered afresh.
+    fn rollback_accumulator(&mut self) {
+        if self.batch_acc.is_empty() {
+            return;
+        }
+        let first = self.batch_acc.first().map(|e| e.seq);
+        for e in self.batch_acc.drain(..) {
+            self.ordered_ids.remove(&e.id);
+        }
+        self.batch_acc_bytes = 0;
+        self.batch_timer_armed = false;
+        self.batch_epoch += 1;
+        if self.seq_assign.is_some() {
+            self.seq_assign = first;
+        }
+    }
+
+    /// Record an ordered entry locally without the delivery-path side
+    /// effects (ack/persist). Returns true if the entry was new.
+    fn store_entry_raw(&mut self, entry: Entry<P>) -> bool {
+        if self.ordered.contains_key(&entry.seq) || entry.seq < self.next_deliver {
+            return false;
         }
         self.max_seq_seen = self.max_seq_seen.max(entry.seq);
         self.ordered_ids.insert(entry.id);
         self.pending.remove(&entry.id);
-        self.ordered
-            .insert(entry.seq, (entry.id, entry.payload.clone()));
+        self.ordered.insert(entry.seq, (entry.id, entry.payload));
+        true
+    }
+
+    /// Record an ordered entry locally; in the view model also acknowledge.
+    fn store_entry(&mut self, ctx: &mut Ctx<'_>, entry: Entry<P>) {
+        let seq = entry.seq;
+        if !self.store_entry_raw(entry) {
+            return;
+        }
         match self.cfg.model {
             GcsModel::ViewBased => {
                 if self.cfg.guarantee == DeliveryGuarantee::Uniform {
-                    self.send_ack(ctx, entry.seq);
+                    self.send_ack(ctx, seq);
                 }
             }
             GcsModel::CrashRecovery => {
@@ -492,8 +678,84 @@ where
                 let disk = self.log_disk.as_ref().expect("checked in new").clone();
                 let done = disk.borrow_mut().access(ctx.now(), &mut self.rng);
                 self.stats.persists += 1;
-                ctx.timer(done - ctx.now(), GcsTimer::Persisted { seq: entry.seq });
+                ctx.timer(done - ctx.now(), GcsTimer::Persisted { seq });
             }
+        }
+    }
+
+    /// Receiver side of a batch frame: store every entry, then run the
+    /// per-frame (instead of per-entry) side effects — ONE stable-log
+    /// write covering the whole frame, ONE aggregated stability vote.
+    fn on_ordered_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        _view: u64,
+        entries: Vec<Entry<P>>,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        if !self.joined || entries.is_empty() {
+            return; // mid-join: the state transfer will cover these entries
+        }
+        let span = entries.len() as u32;
+        let lo = entries.first().expect("non-empty").seq;
+        let hi = entries.last().expect("non-empty").seq;
+        let mut fresh = false;
+        for e in entries {
+            self.frame_spans.insert(e.seq, span);
+            fresh |= self.store_entry_raw(e);
+        }
+        if fresh {
+            match self.cfg.model {
+                GcsModel::ViewBased => {
+                    if self.cfg.guarantee == DeliveryGuarantee::Uniform {
+                        self.send_ack_range(ctx, lo, hi);
+                    }
+                }
+                GcsModel::CrashRecovery => {
+                    // One sequential stable-log write for the whole frame;
+                    // the aggregated vote follows once it is on disk.
+                    let disk = self.log_disk.as_ref().expect("checked in new").clone();
+                    let done = disk.borrow_mut().access(ctx.now(), &mut self.rng);
+                    self.stats.persists += 1;
+                    ctx.timer(done - ctx.now(), GcsTimer::BatchPersisted { lo, hi });
+                }
+            }
+        }
+        self.try_deliver(ctx, out);
+    }
+
+    /// The frame-wide stable-log write finished: mark everything in the
+    /// window persisted and send one aggregated vote for it.
+    fn on_batch_persisted(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<GcsOutput<P, S>>,
+    ) {
+        let mut any = false;
+        for seq in lo..=hi {
+            if self.persisted.contains(&seq) {
+                continue;
+            }
+            let Some((id, payload)) = self.ordered.get(&seq).cloned() else {
+                continue;
+            };
+            self.persisted.insert(seq);
+            self.stable.insert(
+                seq,
+                StableEntry {
+                    id,
+                    payload,
+                    delivered: false,
+                    acked: false,
+                },
+            );
+            any = true;
+        }
+        if any {
+            self.send_ack_range(ctx, lo, hi);
+            self.try_deliver(ctx, out);
         }
     }
 
@@ -531,24 +793,35 @@ where
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
         self.record_ack(self.me, seq);
-        let targets: Vec<NodeId> = match self.cfg.model {
-            GcsModel::ViewBased => self
-                .view
-                .members
-                .iter()
-                .copied()
-                .filter(|&p| p != self.me)
-                .collect(),
-            GcsModel::CrashRecovery => self
-                .group
-                .iter()
-                .copied()
-                .filter(|&p| p != self.me)
-                .collect(),
-        };
+        let targets: Vec<NodeId> = self
+            .ordering_targets()
+            .into_iter()
+            .filter(|&p| p != self.me)
+            .collect();
         self.stats.acks_sent += 1;
         self.net
             .multicast(ctx, self.me, &targets, Wire::<P, S>::Ack { seq });
+    }
+
+    /// One aggregated stability vote covering `lo..=hi` (batched
+    /// pipeline): semantically `hi - lo + 1` acks, one message.
+    fn send_ack_range(&mut self, ctx: &mut Ctx<'_>, lo: u64, hi: u64) {
+        for seq in lo..=hi {
+            self.record_ack(self.me, seq);
+        }
+        let targets: Vec<NodeId> = self
+            .ordering_targets()
+            .into_iter()
+            .filter(|&p| p != self.me)
+            .collect();
+        self.stats.acks_sent += 1;
+        self.net.multicast_frame(
+            ctx,
+            self.me,
+            &targets,
+            Wire::<P, S>::AckRange { lo, hi },
+            hi - lo + 1,
+        );
     }
 
     fn record_ack(&mut self, from: NodeId, seq: u64) {
@@ -735,6 +1008,11 @@ where
                 return;
             }
         }
+        // A non-empty accumulator holds sequence numbers nobody else has
+        // seen; return them to the assigner so the view change cannot
+        // reassign them underneath us. The senders re-forward after the
+        // new view installs.
+        self.rollback_accumulator();
         self.epoch += 1;
         let epoch = self.epoch;
         let mut vc = ViewChange {
@@ -776,6 +1054,9 @@ where
             return;
         }
         self.epoch = epoch;
+        // A deposed sequencer must not keep sequence numbers the new
+        // coordinator never heard of (see maybe_start_view_change).
+        self.rollback_accumulator();
         self.net.send(
             ctx,
             self.me,
@@ -955,6 +1236,10 @@ where
         watermark: u64,
         out: &mut Vec<GcsOutput<P, S>>,
     ) {
+        // Defensive: the accumulator was already rolled back when the
+        // view change started; anything left would collide with the
+        // recomputed sequence assignment below.
+        self.rollback_accumulator();
         self.flush_up_to(ctx, watermark, out);
         self.view = view.clone();
         self.vc = None;
@@ -1126,6 +1411,19 @@ where
     // Catch-up (crash-recovery model and view-change gap fill)
     // ------------------------------------------------------------------
 
+    /// Compress an ascending sequence list into contiguous `(lo, hi)`
+    /// runs (aggregated-vote framing).
+    fn contiguous_runs(seqs: &[u64]) -> Vec<(u64, u64)> {
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for &s in seqs {
+            match runs.last_mut() {
+                Some((_, hi)) if *hi + 1 == s => *hi = s,
+                _ => runs.push((s, s)),
+            }
+        }
+        runs
+    }
+
     /// Highest sequence number with the whole prefix persisted locally.
     fn contiguous_persisted(&self) -> u64 {
         let mut k = 0;
@@ -1185,8 +1483,21 @@ where
             .copied()
             .filter(|&s| s > stable_up_to)
             .collect();
-        for seq in persisted {
-            self.net.send(ctx, self.me, from, Wire::<P, S>::Ack { seq });
+        if self.cfg.batch.enabled() {
+            // Compress into contiguous runs: one aggregated vote per run.
+            for (lo, hi) in Self::contiguous_runs(&persisted) {
+                self.net.send_frame(
+                    ctx,
+                    self.me,
+                    from,
+                    Wire::<P, S>::AckRange { lo, hi },
+                    hi - lo + 1,
+                );
+            }
+        } else {
+            for seq in persisted {
+                self.net.send(ctx, self.me, from, Wire::<P, S>::Ack { seq });
+            }
         }
     }
 
@@ -1241,6 +1552,11 @@ where
         self.join = None;
         self.pending_state_transfers.clear();
         self.already_emitted.clear();
+        self.batch_acc.clear();
+        self.batch_acc_bytes = 0;
+        self.batch_epoch += 1; // any armed flush deadline is now stale
+        self.batch_timer_armed = false;
+        self.frame_spans.clear();
         self.resend_armed = false;
         self.seq_resume_votes = None;
     }
@@ -1250,6 +1566,12 @@ where
     /// rebuilds from the stable log, redelivers per the end-to-end rules
     /// and catches up from peers.
     pub fn on_recover(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<GcsOutput<P, S>>) {
+        // Drain anything still sitting in the batch accumulator (a host
+        // that recovers without a preceding `on_crash`): the entries were
+        // never multicast, so their ids must be released for the senders'
+        // resends to be re-ordered — otherwise those broadcasts would be
+        // silently dropped by the sequencer's dedup.
+        self.rollback_accumulator();
         self.generation += 1;
         self.started = true;
         // MsgId counters must never repeat across incarnations.
@@ -1304,8 +1626,16 @@ where
                 }
                 // Help others' stability and catch up on what we missed.
                 let persisted: Vec<u64> = self.persisted.iter().copied().collect();
-                for seq in persisted {
-                    self.send_ack(ctx, seq);
+                if self.cfg.batch.enabled() {
+                    // Aggregated votes, as on the fast path: one range
+                    // message per contiguous run of the stable log.
+                    for (lo, hi) in Self::contiguous_runs(&persisted) {
+                        self.send_ack_range(ctx, lo, hi);
+                    }
+                } else {
+                    for seq in persisted {
+                        self.send_ack(ctx, seq);
+                    }
                 }
                 let targets: Vec<NodeId> = self
                     .group

@@ -302,6 +302,34 @@ impl Cluster {
         let host: &GcsHost = self.engine.actor(self.hosts[node.index()]);
         host.stable_values().to_vec()
     }
+
+    /// Read access to `node`'s endpoint (stats, accumulator inspection).
+    pub fn endpoint(&self, node: NodeId) -> &HostEndpoint {
+        let host: &GcsHost = self.engine.actor(self.hosts[node.index()]);
+        host.endpoint()
+    }
+
+    /// A 64-bit FNV-1a digest of the run's group-safety outcome: for
+    /// every node, the final *processed* payload sequence. Two runs that
+    /// hand the application the same histories — whatever the framing on
+    /// the wire (batched or not) — produce the same fingerprint; any
+    /// reordering, loss or duplication diverges it.
+    pub fn group_safety_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for i in 0..self.hosts.len() as u32 {
+            let values = self.stable_values(NodeId(i));
+            mix(0x6e6f_6465 ^ u64::from(i));
+            mix(values.len() as u64);
+            for v in values {
+                mix(v);
+            }
+        }
+        h
+    }
 }
 
 // The `net` field is kept so drivers can partition/heal mid-run even

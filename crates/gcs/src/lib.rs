@@ -4,7 +4,12 @@
 //! Schiper, EDBT 2004, §2.3–§4):
 //!
 //! * fixed-sequencer **atomic broadcast** with uniform ("safe") or
-//!   non-uniform delivery,
+//!   non-uniform delivery, with an optional **batched pipeline**
+//!   ([`BatchConfig`]): the sequencer packs pending broadcasts into one
+//!   `OrderedBatch` frame per flush, receivers persist the frame with a
+//!   single stable-log write and vote with one aggregated `AckRange`,
+//!   amortising the per-transaction ordering cost without changing the
+//!   total order,
 //! * the **dynamic crash no-recovery** model: views, heartbeat failure
 //!   detection, virtual-synchrony flush on view changes, join with
 //!   checkpoint **state transfer**,
@@ -30,7 +35,7 @@ pub mod process;
 pub mod properties;
 pub mod view;
 
-pub use config::{DeliveryGuarantee, GcsConfig, GcsModel};
+pub use config::{BatchConfig, DeliveryGuarantee, GcsConfig, GcsModel};
 pub use endpoint::{GcsEndpoint, GcsStats};
 pub use message::{Entry, GcsTimer, MsgId, Wire};
 pub use output::GcsOutput;

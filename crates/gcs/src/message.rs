@@ -45,11 +45,30 @@ pub enum Wire<P, S> {
         /// The ordered entry.
         entry: Entry<P>,
     },
+    /// Sequencer → all: one frame carrying a contiguous run of ordered
+    /// entries (batched pipeline). Semantically equivalent to one
+    /// [`Wire::Ordered`] per entry, but accounted as a single
+    /// transmission and acknowledged with one [`Wire::AckRange`].
+    OrderedBatch {
+        /// View (or era) in which the order was assigned.
+        view: u64,
+        /// The entries, in ascending contiguous `seq` order.
+        entries: Vec<Entry<P>>,
+    },
     /// All → all: "I have (and, in the crash-recovery model, have
     /// persisted) the entry at `seq`". Majority of acks ⇒ stability.
     Ack {
         /// Acknowledged sequence number.
         seq: u64,
+    },
+    /// All → all: aggregated stability vote — one message covering every
+    /// sequence number in `lo..=hi` (batched pipeline; equivalent to
+    /// `hi - lo + 1` individual [`Wire::Ack`]s).
+    AckRange {
+        /// First acknowledged sequence number.
+        lo: u64,
+        /// Last acknowledged sequence number (inclusive).
+        hi: u64,
     },
     /// Failure-detector heartbeat.
     Heartbeat,
@@ -162,6 +181,22 @@ pub enum GcsTimer {
     /// Re-send not-yet-ordered broadcasts to the sequencer (static
     /// crash-recovery model, where there is no view change to trigger it).
     ResendPending,
+    /// The sequencer's batch accumulator hit its `max_delay` deadline.
+    /// Carries the batch epoch at arming time: a flush armed before a
+    /// crash or view change must not flush the next incarnation's
+    /// accumulator.
+    BatchFlush {
+        /// Batch epoch the timer belongs to.
+        epoch: u64,
+    },
+    /// The single stable-log write covering a whole batch frame finished
+    /// (crash-recovery model, batched pipeline).
+    BatchPersisted {
+        /// First sequence number of the frame.
+        lo: u64,
+        /// Last sequence number of the frame (inclusive).
+        hi: u64,
+    },
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ fn run(seed: u64, jitter_us: u64) -> Vec<SimTime> {
     let net = Network::new(NetConfig {
         latency: SimDuration::from_micros(70),
         jitter: SimDuration::from_micros(jitter_us),
-        loss_probability: 0.0,
+        ..NetConfig::default()
     });
     let sender = eng.add_actor(Box::new(Sender {
         net: net.clone(),

@@ -1,0 +1,79 @@
+//! Regression for the CI batching profile: `GROUPSAFE_BATCHING` must
+//! reach the built system whichever way the builder was assembled, and
+//! an explicit `.batching(..)` call must still win over it.
+//!
+//! One test, alone in its own binary: the env var is process-global, so
+//! it must not race sibling tests that build systems concurrently.
+
+use groupsafe::core::{BatchConfig, ReplicaConfig, SafetyLevel, System, Technique};
+use groupsafe::sim::SimDuration;
+use groupsafe::workload::{builder_for, RunConfig};
+
+#[test]
+fn env_profile_survives_replica_replacement_and_yields_to_explicit() {
+    // ---- parsing: every recognised profile, and loud failure on typos
+    // (a malformed value must never silently select the unbatched
+    // profile — that would make a "batching on" CI pass vacuous).
+    let parse = |v: Option<&str>| {
+        match v {
+            Some(v) => std::env::set_var("GROUPSAFE_BATCHING", v),
+            None => std::env::remove_var("GROUPSAFE_BATCHING"),
+        }
+        let got = BatchConfig::from_env();
+        std::env::remove_var("GROUPSAFE_BATCHING");
+        got
+    };
+    assert_eq!(parse(None), None);
+    assert_eq!(parse(Some("off")), None);
+    assert_eq!(
+        parse(Some("on")),
+        Some(BatchConfig::of(8, SimDuration::from_micros(500)))
+    );
+    assert_eq!(
+        parse(Some("msgs=16,delay_us=250,bytes=4096")),
+        Some(BatchConfig {
+            max_msgs: 16,
+            max_bytes: 4096,
+            max_delay: SimDuration::from_micros(250),
+        })
+    );
+    for bad in ["msg=8", "msgs=0", "msgs=eight", "batch"] {
+        let r = std::panic::catch_unwind(|| parse(Some(bad)));
+        std::env::remove_var("GROUPSAFE_BATCHING");
+        assert!(
+            r.is_err(),
+            "{bad:?} must panic, not silently disable batching"
+        );
+    }
+
+    // ---- precedence through the builder.
+    std::env::set_var("GROUPSAFE_BATCHING", "msgs=4,delay_us=100");
+
+    // A later `.replica(..)` (the workload drivers do exactly this) must
+    // not shed the env-selected profile.
+    let cfg = System::builder()
+        .replica(ReplicaConfig::default())
+        .to_system_config()
+        .expect("valid");
+    assert_eq!(cfg.replica.batch.max_msgs, 4, "env profile was dropped");
+
+    // The canonical workload driver path (`builder_for`) as well.
+    let run_cfg = RunConfig::paper(Technique::Dsm(SafetyLevel::GroupSafe), 30.0, 1);
+    let cfg = builder_for(&run_cfg).to_system_config().expect("valid");
+    assert_eq!(
+        cfg.replica.batch.max_msgs, 4,
+        "builder_for shed the profile"
+    );
+
+    // An explicit call still beats the env.
+    let cfg = System::builder()
+        .batching(BatchConfig::unbatched())
+        .to_system_config()
+        .expect("valid");
+    assert!(
+        !cfg.replica.batch.enabled(),
+        "explicit .batching() must win"
+    );
+
+    std::env::remove_var("GROUPSAFE_BATCHING");
+}
