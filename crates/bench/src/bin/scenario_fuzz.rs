@@ -1,0 +1,91 @@
+//! Seeded scenario fuzzing: generate random fault timelines
+//! (`ScenarioPlan`s), run them on a small group-safe / 2-safe system,
+//! and hold every run to the safety oracle's per-level invariants.
+//!
+//! Usage: `scenario_fuzz [--seeds N] [--start S] [--level L] [--json <path>]`
+//!   --seeds   seeds per level (default 100 → 200 cases over two levels)
+//!   --start   first seed (default 0)
+//!   --level   restrict to one of: group-safe | two-safe | group-1-safe |
+//!             zero-safe | one-safe (default: group-safe AND two-safe)
+//!   --json    write a JSON summary
+//!
+//! On the first oracle violation the binary prints the reproducing seed
+//! plus the full plan dump and exits non-zero — the seed alone replays
+//! the run bit-for-bit (`fuzz::run_fuzz_case(seed, &FuzzSpec::smoke(level))`).
+
+use groupsafe_core::scenario::fuzz::{run_fuzz_case, FuzzSpec};
+use groupsafe_core::SafetyLevel;
+
+fn parse_level(s: &str) -> SafetyLevel {
+    match s {
+        "zero-safe" => SafetyLevel::ZeroSafe,
+        "one-safe" => SafetyLevel::OneSafe,
+        "group-safe" => SafetyLevel::GroupSafe,
+        "group-1-safe" => SafetyLevel::GroupOneSafe,
+        "two-safe" => SafetyLevel::TwoSafe,
+        other => panic!("unknown level {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let seeds: u64 = value_after("--seeds")
+        .map(|v| v.parse().expect("--seeds takes a number"))
+        .unwrap_or(100);
+    let start: u64 = value_after("--start")
+        .map(|v| v.parse().expect("--start takes a number"))
+        .unwrap_or(0);
+    let levels: Vec<SafetyLevel> = match value_after("--level") {
+        Some(l) => vec![parse_level(&l)],
+        None => vec![SafetyLevel::GroupSafe, SafetyLevel::TwoSafe],
+    };
+
+    let mut total = 0u64;
+    let mut commits = 0u64;
+    let mut quiescent = 0u64;
+    let mut with_loss = 0u64;
+    let started = std::time::Instant::now();
+    for &level in &levels {
+        let spec = FuzzSpec::smoke(level);
+        for seed in start..start + seeds {
+            let out = run_fuzz_case(seed, &spec);
+            total += 1;
+            commits += out.commits as u64;
+            quiescent += out.audit.quiescent as u64;
+            with_loss += out.plan.uses_loss() as u64;
+            if !out.ok() {
+                eprintln!("scenario-fuzz: ORACLE VIOLATION\n{}", out.describe());
+                eprintln!(
+                    "reproduce with: fuzz::run_fuzz_case({seed}, &FuzzSpec::smoke(SafetyLevel::{level:?}))"
+                );
+                std::process::exit(1);
+            }
+            if total.is_multiple_of(50) {
+                println!(
+                    "  {total:>4} scenarios clean ({level}, seed {seed}, {:.1}s)",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+    println!(
+        "scenario-fuzz: {total} scenarios, 0 violations \
+         ({quiescent} fully audited, {with_loss} with loss bursts, \
+         {commits} commits, {:.1}s)",
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = value_after("--json") {
+        let json = format!(
+            "{{\"scenarios\":{total},\"violations\":0,\"quiescent\":{quiescent},\
+             \"with_loss\":{with_loss},\"commits\":{commits}}}"
+        );
+        std::fs::write(&path, json).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -38,6 +38,7 @@ use groupsafe_sim::{SimDuration, SimTime};
 
 use crate::client::{LoadModel, OpGenerator, StopClient};
 use crate::safety::SafetyLevel;
+use crate::scenario::ScenarioPlan;
 use crate::server::{ReplicaConfig, SwitchSafetyCmd, Technique};
 use crate::system::{System, SystemConfig};
 use crate::verify::{self, LostTransaction};
@@ -278,6 +279,12 @@ enum FaultEvent {
 ///     .recover(NodeId(2), SimTime::from_secs(9))
 ///     .switch_safety(SafetyLevel::GroupOneSafe, SimTime::from_secs(12))
 /// ```
+///
+/// Superseded by the richer [`ScenarioPlan`] (partitions, targeted
+/// sequencer kills, network bursts, slow-disk windows, operator
+/// restarts); kept as convenience sugar for the crash/recover/switch
+/// subset. At build time it compiles into scenario steps, so both paths
+/// run on the same engine.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
@@ -316,6 +323,19 @@ impl FaultPlan {
     /// True if the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// The [`ScenarioPlan`] this fault schedule denotes.
+    pub fn to_scenario(&self) -> ScenarioPlan {
+        let mut plan = ScenarioPlan::new();
+        for ev in &self.events {
+            plan = match *ev {
+                FaultEvent::Crash { server, at } => plan.crash(at, server.0),
+                FaultEvent::Recover { server, at } => plan.recover(at, server.0),
+                FaultEvent::SwitchSafety { level, at } => plan.switch_safety(at, level),
+            };
+        }
+        plan
     }
 
     fn validate(&self, n_servers: u32) -> Result<(), BuildError> {
@@ -375,6 +395,13 @@ pub enum BuildError {
         /// The system size.
         n_servers: u32,
     },
+    /// A scenario step carries an out-of-range parameter.
+    BadScenario {
+        /// What is wrong.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -397,6 +424,9 @@ impl std::fmt::Display for BuildError {
                     f,
                     "fault plan names server {server} but the system has {n_servers}"
                 )
+            }
+            BuildError::BadScenario { what, value } => {
+                write!(f, "invalid scenario: {what} (got {value})")
             }
         }
     }
@@ -432,6 +462,7 @@ pub struct SystemBuilder {
     workload: WorkloadSpec,
     generator: Option<GeneratorFactory>,
     faults: FaultPlan,
+    scenario: ScenarioPlan,
     /// An explicit [`SystemBuilder::batching`] call; takes precedence
     /// over the `GROUPSAFE_BATCHING` env profile and over whatever
     /// `batch` a [`SystemBuilder::replica`] config carries.
@@ -455,6 +486,7 @@ impl Default for SystemBuilder {
             workload: WorkloadSpec::default(),
             generator: None,
             faults: FaultPlan::none(),
+            scenario: ScenarioPlan::new(),
             batch_override: None,
         }
     }
@@ -607,9 +639,20 @@ impl SystemBuilder {
         self
     }
 
-    /// The scripted fault schedule.
+    /// The scripted fault schedule (the crash/recover/switch subset;
+    /// compiled into the scenario engine at build time).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// The declarative fault-scenario timeline this run replays
+    /// ([`ScenarioPlan`]): crashes with scripted recovery, partitions,
+    /// targeted sequencer kills, loss/duplication/reorder bursts,
+    /// slow-disk windows, operator restarts. Merged after any
+    /// [`SystemBuilder::faults`] schedule; repeated calls accumulate.
+    pub fn scenario(mut self, plan: ScenarioPlan) -> Self {
+        self.scenario = std::mem::take(&mut self.scenario).merge(plan);
         self
     }
 
@@ -629,6 +672,7 @@ impl SystemBuilder {
             self.workload.validate()?;
         }
         self.faults.validate(self.n_servers)?;
+        self.scenario.validate(self.n_servers)?;
         // Resolve eagerly so rate errors surface at build time.
         self.load
             .resolve(self.n_servers * self.clients_per_server)
@@ -673,46 +717,27 @@ impl SystemBuilder {
         })
     }
 
-    /// Validate, wire the system, schedule the fault plan, and hand back
-    /// a [`Run`] ready to [`execute`](Run::execute).
+    /// Validate, wire the system, install the fault scenario, and hand
+    /// back a [`Run`] ready to [`execute`](Run::execute).
     pub fn build(mut self) -> Result<Run, BuildError> {
         let cfg = self.to_system_config()?;
+        let net_baseline = cfg.net.clone();
         let offered_tps = self.load.offered_tps();
         let spec = self.workload.clone();
-        let mut system = match self.generator.take() {
+        let system = match self.generator.take() {
             Some(factory) => System::build(cfg, factory),
             None => System::build(cfg, move |_| spec.generator()),
         };
-        // Script the fault plan up front: engine events carry their own
-        // instants, so scheduling before `start` keeps `Run` linear.
-        for ev in &self.faults.events {
-            match *ev {
-                FaultEvent::Crash { server, at } => {
-                    system
-                        .engine
-                        .schedule_crash(at, system.servers[server.index()]);
-                }
-                FaultEvent::Recover { server, at } => {
-                    system
-                        .engine
-                        .schedule_recover(at, system.servers[server.index()]);
-                }
-                FaultEvent::SwitchSafety { level, at } => {
-                    for &s in &system.servers.clone() {
-                        system
-                            .engine
-                            .schedule_resilient(at, s, SwitchSafetyCmd(level));
-                    }
-                }
-            }
-        }
-        Ok(Run::new(
-            system,
-            self.warmup,
-            self.measure,
-            self.drain,
-            offered_tps,
-        ))
+        let mut run = Run::new(system, self.warmup, self.measure, self.drain, offered_tps);
+        // The fault schedule and the scenario timeline compile onto one
+        // engine: every step becomes a sim-time hook that fires exactly
+        // at its instant, under `execute` and the stepwise API alike.
+        let plan = self
+            .faults
+            .to_scenario()
+            .merge(std::mem::take(&mut self.scenario));
+        plan.install(&mut run, &net_baseline);
+        Ok(run)
     }
 }
 
@@ -722,20 +747,35 @@ impl SystemBuilder {
 
 type Hook = Box<dyn FnOnce(&mut System)>;
 
+/// A registered sim-time hook. Hooks fire in `(at, idx)` order — by
+/// timestamp, ties broken by insertion — which is pinned by test: two
+/// hooks sharing an instant must fire in the order they were registered,
+/// never in registration order across different instants.
+struct ScheduledHook {
+    at: SimTime,
+    idx: u64,
+    label: &'static str,
+    run: Hook,
+}
+
 /// A wired system plus its run lifecycle: warm-up → measure →
 /// stop-clients → drain, with optional mid-run phase hooks.
 ///
 /// [`Run::execute`] performs the whole lifecycle; the stepwise methods
 /// ([`Run::start`], [`Run::run_until`], [`Run::stop_clients_at`],
 /// [`Run::finish`]) expose the same pieces for scripted scenarios that
-/// need manual control between phases.
+/// need manual control between phases. Hooks (including an installed
+/// [`ScenarioPlan`]) fire at their instants under both drivers:
+/// [`Run::run_until`] executes every hook whose time falls inside the
+/// advance.
 pub struct Run {
     system: System,
     warmup: SimDuration,
     measure: SimDuration,
     drain: SimDuration,
     offered_tps: Option<f64>,
-    hooks: Vec<(SimTime, &'static str, Hook)>,
+    hooks: Vec<ScheduledHook>,
+    next_hook_idx: u64,
     /// `(label, samples-so-far)` phase boundaries, in time order.
     marks: Vec<(&'static str, usize)>,
     started: bool,
@@ -756,6 +796,7 @@ impl Run {
             drain,
             offered_tps,
             hooks: Vec::new(),
+            next_hook_idx: 0,
             marks: Vec::new(),
             started: false,
         }
@@ -777,17 +818,59 @@ impl Run {
         SimTime::ZERO + self.warmup + self.measure
     }
 
-    /// Register a phase hook: at simulated time `at`, [`Run::execute`]
-    /// pauses the event loop and hands the system to `hook`. The label
-    /// names the phase that *begins* at the hook for the per-phase
-    /// breakdown in the report.
+    /// Register `hook` to fire at `at` (internal form of [`Run::at`];
+    /// the scenario engine installs its steps through this).
+    pub(crate) fn hook_at(
+        &mut self,
+        at: SimTime,
+        label: &'static str,
+        hook: impl FnOnce(&mut System) + 'static,
+    ) {
+        let idx = self.next_hook_idx;
+        self.next_hook_idx += 1;
+        self.hooks.push(ScheduledHook {
+            at,
+            idx,
+            label,
+            run: Box::new(hook),
+        });
+    }
+
+    /// Extract the earliest pending hook due at or before `deadline`,
+    /// ordered by (timestamp, insertion).
+    fn next_due_hook(&mut self, deadline: SimTime) -> Option<ScheduledHook> {
+        let pos = self
+            .hooks
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.at <= deadline)
+            .min_by_key(|(_, h)| (h.at, h.idx))
+            .map(|(i, _)| i)?;
+        Some(self.hooks.swap_remove(pos))
+    }
+
+    /// Advance to `deadline`, firing every due hook at its instant.
+    fn advance_to(&mut self, deadline: SimTime) {
+        while let Some(h) = self.next_due_hook(deadline) {
+            self.system.engine.run_until(h.at);
+            self.mark_phase(h.label);
+            (h.run)(&mut self.system);
+        }
+        self.system.engine.run_until(deadline);
+    }
+
+    /// Register a phase hook: at simulated time `at`, the run pauses the
+    /// event loop and hands the system to `hook`. The label names the
+    /// phase that *begins* at the hook for the per-phase breakdown in
+    /// the report. Hooks sharing a timestamp fire in registration order
+    /// (deterministic `(timestamp, insertion)` ordering).
     pub fn at(
         mut self,
         at: SimTime,
         label: &'static str,
         hook: impl FnOnce(&mut System) + 'static,
     ) -> Self {
-        self.hooks.push((at, label, Box::new(hook)));
+        self.hook_at(at, label, hook);
         self
     }
 
@@ -818,10 +901,13 @@ impl Run {
         }
     }
 
-    /// Advance simulated time (starting the system first if needed).
+    /// Advance simulated time (starting the system first if needed),
+    /// firing every registered hook whose instant falls inside the
+    /// advance — so scripted scenarios replay identically under the
+    /// stepwise API and under [`Run::execute`].
     pub fn run_until(&mut self, t: SimTime) {
         self.start();
-        self.system.engine.run_until(t);
+        self.advance_to(t);
     }
 
     /// Record a phase boundary at the current instant for the report's
@@ -851,22 +937,28 @@ impl Run {
         let measure_end = self.measure_end();
         self.run_until(measure_start);
         self.mark_phase("measure");
-        let mut hooks = std::mem::take(&mut self.hooks);
-        hooks.sort_by_key(|(at, _, _)| *at);
-        for (at, label, hook) in hooks {
-            self.run_until(at);
-            self.mark_phase(label);
-            hook(&mut self.system);
-        }
         self.run_until(measure_end);
+        // A hook may legitimately sit past the measurement window: run
+        // the stragglers before stopping the clients, and never schedule
+        // the stop into the past.
+        self.advance_to(self.last_hook_at());
         self.mark_phase("drain");
-        // A hook may legitimately sit past the measurement window; never
-        // schedule the stop into the past.
         let stop_at = measure_end.max(self.system.engine.now());
         self.stop_clients_at(stop_at);
         let drain = self.drain;
         self.run_until(stop_at + drain);
         self.finish()
+    }
+
+    /// The latest registered hook instant (or the current time when no
+    /// hooks are pending).
+    fn last_hook_at(&self) -> SimTime {
+        self.hooks
+            .iter()
+            .map(|h| h.at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .max(self.system.engine.now())
     }
 
     /// Audit the system as it stands and produce the [`Report`]
@@ -1346,6 +1438,100 @@ mod tests {
             .execute();
         assert!(report.commits > 0);
         assert_eq!(report.phases.last().expect("phases").label, "drain");
+    }
+
+    #[test]
+    fn hooks_fire_by_timestamp_then_insertion() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let log = |tag: &'static str| {
+            let order = order.clone();
+            move |_: &mut System| order.borrow_mut().push(tag)
+        };
+        let t1 = SimTime::from_secs(1);
+        let t2 = SimTime::from_secs(2);
+        // Registered out of time order, with a tie at t2: must fire as
+        // (timestamp, then insertion) = late-a, early, late-b.
+        let report = System::builder()
+            .servers(3)
+            .clients_per_server(1)
+            .load(Load::open_tps(5.0))
+            .measure(SimDuration::from_secs(3))
+            .drain(SimDuration::from_secs(1))
+            .seed(17)
+            .build()
+            .expect("valid")
+            .at(t2, "late-a", log("late-a"))
+            .at(t1, "early", log("early"))
+            .at(t2, "late-b", log("late-b"))
+            .execute();
+        assert_eq!(*order.borrow(), vec!["early", "late-a", "late-b"]);
+        assert!(report.commits > 0);
+    }
+
+    #[test]
+    fn hooks_fire_under_the_stepwise_api_too() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let fired: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let mark = |tag: &'static str| {
+            let fired = fired.clone();
+            move |_: &mut System| fired.borrow_mut().push(tag)
+        };
+        let mut run = System::builder()
+            .servers(3)
+            .clients_per_server(1)
+            .load(Load::open_tps(5.0))
+            .measure(SimDuration::from_secs(3))
+            .seed(19)
+            .build()
+            .expect("valid")
+            .at(SimTime::from_millis(1_500), "mid", mark("mid"))
+            .at(SimTime::from_millis(2_500), "later", mark("later"));
+        run.run_until(SimTime::from_secs(1));
+        assert!(fired.borrow().is_empty(), "no hook is due yet");
+        run.run_until(SimTime::from_secs(2));
+        assert_eq!(*fired.borrow(), vec!["mid"], "due hooks fire in run_until");
+        run.run_until(SimTime::from_secs(3));
+        assert_eq!(*fired.borrow(), vec!["mid", "later"]);
+    }
+
+    #[test]
+    fn scenario_plan_targets_are_validated() {
+        let err = System::builder()
+            .servers(3)
+            .scenario(crate::scenario::ScenarioPlan::new().crash(SimTime::from_secs(1), 9))
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(BuildError::FaultTargetOutOfRange {
+                server: 9,
+                n_servers: 3
+            })
+        );
+        let err = System::builder()
+            .servers(3)
+            .scenario(crate::scenario::ScenarioPlan::new().loss_burst(
+                SimTime::from_secs(1),
+                1.5,
+                SimDuration::from_millis(100),
+            ))
+            .build()
+            .err();
+        assert!(matches!(err, Some(BuildError::BadProbability { .. })));
+        let err = System::builder()
+            .servers(3)
+            .scenario(crate::scenario::ScenarioPlan::new().slow_disk(
+                SimTime::from_secs(1),
+                vec![0],
+                0.0,
+                SimDuration::from_millis(100),
+            ))
+            .build()
+            .err();
+        assert!(matches!(err, Some(BuildError::BadScenario { .. })));
     }
 
     #[test]

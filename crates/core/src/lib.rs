@@ -19,7 +19,12 @@
 //! * [`builder`] — the fluent [`SystemBuilder`] → [`Run`] → [`Report`]
 //!   API: one declarative entry point over system wiring, the
 //!   warm-up / measure / stop-clients / drain lifecycle, and structured
-//!   results.
+//!   results,
+//! * [`scenario`] — the deterministic fault-scenario engine: declarative
+//!   [`ScenarioPlan`] timelines (crashes, partitions, sequencer kills,
+//!   network bursts, slow disks), the per-safety-level oracle
+//!   ([`audit_scenario`]) and the seeded scenario fuzzer
+//!   ([`scenario::fuzz`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +34,7 @@ pub mod certify;
 pub mod client;
 pub mod msg;
 pub mod safety;
+pub mod scenario;
 pub mod server;
 pub mod system;
 pub mod verify;
@@ -41,6 +47,10 @@ pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, Stop
 pub use groupsafe_gcs::BatchConfig;
 pub use msg::{ClientMsg, DsmMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest};
 pub use safety::{table1, Guarantee, SafetyLevel};
+pub use scenario::{
+    audit_scenario, reconcile_restart, OracleViolation, ScenarioAudit, ScenarioEvent, ScenarioPlan,
+    ScenarioStep,
+};
 pub use server::{
     InitServer, InstallCheckpointCmd, RWire, ReplicaConfig, ReplicaServer, RestartServerCmd,
     SwitchSafetyCmd, Technique,

@@ -1,0 +1,1258 @@
+//! The deterministic fault-scenario engine: one declarative timeline for
+//! every fault a run can suffer, a per-safety-level oracle that audits
+//! the outcome against the paper's Tables 2–3, and a seeded fuzzer that
+//! generates random scenarios and runs the oracle over them.
+//!
+//! # The plan
+//!
+//! A [`ScenarioPlan`] is a timeline of typed [`ScenarioEvent`]s — crash
+//! (with optional scripted recovery), partition/heal, targeted sequencer
+//! kill, loss/duplication/reorder bursts, slow-disk windows, runtime
+//! safety switches and operator-style group restarts. It subsumes both
+//! the historical `FaultPlan` (crash/recover/switch only) and the
+//! workload crate's imperative `CrashScenario` (which is now a thin shim
+//! compiling to a plan).
+//!
+//! Plans execute through the [`Run`] lifecycle: every step becomes a
+//! sim-time hook that fires exactly at its instant — also under the
+//! stepwise API ([`Run::run_until`]), so any bench, test or example can
+//! replay any fault interleaving from a seed.
+//!
+//! # The oracle
+//!
+//! [`audit_scenario`] checks, after the run, what the claimed
+//! [`SafetyLevel`] promises under the faults the plan injected:
+//!
+//! * **no lost transactions** for levels whose crash tolerance covers
+//!   the plan (group-safe under a partial failure, 2-safe/very-safe
+//!   always),
+//! * **loss accounting**: when a level *may* lose (1-safe, group-1-safe
+//!   after a group failure), every lost transaction must be attributable
+//!   to a delegate-crash window,
+//! * **convergence and total-order digests** across survivors once the
+//!   plan quiesces.
+//!
+//! # The fuzzer
+//!
+//! [`fuzz::run_fuzz_case`] derives a random plan from a seed
+//! ([`fuzz::generate_plan`]), runs it on a small system and audits it.
+//! Same seed, same plan, same fingerprint — a failing seed is a complete
+//! reproduction recipe (see `ScenarioPlan::render`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use groupsafe_net::{NetConfig, NodeId};
+use groupsafe_sim::{SimDuration, SimTime};
+
+use crate::builder::{BuildError, Run};
+use crate::safety::SafetyLevel;
+use crate::server::{InstallCheckpointCmd, ReplicaServer, RestartServerCmd, SwitchSafetyCmd};
+use crate::system::System;
+
+// ---------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------
+
+/// One typed fault event on the scenario timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// Crash a server. The step fires at its instant and *then* strikes
+    /// after `after` (zero for an immediate crash; non-zero models a
+    /// pre-announced delayed strike, e.g. "the delegate outlives the
+    /// group"). With `recover_after`, recovery is scripted at
+    /// `at + after + recover_after` when the step fires — matching how
+    /// an operator schedules downtime ahead of time.
+    Crash {
+        /// Target server id.
+        server: u32,
+        /// Delay between the step firing and the crash striking.
+        after: SimDuration,
+        /// Downtime before the scripted recovery (None = stays down).
+        recover_after: Option<SimDuration>,
+    },
+    /// Recover a (previously crashed) server at the step's instant.
+    Recover {
+        /// Target server id.
+        server: u32,
+    },
+    /// Switch every server's safety level (group-safe ↔ group-1-safe,
+    /// §5.2).
+    SwitchSafety {
+        /// The level to switch to.
+        level: SafetyLevel,
+    },
+    /// Split the network into the given server groups (each group takes
+    /// its home clients along; unlisted servers form an implicit final
+    /// component).
+    Partition {
+        /// Server-id groups.
+        groups: Vec<Vec<u32>>,
+    },
+    /// Heal all partitions.
+    Heal,
+    /// Crash whichever live server currently acts as the sequencer
+    /// (resolved at fire time — after a previous kill this targets the
+    /// *successor*). No-op if no live sequencer exists.
+    KillSequencer {
+        /// Downtime before the scripted recovery (None = stays down).
+        recover_after: Option<SimDuration>,
+    },
+    /// Probabilistic message loss for a window.
+    LossBurst {
+        /// Per-delivery drop probability during the burst.
+        probability: f64,
+        /// Burst length.
+        duration: SimDuration,
+    },
+    /// Probabilistic message duplication for a window.
+    DuplicationBurst {
+        /// Per-delivery duplication probability during the burst.
+        probability: f64,
+        /// Burst length.
+        duration: SimDuration,
+    },
+    /// Probabilistic bounded reordering for a window.
+    ReorderBurst {
+        /// Per-delivery deferral probability during the burst.
+        probability: f64,
+        /// Upper bound of the deferral (and duplicate spread).
+        window: SimDuration,
+        /// Burst length.
+        duration: SimDuration,
+    },
+    /// Scale the disk service times of the given servers for a window
+    /// (a degraded device; affects WAL flushes and the GC stable log).
+    SlowDisk {
+        /// Target server ids.
+        servers: Vec<u32>,
+        /// Service-time multiplier (> 1 slows the device down).
+        factor: f64,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// Operator-style restart after a *total* failure in the dynamic
+    /// model: the listed (recovered) servers reconcile to the most
+    /// advanced recovered state and rejoin as a fresh group.
+    RestartGroup {
+        /// The servers forming the fresh group.
+        servers: Vec<u32>,
+    },
+}
+
+impl ScenarioEvent {
+    /// Short static label for phase marks and progress dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioEvent::Crash { .. } => "crash",
+            ScenarioEvent::Recover { .. } => "recover",
+            ScenarioEvent::SwitchSafety { .. } => "switch-safety",
+            ScenarioEvent::Partition { .. } => "partition",
+            ScenarioEvent::Heal => "heal",
+            ScenarioEvent::KillSequencer { .. } => "kill-sequencer",
+            ScenarioEvent::LossBurst { .. } => "loss-burst",
+            ScenarioEvent::DuplicationBurst { .. } => "dup-burst",
+            ScenarioEvent::ReorderBurst { .. } => "reorder-burst",
+            ScenarioEvent::SlowDisk { .. } => "slow-disk",
+            ScenarioEvent::RestartGroup { .. } => "restart-group",
+        }
+    }
+}
+
+/// A [`ScenarioEvent`] at an instant of the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioStep {
+    /// When the step fires.
+    pub at: SimTime,
+    /// What it does.
+    pub event: ScenarioEvent,
+}
+
+/// A declarative timeline of fault events, executed by the [`Run`]
+/// lifecycle as sim-time hooks. Steps sharing an instant fire in plan
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioPlan {
+    /// The timeline (kept in insertion order; ties resolve by it).
+    pub steps: Vec<ScenarioStep>,
+}
+
+impl ScenarioPlan {
+    /// The empty plan.
+    pub fn new() -> Self {
+        ScenarioPlan::default()
+    }
+
+    /// Append an explicit step.
+    pub fn then(mut self, step: ScenarioStep) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Append every step of `other` after this plan's steps.
+    pub fn merge(mut self, other: ScenarioPlan) -> Self {
+        self.steps.extend(other.steps);
+        self
+    }
+
+    /// Crash `server` at `at` (stays down).
+    pub fn crash(self, at: SimTime, server: u32) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::Crash {
+                server,
+                after: SimDuration::ZERO,
+                recover_after: None,
+            },
+        })
+    }
+
+    /// Crash `server` at `at` and recover it after `downtime`.
+    pub fn crash_for(self, at: SimTime, server: u32, downtime: SimDuration) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::Crash {
+                server,
+                after: SimDuration::ZERO,
+                recover_after: Some(downtime),
+            },
+        })
+    }
+
+    /// Recover `server` at `at`.
+    pub fn recover(self, at: SimTime, server: u32) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::Recover { server },
+        })
+    }
+
+    /// Switch every server's safety level at `at`.
+    pub fn switch_safety(self, at: SimTime, level: SafetyLevel) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::SwitchSafety { level },
+        })
+    }
+
+    /// Partition the network into the given server groups at `at`.
+    pub fn partition(self, at: SimTime, groups: Vec<Vec<u32>>) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::Partition { groups },
+        })
+    }
+
+    /// Heal all partitions at `at`.
+    pub fn heal(self, at: SimTime) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::Heal,
+        })
+    }
+
+    /// Crash the current sequencer at `at` (optionally recovering it).
+    pub fn kill_sequencer(self, at: SimTime, recover_after: Option<SimDuration>) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::KillSequencer { recover_after },
+        })
+    }
+
+    /// Drop deliveries with `probability` during `[at, at + duration)`.
+    pub fn loss_burst(self, at: SimTime, probability: f64, duration: SimDuration) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::LossBurst {
+                probability,
+                duration,
+            },
+        })
+    }
+
+    /// Duplicate deliveries with `probability` during the window.
+    pub fn duplication_burst(self, at: SimTime, probability: f64, duration: SimDuration) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::DuplicationBurst {
+                probability,
+                duration,
+            },
+        })
+    }
+
+    /// Defer deliveries with `probability` by up to `window` during the
+    /// burst.
+    pub fn reorder_burst(
+        self,
+        at: SimTime,
+        probability: f64,
+        window: SimDuration,
+        duration: SimDuration,
+    ) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::ReorderBurst {
+                probability,
+                window,
+                duration,
+            },
+        })
+    }
+
+    /// Slow the disks of `servers` by `factor` during the window.
+    pub fn slow_disk(
+        self,
+        at: SimTime,
+        servers: Vec<u32>,
+        factor: f64,
+        duration: SimDuration,
+    ) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::SlowDisk {
+                servers,
+                factor,
+                duration,
+            },
+        })
+    }
+
+    /// Reconcile-and-restart the listed servers as a fresh group at `at`.
+    pub fn restart_group(self, at: SimTime, servers: Vec<u32>) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::RestartGroup { servers },
+        })
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of scheduled steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Validate against a system of `n_servers` replicas.
+    pub fn validate(&self, n_servers: u32) -> Result<(), BuildError> {
+        let check_server = |s: u32| {
+            if s >= n_servers {
+                Err(BuildError::FaultTargetOutOfRange {
+                    server: s,
+                    n_servers,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_p = |name: &'static str, p: f64| {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                Err(BuildError::BadProbability { name, value: p })
+            } else {
+                Ok(())
+            }
+        };
+        for step in &self.steps {
+            match &step.event {
+                ScenarioEvent::Crash { server, .. } | ScenarioEvent::Recover { server } => {
+                    check_server(*server)?
+                }
+                ScenarioEvent::Partition { groups } => {
+                    for g in groups {
+                        for &s in g {
+                            check_server(s)?;
+                        }
+                    }
+                }
+                ScenarioEvent::LossBurst { probability, .. }
+                | ScenarioEvent::DuplicationBurst { probability, .. } => {
+                    check_p("burst probability", *probability)?
+                }
+                ScenarioEvent::ReorderBurst { probability, .. } => {
+                    check_p("burst probability", *probability)?
+                }
+                ScenarioEvent::SlowDisk {
+                    servers, factor, ..
+                } => {
+                    for &s in servers {
+                        check_server(s)?;
+                    }
+                    if !factor.is_finite() || *factor <= 0.0 {
+                        return Err(BuildError::BadScenario {
+                            what: "slow-disk factor must be positive",
+                            value: *factor,
+                        });
+                    }
+                }
+                ScenarioEvent::RestartGroup { servers } => {
+                    for &s in servers {
+                        check_server(s)?;
+                    }
+                }
+                ScenarioEvent::SwitchSafety { .. }
+                | ScenarioEvent::Heal
+                | ScenarioEvent::KillSequencer { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Install the plan on a [`Run`]: one hook per step (bursts and
+    /// slow-disk windows add a second hook restoring the baseline at the
+    /// window's end). `baseline` is the network configuration bursts
+    /// reset to.
+    pub(crate) fn install(self, run: &mut Run, baseline: &NetConfig) {
+        for step in self.steps {
+            let at = step.at;
+            let label = step.event.label();
+            match step.event {
+                ScenarioEvent::Crash {
+                    server,
+                    after,
+                    recover_after,
+                } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        let actor = sys.servers[server as usize];
+                        let strike = sys.engine.now().max(at) + after;
+                        sys.engine.schedule_crash(strike, actor);
+                        if let Some(downtime) = recover_after {
+                            sys.engine.schedule_recover(strike + downtime, actor);
+                        }
+                    });
+                }
+                ScenarioEvent::Recover { server } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        let actor = sys.servers[server as usize];
+                        let now = sys.engine.now().max(at);
+                        sys.engine.schedule_recover(now, actor);
+                    });
+                }
+                ScenarioEvent::SwitchSafety { level } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        let now = sys.engine.now().max(at);
+                        for &s in &sys.servers.clone() {
+                            sys.engine
+                                .schedule_resilient(now, s, SwitchSafetyCmd(level));
+                        }
+                    });
+                }
+                ScenarioEvent::Partition { groups } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        sys.apply_partition(&groups);
+                    });
+                }
+                ScenarioEvent::Heal => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        sys.net.heal();
+                    });
+                }
+                ScenarioEvent::KillSequencer { recover_after } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        let Some(i) = sys.current_sequencer() else {
+                            return;
+                        };
+                        let actor = sys.servers[i as usize];
+                        let now = sys.engine.now().max(at);
+                        sys.engine.schedule_crash(now, actor);
+                        if let Some(downtime) = recover_after {
+                            sys.engine.schedule_recover(now + downtime, actor);
+                        }
+                    });
+                }
+                ScenarioEvent::LossBurst {
+                    probability,
+                    duration,
+                } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        sys.net.set_loss_probability(probability);
+                    });
+                    let base = baseline.loss_probability;
+                    run.hook_at(at + duration, "loss-burst-end", move |sys: &mut System| {
+                        sys.net.set_loss_probability(base);
+                    });
+                }
+                ScenarioEvent::DuplicationBurst {
+                    probability,
+                    duration,
+                } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        sys.net.set_duplicate_probability(probability);
+                    });
+                    let base = baseline.duplicate_probability;
+                    run.hook_at(at + duration, "dup-burst-end", move |sys: &mut System| {
+                        sys.net.set_duplicate_probability(base);
+                    });
+                }
+                ScenarioEvent::ReorderBurst {
+                    probability,
+                    window,
+                    duration,
+                } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        sys.net.set_reorder(probability, window);
+                    });
+                    let (bp, bw) = (baseline.reorder_probability, baseline.reorder_window);
+                    run.hook_at(
+                        at + duration,
+                        "reorder-burst-end",
+                        move |sys: &mut System| {
+                            sys.net.set_reorder(bp, bw);
+                        },
+                    );
+                }
+                ScenarioEvent::SlowDisk {
+                    servers,
+                    factor,
+                    duration,
+                } => {
+                    let ends = servers.clone();
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        for &i in &servers {
+                            let id = sys.servers[i as usize];
+                            sys.engine
+                                .actor_mut::<ReplicaServer>(id)
+                                .set_disk_slowdown(factor);
+                        }
+                    });
+                    run.hook_at(at + duration, "slow-disk-end", move |sys: &mut System| {
+                        for &i in &ends {
+                            let id = sys.servers[i as usize];
+                            sys.engine
+                                .actor_mut::<ReplicaServer>(id)
+                                .set_disk_slowdown(1.0);
+                        }
+                    });
+                }
+                ScenarioEvent::RestartGroup { servers } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        reconcile_restart(sys, &servers);
+                    });
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Introspection (what the oracle derives from the timeline)
+    // -----------------------------------------------------------------
+
+    /// Down-interval per fault: `(from, to)` with `to = SimTime::MAX`
+    /// when the target never recovers. Sequencer kills get pseudo ids
+    /// above the real range (their target is resolved at runtime).
+    fn down_intervals(&self, n_servers: u32) -> Vec<(u32, SimTime, SimTime)> {
+        let mut out = Vec::new();
+        let mut pseudo = n_servers;
+        for step in &self.steps {
+            match &step.event {
+                ScenarioEvent::Crash {
+                    server,
+                    after,
+                    recover_after,
+                } => {
+                    let from = step.at + *after;
+                    let to = recover_after.map_or(SimTime::MAX, |d| from + d);
+                    out.push((*server, from, to));
+                }
+                ScenarioEvent::KillSequencer { recover_after } => {
+                    let from = step.at;
+                    let to = recover_after.map_or(SimTime::MAX, |d| from + d);
+                    out.push((pseudo, from, to));
+                    pseudo += 1;
+                }
+                ScenarioEvent::Recover { server } => {
+                    // Close the target's latest open interval.
+                    if let Some(iv) = out
+                        .iter_mut()
+                        .rev()
+                        .find(|(s, _, to)| s == server && *to > step.at)
+                    {
+                        iv.2 = step.at;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The maximum number of servers simultaneously down under this plan
+    /// (conservative: kill-sequencer events count as one extra server).
+    pub fn max_simultaneous_down(&self, n_servers: u32) -> u32 {
+        let intervals = self.down_intervals(n_servers);
+        let mut worst = 0;
+        for &(_, from, _) in &intervals {
+            let overlap = intervals
+                .iter()
+                .filter(|&&(_, f, t)| f <= from && from < t)
+                .map(|(s, _, _)| *s)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len() as u32;
+            worst = worst.max(overlap);
+        }
+        worst
+    }
+
+    /// True when the plan may crash the whole group at once.
+    pub fn group_failure(&self, n_servers: u32) -> bool {
+        n_servers > 0 && self.max_simultaneous_down(n_servers) >= n_servers
+    }
+
+    /// True when any server crashes at some point.
+    pub fn any_crash(&self) -> bool {
+        self.steps.iter().any(|s| {
+            matches!(
+                s.event,
+                ScenarioEvent::Crash { .. } | ScenarioEvent::KillSequencer { .. }
+            )
+        })
+    }
+
+    /// True when the plan contains runtime-targeted sequencer kills
+    /// (whose victim the plan cannot name statically).
+    pub fn has_kill_sequencer(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s.event, ScenarioEvent::KillSequencer { .. }))
+    }
+
+    /// The instants at which the plan's explicit crashes of `server`
+    /// strike (kill-sequencer events are excluded — their target is
+    /// resolved at runtime).
+    pub fn crash_strikes(&self, server: u32) -> Vec<SimTime> {
+        self.steps
+            .iter()
+            .filter_map(|step| match &step.event {
+                ScenarioEvent::Crash {
+                    server: s, after, ..
+                } if *s == server => Some(step.at + *after),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when the plan injects probabilistic message loss.
+    pub fn uses_loss(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s.event, ScenarioEvent::LossBurst { .. }))
+    }
+
+    /// True when the plan can drop deliveries at all (crash, kill,
+    /// partition or loss) — the faults a 0-safe run may lose under.
+    pub fn any_delivery_fault(&self) -> bool {
+        self.any_crash()
+            || self.uses_loss()
+            || self
+                .steps
+                .iter()
+                .any(|s| matches!(s.event, ScenarioEvent::Partition { .. }))
+    }
+
+    /// True when every partition is followed by a heal. Steps fire in
+    /// `(timestamp, insertion)` order, so the comparison uses that key —
+    /// a heal inserted earlier but firing later still heals.
+    pub fn fully_healed(&self) -> bool {
+        let mut last_partition: Option<(SimTime, usize)> = None;
+        let mut last_heal: Option<(SimTime, usize)> = None;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step.event {
+                ScenarioEvent::Partition { .. } => {
+                    last_partition = last_partition.max(Some((step.at, i)))
+                }
+                ScenarioEvent::Heal => last_heal = last_heal.max(Some((step.at, i))),
+                _ => {}
+            }
+        }
+        match (last_partition, last_heal) {
+            (None, _) => true,
+            (Some(p), Some(h)) => h > p,
+            (Some(_), None) => false,
+        }
+    }
+
+    /// True when the plan contains an operator restart.
+    pub fn has_restart(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s.event, ScenarioEvent::RestartGroup { .. }))
+    }
+
+    /// The last instant at which the plan still disturbs the system
+    /// (crash strikes, recoveries, heals, burst/window ends).
+    pub fn last_disturbance(&self) -> SimTime {
+        let mut last = SimTime::ZERO;
+        for step in &self.steps {
+            let end = match &step.event {
+                ScenarioEvent::Crash {
+                    after,
+                    recover_after,
+                    ..
+                } => step.at + *after + recover_after.unwrap_or(SimDuration::ZERO),
+                ScenarioEvent::KillSequencer { recover_after } => {
+                    step.at + recover_after.unwrap_or(SimDuration::ZERO)
+                }
+                ScenarioEvent::LossBurst { duration, .. }
+                | ScenarioEvent::DuplicationBurst { duration, .. }
+                | ScenarioEvent::ReorderBurst { duration, .. } => step.at + *duration,
+                // A slow-disk window keeps disturbing the system after it
+                // ends: accesses queued at `factor`× service time form a
+                // backlog that drains at roughly `factor × duration` wall
+                // time (plus slack for recovery catch-up writes competing
+                // for the same spindles).
+                ScenarioEvent::SlowDisk {
+                    duration, factor, ..
+                } => {
+                    step.at
+                        + *duration * (factor.ceil().max(1.0) as u64)
+                        + SimDuration::from_secs(1)
+                }
+                _ => step.at,
+            };
+            last = last.max(end);
+        }
+        last
+    }
+
+    /// A human-readable dump of the timeline (the reproduction recipe a
+    /// failing fuzz seed prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            out.push_str(&format!(
+                "  t={:>10.3}ms  {:?}\n",
+                step.at.as_millis_f64(),
+                step.event
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("  (empty plan)\n");
+        }
+        out
+    }
+}
+
+/// Operator-driven restart after a total failure in the dynamic model:
+/// the listed (recovered) servers rejoin a fresh group, all adopting the
+/// most advanced recovered state (all states are durable prefixes of the
+/// same delivery history, so the maximum is their union).
+pub fn reconcile_restart(system: &mut System, servers: &[u32]) {
+    let now = system.engine.now();
+    let (best, seq_base) = {
+        let mut best = 0u32;
+        let mut best_v = 0;
+        for &i in servers {
+            let v = system.server(i).db().max_version();
+            if v >= best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        (best, best_v)
+    };
+    let ckpt = system.server(best).db().checkpoint();
+    let members: Vec<NodeId> = servers.iter().map(|&i| NodeId(i)).collect();
+    for &i in servers {
+        let actor = system.servers[i as usize];
+        if i != best {
+            system
+                .engine
+                .schedule_resilient(now, actor, InstallCheckpointCmd(ckpt.clone()));
+        }
+        system.engine.schedule_resilient(
+            now,
+            actor,
+            RestartServerCmd {
+                members: members.clone(),
+                seq_base,
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------
+
+use groupsafe_db::TxnId;
+
+/// One invariant the run violated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleViolation {
+    /// An acknowledged transaction is missing from every live replica in
+    /// a situation the claimed safety level forbids.
+    UnexpectedLoss {
+        /// The claimed level.
+        level: SafetyLevel,
+        /// The lost transaction.
+        txn: TxnId,
+        /// Its delegate.
+        delegate: NodeId,
+        /// Why the level forbids this loss.
+        reason: &'static str,
+    },
+    /// Live replicas disagree on committed state after quiescence.
+    Divergence {
+        /// The distinct state digests observed.
+        digests: Vec<u64>,
+    },
+    /// Never-crashed replicas processed different delivery sequences.
+    OrderDivergence {
+        /// `(server, order digest)` per audited replica.
+        digests: Vec<(u32, u64)>,
+    },
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleViolation::UnexpectedLoss {
+                level,
+                txn,
+                delegate,
+                reason,
+            } => write!(
+                f,
+                "{level}: acknowledged {txn:?} (delegate {delegate:?}) lost — {reason}"
+            ),
+            OracleViolation::Divergence { digests } => {
+                write!(
+                    f,
+                    "live replicas diverged: {} distinct states",
+                    digests.len()
+                )
+            }
+            OracleViolation::OrderDivergence { digests } => {
+                write!(f, "survivors disagree on delivery order: {digests:?}")
+            }
+        }
+    }
+}
+
+/// The oracle's verdict over one finished scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioAudit {
+    /// The claimed safety level the invariants were checked against.
+    pub level: SafetyLevel,
+    /// Violations found (empty = the run honoured the level).
+    pub violations: Vec<OracleViolation>,
+    /// Acknowledged transactions missing from every live replica.
+    pub lost: usize,
+    /// Whether the plan crashed the whole group at once.
+    pub group_failed: bool,
+    /// Whether the convergence/order checks applied (the plan quiesced:
+    /// partitions healed, no loss bursts, disturbances settled).
+    pub quiescent: bool,
+}
+
+impl ScenarioAudit {
+    /// True when no invariant was violated.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// How long after the plan's last disturbance the oracle requires before
+/// it trusts convergence checks.
+const SETTLE: SimDuration = SimDuration::from_secs(2);
+
+/// Check the paper's per-level invariants over a finished run.
+///
+/// `level` is the *claimed* safety level — normally the one the system
+/// ran at; passing a stronger claim than the system honours is how the
+/// negative tests prove the oracle catches violations.
+pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) -> ScenarioAudit {
+    let n = system.n_servers;
+    let group_failed = plan.group_failure(n);
+    let lost = system.lost_transactions();
+    let mut violations = Vec::new();
+
+    for lt in &lost {
+        let Some(delegate) = system
+            .oracle
+            .borrow()
+            .commits
+            .get(&lt.txn)
+            .map(|c| c.delegate)
+        else {
+            continue; // no commit record: check_no_loss never reports these
+        };
+        let delegate_crashed = system.server(delegate.0).crash_count() > 0;
+        let delegate_dead = !system.engine.is_alive(system.servers[delegate.index()]);
+        let allowed = match level {
+            // Table 3: 0-safe may lose under any delivery fault.
+            SafetyLevel::ZeroSafe => plan.any_delivery_fault(),
+            // 1-safe loses exactly in delegate-crash windows: the
+            // transaction must have been acknowledged at or before some
+            // crash of its delegate (the un-propagated window). A crash
+            // that fully precedes the acknowledgement explains nothing.
+            // Runtime-targeted sequencer kills cannot be attributed
+            // statically, so their presence falls back to the coarse
+            // delegate-crashed check.
+            SafetyLevel::OneSafe => {
+                delegate_crashed
+                    && (plan.has_kill_sequencer() || {
+                        let ack_at = system.oracle.borrow().acked.get(&lt.txn).map(|a| a.at);
+                        ack_at.is_some_and(|at| {
+                            plan.crash_strikes(delegate.0)
+                                .iter()
+                                .any(|&strike| at <= strike)
+                        })
+                    })
+            }
+            // Group-safe loses only if the whole group failed.
+            SafetyLevel::GroupSafe => group_failed,
+            // Group-1-safe additionally requires the delegate's log to
+            // never return.
+            SafetyLevel::GroupOneSafe => group_failed && delegate_dead,
+            // 2-safe and very-safe never lose.
+            SafetyLevel::TwoSafe | SafetyLevel::VerySafe => false,
+        };
+        if !allowed {
+            let reason = match level {
+                SafetyLevel::ZeroSafe => "the plan injected no delivery fault",
+                SafetyLevel::OneSafe => "no delegate-crash window covers it",
+                SafetyLevel::GroupSafe => "a majority survived the whole run",
+                SafetyLevel::GroupOneSafe => {
+                    if group_failed {
+                        "the delegate's log returned"
+                    } else {
+                        "a majority survived the whole run"
+                    }
+                }
+                SafetyLevel::TwoSafe | SafetyLevel::VerySafe => "this level never loses",
+            };
+            violations.push(OracleViolation::UnexpectedLoss {
+                level,
+                txn: lt.txn,
+                delegate,
+                reason,
+            });
+        }
+    }
+
+    // Convergence applies once the plan quiesced: partitions healed, no
+    // loss bursts (a lost multicast can gap a live view member until the
+    // next view change), disturbances settled, and — for the view-based
+    // levels — no unrepaired total failure. The lazy baseline replicates
+    // remote writes unlogged, so any crash voids its convergence claim.
+    let view_based = matches!(
+        level,
+        SafetyLevel::ZeroSafe | SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe
+    );
+    let quiescent = plan.fully_healed()
+        && !plan.uses_loss()
+        && system.engine.now() >= plan.last_disturbance() + SETTLE
+        && (!group_failed || !view_based || plan.has_restart())
+        // The weak levels promise nothing under delivery faults
+        // (Table 2: they tolerate zero crashes): a 0-safe minority view
+        // legitimately diverges during a partition, and the lazy
+        // baseline's fire-and-forget propagation has no retransmission,
+        // so writes dropped by any fault stay missing.
+        && (!matches!(level, SafetyLevel::ZeroSafe | SafetyLevel::OneSafe)
+            || !plan.any_delivery_fault());
+
+    if quiescent {
+        let digests = system.convergence();
+        if digests.len() > 1 {
+            violations.push(OracleViolation::Divergence { digests });
+        }
+        // Total order: replicas that never crashed and never installed a
+        // peer checkpoint processed every delivery themselves — their
+        // decision digests must agree.
+        let mut order: Vec<(u32, u64)> = (0..n)
+            .filter(|&i| {
+                let s = system.server(i);
+                s.crash_count() == 0 && s.transfer_count() == 0
+            })
+            .map(|i| (i, system.server(i).order_digest()))
+            .collect();
+        order.dedup_by_key(|(_, d)| *d);
+        if order.len() > 1 {
+            violations.push(OracleViolation::OrderDivergence { digests: order });
+        }
+    }
+
+    ScenarioAudit {
+        level,
+        violations,
+        lost: lost.len(),
+        group_failed,
+        quiescent,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer
+// ---------------------------------------------------------------------
+
+/// Seeded random-scenario fuzzing: generate a plan, run it, audit it.
+pub mod fuzz {
+    use super::*;
+    use crate::builder::Load;
+
+    /// The envelope the generator draws scenarios from.
+    #[derive(Debug, Clone)]
+    pub struct FuzzSpec {
+        /// Safety level under test (selects the technique).
+        pub level: SafetyLevel,
+        /// Replica count.
+        pub n_servers: u32,
+        /// Clients per replica.
+        pub clients_per_server: u32,
+        /// Offered open-loop load, tps.
+        pub load_tps: f64,
+        /// Measurement window (faults land in its first half).
+        pub measure: SimDuration,
+        /// Drain window after the clients stop.
+        pub drain: SimDuration,
+        /// Maximum fault events per plan.
+        pub max_events: usize,
+        /// Allow loss bursts (generated only in crash-free plans: with
+        /// no crash, every delivered copy lives on a live replica, so
+        /// the no-loss invariant stays checkable under arbitrary loss).
+        pub allow_loss: bool,
+    }
+
+    impl FuzzSpec {
+        /// The CI smoke envelope: 5 servers × 2 clients at a moderate
+        /// open-loop load, 6 s of measurement, up to 3 fault events.
+        pub fn smoke(level: SafetyLevel) -> FuzzSpec {
+            FuzzSpec {
+                level,
+                n_servers: 5,
+                clients_per_server: 2,
+                load_tps: 25.0,
+                measure: SimDuration::from_secs(6),
+                drain: SimDuration::from_secs(3),
+                max_events: 3,
+                allow_loss: true,
+            }
+        }
+    }
+
+    /// The outcome of one fuzz case.
+    #[derive(Debug, Clone)]
+    pub struct FuzzOutcome {
+        /// The generating seed.
+        pub seed: u64,
+        /// The plan it produced.
+        pub plan: ScenarioPlan,
+        /// The oracle's verdict.
+        pub audit: ScenarioAudit,
+        /// Client-acknowledged commits over the whole run.
+        pub commits: usize,
+        /// The engine's dispatch fingerprint (replay witness).
+        pub fingerprint: u64,
+    }
+
+    impl FuzzOutcome {
+        /// True when the oracle found nothing.
+        pub fn ok(&self) -> bool {
+            self.audit.clean()
+        }
+
+        /// The loud failure report: seed, plan dump, violations.
+        pub fn describe(&self) -> String {
+            let mut out = format!(
+                "seed {} ({}, {} commits, lost {}, fingerprint {:#018x})\nplan:\n{}",
+                self.seed,
+                self.audit.level,
+                self.commits,
+                self.audit.lost,
+                self.fingerprint,
+                self.plan.render()
+            );
+            for v in &self.audit.violations {
+                out.push_str(&format!("  VIOLATION: {v}\n"));
+            }
+            out
+        }
+    }
+
+    /// Derive a random scenario plan from `seed` within `spec`'s
+    /// envelope. Deterministic: same seed, same plan.
+    pub fn generate_plan(seed: u64, spec: &FuzzSpec) -> ScenarioPlan {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = spec.n_servers;
+        let view_based = matches!(
+            spec.level,
+            SafetyLevel::ZeroSafe | SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe
+        );
+        // Faults land in [500 ms, measure/2 + 500 ms]; every event is
+        // over at most ~1.5 s later, leaving the rest of the window plus
+        // the drain to quiesce (the oracle's settle margin is 2 s).
+        let window_start = 500u64;
+        let window_end = (window_start + spec.measure.as_nanos() / 2_000_000).max(window_start + 1);
+        fn at_ms(rng: &mut StdRng, start: u64, end: u64) -> SimTime {
+            SimTime::from_millis(rng.random_range(start..=end))
+        }
+
+        let n_events = rng.random_range(1..=spec.max_events.max(1));
+        // Loss-only plans: under message loss the no-loss invariant is
+        // only airtight while nothing crashes (see `FuzzSpec::allow_loss`),
+        // so a plan draws either from the crash palette or the loss one.
+        let loss_plan = spec.allow_loss && rng.random_range(0..5) == 0;
+        let mut plan = ScenarioPlan::new();
+        // Cap concurrent crash victims: view-based groups must keep a
+        // majority to stay live, static (crash-recovery) groups tolerate
+        // everyone going down at once.
+        let max_down = if view_based { (n - 1) / 2 } else { n };
+        let mut down_budget = max_down;
+        // Overlapping same-type bursts would truncate each other (the
+        // first window's end hook restores the baseline while the second
+        // still runs), so the executed faults would silently diverge
+        // from the plan dump. Track a busy-until horizon per type and
+        // skip draws that would overlap.
+        let mut busy_until = [SimTime::ZERO; 4]; // loss, dup, reorder, slow-disk
+        let claim = |slot: &mut SimTime, at: SimTime, d: SimDuration| -> bool {
+            if at < *slot {
+                return false;
+            }
+            *slot = at + d;
+            true
+        };
+
+        for _ in 0..n_events {
+            let at = at_ms(&mut rng, window_start, window_end);
+            let kind = if loss_plan {
+                rng.random_range(0..4)
+            } else {
+                4 + rng.random_range(0..5)
+            };
+            match kind {
+                // ---- loss palette (crash-free) ----
+                0 | 1 => {
+                    let p = rng.random_range(0.01..0.08);
+                    let d = SimDuration::from_millis(rng.random_range(300..1_200));
+                    if claim(&mut busy_until[0], at, d) {
+                        plan = plan.loss_burst(at, p, d);
+                    }
+                }
+                2 => {
+                    let p = rng.random_range(0.05..0.3);
+                    let d = SimDuration::from_millis(rng.random_range(300..1_500));
+                    if claim(&mut busy_until[1], at, d) {
+                        plan = plan.duplication_burst(at, p, d);
+                    }
+                }
+                3 => {
+                    let hold = SimDuration::from_millis(rng.random_range(300..1_200));
+                    let k = rng.random_range(1..=((n - 1) / 2).max(1));
+                    let minority = sample_servers(&mut rng, n, k);
+                    plan = plan.partition(at, vec![minority]).heal(at + hold);
+                }
+                // ---- crash palette ----
+                4 => {
+                    let k = rng.random_range(1..=down_budget.max(1)).min(down_budget);
+                    if k == 0 {
+                        continue;
+                    }
+                    down_budget -= k;
+                    let downtime = SimDuration::from_millis(rng.random_range(300..=900));
+                    for server in sample_servers(&mut rng, n, k) {
+                        plan = plan.crash_for(at, server, downtime);
+                    }
+                }
+                5 => {
+                    if down_budget == 0 {
+                        continue;
+                    }
+                    down_budget -= 1;
+                    let downtime = SimDuration::from_millis(rng.random_range(300..=900));
+                    plan = plan.kill_sequencer(at, Some(downtime));
+                }
+                6 => {
+                    let hold = SimDuration::from_millis(rng.random_range(300..1_200));
+                    let k = rng.random_range(1..=((n - 1) / 2).max(1));
+                    let minority = sample_servers(&mut rng, n, k);
+                    plan = plan.partition(at, vec![minority]).heal(at + hold);
+                }
+                7 => {
+                    let p = rng.random_range(0.05..0.3);
+                    let d = SimDuration::from_millis(rng.random_range(300..1_500));
+                    if claim(&mut busy_until[1], at, d) {
+                        plan = plan.duplication_burst(at, p, d);
+                    }
+                }
+                _ => {
+                    let p = rng.random_range(0.05..0.3);
+                    let window = SimDuration::from_micros(rng.random_range(50..1_000));
+                    let d = SimDuration::from_millis(rng.random_range(300..1_500));
+                    if claim(&mut busy_until[2], at, d) {
+                        plan = plan.reorder_burst(at, p, window, d);
+                    }
+                }
+            }
+            // An occasional slow-disk window rides along with anything.
+            if rng.random_range(0..4) == 0 {
+                let k = rng.random_range(1..=n.div_ceil(2));
+                let servers = sample_servers(&mut rng, n, k);
+                let factor = rng.random_range(2.0..5.0);
+                let d = SimDuration::from_millis(rng.random_range(300..900));
+                let slow_at = at_ms(&mut rng, window_start, window_end);
+                if claim(&mut busy_until[3], slow_at, d) {
+                    plan = plan.slow_disk(slow_at, servers, factor, d);
+                }
+            }
+        }
+        plan
+    }
+
+    fn sample_servers(rng: &mut StdRng, n: u32, k: u32) -> Vec<u32> {
+        let mut pool: Vec<u32> = (0..n).collect();
+        let mut out = Vec::with_capacity(k as usize);
+        for _ in 0..k.min(n) {
+            let i = rng.random_range(0..pool.len());
+            out.push(pool.swap_remove(i));
+        }
+        out
+    }
+
+    /// Generate, run and audit one fuzz case.
+    pub fn run_fuzz_case(seed: u64, spec: &FuzzSpec) -> FuzzOutcome {
+        let plan = generate_plan(seed, spec);
+        let mut run = System::builder()
+            .servers(spec.n_servers)
+            .clients_per_server(spec.clients_per_server)
+            .safety(spec.level)
+            .load(Load::open_tps(spec.load_tps))
+            .measure(spec.measure)
+            .drain(spec.drain)
+            .seed(seed ^ 0x5EED_CAFE)
+            .scenario(plan.clone())
+            .build()
+            .expect("a generated scenario always denotes a valid system");
+        let end = SimTime::ZERO + spec.measure;
+        run.run_until(end);
+        run.stop_clients_at(end);
+        run.run_until(end + spec.drain);
+        // Convergence is an *eventually* property: a replica that spent a
+        // fault window accumulating disk backlog (slow-disk, recovery
+        // catch-up) may still be draining it at the nominal end of the
+        // run. Extend the drain in bounded steps while live replicas
+        // still disagree — the oracle then audits a quiesced system, and
+        // a genuinely diverged run stops making progress and fails all
+        // the same.
+        let mut extra = end + spec.drain;
+        let cap = extra + SimDuration::from_secs(10);
+        while (run.system().convergence().len() > 1 || run.system().delivery_backlog() > 0)
+            && extra < cap
+        {
+            extra += SimDuration::from_secs(1);
+            run.run_until(extra);
+        }
+        let system = run.into_system();
+        let audit = audit_scenario(&plan, &system, spec.level);
+        let commits = system.oracle.borrow().acked.len();
+        FuzzOutcome {
+            seed,
+            plan,
+            audit,
+            commits,
+            fingerprint: system.engine.fingerprint(),
+        }
+    }
+}

@@ -211,9 +211,7 @@ pub struct ReplicaServer {
     technique: Technique,
     net: Network,
     cpu: Rc<RefCell<Fcfs>>,
-    #[allow(dead_code)]
     log_disk: Rc<RefCell<Disk>>,
-    #[allow(dead_code)]
     data_disk: Rc<RefCell<Disk>>,
     gcs: Option<GcsEndpoint<DsmMsg, DbCheckpoint>>,
     db: DbEngine,
@@ -248,7 +246,21 @@ pub struct ReplicaServer {
     /// be unique per node or the Thomas write rule diverges on ties.
     last_lazy_version: Version,
     up: bool,
+
+    // Audit metadata for the scenario oracle (not replica state: it
+    // survives crashes and is never part of any digest or checkpoint).
+    /// Crashes this server suffered during the run.
+    crashes: u32,
+    /// Checkpoints installed from peers (join/rejoin state transfers).
+    transfers: u32,
+    /// FNV-1a hash over the delivery decisions `(seq, txn, verdict)` this
+    /// replica processed, in processing order — the total-order witness
+    /// the oracle compares across replicas that never crashed.
+    order_digest: u64,
 }
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
 
 impl ReplicaServer {
     /// Build a server for `node` among `n_servers` replicas.
@@ -315,6 +327,9 @@ impl ReplicaServer {
             lazy_buffer: Vec::new(),
             last_lazy_version: 0,
             up: true,
+            crashes: 0,
+            transfers: 0,
+            order_digest: FNV_OFFSET,
         }
     }
 
@@ -341,6 +356,44 @@ impl ReplicaServer {
     /// The technique currently in force.
     pub fn technique(&self) -> Technique {
         self.technique
+    }
+
+    /// Crashes this server suffered during the run (audit metadata).
+    pub fn crash_count(&self) -> u32 {
+        self.crashes
+    }
+
+    /// Peer checkpoints installed via state transfer (audit metadata).
+    pub fn transfer_count(&self) -> u32 {
+        self.transfers
+    }
+
+    /// FNV-1a hash of the delivery decisions processed so far, in order.
+    /// Replicas that never crashed and never state-transferred must agree
+    /// on it once the run quiesces (uniform total order).
+    pub fn order_digest(&self) -> u64 {
+        self.order_digest
+    }
+
+    /// Scale this server's disk service times (1.0 = nominal). Applies to
+    /// the pooled log/data disks the server and its GC endpoint share.
+    pub fn set_disk_slowdown(&mut self, factor: f64) {
+        self.log_disk.borrow_mut().set_slowdown(factor);
+        if !Rc::ptr_eq(&self.log_disk, &self.data_disk) {
+            self.data_disk.borrow_mut().set_slowdown(factor);
+        }
+    }
+
+    fn mix_order(&mut self, seq: u64, txn: TxnId, committed: bool) {
+        for v in [
+            seq,
+            txn.client as u64,
+            txn.seq,
+            if committed { 0xC0 } else { 0xAB },
+        ] {
+            self.order_digest ^= v;
+            self.order_digest = self.order_digest.wrapping_mul(FNV_PRIME);
+        }
     }
 
     fn init(&mut self, ctx: &mut Ctx<'_>) {
@@ -680,6 +733,7 @@ impl ReplicaServer {
             Technique::Dsm(l) => l,
             Technique::Lazy => unreachable!("lazy does not deliver"),
         };
+        self.mix_order(seq, msg.txn, matches!(verdict, Certification::Commit));
         match verdict {
             Certification::Abort { .. } => {
                 ctx.metrics().incr("txn_aborted_cert");
@@ -853,6 +907,7 @@ impl ReplicaServer {
                 GcsOutput::InstallState { state, applied_seq } => {
                     self.db.install_checkpoint(state);
                     self.applied_seq = applied_seq;
+                    self.transfers += 1;
                     ctx.metrics().incr("state_transfers");
                 }
                 GcsOutput::ViewInstalled { view } => {
@@ -1072,6 +1127,7 @@ impl Actor for ReplicaServer {
 
     fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
         self.up = false;
+        self.crashes += 1;
         if let Some(gcs) = &mut self.gcs {
             gcs.on_crash();
         }

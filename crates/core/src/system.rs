@@ -180,6 +180,47 @@ impl System {
         self.server(0).technique()
     }
 
+    /// The live server currently acting as the group's sequencer, if any
+    /// (None for techniques without group communication, or while the
+    /// group is down). Scenario drivers use this to aim targeted faults
+    /// at whoever holds the role *now*.
+    pub fn current_sequencer(&self) -> Option<u32> {
+        (0..self.n_servers).find(|&i| {
+            self.engine.is_alive(self.servers[i as usize])
+                && self.server(i).gcs().is_some_and(|g| g.is_sequencer())
+        })
+    }
+
+    /// Undelivered atomic-broadcast entries summed over the *live*
+    /// replicas (0 = every live endpoint has drained its known
+    /// sequence). Scenario drivers use this as a quiescence signal.
+    pub fn delivery_backlog(&self) -> u64 {
+        (0..self.n_servers)
+            .filter(|&i| self.engine.is_alive(self.servers[i as usize]))
+            .filter_map(|i| self.server(i).gcs().map(|g| g.backlog()))
+            .sum()
+    }
+
+    /// Partition the network into the given server groups; each group
+    /// takes its home clients with it. Servers absent from every group
+    /// (and their clients) form an implicit final component.
+    pub fn apply_partition(&mut self, groups: &[Vec<u32>]) {
+        let n = self.n_servers;
+        let total = self.net.node_count() as u32;
+        let mut sides: Vec<Vec<NodeId>> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut side: Vec<NodeId> = group.iter().map(|&i| NodeId(i)).collect();
+            for c in n..total {
+                if group.contains(&((c - n) % n)) {
+                    side.push(NodeId(c));
+                }
+            }
+            sides.push(side);
+        }
+        let refs: Vec<&[NodeId]> = sides.iter().map(|s| s.as_slice()).collect();
+        self.net.partition(&refs);
+    }
+
     /// Whole-group atomic-broadcast counters plus the merged batch-size
     /// histogram (size → frame count), summed over every server's
     /// endpoint. Empty/default for techniques without group

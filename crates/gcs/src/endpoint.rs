@@ -73,6 +73,9 @@ pub struct GcsStats {
     pub batches_sent: u64,
     /// Application messages carried in those frames.
     pub batch_msgs_sent: u64,
+    /// Times this endpoint demoted itself to rejoin after learning it
+    /// was excluded from a newer view (stale-member re-merge).
+    pub demotions: u64,
 }
 
 impl GcsStats {
@@ -87,6 +90,7 @@ impl GcsStats {
         self.view_changes += other.view_changes;
         self.batches_sent += other.batches_sent;
         self.batch_msgs_sent += other.batch_msgs_sent;
+        self.demotions += other.demotions;
     }
 
     /// Mean messages per flushed batch (1.0 when nothing was batched).
@@ -116,6 +120,8 @@ impl GcsStats {
 struct StableEntry<P> {
     id: MsgId,
     payload: P,
+    /// Sequencer era that assigned this entry (see [`Entry::era`]).
+    era: u64,
     /// Write-ahead delivery mark (set before the entry is handed up).
     delivered: bool,
     /// Application-level `ack(m)` received (end-to-end mode).
@@ -164,8 +170,12 @@ pub struct GcsEndpoint<P, S> {
     ordered_ids: BTreeSet<MsgId>,
     /// Ordered entries received, by sequence number.
     ordered: BTreeMap<u64, (MsgId, P)>,
-    /// Stability votes per sequence number.
-    acks: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Sequencer era of each stored entry (see [`Entry::era`]).
+    entry_era: BTreeMap<u64, u64>,
+    /// Stability votes per sequence number, tagged with the era they
+    /// were cast for: a vote for a superseded incarnation of a sequence
+    /// number must not count toward its replacement.
+    acks: BTreeMap<u64, (u64, BTreeSet<NodeId>)>,
     /// Sequence numbers persisted locally (crash-recovery model).
     persisted: BTreeSet<u64>,
     /// Next sequence number to deliver.
@@ -210,6 +220,8 @@ pub struct GcsEndpoint<P, S> {
     batch_hist: BTreeMap<u32, u64>,
     /// A `ResendPending` timer is outstanding (static model).
     resend_armed: bool,
+    /// A `GapRepair` timer is outstanding (static model).
+    gap_repair_armed: bool,
     /// The recovering sequencer may not assign sequence numbers until it
     /// has heard catch-up replies from a majority (static model).
     seq_resume_votes: Option<BTreeSet<NodeId>>,
@@ -264,6 +276,7 @@ where
             seq_assign: None,
             ordered_ids: BTreeSet::new(),
             ordered: BTreeMap::new(),
+            entry_era: BTreeMap::new(),
             acks: BTreeMap::new(),
             persisted: BTreeSet::new(),
             next_deliver: 1,
@@ -283,6 +296,7 @@ where
             frame_spans: BTreeMap::new(),
             batch_hist: BTreeMap::new(),
             resend_armed: false,
+            gap_repair_armed: false,
             seq_resume_votes: None,
             stats: GcsStats::default(),
             generation: 0,
@@ -334,12 +348,39 @@ where
         self.next_deliver
     }
 
+    /// Debug: the delivery head's state `(next_deliver, have_entry,
+    /// persisted, stable)` (inspection helper for scenario forensics).
+    pub fn head_state(&self) -> (u64, bool, bool, bool, usize, u64, u64) {
+        (
+            self.next_deliver,
+            self.ordered.contains_key(&self.next_deliver),
+            self.persisted.contains(&self.next_deliver),
+            self.is_stable(self.next_deliver),
+            self.acks.get(&self.next_deliver).map_or(0, |v| v.1.len()),
+            self.max_seq_seen,
+            self.stable_floor,
+        )
+    }
+
+    /// Entries this endpoint knows exist but has not delivered yet (the
+    /// distance between the highest sequence number seen and the
+    /// delivery head). Zero once the endpoint is fully drained.
+    pub fn backlog(&self) -> u64 {
+        self.max_seq_seen
+            .saturating_sub(self.next_deliver.saturating_sub(1))
+    }
+
     /// True if this endpoint is a functioning group member (not mid-join).
     pub fn is_joined(&self) -> bool {
         self.joined
     }
 
-    fn sequencer(&self) -> Option<NodeId> {
+    /// The node this endpoint currently believes is the sequencer:
+    /// the fixed first group member in the static model, the view
+    /// coordinator in the dynamic one. Scenario drivers use this to aim
+    /// targeted faults (kill-the-sequencer) at whoever holds the role
+    /// *now*, not at a hard-coded id.
+    pub fn sequencer(&self) -> Option<NodeId> {
         match self.cfg.model {
             // Static model: fixed sequencer (liveness requires it to be a
             // yellow process — it eventually recovers, see module docs).
@@ -415,21 +456,49 @@ where
         out: &mut Vec<GcsOutput<P, S>>,
     ) {
         self.last_heard.insert(from, ctx.now());
+        // A suspected process that demonstrably speaks is alive again:
+        // retract the suspicion. Without this, a partition that split the
+        // view below quorum on every side (no view change could complete)
+        // leaves permanent mutual suspicion after the heal, and the group
+        // never regains a coordinator quorum. A genuinely-stale
+        // incarnation is re-suspected where it matters (`on_join_req`),
+        // and a silent peer is re-suspected one heartbeat timeout later.
+        self.suspected.remove(&from);
         match wire {
             Wire::Forward { id, payload } => self.on_forward(ctx, id, payload),
             Wire::Ordered { view, entry } => self.on_ordered(ctx, view, entry, out),
             Wire::OrderedBatch { view, entries } => self.on_ordered_batch(ctx, view, entries, out),
-            Wire::Ack { seq } => {
-                self.record_ack(from, seq);
+            Wire::Ack { seq, era } => {
+                self.record_ack(from, seq, era);
                 self.try_deliver(ctx, out);
             }
-            Wire::AckRange { lo, hi } => {
+            Wire::AckRange { lo, hi, era } => {
                 for seq in lo..=hi {
-                    self.record_ack(from, seq);
+                    self.record_ack(from, seq, era);
                 }
                 self.try_deliver(ctx, out);
             }
-            Wire::Heartbeat => {}
+            Wire::Heartbeat => {
+                // A heartbeat from a process outside the current view:
+                // a stale member that was excluded (e.g. a healed
+                // partition's minority) and still believes in its old
+                // membership. Tell it, so it can rejoin instead of
+                // blocking forever on a view the group abandoned.
+                if self.cfg.model == GcsModel::ViewBased && self.joined && !self.view.contains(from)
+                {
+                    let view_id = self.view.id;
+                    let members = self.view.members.clone();
+                    self.net.send(
+                        ctx,
+                        self.me,
+                        from,
+                        Wire::<P, S>::NotInView { view_id, members },
+                    );
+                }
+            }
+            Wire::NotInView { view_id, members } => {
+                self.on_not_in_view(ctx, from, view_id, &members)
+            }
             Wire::ViewStart { epoch, proposed } => self.on_view_start(ctx, from, epoch, proposed),
             Wire::SyncReply {
                 epoch,
@@ -471,7 +540,15 @@ where
                     votes.insert(from);
                     if votes.len() + 1 >= self.majority() {
                         self.seq_resume_votes = None;
-                        self.seq_assign = Some(self.max_seq_seen + 1);
+                        // Defer the actual resumption by one timeout: the
+                        // reply that tripped the threshold travelled in a
+                        // wave with its peers', and a same-wave straggler
+                        // may carry entries this sequencer must not
+                        // reassign. Any *stable* entry is guaranteed to
+                        // be in some reply of the wave (two majorities
+                        // always intersect), so after the grace the
+                        // resume point sits above everything stable.
+                        ctx.timer(self.cfg.change_timeout, GcsTimer::SeqResume);
                     }
                 }
                 self.try_deliver(ctx, out);
@@ -492,7 +569,15 @@ where
             }
             GcsTimer::ViewChangeRetry { epoch } => {
                 if self.vc.as_ref().is_some_and(|vc| vc.epoch == epoch) {
-                    self.vc = None;
+                    let vc = self.vc.take().expect("checked");
+                    // The abandoned change took its joiners out of
+                    // `waiting_joiners`; put them back or their (deduped)
+                    // retries would never reach another view change.
+                    for (n, g) in vc.joiners {
+                        if !self.waiting_joiners.iter().any(|&(m, _)| m == n) {
+                            self.waiting_joiners.push((n, g));
+                        }
+                    }
                     self.maybe_start_view_change(ctx, out);
                 }
             }
@@ -514,6 +599,40 @@ where
                 }
             }
             GcsTimer::BatchPersisted { lo, hi } => self.on_batch_persisted(ctx, lo, hi, out),
+            GcsTimer::SeqResume => {
+                if self.cfg.model == GcsModel::CrashRecovery
+                    && self.sequencer() == Some(self.me)
+                    && self.seq_assign.is_none()
+                    && self.seq_resume_votes.is_none()
+                {
+                    self.seq_assign = Some(self.max_seq_seen + 1);
+                }
+            }
+            GcsTimer::GapRepair => {
+                self.gap_repair_armed = false;
+                if self.cfg.model == GcsModel::CrashRecovery
+                    && self.joined
+                    && self.next_deliver <= self.max_seq_seen
+                {
+                    let targets: Vec<NodeId> = self
+                        .group
+                        .iter()
+                        .copied()
+                        .filter(|&p| p != self.me)
+                        .collect();
+                    let have_up_to = self.next_deliver - 1;
+                    self.net.multicast(
+                        ctx,
+                        self.me,
+                        &targets,
+                        Wire::<P, S>::CatchUpReq { have_up_to },
+                    );
+                    // Keep probing while the hole persists (the replies
+                    // themselves may be lost).
+                    self.gap_repair_armed = true;
+                    ctx.timer(self.cfg.change_timeout, GcsTimer::GapRepair);
+                }
+            }
             GcsTimer::ResendPending => {
                 self.resend_armed = false;
                 if !self.pending.is_empty() {
@@ -555,11 +674,25 @@ where
             seq: next,
             id,
             payload,
+            // Static model: tag the assignment with this incarnation so a
+            // post-crash reassignment of the same seq supersedes it
+            // cleanly. The view-based model serialises reassignment via
+            // the view-change flush and keeps era 0.
+            era: match self.cfg.model {
+                GcsModel::CrashRecovery => self.generation,
+                GcsModel::ViewBased => 0,
+            },
         };
         if self.cfg.batch.enabled() {
             self.accumulate(ctx, entry);
             return;
         }
+        // The assignment is committed to the wire here: reflect it in
+        // max_seq_seen immediately. Waiting for the self-delivery loopback
+        // leaves a window in which a finishing view change snapshots a
+        // watermark BELOW this entry — the next sequencer would then
+        // reuse its sequence number for a different message.
+        self.max_seq_seen = self.max_seq_seen.max(next);
         let members = self.ordering_targets();
         let view = self.view.id;
         self.net.multicast(
@@ -612,6 +745,13 @@ where
         self.batch_timer_armed = false;
         self.batch_epoch += 1; // invalidate any armed deadline
         let n = entries.len() as u64;
+        // As in the unbatched path: the frame's sequence numbers are
+        // committed to the wire now (never rolled back after this point),
+        // so max_seq_seen must cover them before any concurrent view
+        // change snapshots its watermark.
+        if let Some(last) = entries.last() {
+            self.max_seq_seen = self.max_seq_seen.max(last.seq);
+        }
         self.stats.batches_sent += 1;
         self.stats.batch_msgs_sent += n;
         *self.batch_hist.entry(n as u32).or_insert(0) += 1;
@@ -650,10 +790,29 @@ where
     /// Record an ordered entry locally without the delivery-path side
     /// effects (ack/persist). Returns true if the entry was new.
     fn store_entry_raw(&mut self, entry: Entry<P>) -> bool {
-        if self.ordered.contains_key(&entry.seq) || entry.seq < self.next_deliver {
+        if entry.seq < self.next_deliver {
             return false;
         }
+        if let Some(&(old_id, _)) = self.ordered.get(&entry.seq) {
+            let old_era = self.entry_era.get(&entry.seq).copied().unwrap_or(0);
+            // A *higher-era* assignment supersedes an undelivered entry:
+            // the old sequencer died before this seq stabilised anywhere
+            // (otherwise its successor would have resumed above it), and
+            // its next incarnation reassigned the number. Everything
+            // attached to the dead incarnation — id registration, votes,
+            // local persistence — is discarded with it.
+            if self.cfg.model != GcsModel::CrashRecovery || entry.era <= old_era {
+                return false;
+            }
+            if old_id != entry.id {
+                self.ordered_ids.remove(&old_id);
+            }
+            self.acks.remove(&entry.seq);
+            self.persisted.remove(&entry.seq);
+            self.stable.remove(&entry.seq);
+        }
         self.max_seq_seen = self.max_seq_seen.max(entry.seq);
+        self.entry_era.insert(entry.seq, entry.era);
         self.ordered_ids.insert(entry.id);
         self.pending.remove(&entry.id);
         self.ordered.insert(entry.seq, (entry.id, entry.payload));
@@ -742,11 +901,13 @@ where
                 continue;
             };
             self.persisted.insert(seq);
+            let era = self.entry_era.get(&seq).copied().unwrap_or(0);
             self.stable.insert(
                 seq,
                 StableEntry {
                     id,
                     payload,
+                    era,
                     delivered: false,
                     acked: false,
                 },
@@ -778,11 +939,13 @@ where
             return;
         };
         self.persisted.insert(seq);
+        let era = self.entry_era.get(&seq).copied().unwrap_or(0);
         self.stable.insert(
             seq,
             StableEntry {
                 id,
                 payload,
+                era,
                 delivered: false,
                 acked: false,
             },
@@ -792,7 +955,8 @@ where
     }
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
-        self.record_ack(self.me, seq);
+        let era = self.entry_era.get(&seq).copied().unwrap_or(0);
+        self.record_ack(self.me, seq, era);
         let targets: Vec<NodeId> = self
             .ordering_targets()
             .into_iter()
@@ -800,14 +964,15 @@ where
             .collect();
         self.stats.acks_sent += 1;
         self.net
-            .multicast(ctx, self.me, &targets, Wire::<P, S>::Ack { seq });
+            .multicast(ctx, self.me, &targets, Wire::<P, S>::Ack { seq, era });
     }
 
     /// One aggregated stability vote covering `lo..=hi` (batched
     /// pipeline): semantically `hi - lo + 1` acks, one message.
     fn send_ack_range(&mut self, ctx: &mut Ctx<'_>, lo: u64, hi: u64) {
+        let era = self.entry_era.get(&lo).copied().unwrap_or(0);
         for seq in lo..=hi {
-            self.record_ack(self.me, seq);
+            self.record_ack(self.me, seq, era);
         }
         let targets: Vec<NodeId> = self
             .ordering_targets()
@@ -819,22 +984,36 @@ where
             ctx,
             self.me,
             &targets,
-            Wire::<P, S>::AckRange { lo, hi },
+            Wire::<P, S>::AckRange { lo, hi, era },
             hi - lo + 1,
         );
     }
 
-    fn record_ack(&mut self, from: NodeId, seq: u64) {
-        self.acks.entry(seq).or_default().insert(from);
+    fn record_ack(&mut self, from: NodeId, seq: u64, era: u64) {
+        let slot = self
+            .acks
+            .entry(seq)
+            .or_insert_with(|| (era, BTreeSet::new()));
+        if era > slot.0 {
+            // Votes for a newer incarnation of the seq supersede the old.
+            *slot = (era, BTreeSet::new());
+        } else if era < slot.0 {
+            return; // stale vote for a superseded incarnation
+        }
+        slot.1.insert(from);
     }
 
     fn is_stable(&self, seq: u64) -> bool {
         if seq <= self.stable_floor {
             return true;
         }
-        let Some(votes) = self.acks.get(&seq) else {
+        let Some((vote_era, votes)) = self.acks.get(&seq) else {
             return false;
         };
+        // Votes must be for the incarnation of the entry actually held.
+        if *vote_era != self.entry_era.get(&seq).copied().unwrap_or(0) {
+            return false;
+        }
         let voters: &[NodeId] = match self.cfg.model {
             GcsModel::ViewBased => &self.view.members,
             GcsModel::CrashRecovery => &self.group,
@@ -850,6 +1029,7 @@ where
         loop {
             let seq = self.next_deliver;
             if !self.ordered.contains_key(&seq) {
+                self.maybe_arm_gap_repair(ctx);
                 return;
             }
             let deliverable = match self.cfg.guarantee {
@@ -864,10 +1044,33 @@ where
                 }
             };
             if !deliverable {
+                // A head entry stuck behind stability can be as final as
+                // a hole: its votes may have circulated while this node
+                // was down. The repair's CatchUp reply carries the
+                // responder's stable floor, unsticking it.
+                self.maybe_arm_gap_repair(ctx);
                 return;
             }
             self.deliver_one(ctx, seq, false, out);
         }
+    }
+
+    /// Static-model gap repair: a member whose delivery head is stuck —
+    /// a hole in the sequence, or an entry whose stability votes
+    /// circulated while this node was down — would stall forever, since
+    /// the crash-recovery model has no view-change flush to refill it.
+    /// Arm a timer; if the head is still stuck when it fires, ask the
+    /// group for everything above the contiguous prefix (the reply also
+    /// carries the responder's stable floor).
+    fn maybe_arm_gap_repair(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.model != GcsModel::CrashRecovery
+            || self.gap_repair_armed
+            || self.next_deliver > self.max_seq_seen
+        {
+            return;
+        }
+        self.gap_repair_armed = true;
+        ctx.timer(self.cfg.change_timeout, GcsTimer::GapRepair);
     }
 
     fn deliver_one(
@@ -999,10 +1202,25 @@ where
         // anything (this is what makes uniform delivery group-safe under
         // partitions, unlike non-uniform delivery).
         if self.cfg.guarantee == DeliveryGuarantee::Uniform {
+            // A rejoining old member only counts if we heard from it
+            // recently (a JoinReq retry arrives every change_timeout):
+            // a parked joiner on the far side of a fresh partition must
+            // not be credited as "present" toward the majority, or an
+            // isolated minority could complete a solo view change and
+            // fork the lineage.
+            let now = ctx.now();
+            let fresh = self.cfg.change_timeout + self.cfg.hb_timeout;
             let rejoining = self
                 .waiting_joiners
                 .iter()
-                .filter(|(n, _)| self.view.contains(*n) && !survivors.contains(n))
+                .filter(|(n, _)| {
+                    self.view.contains(*n)
+                        && !survivors.contains(n)
+                        && self
+                            .last_heard
+                            .get(n)
+                            .is_some_and(|&heard| now.since(heard) <= fresh)
+                })
                 .count();
             if survivors.len() + rejoining < self.view.majority() {
                 return;
@@ -1099,7 +1317,21 @@ where
         if !vc.proposed.iter().all(|p| vc.replies.contains_key(p)) {
             return;
         }
-        let watermark = vc.replies.values().map(|r| r.0).max().unwrap_or(0);
+        // The members' SyncReplies are snapshots; this coordinator — who
+        // is normally also the sequencer — may have committed further
+        // sequence numbers to the wire while the change ran (they may
+        // even still be in flight back to itself). The watermark must
+        // cover them: a lower one would let the next view's sequencer
+        // REUSE those numbers for different messages (total-order
+        // collision), while the `have_all` check below keeps the change
+        // open until every covered entry has actually landed here.
+        let watermark = vc
+            .replies
+            .values()
+            .map(|r| r.0)
+            .max()
+            .unwrap_or(0)
+            .max(self.max_seq_seen);
         // Do we hold every entry up to the watermark?
         let have_all = (self.next_deliver..=watermark).all(|s| self.ordered.contains_key(&s));
         if !have_all {
@@ -1163,6 +1395,7 @@ where
                     seq: s,
                     id: *id,
                     payload: p.clone(),
+                    era: self.entry_era.get(&s).copied().unwrap_or(0),
                 })
             })
             .collect();
@@ -1214,6 +1447,13 @@ where
         for &(joiner, generation) in &vc.joiners {
             out.push(GcsOutput::CheckpointRequest { joiner, generation });
         }
+        // Joiners whose requests arrived while this change was running
+        // were parked in `waiting_joiners`; their retries are deduplicated
+        // away, so nothing else would ever pick them up — start the next
+        // change for them immediately.
+        if !self.waiting_joiners.is_empty() {
+            self.maybe_start_view_change(ctx, out);
+        }
     }
 
     fn on_new_view(
@@ -1243,6 +1483,10 @@ where
         self.flush_up_to(ctx, watermark, out);
         self.view = view.clone();
         self.vc = None;
+        // Joiners the new view already contains joined through another
+        // coordinator's change; a stale parked entry would otherwise be
+        // counted as "rejoining" by some later majority computation.
+        self.waiting_joiners.retain(|&(n, _)| !view.contains(n));
         self.stats.view_changes += 1;
         // Reset suspicion wholesale: members that are genuinely still down
         // are re-suspected after one heartbeat timeout, and a node that
@@ -1279,6 +1523,64 @@ where
     // Join / state transfer (dynamic model)
     // ------------------------------------------------------------------
 
+    /// A member of another view told us we are not part of it: this
+    /// process was excluded (healed-partition minority, false suspicion)
+    /// while still up. Demote to joiner and rejoin via state transfer
+    /// when the peer's view wins: strictly newer id, or — for forked
+    /// same-id views — more members, then the lexicographically smaller
+    /// member list. Exactly one side of any fork loses the comparison,
+    /// so the fork heals with a single surviving lineage.
+    fn on_not_in_view(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        view_id: u64,
+        members: &[NodeId],
+    ) {
+        if self.cfg.model != GcsModel::ViewBased || !self.joined {
+            return;
+        }
+        let same_id_theirs_wins = members.len() > self.view.members.len()
+            || (members.len() == self.view.members.len() && members < self.view.members.as_slice());
+        let theirs_wins = view_id > self.view.id
+            || (view_id == self.view.id && members != self.view.members && same_id_theirs_wins);
+        if !theirs_wins {
+            // The SENDER holds the older view (it can happen to be a
+            // member that missed a later install — e.g. its own state
+            // transfer raced a follow-up view change). Counter-inform it
+            // so the staleness heals in one round trip.
+            if view_id < self.view.id {
+                let reply_id = self.view.id;
+                let reply_members = self.view.members.clone();
+                self.net.send(
+                    ctx,
+                    self.me,
+                    from,
+                    Wire::<P, S>::NotInView {
+                        view_id: reply_id,
+                        members: reply_members,
+                    },
+                );
+            }
+            return;
+        }
+        // Sequence numbers this stale member accumulated but never got
+        // into the surviving lineage must be released for re-forwarding.
+        self.rollback_accumulator();
+        self.seq_assign = None;
+        self.vc = None;
+        self.waiting_joiners.clear();
+        self.suspected.clear();
+        self.generation += 1;
+        self.next_counter = self.next_counter.max(self.generation << 32);
+        self.joined = false;
+        self.join = Some(JoinState {
+            generation: self.generation,
+        });
+        self.stats.demotions += 1;
+        self.send_join_req(ctx);
+    }
+
     fn send_join_req(&mut self, ctx: &mut Ctx<'_>) {
         let generation = self.generation;
         let targets: Vec<NodeId> = self
@@ -1309,23 +1611,24 @@ where
             // while the join adds the fresh one.
             self.suspected.insert(from);
         }
-        if self
+        let transfer_in_flight = self
             .pending_state_transfers
             .iter()
-            .any(|&(n, g, _, _)| n == from && g >= generation)
-        {
-            return; // transfer already being prepared
-        }
-        if self
+            .any(|&(n, g, _, _)| n == from && g >= generation);
+        let already_waiting = self
             .waiting_joiners
             .iter()
-            .any(|&(n, g)| n == from && g >= generation)
-        {
-            return;
+            .any(|&(n, g)| n == from && g >= generation);
+        if !transfer_in_flight && !already_waiting {
+            self.waiting_joiners.retain(|&(n, _)| n != from);
+            self.waiting_joiners.push((from, generation));
         }
-        self.waiting_joiners.retain(|&(n, _)| n != from);
-        self.waiting_joiners.push((from, generation));
-        self.maybe_start_view_change(ctx, out);
+        // Even a deduplicated retry re-attempts the view change: an
+        // earlier attempt may have been blocked (no coordinator quorum at
+        // the time) with nothing else scheduled to retry it.
+        if !transfer_in_flight {
+            self.maybe_start_view_change(ctx, out);
+        }
     }
 
     /// The host answers a [`GcsOutput::CheckpointRequest`] with the
@@ -1347,12 +1650,22 @@ where
             return;
         };
         let (_, _, view, watermark) = self.pending_state_transfers.remove(pos);
+        // Another view change may have completed between the join's
+        // finish and this reply; a joiner installing the stale view would
+        // sequence (or listen) against an outdated membership. Ship the
+        // current view instead, as long as it still lists the joiner.
+        let (view, watermark) = if self.view.id > view.id && self.view.contains(joiner) {
+            (self.view.clone(), watermark.max(self.max_seq_seen))
+        } else {
+            (view, watermark)
+        };
         let tail: Vec<Entry<P>> = (applied_seq + 1..=watermark)
             .filter_map(|s| {
                 self.ordered.get(&s).map(|(id, p)| Entry {
                     seq: s,
                     id: *id,
                     payload: p.clone(),
+                    era: self.entry_era.get(&s).copied().unwrap_or(0),
                 })
             })
             .collect();
@@ -1387,12 +1700,15 @@ where
         self.join = None;
         self.joined = true;
         self.view = view.clone();
+        self.waiting_joiners.retain(|&(n, _)| !view.contains(n));
         self.next_deliver = applied_seq + 1;
         self.max_seq_seen = watermark;
         self.ordered.clear();
+        self.entry_era.clear();
         self.acks.clear();
         for e in &tail {
             self.ordered.insert(e.seq, (e.id, e.payload.clone()));
+            self.entry_era.insert(e.seq, e.era);
             self.ordered_ids.insert(e.id);
         }
         let now = ctx.now();
@@ -1400,9 +1716,35 @@ where
             self.last_heard.insert(p, now);
         }
         out.push(GcsOutput::InstallState { state, applied_seq });
+        // The join's view change may have made this joiner the view
+        // coordinator (it rejoins with its old — possibly smallest — id).
+        // Every other member already ceded sequencing duty to it when
+        // installing the view, so the joiner must pick the duty up here
+        // or nobody holds it and ordering stalls group-wide.
+        self.seq_assign = if view.coordinator() == Some(self.me) {
+            Some(self.max_seq_seen.max(watermark) + 1)
+        } else {
+            None
+        };
         // Deliver the tail (checkpoint gap) immediately: these entries were
         // flushed, so every member of the view holds them.
         self.flush_up_to(ctx, watermark, out);
+        // A live member that demoted and rejoined may still hold
+        // broadcasts the abandoned lineage never ordered; re-forward
+        // them to the surviving sequencer (no-op for freshly recovered
+        // joiners, whose pending set died with the crash).
+        if let Some(seq_node) = self.sequencer() {
+            let pending: Vec<(MsgId, P)> =
+                self.pending.iter().map(|(k, v)| (*k, v.clone())).collect();
+            for (id, payload) in pending {
+                self.net.send(
+                    ctx,
+                    self.me,
+                    seq_node,
+                    Wire::<P, S>::Forward { id, payload },
+                );
+            }
+        }
         out.push(GcsOutput::Joined { view });
         self.stats.view_changes += 1;
     }
@@ -1441,6 +1783,7 @@ where
                 seq: *s,
                 id: *id,
                 payload: p.clone(),
+                era: self.entry_era.get(s).copied().unwrap_or(0),
             })
             .collect();
         // A peer recovering at the same time is a fresh source: if this
@@ -1484,19 +1827,35 @@ where
             .filter(|&s| s > stable_up_to)
             .collect();
         if self.cfg.batch.enabled() {
-            // Compress into contiguous runs: one aggregated vote per run.
+            // Compress into contiguous runs: one aggregated vote per run
+            // (split further wherever the era changes inside a run).
             for (lo, hi) in Self::contiguous_runs(&persisted) {
-                self.net.send_frame(
-                    ctx,
-                    self.me,
-                    from,
-                    Wire::<P, S>::AckRange { lo, hi },
-                    hi - lo + 1,
-                );
+                let mut start = lo;
+                while start <= hi {
+                    let era = self.entry_era.get(&start).copied().unwrap_or(0);
+                    let mut end = start;
+                    while end < hi && self.entry_era.get(&(end + 1)).copied().unwrap_or(0) == era {
+                        end += 1;
+                    }
+                    self.net.send_frame(
+                        ctx,
+                        self.me,
+                        from,
+                        Wire::<P, S>::AckRange {
+                            lo: start,
+                            hi: end,
+                            era,
+                        },
+                        end - start + 1,
+                    );
+                    start = end + 1;
+                }
             }
         } else {
             for seq in persisted {
-                self.net.send(ctx, self.me, from, Wire::<P, S>::Ack { seq });
+                let era = self.entry_era.get(&seq).copied().unwrap_or(0);
+                self.net
+                    .send(ctx, self.me, from, Wire::<P, S>::Ack { seq, era });
             }
         }
     }
@@ -1516,6 +1875,7 @@ where
                 seq: *s,
                 id: *id,
                 payload: p.clone(),
+                era: self.entry_era.get(s).copied().unwrap_or(0),
             })
             .collect();
         self.net.send(
@@ -1540,6 +1900,7 @@ where
         self.seq_assign = None;
         self.ordered_ids.clear();
         self.ordered.clear();
+        self.entry_era.clear();
         self.acks.clear();
         self.persisted.clear();
         self.next_deliver = 1;
@@ -1558,6 +1919,7 @@ where
         self.batch_timer_armed = false;
         self.frame_spans.clear();
         self.resend_armed = false;
+        self.gap_repair_armed = false;
         self.seq_resume_votes = None;
     }
 
@@ -1591,6 +1953,7 @@ where
                 let mut delivered_prefix = 0;
                 for (&seq, e) in &self.stable {
                     self.ordered.insert(seq, (e.id, e.payload.clone()));
+                    self.entry_era.insert(seq, e.era);
                     self.ordered_ids.insert(e.id);
                     self.persisted.insert(seq);
                     self.max_seq_seen = self.max_seq_seen.max(seq);

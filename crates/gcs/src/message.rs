@@ -23,6 +23,16 @@ pub struct Entry<P> {
     pub id: MsgId,
     /// Application payload.
     pub payload: P,
+    /// The sequencer incarnation that assigned this entry's sequence
+    /// number (static crash-recovery model; always 0 in the view-based
+    /// model, whose view-change flush already serialises reassignment).
+    /// A crashed sequencer can lose the log tail for entries it ordered
+    /// but that never stabilised; its next incarnation then reassigns
+    /// those sequence numbers to different messages. The era makes the
+    /// supersession explicit: holders replace an *undelivered* entry
+    /// when a higher-era assignment for its seq arrives, and stability
+    /// votes only count for the era they were cast for.
+    pub era: u64,
 }
 
 /// Wire protocol of the group communication component.
@@ -60,6 +70,10 @@ pub enum Wire<P, S> {
     Ack {
         /// Acknowledged sequence number.
         seq: u64,
+        /// Era of the entry being acknowledged (see [`Entry::era`]):
+        /// votes for a superseded incarnation of the seq must not count
+        /// toward its replacement's stability.
+        era: u64,
     },
     /// All → all: aggregated stability vote — one message covering every
     /// sequence number in `lo..=hi` (batched pipeline; equivalent to
@@ -69,6 +83,8 @@ pub enum Wire<P, S> {
         lo: u64,
         /// Last acknowledged sequence number (inclusive).
         hi: u64,
+        /// Era of the acknowledged frame (all its entries share it).
+        era: u64,
     },
     /// Failure-detector heartbeat.
     Heartbeat,
@@ -115,6 +131,20 @@ pub enum Wire<P, S> {
         view: View,
         /// Every member delivers up to here before switching.
         watermark: u64,
+    },
+    /// Member → non-member: "you are not in my (newer) view". Sent in
+    /// response to a heartbeat from a process the receiver's view does
+    /// not list — after a healed partition, the excluded minority keeps
+    /// heartbeating its stale membership and would otherwise block
+    /// forever without learning the group moved on. A receiver whose
+    /// view is older demotes itself and rejoins via [`Wire::JoinReq`].
+    NotInView {
+        /// The sender's current view id.
+        view_id: u64,
+        /// The sender's current membership. Breaks ties between forked
+        /// same-id views: the fork with fewer members (then the
+        /// lexicographically larger one) demotes.
+        members: Vec<NodeId>,
     },
     /// Recovered process (new incarnation) → all: let me join.
     JoinReq {
@@ -181,6 +211,14 @@ pub enum GcsTimer {
     /// Re-send not-yet-ordered broadcasts to the sequencer (static
     /// crash-recovery model, where there is no view change to trigger it).
     ResendPending,
+    /// A sequence hole persisted (static crash-recovery model, where no
+    /// view-change flush exists to refill it): ask the group for the
+    /// entries above the contiguous prefix.
+    GapRepair,
+    /// The recovering sequencer's resumption grace elapsed: enough
+    /// catch-up confirmations arrived, and every reply of the same wave
+    /// has landed — resume assigning above everything seen.
+    SeqResume,
     /// The sequencer's batch accumulator hit its `max_delay` deadline.
     /// Carries the batch epoch at arming time: a flush armed before a
     /// crash or view change must not flush the next incarnation's
@@ -230,6 +268,7 @@ mod tests {
                 counter: 1,
             },
             payload: "txn".to_string(),
+            era: 0,
         };
         let w: Wire<String, ()> = Wire::Ordered { view: 0, entry: e };
         match w {

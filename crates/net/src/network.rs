@@ -8,7 +8,11 @@
 //!
 //! Supports unicast, multicast and broadcast, network partitions (messages
 //! across a partition are silently dropped), and optional probabilistic
-//! message loss for fault-injection tests.
+//! fault injection: message loss, message duplication (an extra copy of a
+//! delivery is scheduled), and bounded reordering (a delivery is deferred
+//! by a random amount within [`NetConfig::reorder_window`], letting later
+//! sends overtake it). Each cause keeps its own counter in [`NetStats`] so
+//! scenario oracles can account for every perturbed delivery.
 
 use std::any::Any;
 use std::cell::RefCell;
@@ -30,6 +34,17 @@ pub struct NetConfig {
     /// Probability that any given point-to-point delivery is lost
     /// (0.0 = quasi-reliable channels, the paper's assumption).
     pub loss_probability: f64,
+    /// Probability that a delivery is duplicated: an extra copy is
+    /// scheduled, spread over [`NetConfig::reorder_window`] past the
+    /// original (0.0 = never, the default).
+    pub duplicate_probability: f64,
+    /// Probability that a delivery is deferred by a uniform extra delay in
+    /// `(0, reorder_window]`, so later sends can overtake it (bounded
+    /// reordering; 0.0 = strictly FIFO per latency draw, the default).
+    pub reorder_probability: f64,
+    /// Upper bound of the extra delay used by reordering and by duplicate
+    /// copies. Ignored (treated as one latency) when zero.
+    pub reorder_window: SimDuration,
     /// Extra wire time charged per *additional* message packed into a
     /// batch frame (see [`Network::send_frame`]): a frame of `k`
     /// messages takes `latency + (k - 1) × frame_unit_cost` on the wire,
@@ -46,6 +61,9 @@ impl Default for NetConfig {
             latency: SimDuration::from_micros(70),
             jitter: SimDuration::ZERO,
             loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_window: SimDuration::ZERO,
             frame_unit_cost: SimDuration::from_micros(7),
         }
     }
@@ -71,6 +89,11 @@ pub struct NetStats {
     pub dropped_partition: u64,
     /// Deliveries dropped by probabilistic loss.
     pub dropped_loss: u64,
+    /// Extra copies injected by probabilistic duplication (each also
+    /// counts in `sent`).
+    pub duplicated: u64,
+    /// Deliveries deferred by probabilistic reordering.
+    pub reordered: u64,
 }
 
 /// A message as it arrives at a node: payload plus provenance.
@@ -175,16 +198,74 @@ impl Network {
         false
     }
 
+    /// Extra deferral inside the reorder window: a uniform draw in
+    /// `(0, reorder_window]`, or one base latency when the window is zero.
+    /// Only called once the feature's coin came up, so disabled runs never
+    /// touch the RNG here (their event streams stay bit-for-bit).
+    fn window_extra(&self, ctx: &mut Ctx<'_>) -> SimDuration {
+        let (window, latency) = {
+            let s = self.inner.borrow();
+            (s.config.reorder_window, s.config.latency)
+        };
+        if window.is_zero() {
+            latency
+        } else {
+            SimDuration::from_nanos(ctx.rng().random_range(1..=window.as_nanos()))
+        }
+    }
+
+    /// Apply probabilistic reordering to a computed delay and account it.
+    fn maybe_defer(&self, ctx: &mut Ctx<'_>, delay: SimDuration) -> SimDuration {
+        let p = self.inner.borrow().config.reorder_probability;
+        if p > 0.0 && ctx.rng().random_bool(p) {
+            self.inner.borrow_mut().stats.reordered += 1;
+            delay + self.window_extra(ctx)
+        } else {
+            delay
+        }
+    }
+
+    /// Schedule a probabilistic duplicate of a delivery, deferred within
+    /// the reorder window past the original's delay.
+    fn maybe_duplicate<M: Any + Clone>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        actor: ActorId,
+        from: NodeId,
+        delay: SimDuration,
+        msg: &M,
+    ) {
+        let p = self.inner.borrow().config.duplicate_probability;
+        if p > 0.0 && ctx.rng().random_bool(p) {
+            let extra = self.window_extra(ctx);
+            {
+                let mut s = self.inner.borrow_mut();
+                s.stats.sent += 1;
+                s.stats.duplicated += 1;
+            }
+            ctx.send(
+                actor,
+                delay + extra,
+                Incoming {
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
     /// Send `msg` from `from` to `to`. The receiver gets an
     /// [`Incoming<M>`] event after the wire latency. Messages to
     /// partitioned or crashed nodes are lost.
-    pub fn send<M: Any>(&self, ctx: &mut Ctx<'_>, from: NodeId, to: NodeId, msg: M) {
+    pub fn send<M: Any + Clone>(&self, ctx: &mut Ctx<'_>, from: NodeId, to: NodeId, msg: M) {
         if self.should_drop(ctx, from, to) {
             return;
         }
-        let delay = self.delivery_delay(ctx);
+        let base = self.delivery_delay(ctx);
+        let delay = self.maybe_defer(ctx, base);
         let actor = self.actor_of(to);
         self.inner.borrow_mut().stats.sent += 1;
+        self.maybe_duplicate(ctx, actor, from, delay, &msg);
         ctx.send(actor, delay, Incoming { from, msg });
     }
 
@@ -192,7 +273,7 @@ impl Network {
     /// messages — from `from` to `to`. The frame is accounted as ONE
     /// transmission whose wire time grows with its size: `latency +
     /// (msgs_in_frame - 1) × frame_unit_cost` (plus jitter, if any).
-    pub fn send_frame<M: Any>(
+    pub fn send_frame<M: Any + Clone>(
         &self,
         ctx: &mut Ctx<'_>,
         from: NodeId,
@@ -205,6 +286,7 @@ impl Network {
         }
         let unit = self.inner.borrow().config.frame_unit_cost;
         let delay = self.delivery_delay(ctx) + unit * msgs_in_frame.saturating_sub(1);
+        let delay = self.maybe_defer(ctx, delay);
         let actor = self.actor_of(to);
         {
             let mut s = self.inner.borrow_mut();
@@ -212,6 +294,7 @@ impl Network {
             s.stats.frames += 1;
             s.stats.frame_msgs += msgs_in_frame;
         }
+        self.maybe_duplicate(ctx, actor, from, delay, &msg);
         ctx.send(actor, delay, Incoming { from, msg });
     }
 
@@ -288,6 +371,21 @@ impl Network {
     pub fn set_loss_probability(&self, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.inner.borrow_mut().config.loss_probability = p;
+    }
+
+    /// Set the probabilistic per-delivery duplication rate.
+    pub fn set_duplicate_probability(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.inner.borrow_mut().config.duplicate_probability = p;
+    }
+
+    /// Set the probabilistic reordering rate and the window bounding both
+    /// reorder deferrals and duplicate-copy spread.
+    pub fn set_reorder(&self, p: f64, window: SimDuration) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let mut s = self.inner.borrow_mut();
+        s.config.reorder_probability = p;
+        s.config.reorder_window = window;
     }
 
     /// Snapshot of delivery counters.

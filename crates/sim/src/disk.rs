@@ -53,6 +53,9 @@ pub struct Disk {
     config: DiskConfig,
     queue: Fcfs,
     stats: DiskStats,
+    /// Runtime service-time multiplier (1.0 = nominal). Scenario engines
+    /// raise it temporarily to model a degraded device (slow-disk window).
+    slowdown: f64,
 }
 
 impl Disk {
@@ -68,6 +71,7 @@ impl Disk {
             config,
             queue: Fcfs::new(disks),
             stats: DiskStats::default(),
+            slowdown: 1.0,
         }
     }
 
@@ -83,7 +87,23 @@ impl Disk {
 
     fn draw_service(&self, rng: &mut StdRng) -> SimDuration {
         let ms = rng.random_range(self.config.min_ms..=self.config.max_ms);
-        SimDuration::from_millis_f64(ms)
+        SimDuration::from_millis_f64(ms * self.slowdown)
+    }
+
+    /// Set the runtime service-time multiplier (1.0 = nominal speed).
+    /// Applies to accesses submitted after the call; the RNG stream is
+    /// untouched, so a slowed run draws the same service times scaled.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be positive"
+        );
+        self.slowdown = factor;
+    }
+
+    /// The current service-time multiplier.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
     }
 
     /// One random access (read or write) submitted at `now`; returns the
@@ -193,6 +213,29 @@ mod tests {
             SimTime::from_millis(5)
         );
         assert_eq!(d.stats().batches, 0);
+    }
+
+    #[test]
+    fn slowdown_scales_service_times() {
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut nominal = Disk::paper_default();
+        let mut slowed = Disk::paper_default();
+        slowed.set_slowdown(3.0);
+        let a = nominal.access(SimTime::ZERO, &mut rng_a);
+        let b = slowed.access(SimTime::ZERO, &mut rng_b);
+        assert!(
+            (b.as_millis_f64() - 3.0 * a.as_millis_f64()).abs() < 1e-2,
+            "same draw, tripled: {a} vs {b}"
+        );
+        slowed.set_slowdown(1.0);
+        assert_eq!(slowed.slowdown(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor must be positive")]
+    fn invalid_slowdown_rejected() {
+        Disk::paper_default().set_slowdown(0.0);
     }
 
     #[test]

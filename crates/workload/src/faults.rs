@@ -8,13 +8,18 @@
 //! outcome: how many *acknowledged* transactions were lost, and whether
 //! the surviving replicas agree.
 //!
-//! Built on the core [`Run`](groupsafe_core::Run) handle's stepwise API:
-//! the builder wires the system, the scenario drives the phases by hand
-//! (partitions and operator-style restarts need mid-run control the
-//! declarative `FaultPlan` does not model).
+//! Deprecated in spirit: `CrashScenario` survives as a **thin shim over
+//! the core scenario engine**. [`CrashScenario::scenario_plan`] compiles
+//! the experiment into a declarative
+//! [`ScenarioPlan`](groupsafe_core::ScenarioPlan), and
+//! [`run_crash_scenario`] simply installs that plan and drives the
+//! [`Run`](groupsafe_core::Run) lifecycle. The port is equivalence-locked:
+//! `tests/crash_scenario_equivalence.rs` pins the engine fingerprints of
+//! every historical scenario shape against values captured from the
+//! original imperative implementation. New code should build
+//! `ScenarioPlan`s directly.
 
-use groupsafe_core::{InstallCheckpointCmd, RestartServerCmd, Run, System, Technique};
-use groupsafe_net::NodeId;
+use groupsafe_core::{ScenarioEvent, ScenarioPlan, ScenarioStep, System, Technique};
 use groupsafe_sim::{SimDuration, SimTime};
 
 use crate::experiment::{builder_for, RunConfig};
@@ -102,11 +107,80 @@ impl CrashScenario {
         }
     }
 
-    /// Wire the scenario's system through the canonical Table 4
-    /// translation ([`builder_for`]), so crash scenarios and the
-    /// throughput harnesses always share one wiring.
-    fn run_handle(&self) -> Run {
-        let cfg = RunConfig {
+    /// The instant the crash block strikes (after any partition hold).
+    fn crash_instant(&self) -> SimTime {
+        let base = SimTime::ZERO + self.steady_for;
+        if self.partition_before.is_empty() {
+            base
+        } else {
+            base + self.partition_hold
+        }
+    }
+
+    /// Compile this experiment into the declarative scenario timeline it
+    /// denotes: partition before the crash window, the crash block (with
+    /// scripted recoveries and the optional delayed "delegate outlives
+    /// the group" strike), the heal, and the operator restart after a
+    /// total failure in the dynamic model.
+    pub fn scenario_plan(&self) -> ScenarioPlan {
+        let partition_at = SimTime::ZERO + self.steady_for;
+        let strike = self.crash_instant();
+        let mut plan = ScenarioPlan::new();
+        if !self.partition_before.is_empty() {
+            plan = plan.partition(partition_at, vec![self.partition_before.clone()]);
+        }
+        let stagger = self.crash_last.map(|(_, d)| d).unwrap_or(SimDuration::ZERO);
+        for &i in &self.crash {
+            let after = match self.crash_last {
+                Some((last, d)) if last == i => d,
+                _ => SimDuration::ZERO,
+            };
+            let recover_after = match self.recovery {
+                RecoveryPlan::StayDown => None,
+                RecoveryPlan::Recover { .. } if self.stay_down.contains(&i) => None,
+                // Every recovery lands at the same instant:
+                // strike + stagger + downtime.
+                RecoveryPlan::Recover { downtime } => Some(stagger + downtime - after),
+            };
+            plan = plan.then(ScenarioStep {
+                at: strike,
+                event: ScenarioEvent::Crash {
+                    server: i,
+                    after,
+                    recover_after,
+                },
+            });
+        }
+        if !self.partition_before.is_empty() {
+            plan = plan.heal(strike);
+        }
+        if let RecoveryPlan::Recover { downtime } = self.recovery {
+            let total_failure = self.crash.len() == self.params.n_servers as usize;
+            let dynamic = self
+                .technique
+                .gcs_config()
+                .is_some_and(|c| c.model == groupsafe_gcs::GcsModel::ViewBased);
+            if total_failure && dynamic {
+                // Dynamic model, total failure: the group cannot re-form
+                // on its own — script the operator restart.
+                let recovered: Vec<u32> = self
+                    .crash
+                    .iter()
+                    .copied()
+                    .filter(|i| !self.stay_down.contains(i))
+                    .collect();
+                let recover_at = strike + stagger + downtime;
+                plan = plan.restart_group(recover_at + SimDuration::from_millis(500), recovered);
+            }
+        }
+        plan
+    }
+
+    /// The [`RunConfig`] whose builder translation wires this scenario's
+    /// system (crash scenarios and the throughput harnesses always share
+    /// one wiring).
+    fn run_config(&self) -> RunConfig {
+        RunConfig {
             technique: self.technique,
             load_tps: self.load_tps,
             closed_loop: false,
@@ -118,10 +192,7 @@ impl CrashScenario {
             duration: self.steady_for + self.run_after,
             drain: SimDuration::from_secs(3),
             seed: self.seed,
-        };
-        builder_for(&cfg)
-            .build()
-            .expect("a crash scenario always denotes a valid system")
+        }
     }
 }
 
@@ -139,126 +210,27 @@ pub struct CrashOutcome {
     pub acked_after_crash: usize,
     /// Client-observed timeouts (failovers).
     pub timeouts: u64,
+    /// The engine's dispatch fingerprint at audit time (determinism and
+    /// equivalence witness).
+    pub fingerprint: u64,
 }
 
-/// Run a crash scenario to completion and audit it.
+/// Run a crash scenario to completion and audit it: compile it to its
+/// [`ScenarioPlan`], install the plan, and let the hook-aware [`Run`]
+/// lifecycle replay the timeline.
+///
+/// [`Run`]: groupsafe_core::Run
 pub fn run_crash_scenario(sc: &CrashScenario) -> CrashOutcome {
-    let mut run = sc.run_handle();
-    run.start();
-
-    let crash_at = SimTime::ZERO + sc.steady_for;
-    run.run_until(crash_at);
-
-    if !sc.partition_before.is_empty() {
-        // Isolated servers take their home clients with them; everyone
-        // else (servers and clients) forms the majority side.
-        let system = run.system_mut();
-        let n = system.n_servers;
-        let total_nodes = system.net.node_count() as u32;
-        let mut isolated: Vec<NodeId> = sc.partition_before.iter().map(|&i| NodeId(i)).collect();
-        for c in n..total_nodes {
-            let home = (c - n) % n;
-            if sc.partition_before.contains(&home) {
-                isolated.push(NodeId(c));
-            }
-        }
-        let rest: Vec<NodeId> = (0..total_nodes)
-            .map(NodeId)
-            .filter(|x| !isolated.contains(x))
-            .collect();
-        system.net.partition(&[&isolated, &rest]);
-        // Let the isolated side operate on its own for a while.
-        run.run_until(crash_at + sc.partition_hold);
-    }
-
-    let system = run.system_mut();
-    let now = system.engine.now();
-    for &i in &sc.crash {
-        let at = match sc.crash_last {
-            Some((last, delay)) if last == i => now + delay,
-            _ => now,
-        };
-        system.engine.schedule_crash(at, system.servers[i as usize]);
-    }
-    if !sc.partition_before.is_empty() {
-        system.net.heal();
-    }
-    let crash_instant = now;
-
-    if let RecoveryPlan::Recover { downtime } = sc.recovery {
-        let stagger = sc.crash_last.map(|(_, d)| d).unwrap_or(SimDuration::ZERO);
-        let recover_at = crash_instant + stagger + downtime;
-        let recovered: Vec<u32> = sc
-            .crash
-            .iter()
-            .copied()
-            .filter(|i| !sc.stay_down.contains(i))
-            .collect();
-        for &i in &recovered {
-            system
-                .engine
-                .schedule_recover(recover_at, system.servers[i as usize]);
-        }
-        let total_failure = sc.crash.len() == system.n_servers as usize;
-        if total_failure
-            && sc
-                .technique
-                .gcs_config()
-                .is_some_and(|c| c.model == groupsafe_gcs::GcsModel::ViewBased)
-        {
-            // Dynamic model, total failure: the group cannot re-form on
-            // its own. Run to the recovery point, then restart and
-            // reconcile (operator action).
-            run.run_until(recover_at + SimDuration::from_millis(500));
-            restart_and_reconcile(run.system_mut(), &recovered);
-        }
-    }
-
+    let mut run = builder_for(&sc.run_config())
+        .scenario(sc.scenario_plan())
+        .build()
+        .expect("a crash scenario always denotes a valid system");
+    let crash_instant = sc.crash_instant();
     let end = crash_instant + sc.run_after;
     run.run_until(end);
     run.stop_clients_at(end);
     run.run_until(end + SimDuration::from_secs(3));
-
     audit(run.system(), crash_instant)
-}
-
-/// Operator-driven restart after total failure: every server rejoins a
-/// fresh group; all adopt the most advanced recovered state (all states
-/// are durable prefixes of the same delivery history, so the maximum is
-/// their union).
-fn restart_and_reconcile(system: &mut System, crashed: &[u32]) {
-    let now = system.engine.now();
-    // Find the most advanced recovered state.
-    let (best, seq_base) = {
-        let mut best = 0u32;
-        let mut best_v = 0;
-        for &i in crashed {
-            let v = system.server(i).db().max_version();
-            if v >= best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        (best, best_v)
-    };
-    let ckpt = system.server(best).db().checkpoint();
-    let members: Vec<NodeId> = crashed.iter().map(|&i| NodeId(i)).collect();
-    for &i in crashed {
-        let actor = system.servers[i as usize];
-        if i != best {
-            system
-                .engine
-                .schedule_resilient(now, actor, InstallCheckpointCmd(ckpt.clone()));
-        }
-        system.engine.schedule_resilient(
-            now,
-            actor,
-            RestartServerCmd {
-                members: members.clone(),
-                seq_base,
-            },
-        );
-    }
 }
 
 fn audit(system: &System, crash_instant: SimTime) -> CrashOutcome {
@@ -279,6 +251,7 @@ fn audit(system: &System, crash_instant: SimTime) -> CrashOutcome {
         distinct_states,
         acked_after_crash,
         timeouts,
+        fingerprint: system.engine.fingerprint(),
     }
 }
 
