@@ -2,11 +2,15 @@
 //! (`ScenarioPlan`s), run them on a small group-safe / 2-safe system,
 //! and hold every run to the safety oracle's per-level invariants.
 //!
-//! Usage: `scenario_fuzz [--seeds N] [--start S] [--level L] [--json <path>]`
+//! Usage: `scenario_fuzz [--seeds N] [--start S] [--level L] [--shards G]
+//!                       [--json <path>]`
 //!   --seeds   seeds per level (default 100 → 200 cases over two levels)
 //!   --start   first seed (default 0)
 //!   --level   restrict to one of: group-safe | two-safe | group-1-safe |
 //!             zero-safe | one-safe (default: group-safe AND two-safe)
+//!   --shards  run the sharded envelope: G replica groups of 3 servers
+//!             with 10 % cross-group transactions and group-targeted
+//!             faults incl. whole-group failures (default: 1, classic)
 //!   --json    write a JSON summary
 //!
 //! On the first oracle violation the binary prints the reproducing seed
@@ -41,6 +45,9 @@ fn main() {
     let start: u64 = value_after("--start")
         .map(|v| v.parse().expect("--start takes a number"))
         .unwrap_or(0);
+    let shards: u32 = value_after("--shards")
+        .map(|v| v.parse().expect("--shards takes a number"))
+        .unwrap_or(1);
     let levels: Vec<SafetyLevel> = match value_after("--level") {
         Some(l) => vec![parse_level(&l)],
         None => vec![SafetyLevel::GroupSafe, SafetyLevel::TwoSafe],
@@ -50,20 +57,31 @@ fn main() {
     let mut commits = 0u64;
     let mut quiescent = 0u64;
     let mut with_loss = 0u64;
+    let mut cross_audited = 0u64;
+    let mut group_failures = 0u64;
     let started = std::time::Instant::now();
     for &level in &levels {
-        let spec = FuzzSpec::smoke(level);
+        let spec = if shards > 1 {
+            FuzzSpec::sharded(level, shards)
+        } else {
+            FuzzSpec::smoke(level)
+        };
         for seed in start..start + seeds {
             let out = run_fuzz_case(seed, &spec);
             total += 1;
             commits += out.commits as u64;
             quiescent += out.audit.quiescent as u64;
             with_loss += out.plan.uses_loss() as u64;
+            cross_audited += out.audit.cross_group_audited as u64;
+            group_failures += out.audit.group_failed as u64;
             if !out.ok() {
                 eprintln!("scenario-fuzz: ORACLE VIOLATION\n{}", out.describe());
-                eprintln!(
-                    "reproduce with: fuzz::run_fuzz_case({seed}, &FuzzSpec::smoke(SafetyLevel::{level:?}))"
-                );
+                let ctor = if shards > 1 {
+                    format!("FuzzSpec::sharded(SafetyLevel::{level:?}, {shards})")
+                } else {
+                    format!("FuzzSpec::smoke(SafetyLevel::{level:?})")
+                };
+                eprintln!("reproduce with: fuzz::run_fuzz_case({seed}, &{ctor})");
                 std::process::exit(1);
             }
             if total.is_multiple_of(50) {
@@ -80,10 +98,22 @@ fn main() {
          {commits} commits, {:.1}s)",
         started.elapsed().as_secs_f64()
     );
+    if shards > 1 {
+        println!(
+            "  sharded envelope: {shards} groups, {cross_audited} cross-group \
+             commits atomicity-audited, {group_failures} whole-group-failure runs"
+        );
+        assert!(
+            group_failures > 0 || total < 8,
+            "the sharded envelope should exercise at least one whole-group failure"
+        );
+    }
     if let Some(path) = value_after("--json") {
         let json = format!(
             "{{\"scenarios\":{total},\"violations\":0,\"quiescent\":{quiescent},\
-             \"with_loss\":{with_loss},\"commits\":{commits}}}"
+             \"with_loss\":{with_loss},\"commits\":{commits},\
+             \"shards\":{shards},\"cross_group_audited\":{cross_audited},\
+             \"group_failures\":{group_failures}}}"
         );
         std::fs::write(&path, json).expect("write json");
         println!("wrote {path}");

@@ -11,7 +11,13 @@
 //! * `scaling` — §7/Fig. 10: lazy vs group-safe risk as n grows,
 //! * `latency_micro` — disk write vs atomic broadcast latency (§6),
 //! * `batching` — abcast batch-size sweep under open-loop overload
-//!   (asserts the ≥2× saturated-throughput claim).
+//!   (asserts the ≥2× saturated-throughput claim),
+//! * `scenario_fuzz` — seeded random fault scenarios through the
+//!   per-level safety oracle (`--shards G` runs the sharded envelope
+//!   with group-targeted faults and the cross-group atomicity digest),
+//! * `sharding` — group-count × cross-group-ratio sweep (asserts that
+//!   aggregate commit throughput grows monotonically with the group
+//!   count at 0 % cross traffic).
 //!
 //! Criterion micro-benches live under `benches/`.
 

@@ -5,17 +5,24 @@
 //! layers (`SystemConfig`, the workload crate's `RunConfig`, and the
 //! drivers' hand-rolled warm-up / measure / stop-clients / drain loops):
 //!
-//! ```ignore
+//! ```
+//! use groupsafe_core::{Load, SafetyLevel, System};
+//! use groupsafe_sim::SimDuration;
+//!
 //! let report = System::builder()
-//!     .servers(9)
-//!     .clients_per_server(4)
+//!     .servers(3)
+//!     .clients_per_server(2)
 //!     .safety(SafetyLevel::GroupSafe)
-//!     .load(Load::open_tps(50.0))
-//!     .measure(SimDuration::from_secs(30))
-//!     .faults(FaultPlan::crash(NodeId(2), SimTime::from_secs(10)))
-//!     .build()?
+//!     .load(Load::open_tps(10.0))
+//!     .measure(SimDuration::from_secs(2))
+//!     .drain(SimDuration::from_secs(1))
+//!     .seed(7)
+//!     .build()
+//!     .expect("a valid configuration")
 //!     .execute();
-//! println!("{report}");
+//! assert!(report.commits > 0);
+//! assert_eq!(report.lost, 0);
+//! assert_eq!(report.distinct_states, 1, "replicas converged");
 //! ```
 //!
 //! * [`SystemBuilder`] validates the configuration ([`BuildError`]) and
@@ -25,8 +32,14 @@
 //!   and offers phase hooks ([`Run::at`], [`Run::switch_safety_at`]) for
 //!   mid-run commands such as [`SwitchSafetyCmd`],
 //! * [`Report`] is the structured outcome — commits, mean/p95/p99,
-//!   aborts, lost transactions, convergence digests, per-phase stats —
-//!   with [`Display`](std::fmt::Display) and JSON renderings.
+//!   aborts, lost transactions, convergence digests, per-phase and
+//!   per-shard-group stats — with [`Display`](std::fmt::Display) and
+//!   JSON renderings.
+//!
+//! Sharded systems thread through the same pipeline:
+//! [`SystemBuilder::shards`] splits the key space over `N` independent
+//! replica groups ([`crate::shard`]) and the [`Report`] gains per-group
+//! and cross-group statistics.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -40,6 +53,7 @@ use crate::client::{LoadModel, OpGenerator, StopClient};
 use crate::safety::SafetyLevel;
 use crate::scenario::ScenarioPlan;
 use crate::server::{ReplicaConfig, SwitchSafetyCmd, Technique};
+use crate::shard::{self, ShardError, ShardSpec, ShardStrategy};
 use crate::system::{System, SystemConfig};
 use crate::verify::{self, LostTransaction};
 
@@ -402,6 +416,22 @@ pub enum BuildError {
         /// The offending value.
         value: f64,
     },
+    /// The shard configuration does not partition the key space.
+    Shard(ShardError),
+    /// Cross-group transactions need the database state machine (the
+    /// lazy baseline has no certification to vote with, and very-safe's
+    /// all-logged confirmation round is not defined across groups).
+    UnsupportedCrossShard {
+        /// The offending technique's label.
+        technique: &'static str,
+    },
+    /// A scenario step names a group the system does not have.
+    GroupOutOfRange {
+        /// The requested group.
+        group: u32,
+        /// The system's group count.
+        n_groups: u32,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -427,6 +457,19 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::BadScenario { what, value } => {
                 write!(f, "invalid scenario: {what} (got {value})")
+            }
+            BuildError::Shard(e) => write!(f, "invalid shard configuration: {e}"),
+            BuildError::UnsupportedCrossShard { technique } => {
+                write!(
+                    f,
+                    "cross-group transactions require a DSM technique, not {technique}"
+                )
+            }
+            BuildError::GroupOutOfRange { group, n_groups } => {
+                write!(
+                    f,
+                    "scenario names group {group} but the system has {n_groups}"
+                )
             }
         }
     }
@@ -467,6 +510,10 @@ pub struct SystemBuilder {
     /// over the `GROUPSAFE_BATCHING` env profile and over whatever
     /// `batch` a [`SystemBuilder::replica`] config carries.
     batch_override: Option<BatchConfig>,
+    shard: ShardSpec,
+    /// True once a shard setter ran; an explicit configuration beats the
+    /// `GROUPSAFE_SHARDS` env profile.
+    shard_explicit: bool,
 }
 
 impl Default for SystemBuilder {
@@ -488,6 +535,8 @@ impl Default for SystemBuilder {
             faults: FaultPlan::none(),
             scenario: ScenarioPlan::new(),
             batch_override: None,
+            shard: ShardSpec::default(),
+            shard_explicit: false,
         }
     }
 }
@@ -541,6 +590,47 @@ impl SystemBuilder {
     /// by a [`SystemBuilder::replica`] config.
     pub fn batching(mut self, batch: BatchConfig) -> Self {
         self.batch_override = Some(batch);
+        self
+    }
+
+    /// Shard the database over `n` independent replica groups (hash
+    /// routing): [`SystemBuilder::servers`] then counts servers *per
+    /// group*, and every group runs its own sequencer, GCS view and
+    /// stable logs. `shards(1)` is the classic unsharded system —
+    /// bit-for-bit, same fingerprint.
+    ///
+    /// Precedence: an explicit call here (or to the other shard setters)
+    /// beats the `GROUPSAFE_SHARDS`/`GROUPSAFE_CROSS_SHARD` env profile.
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shard.groups = n;
+        self.shard_explicit = true;
+        self
+    }
+
+    /// Use explicit key ranges instead of hash routing: one
+    /// `[start, end)` range per group, jointly covering the whole key
+    /// space (gaps, overlaps and empty ranges are build errors).
+    /// Implies `shards(ranges.len())`.
+    pub fn shard_ranges(mut self, ranges: Vec<(u32, u32)>) -> Self {
+        self.shard.groups = ranges.len() as u32;
+        self.shard.strategy = ShardStrategy::Ranges(ranges);
+        self.shard_explicit = true;
+        self
+    }
+
+    /// Fraction of built-in-generator transactions that span two groups
+    /// (committed via the ordered cross-group protocol). Only meaningful
+    /// with `shards(n > 1)`; requires a DSM technique.
+    pub fn cross_shard_fraction(mut self, f: f64) -> Self {
+        self.shard.cross_fraction = f;
+        self.shard_explicit = true;
+        self
+    }
+
+    /// The full shard specification at once (see [`ShardSpec`]).
+    pub fn shard(mut self, spec: ShardSpec) -> Self {
+        self.shard = spec;
+        self.shard_explicit = true;
         self
     }
 
@@ -661,6 +751,16 @@ impl SystemBuilder {
         self.load.offered_tps()
     }
 
+    /// The shard configuration in force: an explicit setter call, else
+    /// the `GROUPSAFE_SHARDS` env profile, else the single-group default.
+    fn effective_shard(&self) -> ShardSpec {
+        if self.shard_explicit {
+            self.shard.clone()
+        } else {
+            ShardSpec::from_env().unwrap_or_else(|| self.shard.clone())
+        }
+    }
+
     fn validate(&self) -> Result<(), BuildError> {
         if self.n_servers == 0 {
             return Err(BuildError::NoServers);
@@ -671,11 +771,37 @@ impl SystemBuilder {
         if self.generator.is_none() {
             self.workload.validate()?;
         }
-        self.faults.validate(self.n_servers)?;
-        self.scenario.validate(self.n_servers)?;
+        let shard = self.effective_shard();
+        if !(0.0..=1.0).contains(&shard.cross_fraction) || shard.cross_fraction.is_nan() {
+            return Err(BuildError::BadProbability {
+                name: "cross_shard_fraction",
+                value: shard.cross_fraction,
+            });
+        }
+        if shard.cross_fraction > 0.0 && shard.groups > 1 {
+            match self.replica.technique {
+                Technique::Dsm(SafetyLevel::VerySafe) | Technique::Lazy => {
+                    return Err(BuildError::UnsupportedCrossShard {
+                        technique: self.replica.technique.label(),
+                    });
+                }
+                Technique::Dsm(_) => {}
+            }
+        }
+        let n_items = if self.generator.is_none() {
+            self.workload.n_items
+        } else {
+            self.replica.db.n_items
+        };
+        shard.resolve(n_items).map_err(BuildError::Shard)?;
+        let total_servers = self.n_servers * shard.groups;
+        self.faults.validate(total_servers)?;
+        self.scenario.validate(total_servers)?;
+        self.scenario
+            .validate_groups(shard.groups, self.n_servers)?;
         // Resolve eagerly so rate errors surface at build time.
         self.load
-            .resolve(self.n_servers * self.clients_per_server)
+            .resolve(total_servers * self.clients_per_server)
             .map(|_| ())
     }
 
@@ -701,6 +827,7 @@ impl SystemBuilder {
             .batch_override
             .or_else(BatchConfig::from_env)
             .unwrap_or(self.replica.batch);
+        let shard = self.effective_shard();
         Ok(SystemConfig {
             n_servers: self.n_servers,
             clients_per_server: self.clients_per_server,
@@ -709,10 +836,11 @@ impl SystemBuilder {
                 batch,
                 ..self.replica.clone()
             },
-            load: self.load.resolve(n_clients)?,
+            load: self.load.resolve(n_clients * shard.groups)?,
             client_timeout: self.client_timeout,
             measure_from: SimTime::ZERO + self.warmup,
             net: self.net.clone(),
+            shard,
             seed: self.seed,
         })
     }
@@ -726,7 +854,21 @@ impl SystemBuilder {
         let spec = self.workload.clone();
         let system = match self.generator.take() {
             Some(factory) => System::build(cfg, factory),
-            None => System::build(cfg, move |_| spec.generator()),
+            None => {
+                // Route the built-in generator through the shard map; a
+                // single-group map delegates to the spec's own generator,
+                // draw-for-draw (the sharded fingerprint-identity
+                // invariant).
+                let map = std::rc::Rc::new(
+                    cfg.shard
+                        .resolve(cfg.replica.db.n_items)
+                        .expect("validated above"),
+                );
+                let cross = cfg.shard.cross_fraction;
+                System::build(cfg, move |_| {
+                    shard::sharded_generator(&spec, map.clone(), cross)
+                })
+            }
         };
         let mut run = Run::new(system, self.warmup, self.measure, self.drain, offered_tps);
         // The fault schedule and the scenario timeline compile onto one
@@ -983,6 +1125,61 @@ impl Run {
         let fingerprint = system.engine.fingerprint();
         let (gcs, batch_hist) = system.gcs_stats();
 
+        // Per-group breakdown (sharded systems only): acked transactions
+        // attributed to their owning group — the coordinator's group for
+        // a cross-group commit — plus each group's abcast counters.
+        let measure_secs = self.measure.as_secs_f64().max(1e-9);
+        let (groups, cross_group_commits, window_acks) = if system.n_groups > 1 {
+            let spg = system.servers_per_group.max(1);
+            // Count acknowledgements inside the measurement window only,
+            // matching the top-level `commits`/`achieved_tps` (the oracle
+            // also records warm-up and drain acks).
+            let measure_start = SimTime::ZERO + self.warmup;
+            let mut per_group = vec![0usize; system.n_groups as usize];
+            let mut cross = 0usize;
+            let mut window_acks = 0usize;
+            {
+                let oracle = system.oracle.borrow();
+                for (txn, ack) in &oracle.acked {
+                    if ack.at < measure_start {
+                        continue;
+                    }
+                    window_acks += 1;
+                    let g = if let Some(xg) = oracle.xg.get(txn) {
+                        cross += 1;
+                        xg.coordinator_group
+                    } else if let Some(c) = oracle.commits.get(txn) {
+                        c.delegate.0 / spg
+                    } else {
+                        continue; // read-only: no durable owner
+                    };
+                    if let Some(slot) = per_group.get_mut(g as usize) {
+                        *slot += 1;
+                    }
+                }
+            }
+            let groups = (0..system.n_groups)
+                .map(|g| {
+                    let (stats, hist) = system.gcs_stats_of(g);
+                    let wire = system.net.domain_stats(g);
+                    GroupStats {
+                        group: g,
+                        commits: per_group[g as usize],
+                        achieved_tps: per_group[g as usize] as f64 / measure_secs,
+                        abcast_batches: stats.batches_sent,
+                        mean_batch_size: stats.mean_batch_size(),
+                        votes_per_delivery: stats.votes_per_delivery(),
+                        batch_hist: hist,
+                        wire_sent: wire.sent,
+                        wire_broadcasts: wire.broadcasts,
+                    }
+                })
+                .collect();
+            (groups, cross, window_acks)
+        } else {
+            (Vec::new(), 0, 0)
+        };
+
         // Per-phase stats from the sample slices between marks. Samples
         // append in simulated-time order, so index ranges captured at the
         // boundaries segment the run exactly; compute before any quantile
@@ -1029,6 +1226,13 @@ impl Run {
             mean_batch_size: gcs.mean_batch_size(),
             votes_per_delivery: gcs.votes_per_delivery(),
             batch_hist,
+            cross_group_commits,
+            cross_group_ratio: if window_acks > 0 {
+                cross_group_commits as f64 / window_acks as f64
+            } else {
+                0.0
+            },
+            groups,
             phases,
             fingerprint,
         }
@@ -1044,6 +1248,31 @@ impl Run {
 // ---------------------------------------------------------------------
 // Report
 // ---------------------------------------------------------------------
+
+/// Per-replica-group statistics of a sharded run.
+#[derive(Debug, Clone)]
+pub struct GroupStats {
+    /// Group id.
+    pub group: u32,
+    /// Acknowledged transactions owned by this group (cross-group
+    /// commits count for their coordinator's group) inside the
+    /// measurement window, like the top-level `commits`.
+    pub commits: usize,
+    /// `commits` over the measurement window length, tps.
+    pub achieved_tps: f64,
+    /// Batch frames flushed by this group's sequencers.
+    pub abcast_batches: u64,
+    /// Mean messages per flushed frame.
+    pub mean_batch_size: f64,
+    /// Stability votes per delivered entry within the group.
+    pub votes_per_delivery: f64,
+    /// Batch-size histogram of the group.
+    pub batch_hist: Vec<(u32, u64)>,
+    /// Point-to-point deliveries sent from this group's domain.
+    pub wire_sent: u64,
+    /// Multicast operations from this group's domain.
+    pub wire_broadcasts: u64,
+}
 
 /// Response-time statistics for one phase of a run.
 #[derive(Debug, Clone)]
@@ -1132,6 +1361,16 @@ pub struct Report {
     pub votes_per_delivery: f64,
     /// Batch-size histogram across the group: (size, frame count).
     pub batch_hist: Vec<(u32, u64)>,
+    /// Acknowledged transactions that spanned more than one replica
+    /// group, inside the measurement window (0 in unsharded runs).
+    pub cross_group_commits: usize,
+    /// `cross_group_commits` over the window's acknowledged
+    /// transactions.
+    pub cross_group_ratio: f64,
+    /// Per-group breakdown (empty for unsharded systems — including the
+    /// degenerate `shards(1)`, whose report matches the classic one
+    /// field-for-field).
+    pub groups: Vec<GroupStats>,
     /// Per-phase response-time breakdown.
     pub phases: Vec<PhaseStats>,
     /// The engine's dispatch fingerprint (determinism witness).
@@ -1186,6 +1425,34 @@ impl Report {
                 s.push(',');
             }
             s.push_str(&format!("[{size},{count}]"));
+        }
+        s.push_str("],");
+        s.push_str(&format!(
+            "\"cross_group_commits\":{},",
+            self.cross_group_commits
+        ));
+        s.push_str(&format!(
+            "\"cross_group_ratio\":{},",
+            f(self.cross_group_ratio)
+        ));
+        s.push_str("\"groups\":[");
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"group\":{},\"commits\":{},\"achieved_tps\":{},\
+                 \"abcast_batches\":{},\"mean_batch_size\":{},\
+                 \"votes_per_delivery\":{},\"wire_sent\":{},\"wire_broadcasts\":{}}}",
+                g.group,
+                g.commits,
+                f(g.achieved_tps),
+                g.abcast_batches,
+                f(g.mean_batch_size),
+                f(g.votes_per_delivery),
+                g.wire_sent,
+                g.wire_broadcasts
+            ));
         }
         s.push_str("],");
         s.push_str("\"phases\":[");
@@ -1244,6 +1511,21 @@ impl std::fmt::Display for Report {
                 "abcast batching        : {} frames, mean {:.1} msgs/frame, {:.2} votes/delivery",
                 self.abcast_batches, self.mean_batch_size, self.votes_per_delivery
             )?;
+        }
+        if !self.groups.is_empty() {
+            writeln!(
+                f,
+                "cross-group commits    : {} ({:.1} % of acks)",
+                self.cross_group_commits,
+                self.cross_group_ratio * 100.0
+            )?;
+            for g in &self.groups {
+                writeln!(
+                    f,
+                    "  group {:<2}             : {} commits ({:.1} tps), {:.2} votes/delivery",
+                    g.group, g.commits, g.achieved_tps, g.votes_per_delivery
+                )?;
+            }
         }
         if self.phases.len() > 1 {
             for p in &self.phases {

@@ -2,6 +2,10 @@
 //! times, resubmit after aborts and timeouts (update-everywhere: a
 //! timeout switches to another delegate; testable transactions make the
 //! retry safe).
+//!
+//! In a sharded system each transaction is routed to the group owning its
+//! first key (the coordinator group of a cross-group transaction);
+//! failover rotates through that group's members.
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -15,6 +19,7 @@ use groupsafe_net::{Incoming, Network, NodeId};
 use groupsafe_sim::{Actor, Ctx, Payload, SimDuration, SimTime};
 
 use crate::msg::{ClientMsg, ServerReply, TxnRequest};
+use crate::shard::ShardMap;
 use crate::verify::Oracle;
 
 /// How a client generates load.
@@ -43,10 +48,16 @@ pub struct ClientConfig {
     pub node: NodeId,
     /// Numeric client id (first component of its transaction ids).
     pub id: u32,
-    /// Preferred delegate server.
+    /// Preferred delegate server (the routing fallback for an empty
+    /// transaction; normal routing targets the owning group).
     pub home: NodeId,
-    /// Total number of servers (timeout failover rotates through them).
+    /// Total number of servers across all groups.
     pub n_servers: u32,
+    /// Servers per replica group (timeout failover rotates within the
+    /// coordinator group; equals `n_servers` when unsharded).
+    pub servers_per_group: u32,
+    /// The key → group router transactions are routed by.
+    pub shard: Rc<ShardMap>,
     /// Load model.
     pub load: LoadModel,
     /// Give up waiting for a reply after this long and resubmit elsewhere.
@@ -57,7 +68,15 @@ pub struct ClientConfig {
 
 enum ClientTimer {
     Arrival,
-    Timeout { txn: TxnId, attempt: u32 },
+    Timeout {
+        txn: TxnId,
+        attempt: u32,
+    },
+    /// Deferred abort-resubmission (contention backoff).
+    Resubmit {
+        txn: TxnId,
+        attempt: u32,
+    },
 }
 
 struct Outstanding {
@@ -130,6 +149,19 @@ impl Client {
         ctx.timer(delay, ClientTimer::Arrival);
     }
 
+    /// The server a transaction is first sent to: this client's rank
+    /// within the group owning the transaction's first key (its
+    /// coordinator group when it spans several). Reduces to the fixed
+    /// home server in an unsharded system.
+    fn coordinator_for(&self, ops: &[Operation]) -> NodeId {
+        let spg = self.cfg.servers_per_group.max(1);
+        let group = ops
+            .first()
+            .map(|op| self.cfg.shard.group_of(op.item()))
+            .unwrap_or(self.cfg.home.0 / spg);
+        NodeId(group * spg + self.cfg.id % spg)
+    }
+
     fn submit_new(&mut self, ctx: &mut Ctx<'_>) {
         self.next_seq += 1;
         let id = TxnId {
@@ -138,6 +170,7 @@ impl Client {
         };
         let ops = (self.gen)(&mut self.rng);
         let now = ctx.now();
+        let target = self.coordinator_for(&ops);
         self.outstanding.insert(
             id,
             Outstanding {
@@ -145,7 +178,7 @@ impl Client {
                 attempt: 0,
                 sent_at: now,
                 first_sent_at: now,
-                target: self.cfg.home,
+                target,
             },
         );
         self.send_request(ctx, id);
@@ -167,14 +200,17 @@ impl Client {
     }
 
     fn resubmit(&mut self, ctx: &mut Ctx<'_>, id: TxnId, rotate: bool) {
-        let n = self.cfg.n_servers;
+        let spg = self.cfg.servers_per_group.max(1);
         let Some(o) = self.outstanding.get_mut(&id) else {
             return;
         };
         o.attempt += 1;
         o.sent_at = ctx.now();
         if rotate {
-            o.target = NodeId((o.target.0 + 1) % n);
+            // Update-everywhere within the owning group: any of its
+            // servers can act as the delegate/coordinator.
+            let base = (o.target.0 / spg) * spg;
+            o.target = NodeId(base + (o.target.0 - base + 1) % spg);
         }
         self.send_request(ctx, id);
     }
@@ -213,8 +249,21 @@ impl Client {
                     ctx.metrics().incr("client_aborts_seen");
                 }
                 // Resubmit to the same delegate: a fresh execution reads
-                // fresh versions and will usually pass certification.
-                self.resubmit(ctx, txn, false);
+                // fresh versions and will usually pass certification. A
+                // transaction that keeps aborting (hot contention, a
+                // cross-group reservation it keeps colliding with, or a
+                // stale-readset loop under delivery backlog) backs off
+                // exponentially, so a conflict storm drains the backlog
+                // that feeds it instead of sustaining it at the
+                // pipeline's capacity forever.
+                if o.attempt == 0 {
+                    self.resubmit(ctx, txn, false);
+                } else {
+                    let backoff =
+                        SimDuration::from_millis(5) * (1u64 << u64::from(o.attempt.min(8)));
+                    let attempt = o.attempt;
+                    ctx.timer(backoff, ClientTimer::Resubmit { txn, attempt });
+                }
             }
         }
     }
@@ -268,6 +317,15 @@ impl Actor for Client {
                     }
                 }
                 ClientTimer::Timeout { txn, attempt } => self.on_timeout(ctx, txn, attempt),
+                ClientTimer::Resubmit { txn, attempt } => {
+                    let still = self
+                        .outstanding
+                        .get(&txn)
+                        .is_some_and(|o| o.attempt == attempt);
+                    if still {
+                        self.resubmit(ctx, txn, false);
+                    }
+                }
             },
             Err(_) => panic!("client: unhandled event payload"),
         }

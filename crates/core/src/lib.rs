@@ -4,8 +4,8 @@
 //!
 //! * [`SafetyLevel`] — the taxonomy of §2.1 and §5 with Tables 1–3 as
 //!   executable functions,
-//! * [`certify`] — the database state machine's deterministic
-//!   certification,
+//! * [`certify`](mod@certify) — the database state machine's
+//!   deterministic certification,
 //! * [`ReplicaServer`] — update-everywhere, non-voting, single-network-
 //!   interaction replication over atomic broadcast, with the reply point
 //!   parameterised by safety level (0-safe, group-safe, group-1-safe,
@@ -22,9 +22,15 @@
 //!   results,
 //! * [`scenario`] — the deterministic fault-scenario engine: declarative
 //!   [`ScenarioPlan`] timelines (crashes, partitions, sequencer kills,
-//!   network bursts, slow disks), the per-safety-level oracle
-//!   ([`audit_scenario`]) and the seeded scenario fuzzer
-//!   ([`scenario::fuzz`]).
+//!   network bursts, slow disks, group-targeted events), the
+//!   per-safety-level oracle ([`audit_scenario`], with per-group loss
+//!   rules and the cross-group atomicity digest) and the seeded
+//!   scenario fuzzer ([`scenario::fuzz`]),
+//! * [`shard`] — key-routed sharding over `N` independent replica
+//!   groups: the [`ShardMap`] router (hash/range strategies), the
+//!   sharded workload generator, and — in [`server`] — the ordered
+//!   two-phase cross-group commit protocol layered on the per-group
+//!   atomic broadcasts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,16 +42,20 @@ pub mod msg;
 pub mod safety;
 pub mod scenario;
 pub mod server;
+pub mod shard;
 pub mod system;
 pub mod verify;
 
 pub use builder::{
-    BuildError, FaultPlan, Load, PhaseStats, Report, Run, SystemBuilder, WorkloadSpec,
+    BuildError, FaultPlan, GroupStats, Load, PhaseStats, Report, Run, SystemBuilder, WorkloadSpec,
 };
 pub use certify::{certify, certify_versions, Certification};
 pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, StopClient};
 pub use groupsafe_gcs::BatchConfig;
-pub use msg::{ClientMsg, DsmMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest};
+pub use msg::{
+    ClientMsg, DsmMsg, GroupMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest,
+    XgDecision, XgPrepare, XgVote,
+};
 pub use safety::{table1, Guarantee, SafetyLevel};
 pub use scenario::{
     audit_scenario, reconcile_restart, OracleViolation, ScenarioAudit, ScenarioEvent, ScenarioPlan,
@@ -55,7 +65,9 @@ pub use server::{
     InitServer, InstallCheckpointCmd, RWire, ReplicaConfig, ReplicaServer, RestartServerCmd,
     SwitchSafetyCmd, Technique,
 };
+pub use shard::{sharded_generator, ShardError, ShardMap, ShardSpec, ShardStrategy};
 pub use system::{System, SystemConfig};
 pub use verify::{
     check_convergence, check_lost_updates, check_no_loss, LostTransaction, LostUpdate, Oracle,
+    XgRecord,
 };

@@ -71,6 +71,132 @@ pub struct DsmMsg {
     pub writes: Vec<(ItemId, Value)>,
 }
 
+/// What a replica group atomically broadcasts: ordinary single-group
+/// transactions, or one of the two phases of the cross-group commit
+/// protocol (certify-everywhere, then a coordinator decision broadcast).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupMsg {
+    /// A single-group transaction (the classic database-state-machine
+    /// broadcast).
+    Txn(DsmMsg),
+    /// Phase 1 of a cross-group commit: certify this group's slice and
+    /// vote to the coordinator.
+    XgPrepare(XgPrepare),
+    /// Phase 2 of a cross-group commit: the coordinator's decision,
+    /// ordered by this group's broadcast so every replica applies (or
+    /// discards) the slice at the same point of the delivery sequence.
+    XgDecision(XgDecision),
+}
+
+/// Phase 1 of the cross-group protocol, broadcast within one touched
+/// group: the group's slice of the transaction (read set for
+/// certification, write set for the reservation). At delivery every
+/// replica of the group reaches the same verdict (certification plus a
+/// reservation-conflict check) and the broadcasting delegate sends an
+/// [`XgVote`] to the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XgPrepare {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Attempt number (echoed through votes and the final reply).
+    pub attempt: u32,
+    /// The server that executed this slice's read phase and broadcast the
+    /// prepare (this group's gateway, or the coordinator itself for its
+    /// home slice).
+    pub delegate: NodeId,
+    /// The coordinator server awaiting the votes.
+    pub coordinator: NodeId,
+    /// The client awaiting the final reply (carried for failover
+    /// diagnostics; the reply is sent by the coordinator).
+    pub client: NodeId,
+    /// This group's id (sanity/diagnostics).
+    pub group: u32,
+    /// Items read by this slice, with observed versions.
+    pub readset: Vec<(ItemId, Version)>,
+    /// Items this slice writes, with the new values.
+    pub writes: Vec<(ItemId, Value)>,
+}
+
+/// A group's certification vote for a cross-group transaction, sent by
+/// the group's prepare delegate to the coordinator after the prepare's
+/// (uniform) delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XgVote {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Attempt the vote answers.
+    pub attempt: u32,
+    /// The voting group.
+    pub group: u32,
+    /// True = this group certifies its slice.
+    pub commit: bool,
+}
+
+/// Phase 2 of the cross-group protocol: the coordinator's decision. One
+/// copy is broadcast in every touched group; each group applies only its
+/// own slice of `writes_by_group`. The decision is self-contained (it
+/// carries the writes) so replicas that joined mid-protocol via state
+/// transfer apply it without any prepare-side bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XgDecision {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Attempt being decided.
+    pub attempt: u32,
+    /// True = every touched group voted commit.
+    pub commit: bool,
+    /// The coordinator that decided (and replies to the client).
+    pub coordinator: NodeId,
+    /// The client awaiting the reply.
+    pub client: NodeId,
+    /// Every touched group (the cross-group atomicity oracle audits
+    /// all-or-nothing over exactly this set).
+    pub groups: Vec<u32>,
+    /// Per-group write slices, aligned with `groups`.
+    pub writes_by_group: Vec<Vec<(ItemId, Value)>>,
+}
+
+impl XgDecision {
+    /// The write slice of `group`, if it is touched.
+    pub fn writes_of(&self, group: u32) -> Option<&[(ItemId, Value)]> {
+        self.groups
+            .iter()
+            .position(|&g| g == group)
+            .map(|i| self.writes_by_group[i].as_slice())
+    }
+}
+
+/// Coordinator → remote-group gateway: execute the read phase for this
+/// slice and broadcast its [`XgPrepare`] in your group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XgSubRequest {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Attempt number.
+    pub attempt: u32,
+    /// The coordinator to vote to.
+    pub coordinator: NodeId,
+    /// The client (diagnostics; the coordinator replies).
+    pub client: NodeId,
+    /// This group's slice of the transaction's operations.
+    pub ops: Vec<Operation>,
+}
+
+/// Coordinator → remote-group gateway: broadcast this decision in your
+/// group (phase 2 fan-out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XgDecisionFwd(pub XgDecision);
+
+/// A participant's liveness probe: a group delivered a prepare but no
+/// decision after a timeout (lost forward, crashed coordinator). Any
+/// replica that has the decision answers with an [`XgDecisionFwd`];
+/// probes rotate through the coordinator's group until one does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XgStatusQuery {
+    /// The undecided transaction.
+    pub txn: TxnId,
+}
+
 /// Very-safe confirmation: a replica tells the delegate that `txn`'s
 /// commit record reached its disk. The delegate answers the client only
 /// once every group member confirmed (§2.1: "logged on all servers" —

@@ -37,7 +37,31 @@
 //! [`fuzz::run_fuzz_case`] derives a random plan from a seed
 //! ([`fuzz::generate_plan`]), runs it on a small system and audits it.
 //! Same seed, same plan, same fingerprint — a failing seed is a complete
-//! reproduction recipe (see `ScenarioPlan::render`).
+//! reproduction recipe (see `ScenarioPlan::render`). Sharded specs
+//! ([`fuzz::FuzzSpec::sharded`]) draw group-targeted faults — including
+//! whole-group failures with operator restarts — and additionally audit
+//! the cross-group atomicity digest.
+//!
+//! # Example
+//!
+//! ```
+//! use groupsafe_core::{ScenarioPlan, SafetyLevel};
+//! use groupsafe_sim::{SimDuration, SimTime};
+//!
+//! let plan = ScenarioPlan::new()
+//!     // crash server 2 at t = 2 s, recover it 600 ms later
+//!     .crash_for(SimTime::from_secs(2), 2, SimDuration::from_millis(600))
+//!     // isolate servers {0, 1} (and their clients) for 1.5 s
+//!     .partition(SimTime::from_secs(3), vec![vec![0, 1]])
+//!     .heal(SimTime::from_millis(4_500))
+//!     // kill whichever server is the sequencer at that moment
+//!     .kill_sequencer(SimTime::from_secs(5), Some(SimDuration::from_millis(700)));
+//! assert_eq!(plan.len(), 4);
+//! assert!(plan.any_crash());
+//! assert!(plan.fully_healed());
+//! assert!(plan.validate(5).is_ok(), "all targets exist on 5 servers");
+//! assert!(plan.validate(2).is_err(), "server 2 does not exist on 2");
+//! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,6 +162,34 @@ pub enum ScenarioEvent {
         /// The servers forming the fresh group.
         servers: Vec<u32>,
     },
+    /// Whole-group failure in a sharded system: crash every server of
+    /// one replica group at the same instant (the fault the group-safe
+    /// loss rule is about, scoped to one shard).
+    GroupCrash {
+        /// The group to take down.
+        group: u32,
+        /// Downtime before every member's scripted recovery (None = the
+        /// group stays down).
+        recover_after: Option<SimDuration>,
+    },
+    /// Crash whichever live server currently acts as *group `group`'s*
+    /// sequencer (resolved at fire time). No-op if the group has no live
+    /// sequencer.
+    KillGroupSequencer {
+        /// The targeted group.
+        group: u32,
+        /// Downtime before the scripted recovery (None = stays down).
+        recover_after: Option<SimDuration>,
+    },
+    /// Partition scoped to one group of a sharded system: isolate the
+    /// given member *ranks* (0-based within the group) — and their home
+    /// clients — from everyone else. Healed by [`ScenarioEvent::Heal`].
+    GroupPartition {
+        /// The targeted group.
+        group: u32,
+        /// Member ranks to isolate (0-based within the group).
+        ranks: Vec<u32>,
+    },
 }
 
 impl ScenarioEvent {
@@ -155,6 +207,9 @@ impl ScenarioEvent {
             ScenarioEvent::ReorderBurst { .. } => "reorder-burst",
             ScenarioEvent::SlowDisk { .. } => "slow-disk",
             ScenarioEvent::RestartGroup { .. } => "restart-group",
+            ScenarioEvent::GroupCrash { .. } => "group-crash",
+            ScenarioEvent::KillGroupSequencer { .. } => "kill-group-sequencer",
+            ScenarioEvent::GroupPartition { .. } => "group-partition",
         }
     }
 }
@@ -326,6 +381,50 @@ impl ScenarioPlan {
         })
     }
 
+    /// Crash every server of replica group `group` at `at` (a sharded
+    /// whole-group failure), optionally recovering them all after
+    /// `recover_after`.
+    pub fn crash_whole_group(
+        self,
+        at: SimTime,
+        group: u32,
+        recover_after: Option<SimDuration>,
+    ) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::GroupCrash {
+                group,
+                recover_after,
+            },
+        })
+    }
+
+    /// Crash group `group`'s current sequencer at `at` (optionally
+    /// recovering it).
+    pub fn kill_sequencer_in(
+        self,
+        at: SimTime,
+        group: u32,
+        recover_after: Option<SimDuration>,
+    ) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::KillGroupSequencer {
+                group,
+                recover_after,
+            },
+        })
+    }
+
+    /// Isolate the given member ranks of group `group` (plus their home
+    /// clients) at `at`; heal with [`ScenarioPlan::heal`].
+    pub fn partition_group(self, at: SimTime, group: u32, ranks: Vec<u32>) -> Self {
+        self.then(ScenarioStep {
+            at,
+            event: ScenarioEvent::GroupPartition { group, ranks },
+        })
+    }
+
     /// True when the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
@@ -394,7 +493,43 @@ impl ScenarioPlan {
                 }
                 ScenarioEvent::SwitchSafety { .. }
                 | ScenarioEvent::Heal
-                | ScenarioEvent::KillSequencer { .. } => {}
+                | ScenarioEvent::KillSequencer { .. }
+                // Group-scoped events are validated against the group
+                // topology by `validate_groups`.
+                | ScenarioEvent::GroupCrash { .. }
+                | ScenarioEvent::KillGroupSequencer { .. }
+                | ScenarioEvent::GroupPartition { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate the group-scoped events against a topology of `n_groups`
+    /// groups of `servers_per_group` members each.
+    pub fn validate_groups(&self, n_groups: u32, servers_per_group: u32) -> Result<(), BuildError> {
+        let check_group = |g: u32| {
+            if g >= n_groups {
+                Err(BuildError::GroupOutOfRange { group: g, n_groups })
+            } else {
+                Ok(())
+            }
+        };
+        for step in &self.steps {
+            match &step.event {
+                ScenarioEvent::GroupCrash { group, .. }
+                | ScenarioEvent::KillGroupSequencer { group, .. } => check_group(*group)?,
+                ScenarioEvent::GroupPartition { group, ranks } => {
+                    check_group(*group)?;
+                    for &r in ranks {
+                        if r >= servers_per_group {
+                            return Err(BuildError::FaultTargetOutOfRange {
+                                server: group * servers_per_group + r,
+                                n_servers: n_groups * servers_per_group,
+                            });
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -531,6 +666,44 @@ impl ScenarioPlan {
                         reconcile_restart(sys, &servers);
                     });
                 }
+                ScenarioEvent::GroupCrash {
+                    group,
+                    recover_after,
+                } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        let strike = sys.engine.now().max(at);
+                        for i in sys.group_server_indices(group) {
+                            let actor = sys.servers[i as usize];
+                            sys.engine.schedule_crash(strike, actor);
+                            if let Some(downtime) = recover_after {
+                                sys.engine.schedule_recover(strike + downtime, actor);
+                            }
+                        }
+                    });
+                }
+                ScenarioEvent::KillGroupSequencer {
+                    group,
+                    recover_after,
+                } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        let Some(i) = sys.current_sequencer_of(group) else {
+                            return;
+                        };
+                        let actor = sys.servers[i as usize];
+                        let now = sys.engine.now().max(at);
+                        sys.engine.schedule_crash(now, actor);
+                        if let Some(downtime) = recover_after {
+                            sys.engine.schedule_recover(now + downtime, actor);
+                        }
+                    });
+                }
+                ScenarioEvent::GroupPartition { group, ranks } => {
+                    run.hook_at(at, label, move |sys: &mut System| {
+                        let spg = sys.servers_per_group;
+                        let side: Vec<u32> = ranks.iter().map(|&r| group * spg + r).collect();
+                        sys.apply_partition(&[side]);
+                    });
+                }
             }
         }
     }
@@ -539,12 +712,16 @@ impl ScenarioPlan {
     // Introspection (what the oracle derives from the timeline)
     // -----------------------------------------------------------------
 
-    /// Down-interval per fault: `(from, to)` with `to = SimTime::MAX`
-    /// when the target never recovers. Sequencer kills get pseudo ids
-    /// above the real range (their target is resolved at runtime).
-    fn down_intervals(&self, n_servers: u32) -> Vec<(u32, SimTime, SimTime)> {
+    /// Down-interval per fault: `(key, from, to)` with `to =
+    /// SimTime::MAX` when the target never recovers. Explicit crashes
+    /// (and [`ScenarioEvent::GroupCrash`] expansions over a group of
+    /// `spg` members) carry their server id; sequencer kills — whose
+    /// victim is resolved at runtime — get pseudo ids above the real
+    /// range.
+    fn down_intervals(&self, spg: u32, n_groups: u32) -> Vec<(u32, SimTime, SimTime)> {
+        let total = spg * n_groups.max(1);
         let mut out = Vec::new();
-        let mut pseudo = n_servers;
+        let mut pseudo = total;
         for step in &self.steps {
             match &step.event {
                 ScenarioEvent::Crash {
@@ -556,7 +733,18 @@ impl ScenarioPlan {
                     let to = recover_after.map_or(SimTime::MAX, |d| from + d);
                     out.push((*server, from, to));
                 }
-                ScenarioEvent::KillSequencer { recover_after } => {
+                ScenarioEvent::GroupCrash {
+                    group,
+                    recover_after,
+                } => {
+                    let from = step.at;
+                    let to = recover_after.map_or(SimTime::MAX, |d| from + d);
+                    for member in group * spg..(group + 1) * spg {
+                        out.push((member, from, to));
+                    }
+                }
+                ScenarioEvent::KillSequencer { recover_after }
+                | ScenarioEvent::KillGroupSequencer { recover_after, .. } => {
                     let from = step.at;
                     let to = recover_after.map_or(SimTime::MAX, |d| from + d);
                     out.push((pseudo, from, to));
@@ -581,7 +769,7 @@ impl ScenarioPlan {
     /// The maximum number of servers simultaneously down under this plan
     /// (conservative: kill-sequencer events count as one extra server).
     pub fn max_simultaneous_down(&self, n_servers: u32) -> u32 {
-        let intervals = self.down_intervals(n_servers);
+        let intervals = self.down_intervals(n_servers, 1);
         let mut worst = 0;
         for &(_, from, _) in &intervals {
             let overlap = intervals
@@ -595,9 +783,56 @@ impl ScenarioPlan {
         worst
     }
 
-    /// True when the plan may crash the whole group at once.
+    /// True when the plan may crash the whole (single-group) system at
+    /// once. Sharded audits use [`ScenarioPlan::group_failure_of`] per
+    /// group instead.
     pub fn group_failure(&self, n_servers: u32) -> bool {
         n_servers > 0 && self.max_simultaneous_down(n_servers) >= n_servers
+    }
+
+    /// True when the plan may take *all* of group `g`'s members (out of
+    /// `n_groups` groups of `spg` servers) down at once. Sequencer kills
+    /// targeting the group — or untargeted ones, whose victim could be
+    /// anywhere — conservatively count as one member each.
+    pub fn group_failure_of(&self, spg: u32, n_groups: u32, g: u32) -> bool {
+        if spg == 0 {
+            return false;
+        }
+        let members = g * spg..(g + 1) * spg;
+        let intervals = self.down_intervals(spg, n_groups);
+        let total = spg * n_groups.max(1);
+        let relevant = |&(s, _, _): &(u32, SimTime, SimTime)| {
+            members.contains(&s) || s >= total // pseudo: a sequencer kill
+        };
+        let mut worst = 0u32;
+        for iv in intervals.iter().filter(|iv| relevant(iv)) {
+            let from = iv.1;
+            let mut down = std::collections::BTreeSet::new();
+            let mut seq_kills = 0u32;
+            for &(s, f, t) in intervals.iter().filter(|iv| relevant(iv)) {
+                if f <= from && from < t {
+                    if s >= total {
+                        seq_kills += 1;
+                    } else {
+                        down.insert(s);
+                    }
+                }
+            }
+            let covered = (down.len() as u32 + seq_kills).min(spg);
+            worst = worst.max(covered);
+        }
+        worst >= spg
+    }
+
+    /// True when some [`ScenarioEvent::RestartGroup`] step covers every
+    /// member of group `g` (the operator repair the view-based levels
+    /// need after that group's total failure).
+    pub fn has_restart_of(&self, spg: u32, g: u32) -> bool {
+        let members: Vec<u32> = (g * spg..(g + 1) * spg).collect();
+        self.steps.iter().any(|s| match &s.event {
+            ScenarioEvent::RestartGroup { servers } => members.iter().all(|m| servers.contains(m)),
+            _ => false,
+        })
     }
 
     /// True when any server crashes at some point.
@@ -605,7 +840,10 @@ impl ScenarioPlan {
         self.steps.iter().any(|s| {
             matches!(
                 s.event,
-                ScenarioEvent::Crash { .. } | ScenarioEvent::KillSequencer { .. }
+                ScenarioEvent::Crash { .. }
+                    | ScenarioEvent::KillSequencer { .. }
+                    | ScenarioEvent::GroupCrash { .. }
+                    | ScenarioEvent::KillGroupSequencer { .. }
             )
         })
     }
@@ -613,9 +851,12 @@ impl ScenarioPlan {
     /// True when the plan contains runtime-targeted sequencer kills
     /// (whose victim the plan cannot name statically).
     pub fn has_kill_sequencer(&self) -> bool {
-        self.steps
-            .iter()
-            .any(|s| matches!(s.event, ScenarioEvent::KillSequencer { .. }))
+        self.steps.iter().any(|s| {
+            matches!(
+                s.event,
+                ScenarioEvent::KillSequencer { .. } | ScenarioEvent::KillGroupSequencer { .. }
+            )
+        })
     }
 
     /// The instants at which the plan's explicit crashes of `server`
@@ -645,10 +886,12 @@ impl ScenarioPlan {
     pub fn any_delivery_fault(&self) -> bool {
         self.any_crash()
             || self.uses_loss()
-            || self
-                .steps
-                .iter()
-                .any(|s| matches!(s.event, ScenarioEvent::Partition { .. }))
+            || self.steps.iter().any(|s| {
+                matches!(
+                    s.event,
+                    ScenarioEvent::Partition { .. } | ScenarioEvent::GroupPartition { .. }
+                )
+            })
     }
 
     /// True when every partition is followed by a heal. Steps fire in
@@ -659,7 +902,7 @@ impl ScenarioPlan {
         let mut last_heal: Option<(SimTime, usize)> = None;
         for (i, step) in self.steps.iter().enumerate() {
             match step.event {
-                ScenarioEvent::Partition { .. } => {
+                ScenarioEvent::Partition { .. } | ScenarioEvent::GroupPartition { .. } => {
                     last_partition = last_partition.max(Some((step.at, i)))
                 }
                 ScenarioEvent::Heal => last_heal = last_heal.max(Some((step.at, i))),
@@ -691,7 +934,9 @@ impl ScenarioPlan {
                     recover_after,
                     ..
                 } => step.at + *after + recover_after.unwrap_or(SimDuration::ZERO),
-                ScenarioEvent::KillSequencer { recover_after } => {
+                ScenarioEvent::KillSequencer { recover_after }
+                | ScenarioEvent::KillGroupSequencer { recover_after, .. }
+                | ScenarioEvent::GroupCrash { recover_after, .. } => {
                     step.at + recover_after.unwrap_or(SimDuration::ZERO)
                 }
                 ScenarioEvent::LossBurst { duration, .. }
@@ -803,6 +1048,18 @@ pub enum OracleViolation {
         /// `(server, order digest)` per audited replica.
         digests: Vec<(u32, u64)>,
     },
+    /// A cross-group transaction was acknowledged but one of its touched
+    /// groups holds no commit for it, in a situation the claimed level's
+    /// per-group loss rules do not excuse (the all-or-nothing digest of
+    /// the sharded system).
+    AtomicityViolation {
+        /// The half-committed transaction.
+        txn: TxnId,
+        /// The touched group missing its slice.
+        group: u32,
+        /// Every group the transaction touched.
+        groups: Vec<u32>,
+    },
 }
 
 impl std::fmt::Display for OracleViolation {
@@ -827,6 +1084,13 @@ impl std::fmt::Display for OracleViolation {
             OracleViolation::OrderDivergence { digests } => {
                 write!(f, "survivors disagree on delivery order: {digests:?}")
             }
+            OracleViolation::AtomicityViolation { txn, group, groups } => {
+                write!(
+                    f,
+                    "cross-group {txn:?} (touched {groups:?}) acknowledged but group {group} \
+                     holds no commit for it"
+                )
+            }
         }
     }
 }
@@ -840,11 +1104,16 @@ pub struct ScenarioAudit {
     pub violations: Vec<OracleViolation>,
     /// Acknowledged transactions missing from every live replica.
     pub lost: usize,
-    /// Whether the plan crashed the whole group at once.
+    /// Whether the plan crashed a whole replica group at once (any group
+    /// of a sharded system).
     pub group_failed: bool,
-    /// Whether the convergence/order checks applied (the plan quiesced:
-    /// partitions healed, no loss bursts, disturbances settled).
+    /// Whether the convergence/order checks applied everywhere (every
+    /// group quiesced: partitions healed, no loss bursts, disturbances
+    /// settled, total failures repaired).
     pub quiescent: bool,
+    /// Acknowledged cross-group transactions audited for all-or-nothing
+    /// (0 for unsharded runs).
+    pub cross_group_audited: usize,
 }
 
 impl ScenarioAudit {
@@ -865,7 +1134,20 @@ const SETTLE: SimDuration = SimDuration::from_secs(2);
 /// negative tests prove the oracle catches violations.
 pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) -> ScenarioAudit {
     let n = system.n_servers;
-    let group_failed = plan.group_failure(n);
+    let spg = system.servers_per_group.max(1);
+    let n_groups = system.n_groups.max(1);
+    let sharded = n_groups > 1;
+    // Whole-group failure, per group: the single-group system keeps the
+    // historical whole-system check; a sharded one applies the loss rules
+    // group by group.
+    let group_failed_of: Vec<bool> = if sharded {
+        (0..n_groups)
+            .map(|g| plan.group_failure_of(spg, n_groups, g))
+            .collect()
+    } else {
+        vec![plan.group_failure(n)]
+    };
+    let group_failed = group_failed_of.iter().any(|&b| b);
     let lost = system.lost_transactions();
     let mut violations = Vec::new();
 
@@ -879,6 +1161,18 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         else {
             continue; // no commit record: check_no_loss never reports these
         };
+        // The groups whose durability the transaction depended on: every
+        // touched group of a cross-group commit, else its delegate's.
+        let owning: Vec<u32> = system
+            .oracle
+            .borrow()
+            .xg
+            .get(&lt.txn)
+            .map(|r| r.groups.clone())
+            .unwrap_or_else(|| vec![delegate.0 / spg]);
+        let owners_failed = owning
+            .iter()
+            .all(|&g| group_failed_of.get(g as usize).copied().unwrap_or(false));
         let delegate_crashed = system.server(delegate.0).crash_count() > 0;
         let delegate_dead = !system.engine.is_alive(system.servers[delegate.index()]);
         let allowed = match level {
@@ -902,11 +1196,12 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
                         })
                     })
             }
-            // Group-safe loses only if the whole group failed.
-            SafetyLevel::GroupSafe => group_failed,
+            // Group-safe loses only if the whole owning group failed
+            // (every touched group, for a cross-group commit).
+            SafetyLevel::GroupSafe => owners_failed,
             // Group-1-safe additionally requires the delegate's log to
             // never return.
-            SafetyLevel::GroupOneSafe => group_failed && delegate_dead,
+            SafetyLevel::GroupOneSafe => owners_failed && delegate_dead,
             // 2-safe and very-safe never lose.
             SafetyLevel::TwoSafe | SafetyLevel::VerySafe => false,
         };
@@ -914,12 +1209,12 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
             let reason = match level {
                 SafetyLevel::ZeroSafe => "the plan injected no delivery fault",
                 SafetyLevel::OneSafe => "no delegate-crash window covers it",
-                SafetyLevel::GroupSafe => "a majority survived the whole run",
+                SafetyLevel::GroupSafe => "a majority of its group survived the whole run",
                 SafetyLevel::GroupOneSafe => {
-                    if group_failed {
+                    if owners_failed {
                         "the delegate's log returned"
                     } else {
-                        "a majority survived the whole run"
+                        "a majority of its group survived the whole run"
                     }
                 }
                 SafetyLevel::TwoSafe | SafetyLevel::VerySafe => "this level never loses",
@@ -933,19 +1228,67 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         }
     }
 
+    // The cross-group atomicity digest: every acknowledged cross-group
+    // transaction must be committed in *each* of its touched groups —
+    // all-or-nothing — unless that group's own loss rules (or the
+    // coordinator group's death before the decision could spread) excuse
+    // the missing slice.
+    let mut cross_group_audited = 0usize;
+    if sharded {
+        let oracle = system.oracle.borrow();
+        for (txn, xg) in &oracle.xg {
+            if !oracle.acked.contains_key(txn) {
+                continue;
+            }
+            cross_group_audited += 1;
+            for &g in &xg.groups {
+                let states = system.replica_states_of(g);
+                let committed = states
+                    .iter()
+                    .any(|(db, live)| *live && db.is_committed(*txn));
+                if committed {
+                    continue;
+                }
+                let any_live = states.iter().any(|(_, live)| *live);
+                let g_failed = group_failed_of.get(g as usize).copied().unwrap_or(false);
+                let coord_failed = group_failed_of
+                    .get(xg.coordinator_group as usize)
+                    .copied()
+                    .unwrap_or(false);
+                let allowed = !any_live // group unavailable, not provably lost
+                    || match level {
+                        SafetyLevel::ZeroSafe => plan.any_delivery_fault(),
+                        SafetyLevel::OneSafe => true, // lazy never runs the protocol
+                        SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe => {
+                            g_failed || coord_failed
+                        }
+                        SafetyLevel::TwoSafe | SafetyLevel::VerySafe => false,
+                    };
+                if !allowed {
+                    violations.push(OracleViolation::AtomicityViolation {
+                        txn: *txn,
+                        group: g,
+                        groups: xg.groups.clone(),
+                    });
+                }
+            }
+        }
+    }
+
     // Convergence applies once the plan quiesced: partitions healed, no
     // loss bursts (a lost multicast can gap a live view member until the
     // next view change), disturbances settled, and — for the view-based
     // levels — no unrepaired total failure. The lazy baseline replicates
     // remote writes unlogged, so any crash voids its convergence claim.
+    // In a sharded system each group is judged on its own: a repaired or
+    // untouched group is audited even while another is still down.
     let view_based = matches!(
         level,
         SafetyLevel::ZeroSafe | SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe
     );
-    let quiescent = plan.fully_healed()
+    let base_quiet = plan.fully_healed()
         && !plan.uses_loss()
         && system.engine.now() >= plan.last_disturbance() + SETTLE
-        && (!group_failed || !view_based || plan.has_restart())
         // The weak levels promise nothing under delivery faults
         // (Table 2: they tolerate zero crashes): a 0-safe minority view
         // legitimately diverges during a partition, and the lazy
@@ -954,15 +1297,38 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         && (!matches!(level, SafetyLevel::ZeroSafe | SafetyLevel::OneSafe)
             || !plan.any_delivery_fault());
 
-    if quiescent {
-        let digests = system.convergence();
+    let mut quiescent_groups = 0u32;
+    for g in 0..n_groups {
+        let g_failed = group_failed_of.get(g as usize).copied().unwrap_or(false);
+        let repaired = if sharded {
+            plan.has_restart_of(spg, g)
+        } else {
+            plan.has_restart()
+        };
+        let group_quiet = base_quiet && (!g_failed || !view_based || repaired);
+        if !group_quiet {
+            continue;
+        }
+        quiescent_groups += 1;
+        let digests = if sharded {
+            crate::verify::check_convergence(&system.replica_states_of(g))
+        } else {
+            system.convergence()
+        };
         if digests.len() > 1 {
             violations.push(OracleViolation::Divergence { digests });
         }
         // Total order: replicas that never crashed and never installed a
         // peer checkpoint processed every delivery themselves — their
-        // decision digests must agree.
-        let mut order: Vec<(u32, u64)> = (0..n)
+        // decision digests must agree (per group: different groups order
+        // different histories by design).
+        let members: Vec<u32> = if sharded {
+            system.group_server_indices(g)
+        } else {
+            (0..n).collect()
+        };
+        let mut order: Vec<(u32, u64)> = members
+            .into_iter()
             .filter(|&i| {
                 let s = system.server(i);
                 s.crash_count() == 0 && s.transfer_count() == 0
@@ -974,6 +1340,7 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
             violations.push(OracleViolation::OrderDivergence { digests: order });
         }
     }
+    let quiescent = quiescent_groups == n_groups;
 
     ScenarioAudit {
         level,
@@ -981,6 +1348,7 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         lost: lost.len(),
         group_failed,
         quiescent,
+        cross_group_audited,
     }
 }
 
@@ -1014,6 +1382,13 @@ pub mod fuzz {
         /// no crash, every delivered copy lives on a live replica, so
         /// the no-loss invariant stays checkable under arbitrary loss).
         pub allow_loss: bool,
+        /// Replica groups (1 = the classic unsharded envelope;
+        /// `n_servers` then counts servers per group and the generator
+        /// draws group-targeted faults, including whole-group failures
+        /// with operator restarts).
+        pub shards: u32,
+        /// Cross-group transaction fraction of the generated workload.
+        pub cross_fraction: f64,
     }
 
     impl FuzzSpec {
@@ -1029,6 +1404,40 @@ pub mod fuzz {
                 drain: SimDuration::from_secs(3),
                 max_events: 3,
                 allow_loss: true,
+                shards: 1,
+                cross_fraction: 0.0,
+            }
+        }
+
+        /// The sharded envelope: `shards` groups of 3 servers × 2
+        /// clients each, 10 % cross-group transactions, group-targeted
+        /// faults (crash / partition / sequencer kill scoped to one
+        /// group, occasional whole-group failure with an operator
+        /// restart). The offered load matches the smoke envelope's
+        /// ~5 tps per server — above it, the logging levels' per-entry
+        /// disk costs put the retry churn of a fault window past the
+        /// saturation knee, and the run never quiesces within the
+        /// audit's drain budget.
+        pub fn sharded(level: SafetyLevel, shards: u32) -> FuzzSpec {
+            // The lazy baseline (1-safe) and very-safe cannot commit
+            // across groups (the builder rejects the combination), so
+            // their sharded envelopes run independent groups without
+            // cross traffic.
+            let cross_fraction = match level {
+                SafetyLevel::OneSafe | SafetyLevel::VerySafe => 0.0,
+                _ => 0.1,
+            };
+            FuzzSpec {
+                level,
+                n_servers: 3,
+                clients_per_server: 2,
+                load_tps: 15.0 * shards.max(1) as f64,
+                measure: SimDuration::from_secs(6),
+                drain: SimDuration::from_secs(3),
+                max_events: 3,
+                allow_loss: true,
+                shards: shards.max(1),
+                cross_fraction,
             }
         }
     }
@@ -1073,8 +1482,14 @@ pub mod fuzz {
     }
 
     /// Derive a random scenario plan from `seed` within `spec`'s
-    /// envelope. Deterministic: same seed, same plan.
+    /// envelope. Deterministic: same seed, same plan. Sharded specs
+    /// (`shards > 1`) draw from the group-targeted palette; the
+    /// single-group path is unchanged, so historical seeds replay
+    /// identically.
     pub fn generate_plan(seed: u64, spec: &FuzzSpec) -> ScenarioPlan {
+        if spec.shards > 1 {
+            return generate_sharded_plan(seed, spec);
+        }
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let n = spec.n_servers;
         let view_based = matches!(
@@ -1201,6 +1616,134 @@ pub mod fuzz {
         plan
     }
 
+    /// The sharded generator: every fault is scoped to one group —
+    /// member crashes bounded by the group's majority, group-targeted
+    /// sequencer kills, intra-group minority partitions, loss/dup/reorder
+    /// bursts, and (in one plan out of four) a *whole-group failure*
+    /// followed by the operator restart the view-based levels require.
+    fn generate_sharded_plan(seed: u64, spec: &FuzzSpec) -> ScenarioPlan {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5A5A);
+        let spg = spec.n_servers;
+        let n_groups = spec.shards;
+        let view_based = matches!(
+            spec.level,
+            SafetyLevel::ZeroSafe | SafetyLevel::GroupSafe | SafetyLevel::GroupOneSafe
+        );
+        let window_start = 500u64;
+        let window_end = (window_start + spec.measure.as_nanos() / 2_000_000).max(window_start + 1);
+        let at_ms =
+            |rng: &mut StdRng| SimTime::from_millis(rng.random_range(window_start..=window_end));
+
+        let mut plan = ScenarioPlan::new();
+        // One plan in four stages a whole-group failure; the remaining
+        // events draw from the partial-fault palette. In the dynamic
+        // (view-based) model the operator must repair the dead group
+        // (reconcile + fresh group); the static crash-recovery model
+        // recovers by stable-log redelivery on its own.
+        if rng.random_range(0..4) == 0 {
+            let g = rng.random_range(0..n_groups);
+            let at = SimTime::from_millis(rng.random_range(window_start..=window_start + 500));
+            let downtime = SimDuration::from_millis(rng.random_range(400..=800));
+            plan = plan.crash_whole_group(at, g, Some(downtime));
+            if view_based {
+                let members: Vec<u32> = (g * spg..(g + 1) * spg).collect();
+                plan = plan.restart_group(at + downtime + SimDuration::from_millis(300), members);
+            }
+        }
+        // Per-group budget of concurrent member crashes: view-based
+        // groups must keep their majority to stay live.
+        let mut down_budget: Vec<u32> = (0..n_groups)
+            .map(|_| if view_based { (spg - 1) / 2 } else { spg })
+            .collect();
+        let n_events = rng.random_range(1..=spec.max_events.max(1));
+        let loss_plan = spec.allow_loss && plan.is_empty() && rng.random_range(0..5) == 0;
+        // Overlapping windows of the same type would corrupt each other
+        // (a later `partition` recolours the whole network, implicitly
+        // healing the earlier one; a burst's end hook restores the
+        // baseline under a still-running second burst), so the executed
+        // faults would silently diverge from the plan dump. One busy
+        // horizon per type; draws that would overlap are skipped.
+        let mut busy_until = [SimTime::ZERO; 4]; // loss, dup, reorder, partition
+        let claim = |slot: &mut SimTime, at: SimTime, d: SimDuration| -> bool {
+            if at < *slot {
+                return false;
+            }
+            *slot = at + d;
+            true
+        };
+        for _ in 0..n_events {
+            let at = at_ms(&mut rng);
+            let g = rng.random_range(0..n_groups);
+            let kind = if loss_plan {
+                rng.random_range(0..3)
+            } else {
+                3 + rng.random_range(0..4)
+            };
+            match kind {
+                // ---- loss palette (crash-free) ----
+                0 => {
+                    let p = rng.random_range(0.01..0.08);
+                    let d = SimDuration::from_millis(rng.random_range(300..1_200));
+                    if claim(&mut busy_until[0], at, d) {
+                        plan = plan.loss_burst(at, p, d);
+                    }
+                }
+                1 => {
+                    let p = rng.random_range(0.05..0.3);
+                    let d = SimDuration::from_millis(rng.random_range(300..1_500));
+                    if claim(&mut busy_until[1], at, d) {
+                        plan = plan.duplication_burst(at, p, d);
+                    }
+                }
+                2 => {
+                    let p = rng.random_range(0.05..0.3);
+                    let window = SimDuration::from_micros(rng.random_range(50..1_000));
+                    let d = SimDuration::from_millis(rng.random_range(300..1_500));
+                    if claim(&mut busy_until[2], at, d) {
+                        plan = plan.reorder_burst(at, p, window, d);
+                    }
+                }
+                // ---- group-targeted crash palette ----
+                3 => {
+                    let budget = down_budget[g as usize];
+                    if budget == 0 {
+                        continue;
+                    }
+                    let k = rng.random_range(1..=budget);
+                    down_budget[g as usize] -= k;
+                    let downtime = SimDuration::from_millis(rng.random_range(300..=900));
+                    for rank in sample_servers(&mut rng, spg, k) {
+                        plan = plan.crash_for(at, g * spg + rank, downtime);
+                    }
+                }
+                4 => {
+                    if down_budget[g as usize] == 0 {
+                        continue;
+                    }
+                    down_budget[g as usize] -= 1;
+                    let downtime = SimDuration::from_millis(rng.random_range(300..=900));
+                    plan = plan.kill_sequencer_in(at, g, Some(downtime));
+                }
+                5 => {
+                    let hold = SimDuration::from_millis(rng.random_range(300..1_200));
+                    let k = rng.random_range(1..=((spg - 1) / 2).max(1));
+                    let ranks = sample_servers(&mut rng, spg, k);
+                    if claim(&mut busy_until[3], at, hold) {
+                        plan = plan.partition_group(at, g, ranks).heal(at + hold);
+                    }
+                }
+                _ => {
+                    let p = rng.random_range(0.05..0.3);
+                    let d = SimDuration::from_millis(rng.random_range(300..1_500));
+                    if claim(&mut busy_until[1], at, d) {
+                        plan = plan.duplication_burst(at, p, d);
+                    }
+                }
+            }
+        }
+        plan
+    }
+
     fn sample_servers(rng: &mut StdRng, n: u32, k: u32) -> Vec<u32> {
         let mut pool: Vec<u32> = (0..n).collect();
         let mut out = Vec::with_capacity(k as usize);
@@ -1218,6 +1761,8 @@ pub mod fuzz {
             .servers(spec.n_servers)
             .clients_per_server(spec.clients_per_server)
             .safety(spec.level)
+            .shards(spec.shards.max(1))
+            .cross_shard_fraction(spec.cross_fraction)
             .load(Load::open_tps(spec.load_tps))
             .measure(spec.measure)
             .drain(spec.drain)
@@ -1231,14 +1776,16 @@ pub mod fuzz {
         run.run_until(end + spec.drain);
         // Convergence is an *eventually* property: a replica that spent a
         // fault window accumulating disk backlog (slow-disk, recovery
-        // catch-up) may still be draining it at the nominal end of the
-        // run. Extend the drain in bounded steps while live replicas
-        // still disagree — the oracle then audits a quiesced system, and
-        // a genuinely diverged run stops making progress and fails all
-        // the same.
+        // catch-up, a logging level's per-entry stable writes) may still
+        // be draining it at the nominal end of the run. Extend the drain
+        // in bounded steps while live replicas still disagree — the
+        // oracle then audits a quiesced system, and a genuinely diverged
+        // run stops making progress and fails all the same.
         let mut extra = end + spec.drain;
-        let cap = extra + SimDuration::from_secs(10);
-        while (run.system().convergence().len() > 1 || run.system().delivery_backlog() > 0)
+        let cap = extra + SimDuration::from_secs(30);
+        while (run.system().convergence().len() > 1
+            || run.system().delivery_backlog() > 0
+            || run.system().xg_unresolved() > 0)
             && extra < cap
         {
             extra += SimDuration::from_secs(1);

@@ -21,6 +21,35 @@
 //!   2PL, synchronous local log flush, reply, then asynchronous
 //!   propagation of write sets applied at the other replicas under the
 //!   Thomas write rule, with no conflict handling — the paper's baseline.
+//!
+//! In a sharded system ([`crate::shard`]) each server belongs to one
+//! replica group and its group communication spans only that group.
+//! Single-group transactions follow the paths above unchanged. A
+//! transaction spanning groups commits through an ordered two-phase
+//! protocol layered on the per-group broadcasts:
+//!
+//! 1. the coordinator (the delegate in the group of the transaction's
+//!    first key) executes the read phase for its own slice and ships the
+//!    remote slices to one *gateway* server per touched group
+//!    ([`XgSubRequest`]),
+//! 2. every touched group atomically broadcasts an
+//!    [`XgPrepare`]; at its (uniform) delivery all
+//!    replicas of the group certify the slice identically, reserve its
+//!    items, and the broadcasting delegate votes to the coordinator,
+//! 3. the coordinator collects one vote per group and broadcasts the
+//!    [`XgDecision`] — in its own group directly
+//!    (the ordered decision broadcast), to the other groups via their
+//!    gateways; at the decision's delivery each group releases the
+//!    reservations and applies (or discards) its slice, with the
+//!    per-level reply point ([`SafetyLevel`]) enforced in the
+//!    coordinator's group exactly as for single-group commits.
+//!
+//! Reservations make the window between vote and decision safe: any
+//! other transaction touching a reserved item is deterministically
+//! aborted at certification (no waiting, hence no distributed
+//! deadlock). Participants probe the coordinator's group for lost
+//! decisions ([`XgStatusQuery`]), so a crashed
+//! gateway or a dropped forward cannot leave a group reserved forever.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -37,8 +66,12 @@ use groupsafe_net::{Incoming, Network, NodeId, NET_CPU};
 use groupsafe_sim::{Actor, Ctx, Disk, Fcfs, Payload, SimDuration, SimTime};
 
 use crate::certify::{certify, Certification};
-use crate::msg::{ClientMsg, DsmMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest};
+use crate::msg::{
+    ClientMsg, DsmMsg, GroupMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest,
+    XgDecision, XgDecisionFwd, XgPrepare, XgStatusQuery, XgSubRequest, XgVote,
+};
 use crate::safety::SafetyLevel;
+use crate::shard::ShardMap;
 use crate::verify::Oracle;
 
 /// Which replication technique a server runs.
@@ -136,7 +169,7 @@ impl Default for ReplicaConfig {
 }
 
 /// Wire type of the replication layer's broadcasts.
-pub type RWire = Wire<DsmMsg, DbCheckpoint>;
+pub type RWire = Wire<GroupMsg, DbCheckpoint>;
 
 /// Server-internal timers.
 #[derive(Debug, Clone)]
@@ -158,7 +191,42 @@ enum ServerTimer {
         /// The reply.
         reply: ServerReply,
     },
+    /// Send a cross-group certification vote to the coordinator now (the
+    /// slice's delivery point was reached).
+    XgVoteAt {
+        /// The coordinator to vote to.
+        to: NodeId,
+        /// The vote.
+        vote: XgVote,
+    },
+    /// A group delivered a cross-group prepare but no decision yet: probe
+    /// the coordinator's group for it (rotating through its members).
+    XgProbe {
+        /// The undecided transaction.
+        txn: TxnId,
+        /// Probe attempts so far (rotates the target).
+        tries: u32,
+    },
+    /// A coordinated round has collected no full vote set within the
+    /// round timeout: presume abort, so the touched groups' reservations
+    /// are released instead of dangling behind a lost vote.
+    XgRoundTimeout {
+        /// The stalled transaction.
+        txn: TxnId,
+        /// The attempt the timeout covers (a newer round cancels it).
+        attempt: u32,
+    },
 }
+
+/// How long a prepare's delegate waits for the decision before probing
+/// the coordinator's group for it.
+const XG_PROBE_DELAY: SimDuration = SimDuration::from_millis(300);
+
+/// How long a coordinator waits for the full vote set before presuming
+/// abort (releasing every touched group's reservations; the client
+/// retries). Covers votes lost to gateway crashes and groups that are
+/// partitioned or down.
+const XG_ROUND_TIMEOUT: SimDuration = SimDuration::from_millis(600);
 
 /// Driver command: initialise the server.
 #[derive(Debug, Clone, Copy)]
@@ -192,13 +260,42 @@ pub struct SwitchSafetyCmd(pub SafetyLevel);
 #[derive(Debug, Clone)]
 pub struct InstallCheckpointCmd(pub DbCheckpoint);
 
+/// What an in-flight local execution is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecKind {
+    /// An ordinary (single-group) transaction.
+    Local,
+    /// The coordinator's own slice of a cross-group transaction.
+    XgHome,
+    /// A remote slice executed on behalf of `coordinator` (this server is
+    /// the slice's gateway).
+    XgSub {
+        /// The coordinator awaiting this group's vote.
+        coordinator: NodeId,
+    },
+}
+
 /// An in-flight local execution (read phase or lazy 2PL execution).
 struct Exec {
     req: TxnRequest,
+    kind: ExecKind,
     idx: usize,
     cursor: SimTime,
     readset: Vec<(ItemId, Version)>,
     writes: Vec<(ItemId, Value)>,
+}
+
+/// Coordinator-side bookkeeping for one cross-group transaction between
+/// its sub-request fan-out and its decision broadcast.
+struct XgCoord {
+    client: NodeId,
+    attempt: u32,
+    /// Touched groups, ascending.
+    groups: Vec<u32>,
+    /// Per-group operation slices, aligned with `groups`.
+    slices: Vec<Vec<Operation>>,
+    /// Votes received so far (group → certified).
+    votes: std::collections::BTreeMap<u32, bool>,
 }
 
 /// The replicated database server actor.
@@ -213,10 +310,18 @@ pub struct ReplicaServer {
     cpu: Rc<RefCell<Fcfs>>,
     log_disk: Rc<RefCell<Disk>>,
     data_disk: Rc<RefCell<Disk>>,
-    gcs: Option<GcsEndpoint<DsmMsg, DbCheckpoint>>,
+    gcs: Option<GcsEndpoint<GroupMsg, DbCheckpoint>>,
     db: DbEngine,
     oracle: Rc<RefCell<Oracle>>,
+    /// Members of this server's replica group (its abcast spans exactly
+    /// these; the whole system in the unsharded case).
     n_servers: u32,
+    /// The key → group router (single-group in the unsharded case).
+    shard: Rc<ShardMap>,
+    /// This server's group.
+    group: u32,
+    /// First node id of this server's group (`group * n_servers`).
+    group_base: u32,
 
     // Volatile.
     execs: std::collections::BTreeMap<TxnId, Exec>,
@@ -242,6 +347,24 @@ pub struct ReplicaServer {
     very_early: std::collections::BTreeMap<TxnId, std::collections::BTreeSet<NodeId>>,
     /// Write sets awaiting lazy propagation.
     lazy_buffer: Vec<(TxnId, Vec<WriteOp>)>,
+    /// Coordinator bookkeeping for in-flight cross-group transactions.
+    xg_coord: std::collections::BTreeMap<TxnId, XgCoord>,
+    /// Decisions this replica has delivered (or learned), kept to answer
+    /// participants' status probes and to suppress duplicate rebroadcasts.
+    xg_decided: std::collections::BTreeMap<TxnId, XgDecision>,
+    /// (coordinator, attempt) per undecided prepare this replica
+    /// delivered (probe-target bookkeeping). An entry leaves only when a
+    /// decision of the *same or a later* attempt arrives — a stale
+    /// abort surfacing after a retry's prepare must not silence the
+    /// probes still owed that retry's decision.
+    xg_pending: std::collections::BTreeMap<TxnId, (NodeId, u32)>,
+    /// Highest decision attempt this replica already rebroadcast into
+    /// its group, and when (storm brake: while the broadcast drains
+    /// through the delivery pipeline, further probe answers for the same
+    /// decision must not queue it again — but a forward that never
+    /// resulted in a delivery, e.g. lost in a loss burst, may be retried
+    /// after a cool-down).
+    xg_forwarded: std::collections::BTreeMap<TxnId, (u32, SimTime)>,
     /// Last version this delegate assigned (lazy technique): versions must
     /// be unique per node or the Thomas write rule diverges on ties.
     last_lazy_version: Version,
@@ -263,7 +386,11 @@ const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
 
 impl ReplicaServer {
-    /// Build a server for `node` among `n_servers` replicas.
+    /// Build a server for `node` in a group of `n_servers` replicas.
+    ///
+    /// In the unsharded system (`shard` is single-group) `n_servers` is
+    /// the whole system; in a sharded one it is the group size and
+    /// `node / n_servers` names the server's group.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         node: NodeId,
@@ -272,6 +399,7 @@ impl ReplicaServer {
         net: Network,
         oracle: Rc<RefCell<Oracle>>,
         seed: u64,
+        shard: Rc<ShardMap>,
     ) -> Self {
         let cpu = Rc::new(RefCell::new(Fcfs::new(cfg.cpus)));
         // Table 4: two disks per server, pooled; log and data traffic
@@ -287,7 +415,9 @@ impl ReplicaServer {
         let log_disk = disk_pool.clone();
         let data_disk = disk_pool;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0000_0000 ^ node.0 as u64);
-        let group: Vec<NodeId> = (0..n_servers).map(NodeId).collect();
+        let group_id = node.0 / n_servers.max(1);
+        let group_base = group_id * n_servers;
+        let group: Vec<NodeId> = (group_base..group_base + n_servers).map(NodeId).collect();
         let gcs = cfg.technique.gcs_config().map(|gcfg| {
             GcsEndpoint::new(
                 gcfg.with_batching(cfg.batch),
@@ -317,6 +447,9 @@ impl ReplicaServer {
             db,
             oracle,
             n_servers,
+            shard,
+            group: group_id,
+            group_base,
             execs: std::collections::BTreeMap::new(),
             applied_seq: 0,
             apply_cursor: SimTime::ZERO,
@@ -325,6 +458,10 @@ impl ReplicaServer {
             very_waiting: std::collections::BTreeMap::new(),
             very_early: std::collections::BTreeMap::new(),
             lazy_buffer: Vec::new(),
+            xg_coord: std::collections::BTreeMap::new(),
+            xg_decided: std::collections::BTreeMap::new(),
+            xg_pending: std::collections::BTreeMap::new(),
+            xg_forwarded: std::collections::BTreeMap::new(),
             last_lazy_version: 0,
             up: true,
             crashes: 0,
@@ -349,8 +486,30 @@ impl ReplicaServer {
     }
 
     /// The group communication endpoint, if the technique uses one.
-    pub fn gcs(&self) -> Option<&GcsEndpoint<DsmMsg, DbCheckpoint>> {
+    pub fn gcs(&self) -> Option<&GcsEndpoint<GroupMsg, DbCheckpoint>> {
         self.gcs.as_ref()
+    }
+
+    /// This server's replica group.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+
+    /// This server's rank within its group.
+    fn rank(&self) -> u32 {
+        self.node.0 - self.group_base
+    }
+
+    /// The gateway this server uses in group `g`: the peer of its own
+    /// rank, so a client failover to another coordinator also rotates the
+    /// gateways (groups are homogeneous in size).
+    fn gateway(&self, g: u32) -> NodeId {
+        NodeId(g * self.n_servers + self.rank() % self.n_servers)
+    }
+
+    /// The group a peer server belongs to.
+    fn group_of_server(&self, node: NodeId) -> u32 {
+        node.0 / self.n_servers.max(1)
     }
 
     /// The technique currently in force.
@@ -373,6 +532,13 @@ impl ReplicaServer {
     /// on it once the run quiesces (uniform total order).
     pub fn order_digest(&self) -> u64 {
         self.order_digest
+    }
+
+    /// Cross-group prepares delivered here whose decision has not
+    /// arrived yet (the transactions this replica is still probing for).
+    /// Scenario drivers treat a non-zero count as "not yet quiesced".
+    pub fn xg_unresolved(&self) -> usize {
+        self.xg_pending.len()
     }
 
     /// Scale this server's disk service times (1.0 = nominal). Applies to
@@ -460,8 +626,19 @@ impl ReplicaServer {
     fn on_request(&mut self, ctx: &mut Ctx<'_>, req: TxnRequest) {
         ctx.metrics().incr("server_requests");
         let start = self.charge_net_cpu(ctx.now());
+        // A DSM transaction spanning several groups takes the two-phase
+        // cross-group path; everything else (single-group, lazy) follows
+        // the classic pipeline.
+        if matches!(self.technique, Technique::Dsm(_)) && self.shard.n_groups() > 1 {
+            let groups = self.shard.groups_of(&req.ops);
+            if groups.len() > 1 {
+                self.start_xg(ctx, req, groups, start);
+                return;
+            }
+        }
         let exec = Exec {
             req,
+            kind: ExecKind::Local,
             idx: 0,
             cursor: start,
             readset: Vec::new(),
@@ -473,6 +650,99 @@ impl ReplicaServer {
             Technique::Dsm(_) => self.run_dsm_read_phase(ctx, id),
             Technique::Lazy => self.continue_lazy(ctx, id),
         }
+    }
+
+    /// Coordinator entry point of a cross-group transaction: slice the
+    /// operations by owning group, execute the home slice's read phase
+    /// locally and ship the remote slices to their gateways. A retry of
+    /// the same transaction restarts the round (stale votes are filtered
+    /// by attempt).
+    fn start_xg(&mut self, ctx: &mut Ctx<'_>, req: TxnRequest, groups: Vec<u32>, start: SimTime) {
+        ctx.metrics().incr("xg_coordinated");
+        let mut slices: Vec<Vec<Operation>> = vec![Vec::new(); groups.len()];
+        for &op in &req.ops {
+            let g = self.shard.group_of(op.item());
+            let i = groups.iter().position(|&x| x == g).expect("sliced group");
+            slices[i].push(op);
+        }
+        self.xg_coord.insert(
+            req.id,
+            XgCoord {
+                client: req.client,
+                attempt: req.attempt,
+                groups: groups.clone(),
+                slices: slices.clone(),
+                votes: std::collections::BTreeMap::new(),
+            },
+        );
+        // Presume abort if the vote set never completes (a gateway died,
+        // a touched group is down): the abort decision releases every
+        // reservation this round took, so a stalled round cannot pin its
+        // items until the client's next retry happens to conclude.
+        ctx.timer(
+            XG_ROUND_TIMEOUT,
+            ServerTimer::XgRoundTimeout {
+                txn: req.id,
+                attempt: req.attempt,
+            },
+        );
+        for (i, &g) in groups.iter().enumerate() {
+            if g == self.group {
+                let exec = Exec {
+                    req: TxnRequest {
+                        id: req.id,
+                        ops: slices[i].clone(),
+                        client: req.client,
+                        attempt: req.attempt,
+                    },
+                    kind: ExecKind::XgHome,
+                    idx: 0,
+                    cursor: start,
+                    readset: Vec::new(),
+                    writes: Vec::new(),
+                };
+                self.execs.insert(req.id, exec);
+                self.run_dsm_read_phase(ctx, req.id);
+            } else {
+                self.charge_net_cpu(ctx.now());
+                self.net.send(
+                    ctx,
+                    self.node,
+                    self.gateway(g),
+                    XgSubRequest {
+                        txn: req.id,
+                        attempt: req.attempt,
+                        coordinator: self.node,
+                        client: req.client,
+                        ops: slices[i].clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Gateway entry point: execute a remote slice's read phase, then
+    /// broadcast its prepare in this group.
+    fn on_xg_sub(&mut self, ctx: &mut Ctx<'_>, sub: XgSubRequest) {
+        ctx.metrics().incr("xg_sub_requests");
+        let start = self.charge_net_cpu(ctx.now());
+        let exec = Exec {
+            req: TxnRequest {
+                id: sub.txn,
+                ops: sub.ops,
+                client: sub.client,
+                attempt: sub.attempt,
+            },
+            kind: ExecKind::XgSub {
+                coordinator: sub.coordinator,
+            },
+            idx: 0,
+            cursor: start,
+            readset: Vec::new(),
+            writes: Vec::new(),
+        };
+        self.execs.insert(sub.txn, exec);
+        self.run_dsm_read_phase(ctx, sub.txn);
     }
 
     /// DSM read phase: no locks; reads observe committed versions, writes
@@ -598,6 +868,28 @@ impl ReplicaServer {
         let Some(exec) = self.execs.remove(&txn) else {
             return;
         };
+        if exec.kind != ExecKind::Local {
+            // A cross-group slice: broadcast its prepare in this group
+            // (even a read-only slice — certification still orders it).
+            let coordinator = match exec.kind {
+                ExecKind::XgSub { coordinator } => coordinator,
+                _ => self.node,
+            };
+            let prepare = XgPrepare {
+                txn,
+                attempt: exec.req.attempt,
+                delegate: self.node,
+                coordinator,
+                client: exec.req.client,
+                group: self.group,
+                readset: exec.readset,
+                writes: Self::dedup_writes(&exec.writes),
+            };
+            let gcs = self.gcs.as_mut().expect("xg runs on group communication");
+            gcs.broadcast(ctx, GroupMsg::XgPrepare(prepare));
+            ctx.metrics().incr("xg_prepares");
+            return;
+        }
         if !exec.req.is_update() {
             // Read-only: commits locally without interaction (Fig. 2 note).
             ctx.metrics().incr("txn_readonly");
@@ -622,7 +914,7 @@ impl ReplicaServer {
             writes: Self::dedup_writes(&exec.writes),
         };
         let gcs = self.gcs.as_mut().expect("DSM uses group communication");
-        gcs.broadcast(ctx, msg);
+        gcs.broadcast(ctx, GroupMsg::Txn(msg));
         ctx.metrics().incr("dsm_broadcasts");
     }
 
@@ -707,11 +999,21 @@ impl ReplicaServer {
         &mut self,
         ctx: &mut Ctx<'_>,
         seq: u64,
-        msg: DsmMsg,
+        msg: GroupMsg,
         redelivery: bool,
         span: u32,
     ) {
-        let now = ctx.now();
+        match msg {
+            GroupMsg::Txn(m) => self.deliver_txn(ctx, seq, m, redelivery, span),
+            GroupMsg::XgPrepare(p) => self.deliver_xg_prepare(ctx, seq, p, span),
+            GroupMsg::XgDecision(d) => self.deliver_xg_decision(ctx, seq, d, span),
+        }
+    }
+
+    /// The delivery-side CPU charge every ordered message pays: the
+    /// ordering traffic's share plus certification over `cert_items`
+    /// read-set entries. Returns the instant the verdict is reached.
+    fn delivery_cpu(&mut self, now: SimTime, span: u32, cert_items: usize) -> SimTime {
         // CPU cost of the ordering traffic this delivery represents
         // (ordered message + the view's acknowledgements), charged in bulk
         // rather than one event per ack. See DESIGN.md. Under the batched
@@ -726,9 +1028,46 @@ impl ReplicaServer {
         // frees up.
         let start = now.max(self.apply_cursor);
         // Certification cost.
-        let cert_cpu = self.db.config().cpu_per_op * msg.readset.len().max(1) as u64;
-        let decided_at = self.cpu.borrow_mut().request(start, cert_cpu);
-        let verdict = certify(&self.db, &msg.readset);
+        let cert_cpu = self.db.config().cpu_per_op * cert_items.max(1) as u64;
+        self.cpu.borrow_mut().request(start, cert_cpu)
+    }
+
+    fn deliver_txn(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        seq: u64,
+        msg: DsmMsg,
+        redelivery: bool,
+        span: u32,
+    ) {
+        let now = ctx.now();
+        let decided_at = self.delivery_cpu(now, span, msg.readset.len());
+        // Certification, extended by the cross-group reservation check:
+        // an item reserved by an in-flight cross-group transaction aborts
+        // any other transaction deterministically (all replicas share the
+        // reservation table at every delivery point). A transaction that
+        // already committed here short-circuits to its outcome (testable
+        // transactions): a lost-reply retry must be answered "committed",
+        // not re-certified against state that includes its own writes.
+        let verdict = if self.db.is_committed(msg.txn) {
+            Certification::Commit
+        } else {
+            match certify(&self.db, &msg.readset) {
+                Certification::Commit => {
+                    match self
+                        .db
+                        .reserved_conflict(msg.txn, msg.readset.iter().map(|&(i, _)| i))
+                    {
+                        Some(conflict) => {
+                            ctx.metrics().incr("txn_aborted_reserved");
+                            Certification::Abort { conflict }
+                        }
+                        None => Certification::Commit,
+                    }
+                }
+                abort => abort,
+            }
+        };
         let level = match self.technique {
             Technique::Dsm(l) => l,
             Technique::Lazy => unreachable!("lazy does not deliver"),
@@ -881,10 +1220,382 @@ impl ReplicaServer {
         let _ = redelivery;
     }
 
+    /// Phase 1 delivery: certify the slice (certification plus the
+    /// reservation check), reserve its items on success, and — on the
+    /// replica that broadcast it — vote to the coordinator. Uniform
+    /// delivery makes the verdict identical on every group member.
+    fn deliver_xg_prepare(&mut self, ctx: &mut Ctx<'_>, seq: u64, p: XgPrepare, span: u32) {
+        let now = ctx.now();
+        let decided_at = self.delivery_cpu(now, span, p.readset.len());
+        let level = match self.technique {
+            Technique::Dsm(l) => l,
+            Technique::Lazy => unreachable!("lazy does not deliver"),
+        };
+        // The verdict depends only on delivery-ordered state that state
+        // transfer carries (committed versions + the reservation table),
+        // so every group member — including a mid-protocol joiner —
+        // reaches the same answer. A retry's prepare racing its own
+        // earlier decision is safe: reservations are keyed by
+        // transaction and re-released by the retry's decision, and the
+        // commit apply is idempotent. A slice already committed here
+        // votes yes outright (testable transactions): the retry of a
+        // decided-but-unacknowledged commit must converge on "committed".
+        let ok = self.db.is_committed(p.txn)
+            || (matches!(certify(&self.db, &p.readset), Certification::Commit)
+                && self
+                    .db
+                    .reserved_conflict(p.txn, p.readset.iter().map(|&(i, _)| i))
+                    .is_none());
+        self.mix_order(seq, p.txn, ok);
+        self.apply_cursor = decided_at;
+        let logging = matches!(level, SafetyLevel::TwoSafe | SafetyLevel::VerySafe);
+        if ok {
+            ctx.metrics().incr("xg_reserved");
+            let items: Vec<ItemId> = p
+                .readset
+                .iter()
+                .map(|&(i, _)| i)
+                .chain(p.writes.iter().map(|&(i, _)| i))
+                .collect();
+            if logging {
+                // End-to-end abcast: the reservation must survive a
+                // crash before `ack(m)` — an acked entry is never
+                // redelivered, so an unlogged reservation would silently
+                // unwind this replica's certification state while its
+                // peers keep theirs. Append the record and ack once the
+                // background group-commit flush covers it; nothing else
+                // (vote, pipeline) waits on the disk.
+                let record_lsn = self.db.reserve_logged(p.txn, p.coordinator.0, items);
+                self.pending_acks.push((record_lsn, seq));
+            } else {
+                self.db.reserve(p.txn, p.coordinator.0, items);
+            }
+        } else if logging {
+            // A rejected prepare changes nothing durable: ack at once.
+            if let Some(gcs) = &mut self.gcs {
+                gcs.app_ack(ctx, seq);
+            }
+        }
+        if p.delegate == self.node {
+            let vote = XgVote {
+                txn: p.txn,
+                attempt: p.attempt,
+                group: self.group,
+                commit: ok,
+            };
+            let delay = decided_at - now;
+            ctx.timer(
+                delay,
+                ServerTimer::XgVoteAt {
+                    to: p.coordinator,
+                    vote,
+                },
+            );
+        }
+        // Every member watches for the decision — not just the delegate,
+        // whose crash would otherwise orphan the group's reservations
+        // when the coordinator's forward raced its death. Probes rotate
+        // through the coordinator's group, with each member starting at
+        // a different offset.
+        let stale = self
+            .xg_pending
+            .get(&p.txn)
+            .is_some_and(|&(_, a)| a > p.attempt);
+        if !stale {
+            self.xg_pending.insert(p.txn, (p.coordinator, p.attempt));
+            ctx.timer(
+                (decided_at - now) + XG_PROBE_DELAY,
+                ServerTimer::XgProbe {
+                    txn: p.txn,
+                    tries: self.rank(),
+                },
+            );
+        }
+        self.applied_seq = seq.max(self.applied_seq);
+    }
+
+    /// Phase 2 delivery: release the transaction's reservations and, on
+    /// commit, apply this group's slice with the group's per-level
+    /// processing semantics (asynchronous logging for 0-safe/group-safe,
+    /// synchronous commit record otherwise). The coordinator's replica
+    /// answers the client at the level's reply point.
+    fn deliver_xg_decision(&mut self, ctx: &mut Ctx<'_>, seq: u64, d: XgDecision, span: u32) {
+        let now = ctx.now();
+        let slice: Vec<(ItemId, Value)> = d.writes_of(self.group).unwrap_or(&[]).to_vec();
+        let decided_at = self.delivery_cpu(now, span, slice.len());
+        let level = match self.technique {
+            Technique::Dsm(l) => l,
+            Technique::Lazy => unreachable!("lazy does not deliver"),
+        };
+        let held = self.db.holds_reservation(d.txn);
+        self.db.release(d.txn);
+        if self
+            .xg_pending
+            .get(&d.txn)
+            .is_some_and(|&(_, a)| a <= d.attempt)
+        {
+            self.xg_pending.remove(&d.txn);
+        }
+        // Keep the *latest* decision per transaction: a retry's commit
+        // must supersede an earlier attempt's abort for probe answers
+        // and rebroadcast suppression.
+        match self.xg_decided.entry(d.txn) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(d.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if d.attempt > e.get().attempt {
+                    e.insert(d.clone());
+                }
+            }
+        }
+        self.mix_order(seq, d.txn, d.commit);
+        let is_coord = d.coordinator == self.node;
+        let logging = matches!(level, SafetyLevel::TwoSafe | SafetyLevel::VerySafe);
+        if !d.commit {
+            ctx.metrics().incr("xg_aborts_applied");
+            self.apply_cursor = decided_at;
+            if is_coord {
+                self.oracle.borrow_mut().aborts += 1;
+                self.reply_at(
+                    ctx,
+                    decided_at,
+                    d.client,
+                    ServerReply::Aborted {
+                        txn: d.txn,
+                        attempt: d.attempt,
+                    },
+                );
+            }
+            if logging {
+                if held {
+                    // The release must be redo-visible before ack(m),
+                    // for the same reason the reservation was logged.
+                    let record_lsn = self.db.release_logged(d.txn);
+                    self.pending_acks.push((record_lsn, seq));
+                } else if let Some(gcs) = &mut self.gcs {
+                    // Nothing durable changed: ack at once.
+                    gcs.app_ack(ctx, seq);
+                }
+            }
+            self.applied_seq = seq.max(self.applied_seq);
+            return;
+        }
+        let writes: Vec<WriteOp> = slice
+            .iter()
+            .map(|&(item, value)| WriteOp {
+                item,
+                value,
+                version: seq,
+            })
+            .collect();
+        let res = self.db.commit(decided_at, d.txn, &writes);
+        if !res.duplicate {
+            ctx.metrics().incr("txn_committed");
+            ctx.metrics().incr("xg_commits_applied");
+            let coord_group = self.group_of_server(d.coordinator);
+            let mut oracle = self.oracle.borrow_mut();
+            oracle.record_commit(d.txn, d.coordinator, Vec::new(), writes);
+            oracle.record_xg(d.txn, d.groups.clone(), coord_group);
+        }
+        let record_lsn = self.db.wal_end_lsn().saturating_sub(1);
+        // Per-level processing completion, exactly as for single-group
+        // commits: group-safe levels leave all disk writes outside the
+        // boundary, the logging levels force the record (and pages) inside
+        // the delivery pipeline.
+        let processed_at = if level.reply_before_logging() || res.duplicate {
+            res.done
+        } else {
+            let mut done = res.done;
+            if let Some((flush_done, lsn)) = self.db.flush_wal_sync(res.done) {
+                let delay = flush_done - now;
+                ctx.timer(delay, ServerTimer::WalDurable(lsn));
+                done = flush_done;
+            }
+            self.db.sync_install(done, slice.len())
+        };
+        self.apply_cursor = processed_at;
+        if is_coord {
+            self.reply_at(
+                ctx,
+                processed_at,
+                d.client,
+                ServerReply::Committed {
+                    txn: d.txn,
+                    attempt: d.attempt,
+                },
+            );
+        }
+        if logging {
+            if res.duplicate {
+                if held {
+                    // The commit record (which releases at redo) is from
+                    // an earlier delivery; only this decision's release
+                    // of a re-prepare reservation is new — make it
+                    // redo-visible before ack(m).
+                    let dup_lsn = self.db.release_logged(d.txn);
+                    self.pending_acks.push((dup_lsn, seq));
+                } else if let Some(gcs) = &mut self.gcs {
+                    gcs.app_ack(ctx, seq);
+                }
+            } else {
+                self.pending_acks.push((record_lsn, seq));
+            }
+        }
+        self.applied_seq = seq.max(self.applied_seq);
+    }
+
+    /// Re-arm the decision probes for every transaction still holding a
+    /// reservation in the (recovered or transferred) database: the
+    /// probe timers died with the crash, and without them a decided-
+    /// while-down transaction would stay reserved forever.
+    fn rearm_xg_probes(&mut self, ctx: &mut Ctx<'_>) {
+        for (txn, coord) in self.db.reservation_holders() {
+            self.xg_pending.insert(txn, (NodeId(coord), 0));
+            ctx.timer(
+                XG_PROBE_DELAY,
+                ServerTimer::XgProbe {
+                    txn,
+                    tries: self.rank(),
+                },
+            );
+        }
+    }
+
+    /// Coordinator side: count a group's certification vote; once every
+    /// touched group voted, decide and broadcast the decision — directly
+    /// in the home group, via the gateways elsewhere.
+    fn on_xg_vote(&mut self, ctx: &mut Ctx<'_>, v: XgVote) {
+        let Some(entry) = self.xg_coord.get_mut(&v.txn) else {
+            return; // decided, superseded or crashed away
+        };
+        if v.attempt != entry.attempt {
+            return; // stale vote from an earlier round
+        }
+        entry.votes.insert(v.group, v.commit);
+        if entry.votes.len() < entry.groups.len() {
+            return;
+        }
+        let entry = self.xg_coord.remove(&v.txn).expect("present");
+        let commit = entry.votes.values().all(|&c| c);
+        self.send_xg_decision(ctx, v.txn, entry, commit);
+    }
+
+    /// Build and fan out the decision for a completed (or timed-out)
+    /// round: an ordered broadcast in the home group, gateway forwards to
+    /// the other touched groups.
+    fn send_xg_decision(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, entry: XgCoord, commit: bool) {
+        ctx.metrics().incr(if commit {
+            "xg_commit_decisions"
+        } else {
+            "xg_abort_decisions"
+        });
+        let writes_by_group: Vec<Vec<(ItemId, Value)>> = entry
+            .slices
+            .iter()
+            .map(|ops| {
+                let writes: Vec<(ItemId, Value)> = ops
+                    .iter()
+                    .filter_map(|op| match *op {
+                        Operation::Write(item, value) => Some((item, value)),
+                        Operation::Read(_) => None,
+                    })
+                    .collect();
+                Self::dedup_writes(&writes)
+            })
+            .collect();
+        let d = XgDecision {
+            txn,
+            attempt: entry.attempt,
+            commit,
+            coordinator: self.node,
+            client: entry.client,
+            groups: entry.groups.clone(),
+            writes_by_group,
+        };
+        for &g in &entry.groups {
+            if g == self.group {
+                let gcs = self.gcs.as_mut().expect("xg runs on group communication");
+                gcs.broadcast(ctx, GroupMsg::XgDecision(d.clone()));
+            } else {
+                self.charge_net_cpu(ctx.now());
+                self.net
+                    .send(ctx, self.node, self.gateway(g), XgDecisionFwd(d.clone()));
+            }
+        }
+    }
+
+    /// A decision reached this replica by unicast (gateway fan-out or a
+    /// probe answer): broadcast it in this group unless the group already
+    /// delivered it.
+    fn on_xg_decision_fwd(&mut self, ctx: &mut Ctx<'_>, d: XgDecision) {
+        self.charge_net_cpu(ctx.now());
+        // Suppress decisions this group already delivered at the same
+        // (or a later) attempt — a retry's decision supersedes an
+        // earlier attempt's and must still go out — and decisions this
+        // replica recently queued into the broadcast pipeline (probe
+        // answers keep arriving while the delivery backlog drains; a
+        // replica re-forwards the same decision only after a cool-down,
+        // in case the first broadcast was lost on the wire).
+        let now = ctx.now();
+        if self
+            .xg_decided
+            .get(&d.txn)
+            .is_some_and(|seen| seen.attempt >= d.attempt)
+            || self
+                .xg_forwarded
+                .get(&d.txn)
+                .is_some_and(|&(a, at)| a >= d.attempt && now < at + XG_ROUND_TIMEOUT)
+        {
+            return;
+        }
+        self.xg_forwarded.insert(d.txn, (d.attempt, now));
+        if let Some(gcs) = &mut self.gcs {
+            gcs.broadcast(ctx, GroupMsg::XgDecision(d));
+            ctx.metrics().incr("xg_decision_rebroadcasts");
+        }
+    }
+
+    /// A participant asks whether a transaction was decided; answer with
+    /// the stored decision if this replica delivered it.
+    fn on_xg_status_query(&mut self, ctx: &mut Ctx<'_>, from: NodeId, q: XgStatusQuery) {
+        self.charge_net_cpu(ctx.now());
+        if let Some(d) = self.xg_decided.get(&q.txn) {
+            let d = d.clone();
+            self.net.send(ctx, self.node, from, XgDecisionFwd(d));
+        }
+    }
+
+    /// Probe timer: the decision for `txn` has not been delivered here
+    /// yet — ask a member of the coordinator's group (rotating, so a
+    /// crashed coordinator does not silence the protocol) and re-arm.
+    fn on_xg_probe(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, tries: u32) {
+        let Some(&(coordinator, _)) = self.xg_pending.get(&txn) else {
+            return; // decided meanwhile
+        };
+        let spg = self.n_servers.max(1);
+        let base = (coordinator.0 / spg) * spg;
+        let target = NodeId(base + (coordinator.0 - base + tries) % spg);
+        self.charge_net_cpu(ctx.now());
+        self.net.send(ctx, self.node, target, XgStatusQuery { txn });
+        ctx.metrics().incr("xg_probes");
+        // Mild backoff: a decision that stays missing (its coordinator
+        // group is down, or the delivery backlog is deep) is probed less
+        // and less often, up to 8× the base period.
+        let rounds = (tries / self.n_servers.max(1)).min(7) as u64 + 1;
+        ctx.timer(
+            XG_PROBE_DELAY * rounds,
+            ServerTimer::XgProbe {
+                txn,
+                tries: tries.wrapping_add(1),
+            },
+        );
+    }
+
     fn handle_gcs_outputs(
         &mut self,
         ctx: &mut Ctx<'_>,
-        outputs: Vec<GcsOutput<DsmMsg, DbCheckpoint>>,
+        outputs: Vec<GcsOutput<GroupMsg, DbCheckpoint>>,
     ) {
         for o in outputs {
             match o {
@@ -908,6 +1619,10 @@ impl ReplicaServer {
                     self.db.install_checkpoint(state);
                     self.applied_seq = applied_seq;
                     self.transfers += 1;
+                    // The transferred state may carry in-flight
+                    // cross-group reservations: resume probing for their
+                    // decisions.
+                    self.rearm_xg_probes(ctx);
                     ctx.metrics().incr("state_transfers");
                 }
                 GcsOutput::ViewInstalled { view } => {
@@ -982,7 +1697,7 @@ impl ReplicaServer {
                     let msg = LazyPropagation { writesets };
                     self.charge_net_cpu(ctx.now());
                     for i in 0..self.n_servers {
-                        let peer = NodeId(i);
+                        let peer = NodeId(self.group_base + i);
                         if peer != self.node {
                             self.net.send(ctx, self.node, peer, msg.clone());
                         }
@@ -994,6 +1709,26 @@ impl ReplicaServer {
             ServerTimer::Reply { client, reply } => {
                 self.charge_net_cpu(ctx.now());
                 self.net.send(ctx, self.node, client, reply);
+            }
+            ServerTimer::XgVoteAt { to, vote } => {
+                if to == self.node {
+                    self.on_xg_vote(ctx, vote);
+                } else {
+                    self.charge_net_cpu(ctx.now());
+                    self.net.send(ctx, self.node, to, vote);
+                }
+            }
+            ServerTimer::XgProbe { txn, tries } => self.on_xg_probe(ctx, txn, tries),
+            ServerTimer::XgRoundTimeout { txn, attempt } => {
+                if self
+                    .xg_coord
+                    .get(&txn)
+                    .is_some_and(|e| e.attempt == attempt)
+                {
+                    let entry = self.xg_coord.remove(&txn).expect("present");
+                    ctx.metrics().incr("xg_round_timeouts");
+                    self.send_xg_decision(ctx, txn, entry, false);
+                }
             }
         }
     }
@@ -1055,6 +1790,12 @@ impl Actor for ReplicaServer {
                 }
                 self.applied_seq = cmd.seq_base;
                 self.apply_cursor = ctx.now();
+                // Cross-group state died with the group: in-flight
+                // reservations can never be decided (their coordinator
+                // history is gone) and would block items forever.
+                self.db.clear_reservations();
+                self.xg_coord.clear();
+                self.xg_pending.clear();
                 ctx.metrics().incr("group_restarts");
                 return;
             }
@@ -1108,6 +1849,35 @@ impl Actor for ReplicaServer {
             }
             Err(p) => p,
         };
+        let payload = match payload.downcast::<Incoming<XgSubRequest>>() {
+            Ok(inc) => {
+                self.on_xg_sub(ctx, inc.msg);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<XgVote>>() {
+            Ok(inc) => {
+                self.charge_net_cpu(ctx.now());
+                self.on_xg_vote(ctx, inc.msg);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<XgDecisionFwd>>() {
+            Ok(inc) => {
+                self.on_xg_decision_fwd(ctx, inc.msg.0);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<XgStatusQuery>>() {
+            Ok(inc) => {
+                self.on_xg_status_query(ctx, inc.from, inc.msg);
+                return;
+            }
+            Err(p) => p,
+        };
         let payload = match payload.downcast::<GcsTimer>() {
             Ok(t) => {
                 let mut outputs = Vec::new();
@@ -1137,6 +1907,10 @@ impl Actor for ReplicaServer {
         self.very_waiting.clear();
         self.very_early.clear();
         self.lazy_buffer.clear();
+        self.xg_coord.clear();
+        self.xg_decided.clear();
+        self.xg_pending.clear();
+        self.xg_forwarded.clear();
         // In-flight work on the server's resources dies with it.
         self.cpu.borrow_mut().reset(ctx.now());
         self.log_disk.borrow_mut().reset(ctx.now());
@@ -1159,6 +1933,9 @@ impl Actor for ReplicaServer {
         if self.technique == Technique::Lazy {
             ctx.timer(self.cfg.lazy_prop_interval, ServerTimer::LazyPropTick);
         }
+        // Reservations redone from the WAL need their decision probes
+        // back (their timers died with the crash).
+        self.rearm_xg_probes(ctx);
         ctx.metrics().incr("server_recoveries");
     }
 

@@ -1,5 +1,6 @@
-//! System assembly: wire `n` replica servers, their clients, the network
-//! and the oracle into a ready-to-run simulation.
+//! System assembly: wire the replica servers (one group, or `N` sharded
+//! groups), their clients, the network and the oracle into a
+//! ready-to-run simulation.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -14,11 +15,13 @@ use groupsafe_sim::{ActorId, Engine, SimDuration, SimTime};
 
 use crate::client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient};
 use crate::server::{InitServer, ReplicaConfig, ReplicaServer, Technique};
+use crate::shard::{ShardMap, ShardSpec};
 use crate::verify::{self, LostTransaction, Oracle};
 
 /// Configuration of a whole replicated-database system.
 pub struct SystemConfig {
-    /// Number of replica servers (Table 4: 9).
+    /// Number of replica servers *per group* (Table 4: 9; the whole
+    /// system when `shard` keeps its single-group default).
     pub n_servers: u32,
     /// Clients per server (Table 4: 4).
     pub clients_per_server: u32,
@@ -32,6 +35,9 @@ pub struct SystemConfig {
     pub measure_from: SimTime,
     /// Network parameters.
     pub net: NetConfig,
+    /// Sharding: how many replica groups and how keys route to them
+    /// (default: one group — the classic unsharded system).
+    pub shard: ShardSpec,
     /// Master seed.
     pub seed: u64,
 }
@@ -48,63 +54,88 @@ impl Default for SystemConfig {
             client_timeout: SimDuration::from_secs(2),
             measure_from: SimTime::ZERO,
             net: NetConfig::default(),
+            shard: ShardSpec::default(),
             seed: 42,
         }
     }
 }
 
-/// A fully wired system.
+/// A fully wired system: one replica group in the classic configuration,
+/// `N` key-routed groups when built with a multi-group
+/// [`ShardSpec`].
 pub struct System {
     /// The simulation engine.
     pub engine: Engine,
     /// The shared network.
     pub net: Network,
-    /// Server actor ids (index = node id).
+    /// Server actor ids (index = node id; group `g` owns the contiguous
+    /// slice `g * servers_per_group ..`).
     pub servers: Vec<ActorId>,
     /// Client actor ids.
     pub clients: Vec<ActorId>,
     /// The shared oracle.
     pub oracle: Rc<RefCell<Oracle>>,
-    /// Number of servers.
+    /// Total number of servers (all groups).
     pub n_servers: u32,
+    /// The key → group router (single-group when unsharded).
+    pub shard: Rc<ShardMap>,
+    /// Servers per replica group.
+    pub servers_per_group: u32,
+    /// Number of replica groups.
+    pub n_groups: u32,
 }
 
 impl System {
     /// Build a system. `make_gen` supplies each client's operation
     /// generator (called once per client with its id).
+    ///
+    /// # Panics
+    /// Panics if `cfg.shard` does not denote a valid partition of the
+    /// database's key space (the builder validates this ahead of time).
     pub fn build(cfg: SystemConfig, mut make_gen: impl FnMut(u32) -> OpGenerator) -> System {
+        let shard = Rc::new(
+            cfg.shard
+                .resolve(cfg.replica.db.n_items)
+                .expect("invalid shard configuration"),
+        );
+        let n_groups = shard.n_groups();
+        let spg = cfg.n_servers;
+        let total_servers = spg * n_groups;
         let mut engine = Engine::new(cfg.seed);
         let net = Network::new(cfg.net.clone());
         let oracle = Rc::new(RefCell::new(Oracle::default()));
         let mut seeder = StdRng::seed_from_u64(cfg.seed);
 
-        let mut servers = Vec::with_capacity(cfg.n_servers as usize);
-        for i in 0..cfg.n_servers {
+        let mut servers = Vec::with_capacity(total_servers as usize);
+        for i in 0..total_servers {
             let node = NodeId(i);
             let server = ReplicaServer::new(
                 node,
-                cfg.n_servers,
+                spg,
                 cfg.replica.clone(),
                 net.clone(),
                 oracle.clone(),
                 seeder.random(),
+                shard.clone(),
             );
             let id = engine.add_actor(Box::new(server));
             net.register(node, id);
             servers.push(id);
         }
 
-        let n_clients = cfg.n_servers * cfg.clients_per_server;
+        let n_clients = total_servers * cfg.clients_per_server;
         let mut clients = Vec::with_capacity(n_clients as usize);
         for c in 0..n_clients {
-            let node = NodeId(cfg.n_servers + c);
-            let home = NodeId(c % cfg.n_servers);
+            let node = NodeId(total_servers + c);
+            let home = NodeId(c % total_servers);
             let client = Client::new(
                 ClientConfig {
                     node,
                     id: c,
                     home,
-                    n_servers: cfg.n_servers,
+                    n_servers: total_servers,
+                    servers_per_group: spg,
+                    shard: shard.clone(),
                     load: cfg.load,
                     timeout: cfg.client_timeout,
                     measure_from: cfg.measure_from,
@@ -119,13 +150,31 @@ impl System {
             clients.push(id);
         }
 
+        // One multicast domain per group (its servers plus the clients
+        // nominally homed there) for per-group wire accounting.
+        let domains: Vec<Vec<NodeId>> = (0..n_groups)
+            .map(|g| {
+                let mut d: Vec<NodeId> = (g * spg..(g + 1) * spg).map(NodeId).collect();
+                for c in 0..n_clients {
+                    if (c % total_servers) / spg == g {
+                        d.push(NodeId(total_servers + c));
+                    }
+                }
+                d
+            })
+            .collect();
+        net.set_domains(&domains);
+
         System {
             engine,
             net,
             servers,
             clients,
             oracle,
-            n_servers: cfg.n_servers,
+            n_servers: total_servers,
+            shard,
+            servers_per_group: spg,
+            n_groups,
         }
     }
 
@@ -164,9 +213,56 @@ impl System {
         verify::check_no_loss(&self.oracle.borrow(), &replicas)
     }
 
-    /// Distinct state digests across live replicas (length 1 = converged).
+    /// The global server indices of group `g`.
+    pub fn group_server_indices(&self, g: u32) -> Vec<u32> {
+        (g * self.servers_per_group..(g + 1) * self.servers_per_group).collect()
+    }
+
+    /// The group server `i` belongs to.
+    pub fn group_of_server(&self, i: u32) -> u32 {
+        i / self.servers_per_group.max(1)
+    }
+
+    /// (engine, live) pairs of group `g`'s replicas.
+    pub fn replica_states_of(&self, g: u32) -> Vec<(&DbEngine, bool)> {
+        self.group_server_indices(g)
+            .into_iter()
+            .map(|i| {
+                let id = self.servers[i as usize];
+                let s: &ReplicaServer = self.engine.actor(id);
+                (s.db(), self.engine.is_alive(id))
+            })
+            .collect()
+    }
+
+    /// Distinct state digests per group across each group's live replicas
+    /// (each inner vector of length ≤ 1 = that group converged).
+    pub fn convergence_by_group(&self) -> Vec<Vec<u64>> {
+        (0..self.n_groups)
+            .map(|g| verify::check_convergence(&self.replica_states_of(g)))
+            .collect()
+    }
+
+    /// Distinct state digests across live replicas (length ≤ 1 =
+    /// converged). In a sharded system the groups hold different data by
+    /// design, so convergence is checked *within* each group: when every
+    /// group internally agrees this returns a single combined witness
+    /// digest, otherwise the distinct digests of the divergent groups.
     pub fn convergence(&self) -> Vec<u64> {
-        verify::check_convergence(&self.replica_states())
+        if self.n_groups <= 1 {
+            return verify::check_convergence(&self.replica_states());
+        }
+        let by_group = self.convergence_by_group();
+        if by_group.iter().all(|d| d.len() <= 1) {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for d in by_group.iter().flatten() {
+                h ^= *d;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            vec![h]
+        } else {
+            by_group.into_iter().flatten().collect()
+        }
     }
 
     /// Mean / p95 response time (ms) and sample count for this run.
@@ -180,15 +276,35 @@ impl System {
         self.server(0).technique()
     }
 
-    /// The live server currently acting as the group's sequencer, if any
-    /// (None for techniques without group communication, or while the
-    /// group is down). Scenario drivers use this to aim targeted faults
-    /// at whoever holds the role *now*.
+    /// The live server currently acting as a sequencer, if any (the
+    /// first one found in node order — use
+    /// [`System::current_sequencer_of`] to target one group of a sharded
+    /// system). `None` for techniques without group communication, or
+    /// while the group is down. Scenario drivers use this to aim targeted
+    /// faults at whoever holds the role *now*.
     pub fn current_sequencer(&self) -> Option<u32> {
         (0..self.n_servers).find(|&i| {
             self.engine.is_alive(self.servers[i as usize])
                 && self.server(i).gcs().is_some_and(|g| g.is_sequencer())
         })
+    }
+
+    /// The live server currently acting as group `g`'s sequencer, if any.
+    pub fn current_sequencer_of(&self, g: u32) -> Option<u32> {
+        self.group_server_indices(g).into_iter().find(|&i| {
+            self.engine.is_alive(self.servers[i as usize])
+                && self.server(i).gcs().is_some_and(|s| s.is_sequencer())
+        })
+    }
+
+    /// Cross-group transactions some *live* replica is still awaiting a
+    /// decision for (probes in flight). Scenario drivers use this as a
+    /// quiescence signal alongside [`System::delivery_backlog`].
+    pub fn xg_unresolved(&self) -> usize {
+        (0..self.n_servers)
+            .filter(|&i| self.engine.is_alive(self.servers[i as usize]))
+            .map(|i| self.server(i).xg_unresolved())
+            .sum()
     }
 
     /// Undelivered atomic-broadcast entries summed over the *live*
@@ -233,6 +349,23 @@ impl System {
             if let Some(g) = s.gcs() {
                 total.merge(&g.stats());
                 for (&size, &count) in g.batch_histogram() {
+                    *hist.entry(size).or_insert(0) += count;
+                }
+            }
+        }
+        (total, hist.into_iter().collect())
+    }
+
+    /// Group `g`'s atomic-broadcast counters plus its merged batch-size
+    /// histogram, summed over the group's endpoints.
+    pub fn gcs_stats_of(&self, g: u32) -> (GcsStats, Vec<(u32, u64)>) {
+        let mut total = GcsStats::default();
+        let mut hist: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for i in self.group_server_indices(g) {
+            let s: &ReplicaServer = self.engine.actor(self.servers[i as usize]);
+            if let Some(e) = s.gcs() {
+                total.merge(&e.stats());
+                for (&size, &count) in e.batch_histogram() {
                     *hist.entry(size).or_insert(0) += count;
                 }
             }

@@ -30,6 +30,15 @@ pub struct AckRecord {
     pub response_ms: f64,
 }
 
+/// Touched-group record of one committed cross-group transaction.
+#[derive(Debug, Clone)]
+pub struct XgRecord {
+    /// Every group the transaction wrote or read in, ascending.
+    pub groups: Vec<u32>,
+    /// The coordinator's group (the decision's origin).
+    pub coordinator_group: u32,
+}
+
 /// Shared run oracle.
 #[derive(Debug, Default)]
 pub struct Oracle {
@@ -37,6 +46,9 @@ pub struct Oracle {
     pub acked: BTreeMap<TxnId, AckRecord>,
     /// Server-side commit records (first commit per transaction).
     pub commits: BTreeMap<TxnId, CommitRecord>,
+    /// Cross-group commits and the groups they touched (the atomicity
+    /// oracle audits all-or-nothing over these).
+    pub xg: BTreeMap<TxnId, XgRecord>,
     /// Aborted attempts (certification + deadlock victims).
     pub aborts: u64,
     /// Committed attempt acknowledgements received by clients.
@@ -58,6 +70,14 @@ impl Oracle {
             delegate,
             readset,
             writes,
+        });
+    }
+
+    /// Record a cross-group commit's touched groups (idempotent).
+    pub fn record_xg(&mut self, txn: TxnId, groups: Vec<u32>, coordinator_group: u32) {
+        self.xg.entry(txn).or_insert(XgRecord {
+            groups,
+            coordinator_group,
         });
     }
 

@@ -9,7 +9,7 @@
 //! semantics are governed by the caller's concurrency control).
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -19,7 +19,7 @@ use groupsafe_sim::{Disk, Fcfs, SimDuration, SimTime};
 use crate::buffer::{BufferModel, BufferPool};
 use crate::lock::{LockManager, LockMode, LockOutcome};
 use crate::types::{ItemId, ItemState, TxnId, Value, Version, WriteOp};
-use crate::wal::{CommitRecord, FlushPolicy, Lsn, Wal};
+use crate::wal::{CommitRecord, FlushPolicy, Lsn, Wal, WalKind};
 
 /// Engine configuration (defaults follow Table 4).
 #[derive(Debug, Clone)]
@@ -103,6 +103,16 @@ pub struct DbEngine {
     locks: LockManager,
     dirty_pages: usize,
     stats: DbStats,
+    /// Items reserved by in-flight cross-group transactions between their
+    /// certification vote and the coordinator's decision (item →
+    /// (holder, coordinator node)). Certification state, like
+    /// `committed`: it travels with checkpoints so a state-transferred
+    /// joiner reaches the same verdicts as its peers, and under the
+    /// logging safety levels it is additionally WAL-durable
+    /// ([`WalKind::Reserve`]/[`WalKind::Release`]) so crash recovery
+    /// redoes it; it is *not* part of [`DbEngine::state_digest`] (a
+    /// quiesced system has released every reservation).
+    reservations: BTreeMap<ItemId, (TxnId, u32)>,
 
     // Stable.
     wal: Wal,
@@ -115,6 +125,8 @@ pub struct DbCheckpoint {
     pub items: Vec<ItemState>,
     /// Committed transaction ids (testable-transaction table).
     pub committed: BTreeSet<TxnId>,
+    /// In-flight cross-group reservations (item → (holder, coordinator)).
+    pub reservations: BTreeMap<ItemId, (TxnId, u32)>,
 }
 
 impl DbEngine {
@@ -134,6 +146,7 @@ impl DbEngine {
             locks: LockManager::new(),
             dirty_pages: 0,
             stats: DbStats::default(),
+            reservations: BTreeMap::new(),
             wal: Wal::new(log_disk),
             config,
             cpu,
@@ -175,6 +188,97 @@ impl DbEngine {
     /// The lock manager (2PL paths: local execution, lazy technique).
     pub fn locks(&mut self) -> &mut LockManager {
         &mut self.locks
+    }
+
+    /// The first of `items` reserved by a transaction other than `txn`
+    /// (a cross-group transaction between its certification vote and its
+    /// coordinator's decision), if any. Re-certifying the holder itself
+    /// is not a conflict — a client retry of the same transaction
+    /// re-prepares.
+    pub fn reserved_conflict(
+        &self,
+        txn: TxnId,
+        items: impl IntoIterator<Item = ItemId>,
+    ) -> Option<ItemId> {
+        items
+            .into_iter()
+            .find(|i| self.reservations.get(i).is_some_and(|&(t, _)| t != txn))
+    }
+
+    /// Reserve `items` for `txn`, decided by `coordinator` (certify-
+    /// then-block phase of a cross-group commit). The caller must have
+    /// checked [`DbEngine::reserved_conflict`] first; re-reserving for
+    /// the same holder is idempotent.
+    pub fn reserve(
+        &mut self,
+        txn: TxnId,
+        coordinator: u32,
+        items: impl IntoIterator<Item = ItemId>,
+    ) {
+        for i in items {
+            self.reservations.insert(i, (txn, coordinator));
+        }
+    }
+
+    /// Drop every reservation held by `txn` (the coordinator's decision
+    /// arrived — commit or abort). Idempotent.
+    pub fn release(&mut self, txn: TxnId) {
+        self.reservations.retain(|_, &mut (t, _)| t != txn);
+    }
+
+    /// Number of items currently reserved (inspection/test helper).
+    pub fn reserved_count(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// True if `txn` currently reserves any item (cheap hot-path check;
+    /// see [`DbEngine::reservation_holders`] for the full listing).
+    pub fn holds_reservation(&self, txn: TxnId) -> bool {
+        self.reservations.values().any(|&(t, _)| t == txn)
+    }
+
+    /// The distinct `(transaction, coordinator)` pairs currently holding
+    /// reservations — what a recovered replica must resume probing for.
+    pub fn reservation_holders(&self) -> Vec<(TxnId, u32)> {
+        let mut out: Vec<(TxnId, u32)> = self.reservations.values().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Drop every reservation (operator restart after a total group
+    /// failure: the in-flight cross-group transactions died with the
+    /// coordinator history and will be resubmitted by their clients).
+    pub fn clear_reservations(&mut self) {
+        self.reservations.clear();
+    }
+
+    /// Apply `txn`'s reservation of `items` and append the WAL record
+    /// that redoes it (the logging safety levels' cross-group prepare:
+    /// the end-to-end `ack(m)` must wait for the record's durability,
+    /// else a crash would silently unwind this replica's certification
+    /// state while its peers keep theirs). The record rides the normal
+    /// background group-commit flush — nothing in the protocol waits on
+    /// it except the ack. Returns the record's LSN.
+    pub fn reserve_logged(&mut self, txn: TxnId, coordinator: u32, items: Vec<ItemId>) -> Lsn {
+        self.reserve(txn, coordinator, items.iter().copied());
+        self.wal.append(CommitRecord {
+            txn,
+            writes: Vec::new(),
+            kind: WalKind::Reserve { items, coordinator },
+        })
+    }
+
+    /// Release `txn`'s reservations and append the WAL record that
+    /// redoes it (a cross-group abort under a logging level). Returns
+    /// the record's LSN.
+    pub fn release_logged(&mut self, txn: TxnId) -> Lsn {
+        self.release(txn);
+        self.wal.append(CommitRecord {
+            txn,
+            writes: Vec::new(),
+            kind: WalKind::Release,
+        })
     }
 
     /// Read `item` at `now`: returns value, version and completion time
@@ -234,6 +338,7 @@ impl DbEngine {
         self.wal.append(CommitRecord {
             txn,
             writes: writes.to_vec(),
+            kind: WalKind::Commit,
         });
         match self.config.flush_policy {
             FlushPolicy::Sync => {
@@ -364,6 +469,7 @@ impl DbEngine {
         DbCheckpoint {
             items: self.items.clone(),
             committed: self.committed.clone(),
+            reservations: self.reservations.clone(),
         }
     }
 
@@ -376,6 +482,7 @@ impl DbEngine {
         );
         self.items = ckpt.items;
         self.committed = ckpt.committed;
+        self.reservations = ckpt.reservations;
         // The checkpointed state is authoritative; local WAL history no
         // longer matters for redo (a real system would reset the log).
         self.wal.crash();
@@ -388,19 +495,38 @@ impl DbEngine {
         self.wal.crash();
         self.buffer.clear();
         self.locks.clear();
+        self.reservations.clear();
         self.dirty_pages = 0;
         self.items = vec![ItemState::default(); self.config.n_items as usize];
         self.committed.clear();
-        // Redo.
+        // Redo, in LSN (= processing) order: commits apply writes and
+        // drop the transaction's reservations; reserve/release records
+        // rebuild the reservation table exactly as the pre-crash
+        // processing left its durable prefix.
+        let mut reservations = BTreeMap::new();
         for rec in self.wal.durable_records() {
-            for w in &rec.writes {
-                self.items[w.item.index()] = ItemState {
-                    value: w.value,
-                    version: w.version,
-                };
+            match &rec.kind {
+                WalKind::Commit => {
+                    for w in &rec.writes {
+                        self.items[w.item.index()] = ItemState {
+                            value: w.value,
+                            version: w.version,
+                        };
+                    }
+                    self.committed.insert(rec.txn);
+                    reservations.retain(|_, &mut (t, _): &mut (TxnId, u32)| t != rec.txn);
+                }
+                WalKind::Reserve { items, coordinator } => {
+                    for &i in items {
+                        reservations.insert(i, (rec.txn, *coordinator));
+                    }
+                }
+                WalKind::Release => {
+                    reservations.retain(|_, &mut (t, _)| t != rec.txn);
+                }
             }
-            self.committed.insert(rec.txn);
         }
+        self.reservations = reservations;
     }
 
     /// Highest committed version in the database (the sequence-number

@@ -29,4 +29,4 @@ pub use buffer::{BufferAccess, BufferModel, BufferPool, BufferStats, ITEMS_PER_P
 pub use engine::{CommitResult, DbCheckpoint, DbConfig, DbEngine, DbStats, ReadResult};
 pub use lock::{LockManager, LockMode, LockOutcome};
 pub use types::{ItemId, ItemState, Operation, TxnId, Value, Version, WriteOp};
-pub use wal::{CommitRecord, FlushPolicy, Lsn, Wal, WalStats};
+pub use wal::{CommitRecord, FlushPolicy, Lsn, Wal, WalKind, WalStats};

@@ -15,18 +15,41 @@ use rand::rngs::StdRng;
 
 use groupsafe_sim::{Disk, SimTime};
 
-use crate::types::{TxnId, WriteOp};
+use crate::types::{ItemId, TxnId, WriteOp};
 
 /// Log sequence number: index of a record in the log (0-based).
 pub type Lsn = u64;
 
-/// A commit record: everything redo needs.
+/// What a log record does at redo time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalKind {
+    /// Apply the record's writes, mark the transaction committed, and
+    /// drop any reservation it held.
+    Commit,
+    /// Reserve the listed items for the transaction (a cross-group
+    /// prepare certified under a logging safety level; `coordinator` is
+    /// the deciding server's node id, kept so a recovered replica can
+    /// resume probing for the missing decision).
+    Reserve {
+        /// The reserved items.
+        items: Vec<ItemId>,
+        /// The coordinator to probe for the decision.
+        coordinator: u32,
+    },
+    /// Drop the transaction's reservations without committing anything
+    /// (a cross-group abort decision).
+    Release,
+}
+
+/// A log record: everything redo needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitRecord {
-    /// The committing transaction.
+    /// The transaction the record belongs to.
     pub txn: TxnId,
-    /// Its writes, with assigned versions.
+    /// Its writes, with assigned versions ([`WalKind::Commit`] only).
     pub writes: Vec<WriteOp>,
+    /// What redo does with the record.
+    pub kind: WalKind,
 }
 
 /// When commit records reach the disk.
@@ -113,25 +136,30 @@ impl Wal {
         Some((done, end as Lsn))
     }
 
-    /// Synchronous flush: each pending commit record is forced with one
-    /// *individual random access* (the transaction is waiting; there is
-    /// nothing to batch with). This is the flush the synchronous-
-    /// durability techniques pay on their critical path; the background
-    /// [`Wal::flush`] keeps the sequential group-commit discount.
+    /// Synchronous flush: a single pending commit record is forced with
+    /// one *individual random access* (the transaction is waiting; there
+    /// is nothing to batch with). When several records are pending —
+    /// e.g. cross-group reserve/release records queued since the last
+    /// force — they go out as one sequential group-commit batch, exactly
+    /// as a real log does when a forced write finds company. This is the
+    /// flush the synchronous-durability techniques pay on their critical
+    /// path; the background [`Wal::flush`] always batches.
     pub fn flush_unbatched(&mut self, now: SimTime, rng: &mut StdRng) -> Option<(SimTime, Lsn)> {
         let end = self.records.len();
         if end <= self.flushing {
             return None;
         }
-        let mut done = now;
-        {
+        let batch = end - self.flushing;
+        let done = {
             let mut disk = self.log_disk.borrow_mut();
-            for _ in self.flushing..end {
-                done = done.max(disk.access(now, rng));
+            if batch == 1 {
+                disk.access(now, rng)
+            } else {
+                disk.sequential_batch(now, batch, rng)
             }
-        }
+        };
         self.stats.flushes += 1;
-        self.stats.flushed_records += (end - self.flushing) as u64;
+        self.stats.flushed_records += batch as u64;
         self.flushing = end;
         Some((done, end as Lsn))
     }
@@ -174,6 +202,7 @@ mod tests {
                 value: seq as i64,
                 version: seq,
             }],
+            kind: WalKind::Commit,
         }
     }
 

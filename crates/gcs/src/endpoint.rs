@@ -166,8 +166,10 @@ pub struct GcsEndpoint<P, S> {
     pending: BTreeMap<MsgId, P>,
     /// Sequencer state: next sequence number to assign (if I am sequencer).
     seq_assign: Option<u64>,
-    /// Ids already ordered (sequencer dedup and resend dedup).
-    ordered_ids: BTreeSet<MsgId>,
+    /// Ids already ordered and the sequence number each was assigned
+    /// (sequencer dedup; the seq lets a resent forward be answered with
+    /// a retransmission of the original assignment).
+    ordered_ids: BTreeMap<MsgId, u64>,
     /// Ordered entries received, by sequence number.
     ordered: BTreeMap<u64, (MsgId, P)>,
     /// Sequencer era of each stored entry (see [`Entry::era`]).
@@ -220,8 +222,12 @@ pub struct GcsEndpoint<P, S> {
     batch_hist: BTreeMap<u32, u64>,
     /// A `ResendPending` timer is outstanding (static model).
     resend_armed: bool,
-    /// A `GapRepair` timer is outstanding (static model).
+    /// A `GapRepair` timer is outstanding.
     gap_repair_armed: bool,
+    /// The delivery head when the outstanding `GapRepair` timer was
+    /// armed: the repair only fires if the head has not moved for a
+    /// whole timeout (a true stall, not normal in-flight stability).
+    gap_repair_head: u64,
     /// The recovering sequencer may not assign sequence numbers until it
     /// has heard catch-up replies from a majority (static model).
     seq_resume_votes: Option<BTreeSet<NodeId>>,
@@ -274,7 +280,7 @@ where
             next_counter: 0,
             pending: BTreeMap::new(),
             seq_assign: None,
-            ordered_ids: BTreeSet::new(),
+            ordered_ids: BTreeMap::new(),
             ordered: BTreeMap::new(),
             entry_era: BTreeMap::new(),
             acks: BTreeMap::new(),
@@ -297,6 +303,7 @@ where
             batch_hist: BTreeMap::new(),
             resend_armed: false,
             gap_repair_armed: false,
+            gap_repair_head: 0,
             seq_resume_votes: None,
             stats: GcsStats::default(),
             generation: 0,
@@ -430,9 +437,11 @@ where
                 Wire::<P, S>::Forward { id, payload },
             );
         }
-        if self.cfg.model == GcsModel::CrashRecovery && !self.resend_armed {
-            // No view change exists in the static model to trigger resends;
-            // retry until the sequencer orders the message.
+        if !self.resend_armed {
+            // Retry until the sequencer orders the message. The static
+            // model has no view change to trigger resends at all; the
+            // view model resends on view changes, but a loss burst can
+            // eat an Ordered multicast without any view changing.
             self.resend_armed = true;
             ctx.timer(self.cfg.change_timeout, GcsTimer::ResendPending);
         }
@@ -608,28 +617,51 @@ where
                     self.seq_assign = Some(self.max_seq_seen + 1);
                 }
             }
-            GcsTimer::GapRepair => {
-                self.gap_repair_armed = false;
-                if self.cfg.model == GcsModel::CrashRecovery
-                    && self.joined
-                    && self.next_deliver <= self.max_seq_seen
-                {
+            GcsTimer::ResumeRetry => {
+                if self.seq_resume_votes.is_some() {
                     let targets: Vec<NodeId> = self
                         .group
                         .iter()
                         .copied()
                         .filter(|&p| p != self.me)
                         .collect();
-                    let have_up_to = self.next_deliver - 1;
+                    let have = self.contiguous_persisted();
                     self.net.multicast(
                         ctx,
                         self.me,
                         &targets,
-                        Wire::<P, S>::CatchUpReq { have_up_to },
+                        Wire::<P, S>::CatchUpReq { have_up_to: have },
                     );
-                    // Keep probing while the hole persists (the replies
-                    // themselves may be lost).
+                    ctx.timer(self.cfg.change_timeout, GcsTimer::ResumeRetry);
+                }
+            }
+            GcsTimer::GapRepair => {
+                self.gap_repair_armed = false;
+                if self.joined && self.next_deliver <= self.max_seq_seen {
+                    if self.next_deliver == self.gap_repair_head {
+                        // The head has not moved for a whole timeout: a
+                        // true stall (a hole in the sequence, or votes
+                        // that circulated while this node was down or
+                        // partitioned away), not in-flight stability.
+                        let targets: Vec<NodeId> = self
+                            .group
+                            .iter()
+                            .copied()
+                            .filter(|&p| p != self.me)
+                            .collect();
+                        let have_up_to = self.next_deliver - 1;
+                        self.net.multicast(
+                            ctx,
+                            self.me,
+                            &targets,
+                            Wire::<P, S>::CatchUpReq { have_up_to },
+                        );
+                    }
+                    // Keep watching while entries remain undelivered
+                    // (the head may stall again, and repair replies may
+                    // themselves be lost).
                     self.gap_repair_armed = true;
+                    self.gap_repair_head = self.next_deliver;
                     ctx.timer(self.cfg.change_timeout, GcsTimer::GapRepair);
                 }
             }
@@ -663,12 +695,54 @@ where
         let Some(next) = self.seq_assign else {
             return; // not the sequencer (stale forward); sender will resend
         };
-        if self.ordered_ids.contains(&id) {
-            return; // duplicate (resend after view change or retry timer)
+        if let Some(&seq) = self.ordered_ids.get(&id) {
+            // Duplicate (resend after a view change or a retry timer). A
+            // resend means the broadcaster has not seen its message
+            // ordered: the original Ordered multicast may have been lost
+            // on every wire at once (a loss burst can eat all copies,
+            // including this sequencer's own loopback — nothing else
+            // retransmits an assignment). Re-multicast the entry at its
+            // original number, rebuilding it from the resent payload if
+            // even the local copy is gone.
+            if self.batch_acc.iter().any(|e| e.id == id) {
+                return; // still in the accumulator: its flush will carry it
+            }
+            let era = self
+                .entry_era
+                .get(&seq)
+                .copied()
+                .unwrap_or(match self.cfg.model {
+                    GcsModel::CrashRecovery => self.generation,
+                    GcsModel::ViewBased => 0,
+                });
+            let entry = match self.ordered.get(&seq) {
+                Some((eid, p)) if *eid == id => Entry {
+                    seq,
+                    id,
+                    payload: p.clone(),
+                    era,
+                },
+                Some(_) => return, // superseded meanwhile: let it die
+                None => Entry {
+                    seq,
+                    id,
+                    payload,
+                    era,
+                },
+            };
+            let members = self.ordering_targets();
+            let view = self.view.id;
+            self.net.multicast(
+                ctx,
+                self.me,
+                &members,
+                Wire::<P, S>::Ordered { view, entry },
+            );
+            return;
         }
         // Record immediately: a duplicate forward arriving before our own
         // Ordered loops back must not get a second sequence number.
-        self.ordered_ids.insert(id);
+        self.ordered_ids.insert(id, next);
         self.seq_assign = Some(next + 1);
         let entry = Entry {
             seq: next,
@@ -813,7 +887,7 @@ where
         }
         self.max_seq_seen = self.max_seq_seen.max(entry.seq);
         self.entry_era.insert(entry.seq, entry.era);
-        self.ordered_ids.insert(entry.id);
+        self.ordered_ids.insert(entry.id, entry.seq);
         self.pending.remove(&entry.id);
         self.ordered.insert(entry.seq, (entry.id, entry.payload));
         true
@@ -1055,21 +1129,22 @@ where
         }
     }
 
-    /// Static-model gap repair: a member whose delivery head is stuck —
-    /// a hole in the sequence, or an entry whose stability votes
-    /// circulated while this node was down — would stall forever, since
-    /// the crash-recovery model has no view-change flush to refill it.
-    /// Arm a timer; if the head is still stuck when it fires, ask the
-    /// group for everything above the contiguous prefix (the reply also
-    /// carries the responder's stable floor).
+    /// Gap repair: a member whose delivery head is stuck — a hole in
+    /// the sequence, or an entry whose stability votes circulated while
+    /// this node was down or partitioned away — would stall forever
+    /// without help. The crash-recovery model has no view-change flush
+    /// to refill it at all; the view-based model refills on view
+    /// changes, but a short partition whose suspicions are retracted at
+    /// the heal never changes the view, leaving the healed member with
+    /// a permanent hole. Arm a timer; if the head has not moved when it
+    /// fires, ask the group for everything above the contiguous prefix
+    /// (the reply also carries the responder's stable floor).
     fn maybe_arm_gap_repair(&mut self, ctx: &mut Ctx<'_>) {
-        if self.cfg.model != GcsModel::CrashRecovery
-            || self.gap_repair_armed
-            || self.next_deliver > self.max_seq_seen
-        {
+        if self.gap_repair_armed || self.next_deliver > self.max_seq_seen {
             return;
         }
         self.gap_repair_armed = true;
+        self.gap_repair_head = self.next_deliver;
         ctx.timer(self.cfg.change_timeout, GcsTimer::GapRepair);
     }
 
@@ -1709,7 +1784,7 @@ where
         for e in &tail {
             self.ordered.insert(e.seq, (e.id, e.payload.clone()));
             self.entry_era.insert(e.seq, e.era);
-            self.ordered_ids.insert(e.id);
+            self.ordered_ids.insert(e.id, e.seq);
         }
         let now = ctx.now();
         for &p in &view.members {
@@ -1776,6 +1851,22 @@ where
     }
 
     fn on_catch_up_req(&mut self, ctx: &mut Ctx<'_>, from: NodeId, have_up_to: u64) {
+        // View model: answering a non-member would leak this view's
+        // stable floor into the requester's abandoned fork — a healed
+        // minority could then uniformly deliver entries the group never
+        // ordered. Tell it it was excluded instead (the same re-merge
+        // path a stale heartbeat takes: demote, rejoin, state transfer).
+        if self.cfg.model == GcsModel::ViewBased && self.joined && !self.view.contains(from) {
+            let view_id = self.view.id;
+            let members = self.view.members.clone();
+            self.net.send(
+                ctx,
+                self.me,
+                from,
+                Wire::<P, S>::NotInView { view_id, members },
+            );
+            return;
+        }
         let entries: Vec<Entry<P>> = self
             .ordered
             .range(have_up_to + 1..)
@@ -1954,7 +2045,7 @@ where
                 for (&seq, e) in &self.stable {
                     self.ordered.insert(seq, (e.id, e.payload.clone()));
                     self.entry_era.insert(seq, e.era);
-                    self.ordered_ids.insert(e.id);
+                    self.ordered_ids.insert(e.id, seq);
                     self.persisted.insert(seq);
                     self.max_seq_seen = self.max_seq_seen.max(seq);
                     if e.delivered && seq == delivered_prefix + 1 {
@@ -2019,11 +2110,15 @@ where
                     // ordered just before the crash may exist only on other
                     // nodes. Wait for catch-up replies from a majority
                     // first (`seq_resume_votes`), unless the group is a
-                    // singleton.
+                    // singleton. The request is retried until the majority
+                    // answers — the first wave may be lost to a partition
+                    // (e.g. a sequencer that recovers while isolated after
+                    // a whole-group failure).
                     if self.group.len() == 1 {
                         self.seq_assign = Some(self.max_seq_seen + 1);
                     } else {
                         self.seq_resume_votes = Some(BTreeSet::new());
+                        ctx.timer(self.cfg.change_timeout, GcsTimer::ResumeRetry);
                     }
                 }
                 self.try_deliver(ctx, out);

@@ -219,6 +219,11 @@ pub enum GcsTimer {
     /// catch-up confirmations arrived, and every reply of the same wave
     /// has landed — resume assigning above everything seen.
     SeqResume,
+    /// The recovering sequencer is still short of its majority of
+    /// catch-up confirmations: re-multicast the request (the first wave
+    /// may have been lost to a partition or burst — without a retry the
+    /// whole group would stay sequencer-less forever).
+    ResumeRetry,
     /// The sequencer's batch accumulator hit its `max_delay` deadline.
     /// Carries the batch epoch at arming time: a flush armed before a
     /// crash or view change must not flush the next incarnation's

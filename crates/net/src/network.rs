@@ -111,6 +111,24 @@ struct NetworkState {
     /// Partition colouring: nodes can talk iff colours are equal.
     colour: Vec<u32>,
     stats: NetStats,
+    /// Multicast-domain id per node (all nodes share domain 0 until
+    /// [`Network::set_domains`] carves the node space up). In a sharded
+    /// system each replica group and its clients form one domain, so
+    /// per-group wire traffic can be accounted separately.
+    domain: Vec<u32>,
+    /// Per-domain delivery counters, indexed by domain id (sends are
+    /// attributed to the *sender's* domain).
+    domain_stats: Vec<NetStats>,
+}
+
+impl NetworkState {
+    fn charge(&mut self, from: NodeId, f: impl Fn(&mut NetStats)) {
+        f(&mut self.stats);
+        let d = self.domain.get(from.index()).copied().unwrap_or(0) as usize;
+        if let Some(s) = self.domain_stats.get_mut(d) {
+            f(s);
+        }
+    }
 }
 
 /// Cloneable handle to the shared network state.
@@ -128,6 +146,8 @@ impl Network {
                 actors: Vec::new(),
                 colour: Vec::new(),
                 stats: NetStats::default(),
+                domain: Vec::new(),
+                domain_stats: vec![NetStats::default()],
             })),
         }
     }
@@ -145,8 +165,81 @@ impl Network {
         if s.actors.len() <= idx {
             s.actors.resize(idx + 1, None);
             s.colour.resize(idx + 1, 0);
+            s.domain.resize(idx + 1, 0);
         }
         s.actors[idx] = Some(actor);
+    }
+
+    /// Carve the node space into multicast domains: `groups[d]` lists the
+    /// nodes of domain `d`; unlisted nodes stay in domain 0. Wire traffic
+    /// is attributed to the *sender's* domain in
+    /// [`Network::domain_stats`]. Domains are an accounting and targeting
+    /// overlay — they do not restrict connectivity (partitions do).
+    pub fn set_domains(&self, groups: &[Vec<NodeId>]) {
+        let mut s = self.inner.borrow_mut();
+        for d in &mut s.domain {
+            *d = 0;
+        }
+        for (d, group) in groups.iter().enumerate() {
+            for node in group {
+                let idx = node.index();
+                if idx >= s.domain.len() {
+                    s.domain.resize(idx + 1, 0);
+                    s.colour.resize(idx + 1, 0);
+                    s.actors.resize(idx + 1, None);
+                }
+                s.domain[idx] = d as u32;
+            }
+        }
+        s.domain_stats = vec![NetStats::default(); groups.len().max(1)];
+    }
+
+    /// Number of multicast domains (1 until [`Network::set_domains`]).
+    pub fn n_domains(&self) -> usize {
+        self.inner.borrow().domain_stats.len()
+    }
+
+    /// The nodes of domain `d`.
+    pub fn domain_members(&self, d: u32) -> Vec<NodeId> {
+        let s = self.inner.borrow();
+        (0..s.domain.len() as u32)
+            .map(NodeId)
+            .filter(|n| s.domain[n.index()] == d)
+            .collect()
+    }
+
+    /// The domain `node` belongs to.
+    pub fn domain_of(&self, node: NodeId) -> u32 {
+        self.inner
+            .borrow()
+            .domain
+            .get(node.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Delivery counters attributed to senders of domain `d`.
+    pub fn domain_stats(&self, d: u32) -> NetStats {
+        self.inner
+            .borrow()
+            .domain_stats
+            .get(d as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Multicast `msg` to every node of domain `d` (including the sender
+    /// when it belongs to the domain). One hardware multicast on the
+    /// domain's address: one broadcast counter tick.
+    pub fn multicast_domain<M: Any + Clone>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        d: u32,
+        msg: M,
+    ) {
+        let targets = self.domain_members(d);
+        self.multicast(ctx, from, &targets, msg);
     }
 
     /// Number of registered nodes.
@@ -186,13 +279,17 @@ impl Network {
             let s = self.inner.borrow();
             if s.colour[from.index()] != s.colour[to.index()] {
                 drop(s);
-                self.inner.borrow_mut().stats.dropped_partition += 1;
+                self.inner
+                    .borrow_mut()
+                    .charge(from, |st| st.dropped_partition += 1);
                 return true;
             }
             s.config.loss_probability
         };
         if loss > 0.0 && ctx.rng().random_bool(loss) {
-            self.inner.borrow_mut().stats.dropped_loss += 1;
+            self.inner
+                .borrow_mut()
+                .charge(from, |st| st.dropped_loss += 1);
             return true;
         }
         false
@@ -215,10 +312,10 @@ impl Network {
     }
 
     /// Apply probabilistic reordering to a computed delay and account it.
-    fn maybe_defer(&self, ctx: &mut Ctx<'_>, delay: SimDuration) -> SimDuration {
+    fn maybe_defer(&self, ctx: &mut Ctx<'_>, from: NodeId, delay: SimDuration) -> SimDuration {
         let p = self.inner.borrow().config.reorder_probability;
         if p > 0.0 && ctx.rng().random_bool(p) {
-            self.inner.borrow_mut().stats.reordered += 1;
+            self.inner.borrow_mut().charge(from, |st| st.reordered += 1);
             delay + self.window_extra(ctx)
         } else {
             delay
@@ -238,11 +335,10 @@ impl Network {
         let p = self.inner.borrow().config.duplicate_probability;
         if p > 0.0 && ctx.rng().random_bool(p) {
             let extra = self.window_extra(ctx);
-            {
-                let mut s = self.inner.borrow_mut();
-                s.stats.sent += 1;
-                s.stats.duplicated += 1;
-            }
+            self.inner.borrow_mut().charge(from, |st| {
+                st.sent += 1;
+                st.duplicated += 1;
+            });
             ctx.send(
                 actor,
                 delay + extra,
@@ -262,9 +358,9 @@ impl Network {
             return;
         }
         let base = self.delivery_delay(ctx);
-        let delay = self.maybe_defer(ctx, base);
+        let delay = self.maybe_defer(ctx, from, base);
         let actor = self.actor_of(to);
-        self.inner.borrow_mut().stats.sent += 1;
+        self.inner.borrow_mut().charge(from, |st| st.sent += 1);
         self.maybe_duplicate(ctx, actor, from, delay, &msg);
         ctx.send(actor, delay, Incoming { from, msg });
     }
@@ -286,14 +382,13 @@ impl Network {
         }
         let unit = self.inner.borrow().config.frame_unit_cost;
         let delay = self.delivery_delay(ctx) + unit * msgs_in_frame.saturating_sub(1);
-        let delay = self.maybe_defer(ctx, delay);
+        let delay = self.maybe_defer(ctx, from, delay);
         let actor = self.actor_of(to);
-        {
-            let mut s = self.inner.borrow_mut();
-            s.stats.sent += 1;
-            s.stats.frames += 1;
-            s.stats.frame_msgs += msgs_in_frame;
-        }
+        self.inner.borrow_mut().charge(from, |st| {
+            st.sent += 1;
+            st.frames += 1;
+            st.frame_msgs += msgs_in_frame;
+        });
         self.maybe_duplicate(ctx, actor, from, delay, &msg);
         ctx.send(actor, delay, Incoming { from, msg });
     }
@@ -308,7 +403,9 @@ impl Network {
         msg: M,
         msgs_in_frame: u64,
     ) {
-        self.inner.borrow_mut().stats.broadcasts += 1;
+        self.inner
+            .borrow_mut()
+            .charge(from, |st| st.broadcasts += 1);
         for &t in targets {
             self.send_frame(ctx, from, t, msg.clone(), msgs_in_frame);
         }
@@ -324,7 +421,9 @@ impl Network {
         targets: &[NodeId],
         msg: M,
     ) {
-        self.inner.borrow_mut().stats.broadcasts += 1;
+        self.inner
+            .borrow_mut()
+            .charge(from, |st| st.broadcasts += 1);
         for &t in targets {
             self.send(ctx, from, t, msg.clone());
         }
@@ -588,5 +687,41 @@ mod tests {
         assert_eq!(stats.sent, 1, "one transmission");
         assert_eq!(stats.frames, 1);
         assert_eq!(stats.frame_msgs, 11);
+    }
+
+    /// A domain multicast reaches exactly the domain's members, and the
+    /// traffic is attributed to the sender's domain.
+    struct DomainKicker {
+        net: Network,
+    }
+    impl Actor for DomainKicker {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            if payload.downcast::<Kick>().is_ok() {
+                let net = self.net.clone();
+                net.multicast_domain(ctx, NodeId(0), 0, 9u32);
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_domains_target_and_account_per_group() {
+        let (mut eng, net, ids) = build(4, false);
+        net.set_domains(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        assert_eq!(net.n_domains(), 2);
+        assert_eq!(net.domain_of(NodeId(1)), 0);
+        assert_eq!(net.domain_of(NodeId(3)), 1);
+        assert_eq!(net.domain_members(1), vec![NodeId(2), NodeId(3)]);
+        let kicker = eng.add_actor(Box::new(DomainKicker { net: net.clone() }));
+        eng.schedule(SimTime::ZERO, kicker, Kick);
+        eng.run_to_completion();
+        // Only domain 0's members received the multicast.
+        let r1: &Receiver = eng.actor(ids[1]);
+        let r2: &Receiver = eng.actor(ids[2]);
+        assert_eq!(r1.got, vec![(NodeId(0), 9)]);
+        assert!(r2.got.is_empty(), "other domains untouched");
+        // And the wire traffic is attributed to the sender's domain.
+        assert_eq!(net.domain_stats(0).sent, 2);
+        assert_eq!(net.domain_stats(0).broadcasts, 1);
+        assert_eq!(net.domain_stats(1).sent, 0);
     }
 }

@@ -37,6 +37,13 @@ pub struct RunConfig {
     pub wal_flush_ms: f64,
     /// Table 4 parameters.
     pub params: PaperParams,
+    /// Replica groups the database is sharded over (1 = the classic
+    /// single-group system; `params.n_servers` then counts per group).
+    pub shards: u32,
+    /// Fraction of generated transactions spanning two groups (only
+    /// meaningful with `shards > 1`; committed via the ordered
+    /// cross-group protocol).
+    pub cross_shard_fraction: f64,
     /// Warm-up (excluded from measurements).
     pub warmup: SimDuration,
     /// Measurement window.
@@ -59,6 +66,8 @@ impl RunConfig {
             lazy_prop_ms: 20.0,
             wal_flush_ms: 20.0,
             params: PaperParams::default(),
+            shards: 1,
+            cross_shard_fraction: 0.0,
             warmup: SimDuration::from_secs(5),
             duration: SimDuration::from_secs(60),
             drain: SimDuration::from_secs(3),
@@ -79,6 +88,8 @@ pub fn builder_for(cfg: &RunConfig) -> SystemBuilder {
     System::builder()
         .servers(p.n_servers)
         .clients_per_server(p.clients_per_server)
+        .shards(cfg.shards.max(1))
+        .cross_shard_fraction(cfg.cross_shard_fraction)
         .replica(ReplicaConfig {
             technique: cfg.technique,
             db: p.db_config(),

@@ -11,7 +11,7 @@
 //! Deprecated in spirit: `CrashScenario` survives as a **thin shim over
 //! the core scenario engine**. [`CrashScenario::scenario_plan`] compiles
 //! the experiment into a declarative
-//! [`ScenarioPlan`](groupsafe_core::ScenarioPlan), and
+//! [`ScenarioPlan`], and
 //! [`run_crash_scenario`] simply installs that plan and drives the
 //! [`Run`](groupsafe_core::Run) lifecycle. The port is equivalence-locked:
 //! `tests/crash_scenario_equivalence.rs` pins the engine fingerprints of
@@ -188,6 +188,8 @@ impl CrashScenario {
             lazy_prop_ms: self.lazy_prop_ms,
             wal_flush_ms: self.wal_flush_ms,
             params: self.params.clone(),
+            shards: 1,
+            cross_shard_fraction: 0.0,
             warmup: SimDuration::ZERO,
             duration: self.steady_for + self.run_after,
             drain: SimDuration::from_secs(3),

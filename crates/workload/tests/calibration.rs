@@ -14,6 +14,8 @@ fn cfg(closed: bool, load: f64, seed: u64) -> RunConfig {
         lazy_prop_ms: 20.0,
         wal_flush_ms: 20.0,
         params: PaperParams::default(),
+        shards: 1,
+        cross_shard_fraction: 0.0,
         warmup: SimDuration::from_secs(2),
         duration: SimDuration::from_secs(20),
         drain: SimDuration::from_secs(2),

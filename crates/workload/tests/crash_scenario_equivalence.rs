@@ -27,6 +27,8 @@ fn run_crash_scenario_imperative(sc: &CrashScenario) -> CrashOutcome {
         lazy_prop_ms: sc.lazy_prop_ms,
         wal_flush_ms: sc.wal_flush_ms,
         params: sc.params.clone(),
+        shards: 1,
+        cross_shard_fraction: 0.0,
         warmup: SimDuration::ZERO,
         duration: sc.steady_for + sc.run_after,
         drain: SimDuration::from_secs(3),

@@ -166,8 +166,10 @@ fn recovery_replays_partially_acked_window() {
     // Frame 1 (seqs 1-2): processed everywhere by ~35 ms.
     cluster.broadcast_at(ms(10), NodeId(1), 601);
     cluster.broadcast_at(ms(10), NodeId(1), 602);
-    // Frame 2 (seqs 3-4): delivered at ~68 ms, processing (5 ms) still
-    // in flight on node 2 when it crashes at 70 ms.
+    // Frame 2 (seqs 3-4): seq 3's processing acks just before node 2
+    // crashes at 70 ms; seq 4 is delivered but its 5 ms processing is
+    // still in flight — the crash leaves exactly one delivered-but-
+    // unacknowledged entry.
     cluster.broadcast_at(ms(60), NodeId(1), 603);
     cluster.broadcast_at(ms(60), NodeId(1), 604);
     cluster.engine.schedule_crash(ms(70), cluster.hosts[2]);
@@ -178,8 +180,8 @@ fn recovery_replays_partially_acked_window() {
     assert_no_violations(&cluster, n, true, &[2]);
     let recovered = cluster.endpoint(NodeId(2)).stats();
     assert_eq!(
-        recovered.redelivered, 2,
-        "exactly the unacked window (seqs 3-4) is replayed"
+        recovered.redelivered, 1,
+        "exactly the unacked window (seq 4) is replayed"
     );
 }
 
@@ -198,7 +200,7 @@ fn view_change_with_non_empty_accumulator() {
     }
     // Node 2 dies for good at 12 ms; the failure detector drives the
     // {0, 1} view in well under the 200 ms flush deadline.
-    cluster.engine.schedule_crash(ms(12), cluster.hosts[2]);
+    cluster.engine.schedule_crash(ms(75), cluster.hosts[2]);
     cluster.engine.run_until(SimTime::from_secs(5));
 
     for i in 0..2 {

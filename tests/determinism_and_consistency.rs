@@ -76,37 +76,47 @@ fn lazy_converges_after_drain() {
 fn dsm_commit_history_replays_to_the_replica_state() {
     let system = run_and_keep(SafetyLevel::GroupSafe, 123);
 
-    // Gather the committed write sets and sort by version (delivery seq).
-    let oracle = system.oracle.borrow();
-    let mut history: Vec<(u64, Vec<WriteOp>)> = oracle
-        .commits
-        .values()
-        .filter(|r| !r.writes.is_empty())
-        .map(|r| (r.writes[0].version, r.writes.clone()))
-        .collect();
-    drop(oracle);
-    history.sort_by_key(|(v, _)| *v);
+    // Versions are per-group delivery sequence numbers and each group
+    // holds only its own keys, so the replay runs group by group (one
+    // pass over everything in the unsharded case).
+    for g in 0..system.n_groups {
+        // Gather the group's committed write sets, sorted by version
+        // (delivery seq within the group).
+        let oracle = system.oracle.borrow();
+        let mut history: Vec<(u64, Vec<WriteOp>)> = oracle
+            .commits
+            .values()
+            .filter(|r| !r.writes.is_empty())
+            .filter(|r| system.shard.group_of(r.writes[0].item) == g)
+            .map(|r| (r.writes[0].version, r.writes.clone()))
+            .collect();
+        drop(oracle);
+        history.sort_by_key(|(v, _)| *v);
 
-    // Replay into a fresh image.
-    let mut image = vec![ItemState::default(); N_ITEMS as usize];
-    for (_, writes) in &history {
-        for w in writes {
-            image[w.item.index()] = ItemState {
-                value: w.value,
-                version: w.version,
-            };
+        // Replay into a fresh image.
+        let mut image = vec![ItemState::default(); N_ITEMS as usize];
+        for (_, writes) in &history {
+            for w in writes {
+                image[w.item.index()] = ItemState {
+                    value: w.value,
+                    version: w.version,
+                };
+            }
         }
-    }
 
-    // Compare with every replica.
-    for i in 0..system.n_servers {
-        let db = system.server(i).db();
-        for (idx, expect) in image.iter().enumerate() {
-            let got = db.item(groupsafe::db::ItemId(idx as u32));
-            assert_eq!(
-                got, *expect,
-                "replica {i}, item {idx}: serial replay mismatch"
-            );
+        // Compare with every replica of the group, on the keys it owns.
+        for i in g * system.servers_per_group..(g + 1) * system.servers_per_group {
+            let db = system.server(i).db();
+            for (idx, expect) in image.iter().enumerate() {
+                if system.shard.group_of(groupsafe::db::ItemId(idx as u32)) != g {
+                    continue;
+                }
+                let got = db.item(groupsafe::db::ItemId(idx as u32));
+                assert_eq!(
+                    got, *expect,
+                    "group {g}, replica {i}, item {idx}: serial replay mismatch"
+                );
+            }
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this vendored
 //! crate implements the subset of the proptest API the workspace's
-//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! property tests use: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
 //! `prop_map`, range/tuple/collection/option strategies, [`prop_oneof!`],
 //! `any::<bool>()`, `prop_assert!`/`prop_assert_eq!`, and
 //! [`test_runner::ProptestConfig`].
@@ -145,7 +145,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::StdRng;
 
-    /// A length specification for [`vec`].
+    /// A length specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         low: usize,
@@ -188,7 +188,7 @@ pub mod collection {
         }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
