@@ -3,7 +3,7 @@
 //! and hold every run to the safety oracle's per-level invariants.
 //!
 //! Usage: `scenario_fuzz [--seeds N] [--start S] [--level L] [--shards G]
-//!                       [--json <path>]`
+//!                       [--reads LEVEL:FRACTION] [--json <path>]`
 //!   --seeds   seeds per level (default 100 → 200 cases over two levels)
 //!   --start   first seed (default 0)
 //!   --level   restrict to one of: group-safe | two-safe | group-1-safe |
@@ -11,6 +11,10 @@
 //!   --shards  run the sharded envelope: G replica groups of 3 servers
 //!             with 10 % cross-group transactions and group-targeted
 //!             faults incl. whole-group failures (default: 1, classic)
+//!   --reads   mix read clients into every plan: a FRACTION of the
+//!             generated transactions are read-only and travel the local
+//!             read path at LEVEL (stable | session | latest); the
+//!             read-freshness oracle audits every run (default: off)
 //!   --json    write a JSON summary
 //!
 //! On the first oracle violation the binary prints the reproducing seed
@@ -18,7 +22,7 @@
 //! the run bit-for-bit (`fuzz::run_fuzz_case(seed, &FuzzSpec::smoke(level))`).
 
 use groupsafe_core::scenario::fuzz::{run_fuzz_case, FuzzSpec};
-use groupsafe_core::SafetyLevel;
+use groupsafe_core::{ReadLevel, SafetyLevel};
 
 fn parse_level(s: &str) -> SafetyLevel {
     match s {
@@ -29,6 +33,21 @@ fn parse_level(s: &str) -> SafetyLevel {
         "two-safe" => SafetyLevel::TwoSafe,
         other => panic!("unknown level {other:?}"),
     }
+}
+
+fn parse_reads(s: &str) -> (ReadLevel, f64) {
+    let mut parts = s.splitn(2, ':');
+    let level = match parts.next().unwrap_or("") {
+        "stable" => ReadLevel::Stable,
+        "session" => ReadLevel::Session,
+        "latest" => ReadLevel::Latest,
+        other => panic!("unknown read level {other:?}"),
+    };
+    let fraction: f64 = parts
+        .next()
+        .map(|f| f.parse().expect("--reads takes level:fraction"))
+        .unwrap_or(0.5);
+    (level, fraction)
 }
 
 fn main() {
@@ -52,6 +71,13 @@ fn main() {
         Some(l) => vec![parse_level(&l)],
         None => vec![SafetyLevel::GroupSafe, SafetyLevel::TwoSafe],
     };
+    let reads = value_after("--reads").map(|v| parse_reads(&v));
+    assert!(
+        reads.is_none() || !levels.contains(&SafetyLevel::OneSafe),
+        "--reads is not defined for one-safe: the lazy baseline has no \
+         local read path (run it without --reads; its read-only mix \
+         still travels the classic pipeline)"
+    );
 
     let mut total = 0u64;
     let mut commits = 0u64;
@@ -59,13 +85,17 @@ fn main() {
     let mut with_loss = 0u64;
     let mut cross_audited = 0u64;
     let mut group_failures = 0u64;
+    let mut reads_audited = 0u64;
     let started = std::time::Instant::now();
     for &level in &levels {
-        let spec = if shards > 1 {
+        let mut spec = if shards > 1 {
             FuzzSpec::sharded(level, shards)
         } else {
             FuzzSpec::smoke(level)
         };
+        if let Some((read_level, fraction)) = reads {
+            spec = spec.with_reads(read_level, fraction);
+        }
         for seed in start..start + seeds {
             let out = run_fuzz_case(seed, &spec);
             total += 1;
@@ -74,13 +104,17 @@ fn main() {
             with_loss += out.plan.uses_loss() as u64;
             cross_audited += out.audit.cross_group_audited as u64;
             group_failures += out.audit.group_failed as u64;
+            reads_audited += out.audit.reads_audited as u64;
             if !out.ok() {
                 eprintln!("scenario-fuzz: ORACLE VIOLATION\n{}", out.describe());
-                let ctor = if shards > 1 {
+                let mut ctor = if shards > 1 {
                     format!("FuzzSpec::sharded(SafetyLevel::{level:?}, {shards})")
                 } else {
                     format!("FuzzSpec::smoke(SafetyLevel::{level:?})")
                 };
+                if let Some((read_level, fraction)) = reads {
+                    ctor = format!("{ctor}.with_reads(ReadLevel::{read_level:?}, {fraction})");
+                }
                 eprintln!("reproduce with: fuzz::run_fuzz_case({seed}, &{ctor})");
                 std::process::exit(1);
             }
@@ -108,12 +142,23 @@ fn main() {
             "the sharded envelope should exercise at least one whole-group failure"
         );
     }
+    if let Some((read_level, fraction)) = reads {
+        println!(
+            "  read-mixed envelope: {:.0} % read-only at {read_level:?}, \
+             {reads_audited} local reads freshness-audited",
+            fraction * 100.0
+        );
+        assert!(
+            reads_audited > 0,
+            "the read-mixed envelope should actually serve local reads"
+        );
+    }
     if let Some(path) = value_after("--json") {
         let json = format!(
             "{{\"scenarios\":{total},\"violations\":0,\"quiescent\":{quiescent},\
              \"with_loss\":{with_loss},\"commits\":{commits},\
              \"shards\":{shards},\"cross_group_audited\":{cross_audited},\
-             \"group_failures\":{group_failures}}}"
+             \"group_failures\":{group_failures},\"reads_audited\":{reads_audited}}}"
         );
         std::fs::write(&path, json).expect("write json");
         println!("wrote {path}");

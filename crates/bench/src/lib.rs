@@ -41,5 +41,22 @@ pub fn ordering_bound_workload() -> WorkloadSpec {
         write_probability: 1.0,
         hot_access_fraction: 0.0,
         hot_set_fraction: 0.02,
+        read_fraction: 0.0,
+    }
+}
+
+/// The read-bound workload the `reads` bench sweeps: short transactions
+/// over a mostly-cached database, so the ordering pipeline — not the
+/// data disks — is what a broadcast read pays and a local read skips.
+/// The read fraction is the sweep's x-axis; callers override it.
+pub fn read_bound_workload(read_fraction: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        n_items: 10_000,
+        txn_len_min: 3,
+        txn_len_max: 6,
+        write_probability: 1.0,
+        hot_access_fraction: 0.0,
+        hot_set_fraction: 0.02,
+        read_fraction,
     }
 }

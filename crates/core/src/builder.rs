@@ -50,6 +50,7 @@ use groupsafe_net::{NetConfig, NodeId};
 use groupsafe_sim::{SimDuration, SimTime};
 
 use crate::client::{LoadModel, OpGenerator, StopClient};
+use crate::reads::{reads_from_env, ReadConfig, ReadLevel, ReadPath};
 use crate::safety::SafetyLevel;
 use crate::scenario::ScenarioPlan;
 use crate::server::{ReplicaConfig, SwitchSafetyCmd, Technique};
@@ -194,6 +195,12 @@ pub struct WorkloadSpec {
     pub hot_access_fraction: f64,
     /// Fraction of the database forming the hot set.
     pub hot_set_fraction: f64,
+    /// Fraction of generated transactions that are read-only (every
+    /// operation a read; the population the read path serves). 0 — the
+    /// default — reproduces the historical generator draw-for-draw:
+    /// reads then only occur inside mixed transactions per
+    /// `write_probability`.
+    pub read_fraction: f64,
 }
 
 impl Default for WorkloadSpec {
@@ -213,6 +220,7 @@ impl WorkloadSpec {
             write_probability: 0.5,
             hot_access_fraction: 0.15,
             hot_set_fraction: 0.02,
+            read_fraction: 0.0,
         }
     }
 
@@ -230,6 +238,7 @@ impl WorkloadSpec {
             ("write_probability", self.write_probability),
             ("hot_access_fraction", self.hot_access_fraction),
             ("hot_set_fraction", self.hot_set_fraction),
+            ("read_fraction", self.read_fraction),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(BuildError::BadProbability { name, value: p });
@@ -242,6 +251,12 @@ impl WorkloadSpec {
     /// historical `workload::generate_txn` exactly, so seeded runs
     /// reproduce the old wiring bit-for-bit.
     pub fn generate_txn(&self, rng: &mut StdRng) -> Vec<Operation> {
+        // The read-mix coin is drawn only when the knob is set, so the
+        // default configuration's draw sequence is untouched (the
+        // reads-off ≡ seed equivalence pin depends on it).
+        if self.read_fraction > 0.0 && rng.random_bool(self.read_fraction) {
+            return self.generate_readonly_txn(rng);
+        }
         let len = rng.random_range(self.txn_len_min..=self.txn_len_max);
         let mut ops = Vec::with_capacity(len);
         for _ in 0..len {
@@ -256,6 +271,15 @@ impl WorkloadSpec {
             }
         }
         ops
+    }
+
+    /// One read-only transaction's operations (the population the read
+    /// path serves; drawn for a `read_fraction` of transactions).
+    pub fn generate_readonly_txn(&self, rng: &mut StdRng) -> Vec<Operation> {
+        let len = rng.random_range(self.txn_len_min..=self.txn_len_max);
+        (0..len)
+            .map(|_| Operation::Read(self.draw_item(rng)))
+            .collect()
     }
 
     fn draw_item(&self, rng: &mut StdRng) -> ItemId {
@@ -432,6 +456,16 @@ pub enum BuildError {
         /// The system's group count.
         n_groups: u32,
     },
+    /// The read-path configuration is not defined for the chosen
+    /// technique (the lazy baseline serves reads through its own local
+    /// execution; stable reads need a uniform-delivery level whose
+    /// endpoint tracks group stability).
+    UnsupportedReads {
+        /// The offending read path's label.
+        path: &'static str,
+        /// The technique's label.
+        technique: &'static str,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -469,6 +503,12 @@ impl std::fmt::Display for BuildError {
                 write!(
                     f,
                     "scenario names group {group} but the system has {n_groups}"
+                )
+            }
+            BuildError::UnsupportedReads { path, technique } => {
+                write!(
+                    f,
+                    "the {path} read path is not defined for the {technique} technique"
                 )
             }
         }
@@ -514,6 +554,13 @@ pub struct SystemBuilder {
     /// True once a shard setter ran; an explicit configuration beats the
     /// `GROUPSAFE_SHARDS` env profile.
     shard_explicit: bool,
+    reads: ReadConfig,
+    /// True once a read-path setter ran; an explicit configuration beats
+    /// the `GROUPSAFE_READS` env profile.
+    reads_explicit: bool,
+    /// An explicit `read_fraction` call; applied over whatever workload
+    /// spec is in force (and over the env profile's optional fraction).
+    read_fraction_override: Option<f64>,
 }
 
 impl Default for SystemBuilder {
@@ -537,6 +584,9 @@ impl Default for SystemBuilder {
             batch_override: None,
             shard: ShardSpec::default(),
             shard_explicit: false,
+            reads: ReadConfig::classic(),
+            reads_explicit: false,
+            read_fraction_override: None,
         }
     }
 }
@@ -631,6 +681,47 @@ impl SystemBuilder {
     pub fn shard(mut self, spec: ShardSpec) -> Self {
         self.shard = spec;
         self.shard_explicit = true;
+        self
+    }
+
+    /// How read-only transactions travel (see [`crate::reads`]):
+    /// [`ReadPath::Classic`] (the default — reads ride the transaction
+    /// pipeline, bit-for-bit the pre-read-path behavior),
+    /// [`ReadPath::Broadcast`] (reads are ordered and certified like
+    /// updates), or [`ReadPath::Local`] (follower reads at a freshness
+    /// level).
+    ///
+    /// Precedence: an explicit call here (or to
+    /// [`SystemBuilder::read_level`] / [`SystemBuilder::reads`]) beats
+    /// the `GROUPSAFE_READS` env profile.
+    pub fn read_path(mut self, path: ReadPath) -> Self {
+        self.reads.path = path;
+        self.reads_explicit = true;
+        self
+    }
+
+    /// Serve read-only transactions locally at any replica of the
+    /// owning group, at freshness `level` (sugar for
+    /// `read_path(ReadPath::Local(level))`).
+    pub fn read_level(self, level: ReadLevel) -> Self {
+        self.read_path(ReadPath::Local(level))
+    }
+
+    /// The full read-path configuration at once (path + session bounded
+    /// wait).
+    pub fn reads(mut self, cfg: ReadConfig) -> Self {
+        self.reads = cfg;
+        self.reads_explicit = true;
+        self
+    }
+
+    /// Fraction of generated transactions that are read-only (the
+    /// read/write mix, first-class: plumbed into the built-in and the
+    /// sharded generators). 0 reproduces the historical generator
+    /// draw-for-draw. Applied over whatever [`SystemBuilder::workload`]
+    /// spec is in force, in either call order.
+    pub fn read_fraction(mut self, f: f64) -> Self {
+        self.read_fraction_override = Some(f);
         self
     }
 
@@ -761,6 +852,57 @@ impl SystemBuilder {
         }
     }
 
+    /// True when the read path is defined for the technique: the lazy
+    /// baseline serves reads through its own 2PL execution, and stable
+    /// reads need an endpoint that tracks group stability (0-safe's
+    /// non-uniform delivery casts no stability votes).
+    fn reads_supported(technique: Technique, path: ReadPath) -> bool {
+        !matches!(
+            (technique, path),
+            (Technique::Lazy, ReadPath::Broadcast | ReadPath::Local(_))
+                | (
+                    Technique::Dsm(SafetyLevel::ZeroSafe),
+                    ReadPath::Local(ReadLevel::Stable)
+                )
+        )
+    }
+
+    /// The read configuration in force: an explicit setter call, else
+    /// the `GROUPSAFE_READS` env profile, else the classic path. The
+    /// env profile reruns whole suites — including lazy and 0-safe
+    /// configurations the read path is not defined for — so it degrades
+    /// to the classic path there instead of failing the build; an
+    /// *explicit* unsupported combination is still a typed error.
+    fn effective_reads(&self) -> ReadConfig {
+        if self.reads_explicit {
+            return self.reads;
+        }
+        if let Some((cfg, _)) = reads_from_env() {
+            if Self::reads_supported(self.replica.technique, cfg.path) {
+                return cfg;
+            }
+            return ReadConfig::classic();
+        }
+        // Same precedence as batching: whatever the replica config
+        // carries (the classic default).
+        self.replica.reads
+    }
+
+    /// The workload spec in force: the configured spec with the
+    /// read-fraction override (explicit call, else the env profile's
+    /// optional fraction) applied.
+    fn effective_workload(&self) -> WorkloadSpec {
+        let mut w = self.workload.clone();
+        if let Some(f) = self.read_fraction_override {
+            w.read_fraction = f;
+        } else if !self.reads_explicit {
+            if let Some((_, Some(f))) = reads_from_env() {
+                w.read_fraction = f;
+            }
+        }
+        w
+    }
+
     fn validate(&self) -> Result<(), BuildError> {
         if self.n_servers == 0 {
             return Err(BuildError::NoServers);
@@ -769,7 +911,17 @@ impl SystemBuilder {
             return Err(BuildError::NoClients);
         }
         if self.generator.is_none() {
-            self.workload.validate()?;
+            self.effective_workload().validate()?;
+        }
+        // Explicit (or replica-carried) read configurations the
+        // technique does not define are typed errors; the env profile
+        // never reaches here (`effective_reads` degrades it).
+        let reads = self.effective_reads();
+        if !Self::reads_supported(self.replica.technique, reads.path) {
+            return Err(BuildError::UnsupportedReads {
+                path: reads.path.label(),
+                technique: self.replica.technique.label(),
+            });
         }
         let shard = self.effective_shard();
         if !(0.0..=1.0).contains(&shard.cross_fraction) || shard.cross_fraction.is_nan() {
@@ -818,6 +970,15 @@ impl SystemBuilder {
             // generators own their item space via `.db(..)`.
             db.n_items = self.workload.n_items;
         }
+        // Read-path precedence mirrors batching: explicit setter, then
+        // the `GROUPSAFE_READS` env profile, then the classic default.
+        // The local path serves snapshots, so it switches the engines'
+        // multi-version store on (bounded; pruned at the group-stable
+        // watermark).
+        let reads = self.effective_reads();
+        if reads.is_local() && db.mvcc_depth == 0 {
+            db.mvcc_depth = 64;
+        }
         // Batching precedence: explicit `.batching(..)` call, then the
         // `GROUPSAFE_BATCHING` env profile (the CI hook that runs the
         // same suite batched and unbatched — resolved here, after every
@@ -834,6 +995,7 @@ impl SystemBuilder {
             replica: ReplicaConfig {
                 db,
                 batch,
+                reads,
                 ..self.replica.clone()
             },
             load: self.load.resolve(n_clients * shard.groups)?,
@@ -851,7 +1013,7 @@ impl SystemBuilder {
         let cfg = self.to_system_config()?;
         let net_baseline = cfg.net.clone();
         let offered_tps = self.load.offered_tps();
-        let spec = self.workload.clone();
+        let spec = self.effective_workload();
         let system = match self.generator.take() {
             Some(factory) => System::build(cfg, factory),
             None => {
@@ -1125,16 +1287,70 @@ impl Run {
         let fingerprint = system.engine.fingerprint();
         let (gcs, batch_hist) = system.gcs_stats();
 
+        // Read-path accounting: throughput over the measurement window
+        // (mirroring `commits`), staleness and redirects over the whole
+        // run.
+        let measure_secs = self.measure.as_secs_f64().max(1e-9);
+        let measure_start = SimTime::ZERO + self.warmup;
+        struct GroupReads {
+            reads: usize,
+            lag_sum: f64,
+            lag_n: usize,
+            redirects: u64,
+        }
+        let (reads, read_mean_ms, read_staleness, read_redirects, reads_by_group) = {
+            let oracle = system.oracle.borrow();
+            let mut n = 0usize;
+            let mut ms = 0.0f64;
+            let mut per_group: Vec<GroupReads> = (0..system.n_groups.max(1))
+                .map(|g| GroupReads {
+                    reads: 0,
+                    lag_sum: 0.0,
+                    lag_n: 0,
+                    redirects: oracle.read_redirects_by_group.get(&g).copied().unwrap_or(0),
+                })
+                .collect();
+            for a in &oracle.read_acks {
+                if a.at < measure_start {
+                    continue;
+                }
+                n += 1;
+                ms += a.response_ms;
+                if let Some(slot) = per_group.get_mut(a.group as usize) {
+                    slot.reads += 1;
+                }
+            }
+            let mut lag_sum = 0.0f64;
+            for r in &oracle.reads {
+                let lag = r.applied_seq.saturating_sub(r.snapshot_seq) as f64;
+                lag_sum += lag;
+                if let Some(slot) = per_group.get_mut(r.group as usize) {
+                    slot.lag_sum += lag;
+                    slot.lag_n += 1;
+                }
+            }
+            let staleness = if oracle.reads.is_empty() {
+                0.0
+            } else {
+                lag_sum / oracle.reads.len() as f64
+            };
+            (
+                n,
+                if n == 0 { 0.0 } else { ms / n as f64 },
+                staleness,
+                oracle.read_redirects(),
+                per_group,
+            )
+        };
+
         // Per-group breakdown (sharded systems only): acked transactions
         // attributed to their owning group — the coordinator's group for
         // a cross-group commit — plus each group's abcast counters.
-        let measure_secs = self.measure.as_secs_f64().max(1e-9);
         let (groups, cross_group_commits, window_acks) = if system.n_groups > 1 {
             let spg = system.servers_per_group.max(1);
             // Count acknowledgements inside the measurement window only,
             // matching the top-level `commits`/`achieved_tps` (the oracle
             // also records warm-up and drain acks).
-            let measure_start = SimTime::ZERO + self.warmup;
             let mut per_group = vec![0usize; system.n_groups as usize];
             let mut cross = 0usize;
             let mut window_acks = 0usize;
@@ -1162,10 +1378,19 @@ impl Run {
                 .map(|g| {
                     let (stats, hist) = system.gcs_stats_of(g);
                     let wire = system.net.domain_stats(g);
+                    let gr = &reads_by_group[g as usize];
                     GroupStats {
                         group: g,
                         commits: per_group[g as usize],
                         achieved_tps: per_group[g as usize] as f64 / measure_secs,
+                        reads: gr.reads,
+                        read_tps: gr.reads as f64 / measure_secs,
+                        read_redirects: gr.redirects,
+                        read_staleness: if gr.lag_n == 0 {
+                            0.0
+                        } else {
+                            gr.lag_sum / gr.lag_n as f64
+                        },
                         abcast_batches: stats.batches_sent,
                         mean_batch_size: stats.mean_batch_size(),
                         votes_per_delivery: stats.votes_per_delivery(),
@@ -1232,6 +1457,11 @@ impl Run {
             } else {
                 0.0
             },
+            reads,
+            read_tps: reads as f64 / measure_secs,
+            read_mean_ms,
+            read_redirects,
+            read_staleness,
             groups,
             phases,
             fingerprint,
@@ -1260,6 +1490,17 @@ pub struct GroupStats {
     pub commits: usize,
     /// `commits` over the measurement window length, tps.
     pub achieved_tps: f64,
+    /// Read-only transactions acknowledged from this group inside the
+    /// measurement window (all read paths).
+    pub reads: usize,
+    /// `reads` over the measurement window length, tps.
+    pub read_tps: f64,
+    /// Session reads this group's replicas answered with a redirect
+    /// (whole run).
+    pub read_redirects: u64,
+    /// Mean `applied − snapshot` gap over this group's locally served
+    /// reads, in delivery sequence numbers (whole run).
+    pub read_staleness: f64,
     /// Batch frames flushed by this group's sequencers.
     pub abcast_batches: u64,
     /// Mean messages per flushed frame.
@@ -1367,6 +1608,20 @@ pub struct Report {
     /// `cross_group_commits` over the window's acknowledged
     /// transactions.
     pub cross_group_ratio: f64,
+    /// Read-only transactions acknowledged inside the measurement
+    /// window, over every read path (classic, broadcast and local).
+    pub reads: usize,
+    /// `reads` over the measurement window length, tps.
+    pub read_tps: f64,
+    /// Mean response time of the window's read-only transactions, ms.
+    pub read_mean_ms: f64,
+    /// Session reads a lagging replica answered with a redirect (whole
+    /// run; local path only).
+    pub read_redirects: u64,
+    /// Mean `applied − snapshot` gap over locally served reads, in
+    /// delivery sequence numbers (whole run; 0 when every read was
+    /// served at the replica's applied head).
+    pub read_staleness: f64,
     /// Per-group breakdown (empty for unsharded systems — including the
     /// degenerate `shards(1)`, whose report matches the classic one
     /// field-for-field).
@@ -1435,6 +1690,11 @@ impl Report {
             "\"cross_group_ratio\":{},",
             f(self.cross_group_ratio)
         ));
+        s.push_str(&format!("\"reads\":{},", self.reads));
+        s.push_str(&format!("\"read_tps\":{},", f(self.read_tps)));
+        s.push_str(&format!("\"read_mean_ms\":{},", f(self.read_mean_ms)));
+        s.push_str(&format!("\"read_redirects\":{},", self.read_redirects));
+        s.push_str(&format!("\"read_staleness\":{},", f(self.read_staleness)));
         s.push_str("\"groups\":[");
         for (i, g) in self.groups.iter().enumerate() {
             if i > 0 {
@@ -1442,11 +1702,17 @@ impl Report {
             }
             s.push_str(&format!(
                 "{{\"group\":{},\"commits\":{},\"achieved_tps\":{},\
+                 \"reads\":{},\"read_tps\":{},\"read_redirects\":{},\
+                 \"read_staleness\":{},\
                  \"abcast_batches\":{},\"mean_batch_size\":{},\
                  \"votes_per_delivery\":{},\"wire_sent\":{},\"wire_broadcasts\":{}}}",
                 g.group,
                 g.commits,
                 f(g.achieved_tps),
+                g.reads,
+                f(g.read_tps),
+                g.read_redirects,
+                f(g.read_staleness),
                 g.abcast_batches,
                 f(g.mean_batch_size),
                 f(g.votes_per_delivery),
@@ -1510,6 +1776,18 @@ impl std::fmt::Display for Report {
                 f,
                 "abcast batching        : {} frames, mean {:.1} msgs/frame, {:.2} votes/delivery",
                 self.abcast_batches, self.mean_batch_size, self.votes_per_delivery
+            )?;
+        }
+        if self.reads > 0 {
+            writeln!(
+                f,
+                "read-only txns         : {} ({:.1} tps, mean {:.1} ms, {} redirects, \
+                 staleness {:.2} seqs)",
+                self.reads,
+                self.read_tps,
+                self.read_mean_ms,
+                self.read_redirects,
+                self.read_staleness
             )?;
         }
         if !self.groups.is_empty() {

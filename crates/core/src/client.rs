@@ -19,8 +19,9 @@ use groupsafe_net::{Incoming, Network, NodeId};
 use groupsafe_sim::{Actor, Ctx, Payload, SimDuration, SimTime};
 
 use crate::msg::{ClientMsg, ServerReply, TxnRequest};
+use crate::reads::{ReadConfig, ReadLevel, ReadPath, ReadReply, ReadRequest};
 use crate::shard::ShardMap;
-use crate::verify::Oracle;
+use crate::verify::{Oracle, ReadAckRecord};
 
 /// How a client generates load.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +65,9 @@ pub struct ClientConfig {
     pub timeout: SimDuration,
     /// Discard response samples recorded before this instant (warm-up).
     pub measure_from: SimTime,
+    /// How read-only transactions travel (classic pipeline, broadcast,
+    /// or the local follower-read path — see [`crate::reads`]).
+    pub reads: ReadConfig,
 }
 
 enum ClientTimer {
@@ -85,6 +89,11 @@ struct Outstanding {
     sent_at: SimTime,
     first_sent_at: SimTime,
     target: NodeId,
+    /// `Some(level)` when the transaction travels on the local read
+    /// path (read-only, single-group, path = `Local`).
+    read_level: Option<ReadLevel>,
+    /// Read-only transaction on any path (classifies the ack).
+    readonly: bool,
 }
 
 /// The client actor.
@@ -97,6 +106,10 @@ pub struct Client {
     next_seq: u64,
     outstanding: std::collections::BTreeMap<TxnId, Outstanding>,
     done: BTreeSet<TxnId>,
+    /// Per-group session tokens: the highest commit/read sequence number
+    /// this session has observed in each group (read-your-writes +
+    /// monotonic reads on the local read path).
+    tokens: std::collections::BTreeMap<u32, u64>,
     stopped: bool,
 }
 
@@ -127,6 +140,7 @@ impl Client {
             next_seq: 0,
             outstanding: std::collections::BTreeMap::new(),
             done: BTreeSet::new(),
+            tokens: std::collections::BTreeMap::new(),
             stopped: false,
         }
     }
@@ -162,6 +176,24 @@ impl Client {
         NodeId(group * spg + self.cfg.id % spg)
     }
 
+    /// The group a server belongs to.
+    fn group_of(&self, server: NodeId) -> u32 {
+        server.0 / self.cfg.servers_per_group.max(1)
+    }
+
+    /// This session's token for `group` (0 until it observes a commit or
+    /// read there).
+    fn token(&self, group: u32) -> u64 {
+        self.tokens.get(&group).copied().unwrap_or(0)
+    }
+
+    fn advance_token(&mut self, group: u32, seq: u64) {
+        if seq > 0 {
+            let slot = self.tokens.entry(group).or_insert(0);
+            *slot = (*slot).max(seq);
+        }
+    }
+
     fn submit_new(&mut self, ctx: &mut Ctx<'_>) {
         self.next_seq += 1;
         let id = TxnId {
@@ -171,6 +203,16 @@ impl Client {
         let ops = (self.gen)(&mut self.rng);
         let now = ctx.now();
         let target = self.coordinator_for(&ops);
+        let readonly = !ops.is_empty() && ops.iter().all(|o| !o.is_write());
+        // The local read path serves read-only single-group transactions
+        // at any replica of the owning group; everything else (updates,
+        // cross-group reads) keeps the classic pipeline.
+        let read_level = match self.cfg.reads.path {
+            ReadPath::Local(level) if readonly && self.cfg.shard.groups_of(&ops).len() == 1 => {
+                Some(level)
+            }
+            _ => None,
+        };
         self.outstanding.insert(
             id,
             Outstanding {
@@ -179,6 +221,8 @@ impl Client {
                 sent_at: now,
                 first_sent_at: now,
                 target,
+                read_level,
+                readonly,
             },
         );
         self.send_request(ctx, id);
@@ -186,16 +230,33 @@ impl Client {
 
     fn send_request(&mut self, ctx: &mut Ctx<'_>, id: TxnId) {
         let o = self.outstanding.get(&id).expect("outstanding");
-        let req = TxnRequest {
-            id,
-            ops: o.ops.clone(),
-            client: self.cfg.node,
-            attempt: o.attempt,
-        };
         let target = o.target;
         let attempt = o.attempt;
-        self.net
-            .send(ctx, self.cfg.node, target, ClientMsg::Request(req));
+        if let Some(level) = o.read_level {
+            let token = if level == ReadLevel::Session {
+                self.token(self.group_of(target))
+            } else {
+                0
+            };
+            let req = ReadRequest {
+                id,
+                items: o.ops.iter().map(|op| op.item()).collect(),
+                client: self.cfg.node,
+                level,
+                token,
+                attempt,
+            };
+            self.net.send(ctx, self.cfg.node, target, req);
+        } else {
+            let req = TxnRequest {
+                id,
+                ops: o.ops.clone(),
+                client: self.cfg.node,
+                attempt,
+            };
+            self.net
+                .send(ctx, self.cfg.node, target, ClientMsg::Request(req));
+        }
         ctx.timer(self.cfg.timeout, ClientTimer::Timeout { txn: id, attempt });
     }
 
@@ -217,7 +278,11 @@ impl Client {
 
     fn on_reply(&mut self, ctx: &mut Ctx<'_>, reply: ServerReply) {
         match reply {
-            ServerReply::Committed { txn, attempt } => {
+            ServerReply::Committed {
+                txn,
+                attempt,
+                commit_seq,
+            } => {
                 let Some(o) = self.outstanding.get(&txn) else {
                     return; // duplicate reply after failover
                 };
@@ -227,11 +292,32 @@ impl Client {
                 let now = ctx.now();
                 let resp_ms = (now - o.sent_at).as_millis_f64();
                 let total_ms = (now - o.first_sent_at).as_millis_f64();
+                let group = self.group_of(o.target);
+                let readonly = o.readonly;
                 if now >= self.cfg.measure_from {
                     ctx.metrics().record("response_ms", resp_ms);
                     ctx.metrics().record("response_total_ms", total_ms);
                 }
-                self.oracle.borrow_mut().record_ack(txn, now, resp_ms);
+                let mut oracle = self.oracle.borrow_mut();
+                oracle.record_ack(txn, now, resp_ms);
+                if readonly {
+                    // Classic/broadcast-path read-only commit: recorded
+                    // so the read throughput accounting sees it (no
+                    // snapshot travels on these paths).
+                    oracle.record_read_ack(ReadAckRecord {
+                        txn,
+                        client: self.cfg.id,
+                        group,
+                        level: None,
+                        snapshot_seq: commit_seq,
+                        at: now,
+                        response_ms: resp_ms,
+                    });
+                }
+                drop(oracle);
+                // Fold the commit point into the session token: follower
+                // reads at the session level will observe this write.
+                self.advance_token(group, commit_seq);
                 self.outstanding.remove(&txn);
                 self.done.insert(txn);
                 if matches!(self.cfg.load, LoadModel::Closed { .. }) {
@@ -264,6 +350,73 @@ impl Client {
                     let attempt = o.attempt;
                     ctx.timer(backoff, ClientTimer::Resubmit { txn, attempt });
                 }
+            }
+        }
+    }
+
+    fn on_read_reply(&mut self, ctx: &mut Ctx<'_>, reply: ReadReply) {
+        match reply {
+            ReadReply::Served {
+                txn,
+                attempt,
+                group,
+                snapshot_seq,
+                values: _,
+            } => {
+                let Some(o) = self.outstanding.get(&txn) else {
+                    return; // duplicate reply after a redirect race
+                };
+                if attempt != o.attempt {
+                    return; // stale attempt
+                }
+                let level = o.read_level.expect("read replies answer reads");
+                if level == ReadLevel::Session && snapshot_seq < self.token(group) {
+                    // The session already observed a newer snapshot (a
+                    // concurrent commit or read advanced the token while
+                    // this reply was in flight): accepting it would break
+                    // monotonic reads. Retry at another member with the
+                    // current token.
+                    ctx.metrics().incr("read_stale_replies");
+                    self.resubmit(ctx, txn, true);
+                    return;
+                }
+                let now = ctx.now();
+                let resp_ms = (now - o.sent_at).as_millis_f64();
+                let total_ms = (now - o.first_sent_at).as_millis_f64();
+                if now >= self.cfg.measure_from {
+                    ctx.metrics().record("response_ms", resp_ms);
+                    ctx.metrics().record("response_total_ms", total_ms);
+                }
+                let mut oracle = self.oracle.borrow_mut();
+                oracle.record_ack(txn, now, resp_ms);
+                oracle.record_read_ack(ReadAckRecord {
+                    txn,
+                    client: self.cfg.id,
+                    group,
+                    level: Some(level),
+                    snapshot_seq,
+                    at: now,
+                    response_ms: resp_ms,
+                });
+                drop(oracle);
+                self.advance_token(group, snapshot_seq);
+                self.outstanding.remove(&txn);
+                self.done.insert(txn);
+                if matches!(self.cfg.load, LoadModel::Closed { .. }) {
+                    self.schedule_next_arrival(ctx);
+                }
+            }
+            ReadReply::Redirect { txn, attempt, .. } => {
+                let Some(o) = self.outstanding.get(&txn) else {
+                    return;
+                };
+                if attempt != o.attempt {
+                    return;
+                }
+                // The replica could not catch up to the session within
+                // its bounded wait: rotate to the next group member.
+                ctx.metrics().incr("read_redirects_followed");
+                self.resubmit(ctx, txn, true);
             }
         }
     }
@@ -301,6 +454,13 @@ impl Actor for Client {
         let payload = match payload.downcast::<Incoming<ServerReply>>() {
             Ok(inc) => {
                 self.on_reply(ctx, inc.msg);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<ReadReply>>() {
+            Ok(inc) => {
+                self.on_read_reply(ctx, inc.msg);
                 return;
             }
             Err(p) => p,

@@ -30,7 +30,13 @@
 //!   groups: the [`ShardMap`] router (hash/range strategies), the
 //!   sharded workload generator, and — in [`server`] — the ordered
 //!   two-phase cross-group commit protocol layered on the per-group
-//!   atomic broadcasts.
+//!   atomic broadcasts,
+//! * [`reads`] — the local read path: follower reads at any replica
+//!   under three freshness levels tied to the safety spectrum
+//!   ([`ReadLevel::Stable`] at the group-stable watermark,
+//!   [`ReadLevel::Session`] with per-group session tokens and
+//!   bounded-wait redirects, [`ReadLevel::Latest`]), the broadcast-read
+//!   baseline, and the read-freshness oracle ([`audit_reads`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +45,7 @@ pub mod builder;
 pub mod certify;
 pub mod client;
 pub mod msg;
+pub mod reads;
 pub mod safety;
 pub mod scenario;
 pub mod server;
@@ -55,6 +62,9 @@ pub use groupsafe_gcs::BatchConfig;
 pub use msg::{
     ClientMsg, DsmMsg, GroupMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest,
     XgDecision, XgPrepare, XgVote,
+};
+pub use reads::{
+    audit_reads, ReadConfig, ReadLevel, ReadPath, ReadReply, ReadRequest, ReadViolation,
 };
 pub use safety::{table1, Guarantee, SafetyLevel};
 pub use scenario::{

@@ -40,6 +40,13 @@ pub enum ServerReply {
         txn: TxnId,
         /// Attempt number being answered.
         attempt: u32,
+        /// The delivery sequence number the commit was applied at in the
+        /// replying group (0 when the path carries none: read-only
+        /// transactions on the classic path, the lazy baseline). Clients
+        /// fold it into their per-group session tokens so follower reads
+        /// at [`ReadLevel::Session`](crate::reads::ReadLevel::Session)
+        /// observe their own writes.
+        commit_seq: u64,
     },
     /// The transaction was aborted (certification conflict or deadlock
     /// victim); the client may resubmit.

@@ -1060,6 +1060,9 @@ pub enum OracleViolation {
         /// Every group the transaction touched.
         groups: Vec<u32>,
     },
+    /// The read path violated one of its per-level freshness invariants
+    /// (see [`crate::reads::audit_reads`]).
+    Read(crate::reads::ReadViolation),
 }
 
 impl std::fmt::Display for OracleViolation {
@@ -1091,6 +1094,7 @@ impl std::fmt::Display for OracleViolation {
                      holds no commit for it"
                 )
             }
+            OracleViolation::Read(v) => write!(f, "read path: {v}"),
         }
     }
 }
@@ -1114,6 +1118,9 @@ pub struct ScenarioAudit {
     /// Acknowledged cross-group transactions audited for all-or-nothing
     /// (0 for unsharded runs).
     pub cross_group_audited: usize,
+    /// Locally served reads audited against the read-freshness
+    /// invariants (0 when the local read path was off).
+    pub reads_audited: usize,
 }
 
 impl ScenarioAudit {
@@ -1342,6 +1349,20 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
     }
     let quiescent = quiescent_groups == n_groups;
 
+    // The read-freshness audit: every locally served read must honour
+    // its level's invariants (session floors and monotonicity, stable
+    // reads at or below the watermark and never observing a value the
+    // loss audit later declared lost — the whole-group-failure window
+    // the level itself excuses excepted).
+    let reads_audited = {
+        let oracle = system.oracle.borrow();
+        let read_violations = crate::reads::audit_reads(&oracle, &lost, &|g| {
+            group_failed_of.get(g as usize).copied().unwrap_or(false)
+        });
+        violations.extend(read_violations.into_iter().map(OracleViolation::Read));
+        oracle.reads.len()
+    };
+
     ScenarioAudit {
         level,
         violations,
@@ -1349,6 +1370,7 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         group_failed,
         quiescent,
         cross_group_audited,
+        reads_audited,
     }
 }
 
@@ -1389,6 +1411,13 @@ pub mod fuzz {
         pub shards: u32,
         /// Cross-group transaction fraction of the generated workload.
         pub cross_fraction: f64,
+        /// Local read path under test (`None` = the classic pipeline,
+        /// the historical envelopes — plans and fingerprints replay
+        /// identically).
+        pub read_level: Option<crate::reads::ReadLevel>,
+        /// Read-only transaction fraction of the generated workload
+        /// (only meaningful with `read_level`).
+        pub read_fraction: f64,
     }
 
     impl FuzzSpec {
@@ -1406,6 +1435,8 @@ pub mod fuzz {
                 allow_loss: true,
                 shards: 1,
                 cross_fraction: 0.0,
+                read_level: None,
+                read_fraction: 0.0,
             }
         }
 
@@ -1438,7 +1469,28 @@ pub mod fuzz {
                 allow_loss: true,
                 shards: shards.max(1),
                 cross_fraction,
+                read_level: None,
+                read_fraction: 0.0,
             }
+        }
+
+        /// This envelope with read clients mixed in: a `fraction` of the
+        /// generated transactions are read-only and travel the local
+        /// read path at `level`, so every fault plan also stresses the
+        /// follower-read machinery and the read-freshness oracle audits
+        /// the outcome. Stable reads are not defined for 0-safe
+        /// (non-uniform delivery casts no stability votes); that
+        /// combination falls back to session reads.
+        pub fn with_reads(mut self, level: crate::reads::ReadLevel, fraction: f64) -> FuzzSpec {
+            use crate::reads::ReadLevel;
+            let level = if self.level == SafetyLevel::ZeroSafe && level == ReadLevel::Stable {
+                ReadLevel::Session
+            } else {
+                level
+            };
+            self.read_level = Some(level);
+            self.read_fraction = fraction.clamp(0.0, 1.0);
+            self
         }
     }
 
@@ -1757,7 +1809,7 @@ pub mod fuzz {
     /// Generate, run and audit one fuzz case.
     pub fn run_fuzz_case(seed: u64, spec: &FuzzSpec) -> FuzzOutcome {
         let plan = generate_plan(seed, spec);
-        let mut run = System::builder()
+        let mut builder = System::builder()
             .servers(spec.n_servers)
             .clients_per_server(spec.clients_per_server)
             .safety(spec.level)
@@ -1767,7 +1819,17 @@ pub mod fuzz {
             .measure(spec.measure)
             .drain(spec.drain)
             .seed(seed ^ 0x5EED_CAFE)
-            .scenario(plan.clone())
+            .scenario(plan.clone());
+        if let Some(level) = spec.read_level {
+            // The lazy baseline has no local read path (the builder
+            // rejects it); its read-mixed envelope still carries the
+            // read-only fraction through the classic pipeline.
+            if spec.level != SafetyLevel::OneSafe {
+                builder = builder.read_level(level);
+            }
+            builder = builder.read_fraction(spec.read_fraction);
+        }
+        let mut run = builder
             .build()
             .expect("a generated scenario always denotes a valid system");
         let end = SimTime::ZERO + spec.measure;

@@ -70,9 +70,10 @@ use crate::msg::{
     ClientMsg, DsmMsg, GroupMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest,
     XgDecision, XgDecisionFwd, XgPrepare, XgStatusQuery, XgSubRequest, XgVote,
 };
+use crate::reads::{ReadConfig, ReadLevel, ReadPath, ReadReply, ReadRequest};
 use crate::safety::SafetyLevel;
 use crate::shard::ShardMap;
-use crate::verify::Oracle;
+use crate::verify::{Oracle, ReadRecord};
 
 /// Which replication technique a server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +147,9 @@ pub struct ReplicaConfig {
     /// whatever [`GcsConfig`] the technique selects; ignored by
     /// [`Technique::Lazy`], which uses no group communication).
     pub batch: BatchConfig,
+    /// How read-only transactions travel (classic pipeline, broadcast,
+    /// or the local follower-read path — see [`crate::reads`]).
+    pub reads: ReadConfig,
 }
 
 impl Default for ReplicaConfig {
@@ -164,6 +168,7 @@ impl Default for ReplicaConfig {
             lazy_prop_interval: SimDuration::from_millis(20),
             disk_sequential_factor: 0.3,
             batch: BatchConfig::unbatched(),
+            reads: ReadConfig::classic(),
         }
     }
 }
@@ -190,6 +195,22 @@ enum ServerTimer {
         client: NodeId,
         /// The reply.
         reply: ServerReply,
+    },
+    /// Send a read reply to `client` now (its simulated execution
+    /// completed).
+    ReadReplyAt {
+        /// Destination client.
+        client: NodeId,
+        /// The reply.
+        reply: ReadReply,
+    },
+    /// A parked session read's bounded wait expired: redirect unless the
+    /// replica caught up meanwhile.
+    ReadWaitTimeout {
+        /// The parked read.
+        txn: TxnId,
+        /// The attempt the wait covers (a resubmission cancels it).
+        attempt: u32,
     },
     /// Send a cross-group certification vote to the coordinator now (the
     /// slice's delivery point was reached).
@@ -338,9 +359,10 @@ pub struct ReplicaServer {
     /// very-safe confirmation is sent to the delegate.
     pending_confirms: Vec<(Lsn, TxnId, NodeId)>,
     /// Delegate side of very-safe commits: per transaction, the client to
-    /// answer, the attempt, and the replicas that confirmed logging.
+    /// answer, the attempt, the delivery sequence number, and the
+    /// replicas that confirmed logging.
     very_waiting:
-        std::collections::BTreeMap<TxnId, (NodeId, u32, std::collections::BTreeSet<NodeId>)>,
+        std::collections::BTreeMap<TxnId, (NodeId, u32, u64, std::collections::BTreeSet<NodeId>)>,
     /// Confirmations that arrived before this delegate's own delivery
     /// opened the waiting entry (its local GC persist can lag behind a
     /// fast peer's whole flush-and-confirm path).
@@ -368,6 +390,16 @@ pub struct ReplicaServer {
     /// Last version this delegate assigned (lazy technique): versions must
     /// be unique per node or the Thomas write rule diverges on ties.
     last_lazy_version: Version,
+    /// Session reads parked until the applied state reaches their token
+    /// (bounded by the read config's `max_wait`, then redirected).
+    parked_reads: std::collections::BTreeMap<TxnId, ReadRequest>,
+    /// The sequence number the replica's *recovered* state corresponds
+    /// to: `applied_seq` restarts at 0 after a crash while the redone
+    /// WAL prefix (or an installed checkpoint) already reflects newer
+    /// versions — reads must serve at the max of both, or a read served
+    /// right after recovery would claim a snapshot older than the
+    /// values it returns.
+    state_floor: u64,
     up: bool,
 
     // Audit metadata for the scenario oracle (not replica state: it
@@ -463,6 +495,8 @@ impl ReplicaServer {
             xg_pending: std::collections::BTreeMap::new(),
             xg_forwarded: std::collections::BTreeMap::new(),
             last_lazy_version: 0,
+            parked_reads: std::collections::BTreeMap::new(),
+            state_floor: 0,
             up: true,
             crashes: 0,
             transfers: 0,
@@ -650,6 +684,163 @@ impl ReplicaServer {
             Technique::Dsm(_) => self.run_dsm_read_phase(ctx, id),
             Technique::Lazy => self.continue_lazy(ctx, id),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The local read path (follower reads; see `crate::reads`)
+    // ------------------------------------------------------------------
+
+    /// The group-stable watermark this replica's group communication
+    /// endpoint exports (its applied head for techniques without one —
+    /// degenerate, since the local path is only wired for DSM levels).
+    fn stable_watermark(&self) -> u64 {
+        self.gcs
+            .as_ref()
+            .map_or(self.applied_seq, |g| g.stable_watermark())
+    }
+
+    /// The delivery sequence number this replica's committed state
+    /// corresponds to (the applied head, floored by what recovery
+    /// rebuilt — see `state_floor`).
+    fn state_seq(&self) -> u64 {
+        self.applied_seq.max(self.state_floor)
+    }
+
+    /// A read-only transaction arrived on the local read path: serve it
+    /// at the requested freshness level, park it (session level, behind
+    /// its token) or — never — broadcast it.
+    fn on_read_request(&mut self, ctx: &mut Ctx<'_>, req: ReadRequest) {
+        ctx.metrics().incr("read_requests");
+        self.charge_net_cpu(ctx.now());
+        if req.level == ReadLevel::Session && self.state_seq() < req.token {
+            // Behind the session: wait (bounded) for the applied state to
+            // catch up instead of serving a stale snapshot.
+            ctx.metrics().incr("read_parked");
+            let attempt = req.attempt;
+            let txn = req.id;
+            self.parked_reads.insert(txn, req);
+            ctx.timer(
+                self.cfg.reads.max_wait,
+                ServerTimer::ReadWaitTimeout { txn, attempt },
+            );
+            return;
+        }
+        self.serve_read(ctx, req);
+    }
+
+    /// Execute a read at its level's snapshot and schedule the reply at
+    /// the simulated completion instant.
+    fn serve_read(&mut self, ctx: &mut Ctx<'_>, req: ReadRequest) {
+        let now = ctx.now();
+        let applied = self.state_seq();
+        // The stability evidence this replica holds: the live vote
+        // watermark its endpoint exports, floored by the recovered
+        // state's horizon (uniform delivery hands nothing up before it
+        // is stable, so state a pre-crash incarnation applied — and a
+        // crash redo rebuilt — was stable by construction, even though
+        // the vote bookkeeping died with the crash). `applied` is
+        // deliberately NOT folded in: if delivery ever outran
+        // stability tracking, stable reads would pin *below* the
+        // applied head — served from the multi-version store — rather
+        // than silently serve unproven state. (The builder rejects
+        // stable reads for non-uniform techniques, whose endpoints
+        // cast no votes at all.)
+        let stable = self.stable_watermark().max(self.state_floor);
+        // The snapshot each level pins: `Stable` never exceeds the
+        // stability evidence; `Session`/`Latest` serve the freshest
+        // applied state (the session guarantee is a floor, not a pin).
+        let (snapshot, limit) = match req.level {
+            ReadLevel::Stable => {
+                let s = stable.min(applied);
+                (s, s)
+            }
+            ReadLevel::Session | ReadLevel::Latest => (applied, u64::MAX),
+        };
+        let mut cursor = now;
+        let mut values = Vec::with_capacity(req.items.len());
+        let mut observed = Vec::with_capacity(req.items.len());
+        for &item in &req.items {
+            let r = self.db.read_versioned(cursor, item, limit);
+            values.push((item, r.value, r.version));
+            observed.push((item, r.version));
+            cursor = r.done;
+        }
+        ctx.metrics().incr("reads_served");
+        self.oracle.borrow_mut().record_read(ReadRecord {
+            txn: req.id,
+            client: req.id.client,
+            group: self.group,
+            level: req.level,
+            token: req.token,
+            snapshot_seq: snapshot,
+            stable_seq: stable,
+            applied_seq: applied,
+            at: now,
+            items: observed,
+        });
+        let reply = ReadReply::Served {
+            txn: req.id,
+            attempt: req.attempt,
+            group: self.group,
+            snapshot_seq: snapshot,
+            values,
+        };
+        let delay = cursor - now;
+        ctx.timer(
+            delay,
+            ServerTimer::ReadReplyAt {
+                client: req.client,
+                reply,
+            },
+        );
+    }
+
+    /// Serve every parked session read the applied state has caught up
+    /// to (called after each delivery advances `applied_seq`).
+    fn drain_parked_reads(&mut self, ctx: &mut Ctx<'_>) {
+        if self.parked_reads.is_empty() {
+            return;
+        }
+        let state = self.state_seq();
+        let ready: Vec<TxnId> = self
+            .parked_reads
+            .iter()
+            .filter(|(_, r)| r.token <= state)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in ready {
+            let req = self.parked_reads.remove(&t).expect("present");
+            self.serve_read(ctx, req);
+        }
+    }
+
+    /// A parked read's bounded wait expired: answer with a redirect so
+    /// the client retries at a fresher group member.
+    fn on_read_wait_timeout(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, attempt: u32) {
+        let Some(req) = self.parked_reads.get(&txn) else {
+            return; // served meanwhile
+        };
+        if req.attempt != attempt {
+            return; // a resubmission owns the entry now
+        }
+        let req = self.parked_reads.remove(&txn).expect("present");
+        ctx.metrics().incr("read_redirects");
+        self.oracle.borrow_mut().record_read_redirect(self.group);
+        let at = self.charge_net_cpu(ctx.now());
+        let reply = ReadReply::Redirect {
+            txn,
+            attempt: req.attempt,
+            group: self.group,
+            applied_seq: self.applied_seq,
+        };
+        let delay = at - ctx.now();
+        ctx.timer(
+            delay,
+            ServerTimer::ReadReplyAt {
+                client: req.client,
+                reply,
+            },
+        );
     }
 
     /// Coordinator entry point of a cross-group transaction: slice the
@@ -891,19 +1082,31 @@ impl ReplicaServer {
             return;
         }
         if !exec.req.is_update() {
-            // Read-only: commits locally without interaction (Fig. 2 note).
-            ctx.metrics().incr("txn_readonly");
-            let at = self.charge_net_cpu(ctx.now());
-            self.reply_at(
-                ctx,
-                at,
-                exec.req.client,
-                ServerReply::Committed {
-                    txn,
-                    attempt: exec.req.attempt,
-                },
-            );
-            return;
+            if self.cfg.reads.path != ReadPath::Broadcast {
+                // Read-only: commits locally without interaction (Fig. 2
+                // note) — the classic path. (The local read path answers
+                // read-only transactions before they ever reach the
+                // transaction pipeline; this branch still serves the ones
+                // it falls back on, e.g. cross-group read-only.)
+                ctx.metrics().incr("txn_readonly");
+                let at = self.charge_net_cpu(ctx.now());
+                self.reply_at(
+                    ctx,
+                    at,
+                    exec.req.client,
+                    ServerReply::Committed {
+                        txn,
+                        attempt: exec.req.attempt,
+                        commit_seq: 0,
+                    },
+                );
+                return;
+            }
+            // Broadcast reads: the read-only transaction's read set goes
+            // through the full ordering round and certifies at delivery
+            // like an update — strictly serializable reads, the baseline
+            // the local read path is benchmarked against.
+            ctx.metrics().incr("txn_readonly_broadcast");
         }
         let msg = DsmMsg {
             txn,
@@ -933,6 +1136,7 @@ impl ReplicaServer {
                 ServerReply::Committed {
                     txn,
                     attempt: exec.req.attempt,
+                    commit_seq: 0,
                 },
             );
             let granted = self.db.locks().release_all(txn);
@@ -982,6 +1186,7 @@ impl ReplicaServer {
             ServerReply::Committed {
                 txn,
                 attempt: exec.req.attempt,
+                commit_seq: 0,
             },
         );
         self.lazy_buffer.push((txn, writes));
@@ -1103,7 +1308,10 @@ impl ReplicaServer {
                     })
                     .collect();
                 let res = self.db.commit(decided_at, msg.txn, &writes);
-                if !res.duplicate {
+                if !res.duplicate && !writes.is_empty() {
+                    // Broadcast read-only transactions leave no commit
+                    // record: like classic read-only commits they promise
+                    // no durability, so the loss audit must not demand it.
                     ctx.metrics().incr("txn_committed");
                     self.oracle.borrow_mut().record_commit(
                         msg.txn,
@@ -1147,7 +1355,7 @@ impl ReplicaServer {
                     if is_delegate {
                         let early = self.very_early.remove(&msg.txn).unwrap_or_default();
                         self.very_waiting
-                            .insert(msg.txn, (msg.client, msg.attempt, early));
+                            .insert(msg.txn, (msg.client, msg.attempt, seq, early));
                         ctx.metrics().incr("very_waiting_opened");
                         self.check_very_complete(ctx, msg.txn);
                     }
@@ -1163,11 +1371,17 @@ impl ReplicaServer {
                     if is_delegate {
                         let early = self.very_early.remove(&msg.txn).unwrap_or_default();
                         let entry = self.very_waiting.entry(msg.txn).or_insert_with(|| {
-                            (msg.client, msg.attempt, std::collections::BTreeSet::new())
+                            (
+                                msg.client,
+                                msg.attempt,
+                                seq,
+                                std::collections::BTreeSet::new(),
+                            )
                         });
                         entry.0 = msg.client;
                         entry.1 = msg.attempt;
-                        entry.2.extend(early);
+                        entry.2 = seq;
+                        entry.3.extend(early);
                         ctx.metrics().incr("very_waiting_reopened");
                     }
                     // The original record sits at an unknown earlier LSN;
@@ -1200,6 +1414,7 @@ impl ReplicaServer {
                     let reply = ServerReply::Committed {
                         txn: msg.txn,
                         attempt: msg.attempt,
+                        commit_seq: seq,
                     };
                     self.reply_at(ctx, processed_at, msg.client, reply);
                 }
@@ -1423,6 +1638,7 @@ impl ReplicaServer {
                 ServerReply::Committed {
                     txn: d.txn,
                     attempt: d.attempt,
+                    commit_seq: seq,
                 },
             );
         }
@@ -1618,6 +1834,7 @@ impl ReplicaServer {
                 GcsOutput::InstallState { state, applied_seq } => {
                     self.db.install_checkpoint(state);
                     self.applied_seq = applied_seq;
+                    self.state_floor = self.state_floor.max(applied_seq);
                     self.transfers += 1;
                     // The transferred state may carry in-flight
                     // cross-group reservations: resume probing for their
@@ -1637,6 +1854,9 @@ impl ReplicaServer {
                 }
             }
         }
+        // Deliveries (and state installs) advanced the applied head:
+        // parked session reads may be servable now.
+        self.drain_parked_reads(ctx);
     }
 
     // ------------------------------------------------------------------
@@ -1689,6 +1909,11 @@ impl ReplicaServer {
             }
             ServerTimer::PageFlushTick => {
                 self.db.flush_pages(ctx.now());
+                // Multi-version retention is bounded by the group-stable
+                // watermark: snapshots below it are unreachable by any
+                // read level, so their versions can go.
+                self.db
+                    .prune_versions(self.stable_watermark().min(self.applied_seq));
                 ctx.timer(self.cfg.page_flush_interval, ServerTimer::PageFlushTick);
             }
             ServerTimer::LazyPropTick => {
@@ -1709,6 +1934,13 @@ impl ReplicaServer {
             ServerTimer::Reply { client, reply } => {
                 self.charge_net_cpu(ctx.now());
                 self.net.send(ctx, self.node, client, reply);
+            }
+            ServerTimer::ReadReplyAt { client, reply } => {
+                self.charge_net_cpu(ctx.now());
+                self.net.send(ctx, self.node, client, reply);
+            }
+            ServerTimer::ReadWaitTimeout { txn, attempt } => {
+                self.on_read_wait_timeout(ctx, txn, attempt)
             }
             ServerTimer::XgVoteAt { to, vote } => {
                 if to == self.node {
@@ -1743,7 +1975,7 @@ impl ReplicaServer {
             ctx.metrics().incr("very_confirms_early");
             return;
         };
-        entry.2.insert(from);
+        entry.3.insert(from);
         self.check_very_complete(ctx, txn);
     }
 
@@ -1752,11 +1984,20 @@ impl ReplicaServer {
         let Some(entry) = self.very_waiting.get(&txn) else {
             return;
         };
-        if entry.2.len() == self.n_servers as usize {
+        if entry.3.len() == self.n_servers as usize {
             ctx.metrics().incr("very_replies");
-            let (client, attempt, _) = self.very_waiting.remove(&txn).expect("present");
+            let (client, attempt, commit_seq, _) = self.very_waiting.remove(&txn).expect("present");
             let at = self.charge_net_cpu(ctx.now());
-            self.reply_at(ctx, at, client, ServerReply::Committed { txn, attempt });
+            self.reply_at(
+                ctx,
+                at,
+                client,
+                ServerReply::Committed {
+                    txn,
+                    attempt,
+                    commit_seq,
+                },
+            );
         }
     }
 
@@ -1789,6 +2030,7 @@ impl Actor for ReplicaServer {
                     gcs.restart_group(ctx, cmd.members.clone(), cmd.seq_base);
                 }
                 self.applied_seq = cmd.seq_base;
+                self.state_floor = self.state_floor.max(cmd.seq_base);
                 self.apply_cursor = ctx.now();
                 // Cross-group state died with the group: in-flight
                 // reservations can never be decided (their coordinator
@@ -1811,6 +2053,7 @@ impl Actor for ReplicaServer {
         let payload = match payload.downcast::<InstallCheckpointCmd>() {
             Ok(cmd) => {
                 self.db.install_checkpoint(cmd.0);
+                self.state_floor = self.state_floor.max(self.db.max_version());
                 return;
             }
             Err(p) => p,
@@ -1819,6 +2062,13 @@ impl Actor for ReplicaServer {
             Ok(inc) => {
                 let ClientMsg::Request(req) = inc.msg;
                 self.on_request(ctx, req);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<Incoming<ReadRequest>>() {
+            Ok(inc) => {
+                self.on_read_request(ctx, inc.msg);
                 return;
             }
             Err(p) => p,
@@ -1907,6 +2157,7 @@ impl Actor for ReplicaServer {
         self.very_waiting.clear();
         self.very_early.clear();
         self.lazy_buffer.clear();
+        self.parked_reads.clear();
         self.xg_coord.clear();
         self.xg_decided.clear();
         self.xg_pending.clear();
@@ -1921,6 +2172,10 @@ impl Actor for ReplicaServer {
         self.up = true;
         // Local database recovery: redo the durable WAL prefix.
         self.db.crash();
+        // The redone state reflects versions up to its durable prefix;
+        // reads served before catch-up must claim at least that
+        // snapshot (`applied_seq` restarts at 0 below).
+        self.state_floor = self.state_floor.max(self.db.max_version());
         self.applied_seq = 0;
         self.apply_cursor = ctx.now();
         let mut outputs = Vec::new();

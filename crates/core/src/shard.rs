@@ -389,11 +389,14 @@ fn draw_group_item(spec: &WorkloadSpec, map: &ShardMap, g: u32, rng: &mut StdRng
 }
 
 /// One transaction routed within `groups` (one entry = single-group, two
-/// entries = cross-group with at least one operation in each).
+/// entries = cross-group with at least one operation in each). With
+/// `force_reads` every operation is a read (the routed form of the
+/// spec's read-only fraction).
 fn generate_routed_txn(
     spec: &WorkloadSpec,
     map: &ShardMap,
     groups: &[u32],
+    force_reads: bool,
     rng: &mut StdRng,
 ) -> Vec<Operation> {
     let len = rng.random_range(spec.txn_len_min..=spec.txn_len_max);
@@ -408,7 +411,7 @@ fn generate_routed_txn(
             groups[rng.random_range(0..groups.len())]
         };
         let item = draw_group_item(spec, map, g, rng);
-        if rng.random_bool(spec.write_probability) {
+        if !force_reads && rng.random_bool(spec.write_probability) {
             ops.push(Operation::Write(
                 item,
                 rng.random_range(-1_000_000..1_000_000),
@@ -438,6 +441,10 @@ pub fn sharded_generator(
         if n <= 1 {
             return spec.generate_txn(rng);
         }
+        // The read-mix coin is drawn only when the knob is set, so the
+        // historical draw sequence — and every seeded sharded run —
+        // replays identically at the default.
+        let readonly = spec.read_fraction > 0.0 && rng.random_bool(spec.read_fraction);
         let cross =
             cross_fraction > 0.0 && spec.txn_len_max >= 2 && rng.random_bool(cross_fraction);
         if cross {
@@ -445,10 +452,10 @@ pub fn sharded_generator(
             let b = (a + 1 + rng.random_range(0..n - 1)) % n;
             let mut spec2 = spec.clone();
             spec2.txn_len_min = spec.txn_len_min.max(2);
-            generate_routed_txn(&spec2, &map, &[a, b], rng)
+            generate_routed_txn(&spec2, &map, &[a, b], readonly, rng)
         } else {
             let g = rng.random_range(0..n);
-            generate_routed_txn(&spec, &map, &[g], rng)
+            generate_routed_txn(&spec, &map, &[g], readonly, rng)
         }
     })
 }

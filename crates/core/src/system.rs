@@ -139,6 +139,7 @@ impl System {
                     load: cfg.load,
                     timeout: cfg.client_timeout,
                     measure_from: cfg.measure_from,
+                    reads: cfg.replica.reads,
                 },
                 net.clone(),
                 oracle.clone(),

@@ -10,6 +10,8 @@ use groupsafe_db::{DbEngine, ItemId, TxnId, Version, WriteOp};
 use groupsafe_net::NodeId;
 use groupsafe_sim::SimTime;
 
+use crate::reads::ReadLevel;
+
 /// A commit as recorded at the replica that processed it.
 #[derive(Debug, Clone)]
 pub struct CommitRecord {
@@ -25,6 +27,54 @@ pub struct CommitRecord {
 #[derive(Debug, Clone, Copy)]
 pub struct AckRecord {
     /// When the client received the commit notification.
+    pub at: SimTime,
+    /// Response time of the successful attempt, milliseconds.
+    pub response_ms: f64,
+}
+
+/// A locally served read, as recorded by the replica that served it
+/// (the read-freshness oracle's server-side evidence).
+#[derive(Debug, Clone)]
+pub struct ReadRecord {
+    /// The read transaction.
+    pub txn: TxnId,
+    /// The issuing session (numeric client id).
+    pub client: u32,
+    /// The serving replica's group.
+    pub group: u32,
+    /// Freshness level requested.
+    pub level: ReadLevel,
+    /// The session token the client carried (0 for non-session levels).
+    pub token: u64,
+    /// The snapshot the read was served at.
+    pub snapshot_seq: u64,
+    /// The serving replica's group-stable watermark at serve time.
+    pub stable_seq: u64,
+    /// The serving replica's applied head at serve time.
+    pub applied_seq: u64,
+    /// Serve instant.
+    pub at: SimTime,
+    /// Items observed, with the committed versions returned.
+    pub items: Vec<(ItemId, Version)>,
+}
+
+/// A read-only transaction's acknowledgement as accepted by the client
+/// (the read-freshness oracle's session-order evidence; `level` is
+/// `None` for reads that rode the classic or broadcast pipeline).
+#[derive(Debug, Clone)]
+pub struct ReadAckRecord {
+    /// The read transaction.
+    pub txn: TxnId,
+    /// The accepting session (numeric client id).
+    pub client: u32,
+    /// The group the read was served from.
+    pub group: u32,
+    /// Freshness level (None = classic/broadcast pipeline).
+    pub level: Option<ReadLevel>,
+    /// The snapshot the session observed (0 when the pipeline carries
+    /// no snapshot, i.e. classic/broadcast reads).
+    pub snapshot_seq: u64,
+    /// Acceptance instant.
     pub at: SimTime,
     /// Response time of the successful attempt, milliseconds.
     pub response_ms: f64,
@@ -55,6 +105,13 @@ pub struct Oracle {
     pub commit_acks: u64,
     /// Client-side timeouts (requests that got no reply in time).
     pub timeouts: u64,
+    /// Locally served reads, in serve order (read-freshness oracle).
+    pub reads: Vec<ReadRecord>,
+    /// Read-only transaction acknowledgements, in client-accept order.
+    pub read_acks: Vec<ReadAckRecord>,
+    /// Session reads a lagging replica answered with a redirect, per
+    /// serving group.
+    pub read_redirects_by_group: BTreeMap<u32, u64>,
 }
 
 impl Oracle {
@@ -79,6 +136,27 @@ impl Oracle {
             groups,
             coordinator_group,
         });
+    }
+
+    /// Record a locally served read (server side, at serve time).
+    pub fn record_read(&mut self, rec: ReadRecord) {
+        self.reads.push(rec);
+    }
+
+    /// Record a read-only transaction's acknowledgement (client side, in
+    /// session-accept order — the monotonic-reads evidence).
+    pub fn record_read_ack(&mut self, rec: ReadAckRecord) {
+        self.read_acks.push(rec);
+    }
+
+    /// Count a session-read redirect answered by a replica of `group`.
+    pub fn record_read_redirect(&mut self, group: u32) {
+        *self.read_redirects_by_group.entry(group).or_insert(0) += 1;
+    }
+
+    /// Session-read redirects over the whole run, all groups.
+    pub fn read_redirects(&self) -> u64 {
+        self.read_redirects_by_group.values().sum()
     }
 
     /// Record a client-side acknowledgement.

@@ -35,6 +35,13 @@ pub struct DbConfig {
     /// WAL flush policy (chosen by the replication technique's safety
     /// level: sync for 1-safe/group-1-safe, async for group-safe).
     pub flush_policy: FlushPolicy,
+    /// Maximum retained versions per item in the multi-version store
+    /// backing snapshot reads (0 disables version retention — the
+    /// engine then keeps only the committed head, the seed behavior).
+    /// Versions below the pruning watermark are dropped down to the
+    /// newest one at or below it, so a snapshot at the watermark stays
+    /// servable; the cap is a safety valve against a stalled watermark.
+    pub mvcc_depth: usize,
 }
 
 impl Default for DbConfig {
@@ -45,6 +52,7 @@ impl Default for DbConfig {
             cpu_per_op: SimDuration::from_micros(50),
             buffer: BufferModel::Probabilistic { hit_ratio: 0.2 },
             flush_policy: FlushPolicy::Sync,
+            mvcc_depth: 0,
         }
     }
 }
@@ -113,6 +121,16 @@ pub struct DbEngine {
     /// redoes it; it is *not* part of [`DbEngine::state_digest`] (a
     /// quiesced system has released every reservation).
     reservations: BTreeMap<ItemId, (TxnId, u32)>,
+    /// Bounded multi-version store backing snapshot reads: per item, the
+    /// retained `(version, state)` chain in ascending version order
+    /// (versions are delivery sequence numbers under the DSM technique).
+    /// Populated only when `config.mvcc_depth > 0`; pruned at the
+    /// group-stable watermark by [`DbEngine::prune_versions`].
+    history: BTreeMap<ItemId, Vec<(Version, ItemState)>>,
+    /// Chains the version cap forced below the pruning floor (a stalled
+    /// watermark outran `mvcc_depth`; snapshot reads below the floor
+    /// then serve the oldest retained version).
+    mvcc_evictions: u64,
 
     // Stable.
     wal: Wal,
@@ -147,6 +165,8 @@ impl DbEngine {
             dirty_pages: 0,
             stats: DbStats::default(),
             reservations: BTreeMap::new(),
+            history: BTreeMap::new(),
+            mvcc_evictions: 0,
             wal: Wal::new(log_disk),
             config,
             cpu,
@@ -307,6 +327,119 @@ impl DbEngine {
         }
     }
 
+    /// Read `item` at `now` from the snapshot at or below version
+    /// `limit`: same simulated timing as [`DbEngine::read`], but the
+    /// value and version come from the multi-version store ([`DbConfig::
+    /// mvcc_depth`]). With `limit == u64::MAX` (or the store disabled)
+    /// this is exactly a committed-head read.
+    pub fn read_versioned(&mut self, now: SimTime, item: ItemId, limit: Version) -> ReadResult {
+        let head = self.read(now, item);
+        if limit == Version::MAX || self.config.mvcc_depth == 0 || head.version <= limit {
+            return head;
+        }
+        let s = self.version_at(item, limit);
+        ReadResult {
+            done: head.done,
+            value: s.value,
+            version: s.version,
+        }
+    }
+
+    /// The state of `item` in the snapshot at or below version `limit`:
+    /// the newest retained version `≤ limit`, the never-written default
+    /// when the item has no retained version that old, or — if the cap
+    /// evicted the snapshot's floor — the oldest version still retained.
+    pub fn version_at(&self, item: ItemId, limit: Version) -> ItemState {
+        let head = self.items[item.index()];
+        if head.version <= limit {
+            return head;
+        }
+        let Some(chain) = self.history.get(&item) else {
+            // No retained history (store disabled or item chain pruned
+            // to the head): the head is all we have.
+            return head;
+        };
+        if let Some(&(_, state)) = chain.iter().rev().find(|&&(v, _)| v <= limit) {
+            return state;
+        }
+        if chain.first().is_some_and(|&(v, _)| v > 0) {
+            // The floor was evicted by the depth cap: serve the oldest
+            // retained version (bounded-staleness fallback).
+            return chain.first().map(|&(_, s)| s).unwrap_or(head);
+        }
+        ItemState::default()
+    }
+
+    /// Drop retained versions below the newest one at or below `stable`
+    /// (the group-stable watermark): snapshots at or above the watermark
+    /// stay servable, everything older is unreachable by construction.
+    pub fn prune_versions(&mut self, stable: Version) {
+        if self.config.mvcc_depth == 0 {
+            return;
+        }
+        self.history.retain(|_, chain| {
+            if let Some(floor) = chain.iter().rposition(|&(v, _)| v <= stable) {
+                chain.drain(..floor);
+            }
+            // A chain collapsed to the committed head alone carries no
+            // information the item table lacks.
+            chain.len() > 1
+        });
+    }
+
+    /// Retained versions across all items (inspection/test helper).
+    pub fn mvcc_retained(&self) -> usize {
+        self.history.values().map(|c| c.len()).sum()
+    }
+
+    /// Chains the depth cap truncated below the pruning floor.
+    pub fn mvcc_evictions(&self) -> u64 {
+        self.mvcc_evictions
+    }
+
+    /// Record the committed head of `item` in the version store (called
+    /// under every apply path once the item table is updated; `old` is
+    /// the state the apply overwrote). A chain starts with the
+    /// overwritten state — the never-written default, or the single
+    /// consistent snapshot a crash redo / checkpoint install left — so
+    /// snapshots below the first retained write stay servable.
+    fn retain_version(&mut self, item: ItemId, old: ItemState) {
+        if self.config.mvcc_depth == 0 {
+            return;
+        }
+        let state = self.items[item.index()];
+        let chain = self.history.entry(item).or_default();
+        if chain.is_empty() {
+            chain.push((old.version, old));
+        }
+        match chain.last() {
+            Some(&(v, _)) if v == state.version => {
+                *chain.last_mut().expect("nonempty") = (state.version, state)
+            }
+            Some(&(v, _)) if v > state.version => {
+                // Out-of-order version (lazy Thomas-rule interleavings):
+                // insert in place to keep the chain sorted.
+                let pos = chain.partition_point(|&(cv, _)| cv < state.version);
+                chain.insert(pos, (state.version, state));
+            }
+            _ => chain.push((state.version, state)),
+        }
+        if chain.len() > self.config.mvcc_depth.max(2) {
+            chain.remove(0);
+            self.mvcc_evictions += 1;
+        }
+    }
+
+    /// Reset the version store after a crash redo or checkpoint install:
+    /// the surviving state is a single consistent snapshot, so chains of
+    /// length one are implied by the item table and nothing needs
+    /// retaining until new commits layer versions on top (the next
+    /// `retain_version` call seeds each touched chain with the snapshot
+    /// state it overwrites).
+    fn reseed_versions(&mut self) {
+        self.history.clear();
+    }
+
     /// Apply and commit `writes` for `txn` at `now`.
     ///
     /// Exactly-once: a duplicate commit is detected via the committed-
@@ -328,11 +461,13 @@ impl DbEngine {
         let cpu_time = self.config.cpu_per_op * writes.len().max(1) as u64;
         let cpu_done = self.cpu.borrow_mut().request(now, cpu_time);
         for w in writes {
+            let old = self.items[w.item.index()];
             self.items[w.item.index()] = ItemState {
                 value: w.value,
                 version: w.version,
             };
             self.buffer.mark_dirty(w.item);
+            self.retain_version(w.item, old);
         }
         self.dirty_pages += writes.len();
         self.wal.append(CommitRecord {
@@ -400,13 +535,15 @@ impl DbEngine {
         let cpu_time = self.config.cpu_per_op * writes.len().max(1) as u64;
         let cpu_done = self.cpu.borrow_mut().request(now, cpu_time);
         for w in writes {
-            if w.version > self.items[w.item.index()].version {
+            let old = self.items[w.item.index()];
+            if w.version > old.version {
                 self.items[w.item.index()] = ItemState {
                     value: w.value,
                     version: w.version,
                 };
                 self.buffer.mark_dirty(w.item);
                 self.dirty_pages += 1;
+                self.retain_version(w.item, old);
             }
         }
         CommitResult {
@@ -487,6 +624,7 @@ impl DbEngine {
         // longer matters for redo (a real system would reset the log).
         self.wal.crash();
         self.dirty_pages = 0;
+        self.reseed_versions();
     }
 
     /// Crash: volatile state is lost; rebuild the committed state by
@@ -527,6 +665,7 @@ impl DbEngine {
             }
         }
         self.reservations = reservations;
+        self.reseed_versions();
     }
 
     /// Highest committed version in the database (the sequence-number
@@ -710,6 +849,107 @@ mod tests {
             "clean now"
         );
         assert_eq!(e.stats().page_flushes, 1);
+    }
+
+    fn mvcc_engine(depth: usize) -> DbEngine {
+        let cfg = DbConfig {
+            n_items: 100,
+            flush_policy: FlushPolicy::Async,
+            mvcc_depth: depth,
+            ..DbConfig::default()
+        };
+        DbEngine::new(
+            cfg,
+            Rc::new(RefCell::new(Fcfs::new(2))),
+            Rc::new(RefCell::new(Disk::paper_default())),
+            Rc::new(RefCell::new(Disk::paper_default())),
+            StdRng::seed_from_u64(9),
+        )
+    }
+
+    #[test]
+    fn snapshot_reads_observe_older_versions() {
+        let mut e = mvcc_engine(8);
+        e.commit(SimTime::ZERO, t(1), &[w(3, 10, 2)]);
+        e.commit(SimTime::ZERO, t(2), &[w(3, 20, 5)]);
+        e.commit(SimTime::ZERO, t(3), &[w(3, 30, 9)]);
+        // Head read.
+        assert_eq!(e.version_at(ItemId(3), Version::MAX).value, 30);
+        // Snapshots between versions resolve to the newest at-or-below.
+        assert_eq!(e.version_at(ItemId(3), 9).value, 30);
+        assert_eq!(e.version_at(ItemId(3), 8).value, 20);
+        assert_eq!(e.version_at(ItemId(3), 4).value, 10);
+        // Before the first write: the never-written default.
+        assert_eq!(e.version_at(ItemId(3), 1).version, 0);
+        // An untouched item serves the default at any snapshot.
+        assert_eq!(e.version_at(ItemId(7), 3).version, 0);
+        let r = e.read_versioned(SimTime::from_secs(1), ItemId(3), 8);
+        assert_eq!((r.value, r.version), (20, 5));
+    }
+
+    #[test]
+    fn pruning_keeps_the_snapshot_floor() {
+        let mut e = mvcc_engine(8);
+        for (i, seq) in [2u64, 5, 9, 12].iter().enumerate() {
+            e.commit(
+                SimTime::ZERO,
+                t(i as u64 + 1),
+                &[w(3, 10 * (i as i64 + 1), *seq)],
+            );
+        }
+        e.prune_versions(9);
+        // The floor (seq 9) and everything above survive...
+        assert_eq!(e.version_at(ItemId(3), 9).value, 30);
+        assert_eq!(e.version_at(ItemId(3), 11).value, 30);
+        assert_eq!(e.version_at(ItemId(3), 12).value, 40);
+        // ...and the watermark bounds retention.
+        assert!(e.mvcc_retained() <= 2, "retained {}", e.mvcc_retained());
+        // Pruning at the head collapses the chain entirely.
+        e.prune_versions(12);
+        assert_eq!(e.mvcc_retained(), 0);
+        assert_eq!(e.version_at(ItemId(3), 12).value, 40);
+    }
+
+    #[test]
+    fn depth_cap_bounds_chains() {
+        let mut e = mvcc_engine(4);
+        for seq in 1..=20u64 {
+            e.commit(SimTime::ZERO, t(seq), &[w(1, seq as i64, seq)]);
+        }
+        assert!(e.mvcc_retained() <= 4, "retained {}", e.mvcc_retained());
+        assert!(e.mvcc_evictions() > 0);
+        // Snapshots below the evicted floor fall back to the oldest
+        // retained version instead of fabricating the default.
+        let oldest = e.version_at(ItemId(1), 1);
+        assert!(oldest.version >= 16, "oldest retained {oldest:?}");
+    }
+
+    #[test]
+    fn mvcc_disabled_retains_nothing() {
+        let mut e = mvcc_engine(0);
+        e.commit(SimTime::ZERO, t(1), &[w(1, 10, 2)]);
+        e.commit(SimTime::ZERO, t(2), &[w(1, 20, 5)]);
+        assert_eq!(e.mvcc_retained(), 0);
+        // version_at degrades to the committed head.
+        assert_eq!(e.version_at(ItemId(1), 3).value, 20);
+    }
+
+    #[test]
+    fn crash_and_checkpoint_reseed_versions() {
+        let mut e = mvcc_engine(8);
+        let r1 = e.commit(SimTime::ZERO, t(1), &[w(1, 10, 2)]);
+        assert!(r1.flush.is_none(), "async policy");
+        e.commit(SimTime::ZERO, t(2), &[w(1, 20, 5)]);
+        let ckpt = e.checkpoint();
+        let mut other = mvcc_engine(8);
+        other.install_checkpoint(ckpt);
+        // The transferred state is one consistent snapshot: history
+        // before it is unreachable, the head is served at any limit.
+        assert_eq!(other.mvcc_retained(), 0);
+        assert_eq!(other.version_at(ItemId(1), 5).value, 20);
+        other.commit(SimTime::ZERO, t(3), &[w(1, 30, 9)]);
+        assert_eq!(other.version_at(ItemId(1), 5).value, 20);
+        assert_eq!(other.version_at(ItemId(1), 9).value, 30);
     }
 
     #[test]

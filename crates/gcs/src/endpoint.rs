@@ -185,6 +185,9 @@ pub struct GcsEndpoint<P, S> {
     /// Every sequence number at or below this is known stable (learned
     /// from peers during catch-up; rebuilt after crashes).
     stable_floor: u64,
+    /// Cached head of the contiguous known-stable prefix (advanced as
+    /// stability votes land; see [`GcsEndpoint::stable_watermark`]).
+    stable_mark: u64,
     /// Highest sequence number seen in any entry.
     max_seq_seen: u64,
     /// Failure detector bookkeeping.
@@ -287,6 +290,7 @@ where
             persisted: BTreeSet::new(),
             next_deliver: 1,
             stable_floor: 0,
+            stable_mark: 0,
             max_seq_seen: 0,
             last_heard: BTreeMap::new(),
             suspected: BTreeSet::new(),
@@ -1075,6 +1079,32 @@ where
             return; // stale vote for a superseded incarnation
         }
         slot.1.insert(from);
+        self.bump_stable_mark();
+    }
+
+    /// Advance the cached contiguous-stable head past every sequence
+    /// number whose stability is now known (amortised O(1) per vote).
+    fn bump_stable_mark(&mut self) {
+        let mut s = self.stable_mark.max(self.stable_floor);
+        while self.is_stable(s + 1) {
+            s += 1;
+        }
+        self.stable_mark = s;
+    }
+
+    /// The group-stable watermark: the highest sequence number `S` such
+    /// that every entry at or below `S` is known stable — held by a
+    /// majority of the view/group (and, in the crash-recovery model,
+    /// persisted before the vote). This is the paper's group-stability
+    /// line: no failure the configured guarantee tolerates can lose an
+    /// entry at or below it, which is exactly what the read path's
+    /// `ReadLevel::Stable` serves under. May briefly exceed the delivery
+    /// head (stable entries not yet handed up) or trail it (entries
+    /// flushed by a view change before their votes were counted — the
+    /// view agreement makes those stable too, and the accessor reflects
+    /// it as soon as the install raises the floor).
+    pub fn stable_watermark(&self) -> u64 {
+        self.stable_mark.max(self.stable_floor)
     }
 
     fn is_stable(&self, seq: u64) -> bool {
@@ -1556,6 +1586,12 @@ where
         // recomputed sequence assignment below.
         self.rollback_accumulator();
         self.flush_up_to(ctx, watermark, out);
+        if self.cfg.guarantee == DeliveryGuarantee::Uniform {
+            // Every member of the incoming view holds the flushed prefix
+            // (the view-change agreement), so it is group-stable even
+            // where the per-seq votes never completed.
+            self.stable_floor = self.stable_floor.max(watermark);
+        }
         self.view = view.clone();
         self.vc = None;
         // Joiners the new view already contains joined through another
@@ -1804,6 +1840,11 @@ where
         // Deliver the tail (checkpoint gap) immediately: these entries were
         // flushed, so every member of the view holds them.
         self.flush_up_to(ctx, watermark, out);
+        if self.cfg.guarantee == DeliveryGuarantee::Uniform {
+            // The transferred prefix is held by every member of the view
+            // (it was flushed into the checkpoint): group-stable.
+            self.stable_floor = self.stable_floor.max(watermark);
+        }
         // A live member that demoted and rejoined may still hold
         // broadcasts the abandoned lineage never ordered; re-forward
         // them to the surviving sequencer (no-op for freshly recovered
@@ -1996,6 +2037,7 @@ where
         self.persisted.clear();
         self.next_deliver = 1;
         self.stable_floor = 0;
+        self.stable_mark = 0;
         self.max_seq_seen = 0;
         self.last_heard.clear();
         self.suspected.clear();
@@ -2156,6 +2198,9 @@ where
         // from them never regress below the recovered application state.
         self.next_deliver = seq_base + 1;
         self.max_seq_seen = seq_base;
+        // The operator-reconciled state is the fresh group's baseline:
+        // every member restarts from it, so it is stable by construction.
+        self.stable_floor = seq_base;
         if self.view.coordinator() == Some(self.me) {
             self.seq_assign = Some(seq_base + 1);
         }

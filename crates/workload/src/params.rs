@@ -41,6 +41,10 @@ pub struct PaperParams {
     pub hot_access_fraction: f64,
     /// Fraction of the database forming the hot set.
     pub hot_set_fraction: f64,
+    /// Fraction of generated transactions that are read-only (not in
+    /// Table 4; 0 reproduces the paper's workload exactly — reads then
+    /// only occur inside mixed transactions per `write_probability`).
+    pub read_fraction: f64,
 }
 
 impl Default for PaperParams {
@@ -66,6 +70,7 @@ impl Default for PaperParams {
             // workload (abort rate then falls to ~2 %).
             hot_access_fraction: 0.15,
             hot_set_fraction: 0.02,
+            read_fraction: 0.0,
         }
     }
 }
@@ -101,6 +106,7 @@ impl PaperParams {
             write_probability: self.write_probability,
             hot_access_fraction: self.hot_access_fraction,
             hot_set_fraction: self.hot_set_fraction,
+            read_fraction: self.read_fraction,
         }
     }
 

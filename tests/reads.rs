@@ -1,0 +1,438 @@
+//! The local read path: follower reads at the three freshness levels,
+//! session-token behavior, the read-freshness oracle (positive runs and
+//! the negative controls), and the broadcast-read baseline.
+
+use groupsafe::core::reads::{audit_reads, ReadLevel, ReadPath, ReadViolation};
+use groupsafe::core::scenario::{audit_scenario, OracleViolation, ScenarioPlan};
+use groupsafe::core::verify::{LostTransaction, Oracle, ReadAckRecord, ReadRecord};
+use groupsafe::core::{BuildError, Load, SafetyLevel, System};
+use groupsafe::db::{ItemId, TxnId, WriteOp};
+use groupsafe::net::NodeId;
+use groupsafe::sim::{SimDuration, SimTime};
+
+fn read_builder(level: ReadLevel, fraction: f64, seed: u64) -> groupsafe::core::SystemBuilder {
+    System::builder()
+        .servers(3)
+        .clients_per_server(2)
+        .safety(SafetyLevel::GroupSafe)
+        .read_level(level)
+        .read_fraction(fraction)
+        .load(Load::open_tps(20.0))
+        .measure(SimDuration::from_secs(5))
+        .drain(SimDuration::from_secs(2))
+        .seed(seed)
+}
+
+// ---------------------------------------------------------------------
+// The local path serves reads, at every level, and audits clean
+// ---------------------------------------------------------------------
+
+#[test]
+fn local_reads_serve_and_audit_clean_at_every_level() {
+    for level in [ReadLevel::Stable, ReadLevel::Session, ReadLevel::Latest] {
+        let mut run = read_builder(level, 0.5, 11).build().expect("valid");
+        run.run_until(SimTime::from_secs(5));
+        run.stop_clients_at(SimTime::from_secs(5));
+        run.run_until(SimTime::from_secs(7));
+        let system = run.into_system();
+        {
+            let oracle = system.oracle.borrow();
+            assert!(
+                oracle.reads.len() > 20,
+                "{level}: locally served reads expected, got {}",
+                oracle.reads.len()
+            );
+            assert!(
+                oracle.reads.iter().all(|r| r.level == level),
+                "{level}: every local read carries its level"
+            );
+            // Session reads honour their token at serve time.
+            for r in &oracle.reads {
+                assert!(
+                    r.snapshot_seq >= r.token || r.level != ReadLevel::Session,
+                    "{level}: read {:?} served at {} below token {}",
+                    r.txn,
+                    r.snapshot_seq,
+                    r.token
+                );
+            }
+        }
+        let audit = audit_scenario(&ScenarioPlan::new(), &system, SafetyLevel::GroupSafe);
+        assert!(audit.clean(), "{level}: {:?}", audit.violations);
+        assert!(audit.reads_audited > 20, "{level}: audit saw the reads");
+        assert!(system.lost_transactions().is_empty(), "{level}");
+    }
+}
+
+#[test]
+fn read_report_carries_throughput_and_staleness() {
+    let report = read_builder(ReadLevel::Session, 0.6, 23)
+        .build()
+        .expect("valid")
+        .execute();
+    assert!(report.reads > 20, "{report}");
+    assert!(report.read_tps > 4.0, "{report}");
+    assert!(report.read_mean_ms > 0.0, "{report}");
+    assert!(report.is_safe_and_convergent(), "{report}");
+    let json = report.to_json();
+    assert!(json.contains("\"reads\":"), "{json}");
+    assert!(json.contains("\"read_tps\":"), "{json}");
+    assert!(json.contains("\"read_staleness\":"), "{json}");
+}
+
+#[test]
+fn session_tokens_advance_with_commits_and_reads() {
+    let mut run = read_builder(ReadLevel::Session, 0.5, 31)
+        .build()
+        .expect("valid");
+    run.run_until(SimTime::from_secs(5));
+    run.stop_clients_at(SimTime::from_secs(5));
+    run.run_until(SimTime::from_secs(7));
+    let system = run.into_system();
+    let oracle = system.oracle.borrow();
+    // Sessions that wrote before reading carry non-zero tokens: the
+    // read-your-writes floor is actually exercised, not vacuous.
+    let tokened = oracle.reads.iter().filter(|r| r.token > 0).count();
+    assert!(
+        tokened > 5,
+        "tokened session reads expected, got {tokened}/{}",
+        oracle.reads.len()
+    );
+    // Monotonic reads per session (ack order), by construction.
+    let viols = audit_reads(&oracle, &[], &|_| false);
+    assert!(viols.is_empty(), "{viols:?}");
+}
+
+#[test]
+fn sharded_reads_stay_per_group_and_report_per_group() {
+    let report = System::builder()
+        .servers(3)
+        .clients_per_server(2)
+        .safety(SafetyLevel::GroupSafe)
+        .shards(3)
+        .read_level(ReadLevel::Session)
+        .read_fraction(0.5)
+        .load(Load::open_tps(45.0))
+        .measure(SimDuration::from_secs(5))
+        .drain(SimDuration::from_secs(2))
+        .seed(41)
+        .build()
+        .expect("valid")
+        .execute();
+    assert!(report.reads > 30, "{report}");
+    assert_eq!(report.groups.len(), 3);
+    let spread: Vec<usize> = report.groups.iter().map(|g| g.reads).collect();
+    assert!(
+        spread.iter().filter(|&&r| r > 0).count() >= 2,
+        "reads spread over groups: {spread:?}"
+    );
+    assert!(report.is_safe_and_convergent(), "{report}");
+}
+
+// ---------------------------------------------------------------------
+// Levels differ where they should
+// ---------------------------------------------------------------------
+
+#[test]
+fn stable_reads_never_exceed_the_watermark() {
+    let mut run = read_builder(ReadLevel::Stable, 0.5, 53)
+        .build()
+        .expect("valid");
+    run.run_until(SimTime::from_secs(5));
+    run.stop_clients_at(SimTime::from_secs(5));
+    run.run_until(SimTime::from_secs(7));
+    let system = run.into_system();
+    let oracle = system.oracle.borrow();
+    for r in &oracle.reads {
+        assert!(r.snapshot_seq <= r.stable_seq, "{r:?}");
+        assert!(r.snapshot_seq <= r.applied_seq, "{r:?}");
+        for &(item, version) in &r.items {
+            assert!(version <= r.snapshot_seq, "{item:?}@{version} in {r:?}");
+        }
+    }
+}
+
+#[test]
+fn unsupported_read_configurations_are_typed_errors() {
+    // The lazy baseline serves reads through its own 2PL execution.
+    let err = System::builder()
+        .safety(SafetyLevel::OneSafe)
+        .read_level(ReadLevel::Latest)
+        .build()
+        .err();
+    assert!(
+        matches!(err, Some(BuildError::UnsupportedReads { .. })),
+        "{err:?}"
+    );
+    let err = System::builder()
+        .safety(SafetyLevel::OneSafe)
+        .read_path(ReadPath::Broadcast)
+        .build()
+        .err();
+    assert!(
+        matches!(err, Some(BuildError::UnsupportedReads { .. })),
+        "{err:?}"
+    );
+    // 0-safe's non-uniform delivery casts no stability votes: no
+    // watermark to serve stable reads under.
+    let err = System::builder()
+        .safety(SafetyLevel::ZeroSafe)
+        .read_level(ReadLevel::Stable)
+        .build()
+        .err();
+    assert!(
+        matches!(err, Some(BuildError::UnsupportedReads { .. })),
+        "{err:?}"
+    );
+    // Session/latest reads are fine at 0-safe.
+    assert!(System::builder()
+        .safety(SafetyLevel::ZeroSafe)
+        .read_level(ReadLevel::Session)
+        .build()
+        .is_ok());
+}
+
+// ---------------------------------------------------------------------
+// The broadcast baseline
+// ---------------------------------------------------------------------
+
+#[test]
+fn broadcast_reads_pay_the_ordering_round() {
+    let classic = read_builder(ReadLevel::Latest, 0.6, 67)
+        .read_path(ReadPath::Classic)
+        .build()
+        .expect("valid")
+        .execute();
+    let broadcast = read_builder(ReadLevel::Latest, 0.6, 67)
+        .read_path(ReadPath::Broadcast)
+        .build()
+        .expect("valid")
+        .execute();
+    assert!(classic.reads > 20, "{classic}");
+    assert!(broadcast.reads > 0, "{broadcast}");
+    // Broadcast reads ride the abcast: the same workload orders far
+    // more entries than the classic path (which broadcasts only the
+    // updates).
+    assert!(
+        broadcast.votes_per_delivery > 0.0 && broadcast.commits > 0,
+        "{broadcast}"
+    );
+    assert!(broadcast.is_safe_and_convergent(), "{broadcast}");
+    assert!(
+        broadcast.read_mean_ms > classic.read_mean_ms,
+        "an ordered read costs more than a delegate-local one: \
+         broadcast {:.2} ms vs classic {:.2} ms",
+        broadcast.read_mean_ms,
+        classic.read_mean_ms
+    );
+}
+
+/// Bounded-wait redirects fire when a replica's delivery head stalls
+/// behind a session (here: a loss burst gaps its ordered stream until
+/// gap repair, while the session's token keeps advancing through
+/// commits answered by up-to-date replicas) — and the run still audits
+/// clean: the redirect protocol trades latency, never freshness.
+#[test]
+fn lagging_replicas_redirect_session_reads() {
+    let plan = ScenarioPlan::new().loss_burst(
+        SimTime::from_millis(1_500),
+        0.35,
+        SimDuration::from_millis(1_000),
+    );
+    let mut run = System::builder()
+        .servers(3)
+        .clients_per_server(2)
+        .safety(SafetyLevel::GroupSafe)
+        .read_level(ReadLevel::Session)
+        .read_fraction(0.5)
+        .load(Load::open_tps(60.0))
+        .measure(SimDuration::from_secs(5))
+        .drain(SimDuration::from_secs(3))
+        .scenario(plan.clone())
+        .seed(3)
+        .build()
+        .expect("valid");
+    run.run_until(SimTime::from_secs(5));
+    run.stop_clients_at(SimTime::from_secs(5));
+    run.run_until(SimTime::from_secs(8));
+    let system = run.into_system();
+    let redirects = system.oracle.borrow().read_redirects();
+    assert!(redirects > 0, "the stalled replica must have redirected");
+    assert!(system.lost_transactions().is_empty());
+    let audit = audit_scenario(&plan, &system, SafetyLevel::GroupSafe);
+    assert!(audit.clean(), "{:?}", audit.violations);
+}
+
+// ---------------------------------------------------------------------
+// Read clients mixed into the scenario fuzzer (smoke; CI runs the
+// 50-seed sweeps per level)
+// ---------------------------------------------------------------------
+
+#[test]
+fn read_mixed_fuzz_smoke() {
+    use groupsafe::core::scenario::fuzz::{run_fuzz_case, FuzzSpec};
+    for level in [ReadLevel::Stable, ReadLevel::Session, ReadLevel::Latest] {
+        let spec = FuzzSpec::smoke(SafetyLevel::GroupSafe).with_reads(level, 0.5);
+        let mut reads_audited = 0usize;
+        for seed in 0..8 {
+            let out = run_fuzz_case(seed, &spec);
+            assert!(out.ok(), "{level}: {}", out.describe());
+            reads_audited += out.audit.reads_audited;
+        }
+        assert!(
+            reads_audited > 50,
+            "{level}: local reads flowed through the plans"
+        );
+    }
+}
+
+#[test]
+fn read_mixed_fuzz_replays_bit_for_bit() {
+    use groupsafe::core::scenario::fuzz::{run_fuzz_case, FuzzSpec};
+    let spec = FuzzSpec::smoke(SafetyLevel::GroupSafe).with_reads(ReadLevel::Session, 0.5);
+    let a = run_fuzz_case(3, &spec);
+    let b = run_fuzz_case(3, &spec);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.commits, b.commits);
+    assert_eq!(a.audit.reads_audited, b.audit.reads_audited);
+}
+
+// ---------------------------------------------------------------------
+// Negative controls: the oracle must catch seeded violations
+// ---------------------------------------------------------------------
+
+fn served_read(level: ReadLevel, token: u64, snapshot: u64, stable: u64) -> ReadRecord {
+    ReadRecord {
+        txn: TxnId { client: 1, seq: 99 },
+        client: 1,
+        group: 0,
+        level,
+        token,
+        snapshot_seq: snapshot,
+        stable_seq: stable,
+        applied_seq: snapshot.max(stable),
+        at: SimTime::from_secs(1),
+        items: vec![(ItemId(4), snapshot.min(stable))],
+    }
+}
+
+/// A deliberately stale session read — served below the token the
+/// client carried — must be flagged.
+#[test]
+fn oracle_flags_a_stale_session_read() {
+    let mut oracle = Oracle::default();
+    oracle
+        .reads
+        .push(served_read(ReadLevel::Session, 12, 8, 20));
+    let v = audit_reads(&oracle, &[], &|_| false);
+    assert!(
+        v.iter().any(|v| matches!(
+            v,
+            ReadViolation::StaleSessionRead {
+                token: 12,
+                snapshot_seq: 8,
+                ..
+            }
+        )),
+        "{v:?}"
+    );
+}
+
+/// A stable read served above the group-stable watermark must be
+/// flagged — and the scenario oracle must surface it as a violation.
+#[test]
+fn oracle_flags_a_stable_read_above_the_watermark() {
+    let mut run = read_builder(ReadLevel::Stable, 0.4, 71)
+        .build()
+        .expect("valid");
+    run.run_until(SimTime::from_secs(5));
+    run.stop_clients_at(SimTime::from_secs(5));
+    run.run_until(SimTime::from_secs(7));
+    let system = run.into_system();
+    // The honest run audits clean...
+    let honest = audit_scenario(&ScenarioPlan::new(), &system, SafetyLevel::GroupSafe);
+    assert!(honest.clean(), "{:?}", honest.violations);
+    // ...then seed the violation: a fabricated stable read served two
+    // sequence numbers above the watermark its replica exported.
+    system
+        .oracle
+        .borrow_mut()
+        .reads
+        .push(served_read(ReadLevel::Stable, 0, 22, 20));
+    let dishonest = audit_scenario(&ScenarioPlan::new(), &system, SafetyLevel::GroupSafe);
+    assert!(
+        dishonest.violations.iter().any(|v| matches!(
+            v,
+            OracleViolation::Read(ReadViolation::UnstableRead {
+                snapshot_seq: 22,
+                stable_seq: 20,
+                ..
+            })
+        )),
+        "{:?}",
+        dishonest.violations
+    );
+}
+
+/// A stable read that observed a value the loss audit later declared
+/// lost is flagged — unless the owning group wholly failed (the
+/// level's own excused window).
+#[test]
+fn oracle_flags_a_stable_read_of_a_lost_value() {
+    let mut oracle = Oracle::default();
+    let lost_txn = TxnId { client: 3, seq: 7 };
+    oracle.record_commit(
+        lost_txn,
+        NodeId(0),
+        vec![],
+        vec![WriteOp {
+            item: ItemId(4),
+            value: 5,
+            version: 6,
+        }],
+    );
+    let mut read = served_read(ReadLevel::Stable, 0, 6, 6);
+    read.items = vec![(ItemId(4), 6)];
+    oracle.reads.push(read);
+    let lost = vec![LostTransaction { txn: lost_txn }];
+    let v = audit_reads(&oracle, &lost, &|_| false);
+    assert!(
+        v.iter().any(
+            |v| matches!(v, ReadViolation::LostValueObserved { lost_txn: t, .. } if *t == lost_txn)
+        ),
+        "{v:?}"
+    );
+    // The whole-group-failure excuse silences exactly this rule.
+    let excused = audit_reads(&oracle, &lost, &|_| true);
+    assert!(excused.is_empty(), "{excused:?}");
+}
+
+/// Monotonicity: a session that accepts a snapshot older than one it
+/// already saw is flagged.
+#[test]
+fn oracle_flags_a_session_regression() {
+    let mut oracle = Oracle::default();
+    let ack = |seq: u64, n: u64| ReadAckRecord {
+        txn: TxnId { client: 2, seq: n },
+        client: 2,
+        group: 0,
+        level: Some(ReadLevel::Session),
+        snapshot_seq: seq,
+        at: SimTime::from_millis(n),
+        response_ms: 1.0,
+    };
+    oracle.read_acks.push(ack(9, 1));
+    oracle.read_acks.push(ack(4, 2));
+    let v = audit_reads(&oracle, &[], &|_| false);
+    assert!(
+        v.iter().any(|v| matches!(
+            v,
+            ReadViolation::SessionRegression {
+                prev_seq: 9,
+                snapshot_seq: 4,
+                ..
+            }
+        )),
+        "{v:?}"
+    );
+}
