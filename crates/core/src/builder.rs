@@ -466,6 +466,16 @@ pub enum BuildError {
         /// The technique's label.
         technique: &'static str,
     },
+    /// A CI environment profile (`GROUPSAFE_READS`, `GROUPSAFE_BATCHING`)
+    /// carries a malformed value. A typo must fail the build loudly —
+    /// silently falling back to the default profile would make a
+    /// "profile on" CI pass vacuous.
+    BadEnvProfile {
+        /// The offending environment variable.
+        var: &'static str,
+        /// What is wrong with its value.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -510,6 +520,9 @@ impl std::fmt::Display for BuildError {
                     f,
                     "the {path} read path is not defined for the {technique} technique"
                 )
+            }
+            BuildError::BadEnvProfile { var, detail } => {
+                write!(f, "{var}: {detail}")
             }
         }
     }
@@ -873,34 +886,34 @@ impl SystemBuilder {
     /// configurations the read path is not defined for — so it degrades
     /// to the classic path there instead of failing the build; an
     /// *explicit* unsupported combination is still a typed error.
-    fn effective_reads(&self) -> ReadConfig {
+    fn effective_reads(&self) -> Result<ReadConfig, BuildError> {
         if self.reads_explicit {
-            return self.reads;
+            return Ok(self.reads);
         }
-        if let Some((cfg, _)) = reads_from_env() {
+        if let Some((cfg, _)) = reads_from_env()? {
             if Self::reads_supported(self.replica.technique, cfg.path) {
-                return cfg;
+                return Ok(cfg);
             }
-            return ReadConfig::classic();
+            return Ok(ReadConfig::classic());
         }
         // Same precedence as batching: whatever the replica config
         // carries (the classic default).
-        self.replica.reads
+        Ok(self.replica.reads)
     }
 
     /// The workload spec in force: the configured spec with the
     /// read-fraction override (explicit call, else the env profile's
     /// optional fraction) applied.
-    fn effective_workload(&self) -> WorkloadSpec {
+    fn effective_workload(&self) -> Result<WorkloadSpec, BuildError> {
         let mut w = self.workload.clone();
         if let Some(f) = self.read_fraction_override {
             w.read_fraction = f;
         } else if !self.reads_explicit {
-            if let Some((_, Some(f))) = reads_from_env() {
+            if let Some((_, Some(f))) = reads_from_env()? {
                 w.read_fraction = f;
             }
         }
-        w
+        Ok(w)
     }
 
     fn validate(&self) -> Result<(), BuildError> {
@@ -911,12 +924,12 @@ impl SystemBuilder {
             return Err(BuildError::NoClients);
         }
         if self.generator.is_none() {
-            self.effective_workload().validate()?;
+            self.effective_workload()?.validate()?;
         }
         // Explicit (or replica-carried) read configurations the
         // technique does not define are typed errors; the env profile
         // never reaches here (`effective_reads` degrades it).
-        let reads = self.effective_reads();
+        let reads = self.effective_reads()?;
         if !Self::reads_supported(self.replica.technique, reads.path) {
             return Err(BuildError::UnsupportedReads {
                 path: reads.path.label(),
@@ -975,7 +988,7 @@ impl SystemBuilder {
         // The local path serves snapshots, so it switches the engines'
         // multi-version store on (bounded; pruned at the group-stable
         // watermark).
-        let reads = self.effective_reads();
+        let reads = self.effective_reads()?;
         if reads.is_local() && db.mvcc_depth == 0 {
             db.mvcc_depth = 64;
         }
@@ -984,10 +997,15 @@ impl SystemBuilder {
         // same suite batched and unbatched — resolved here, after every
         // setter, so a later `.replica(..)` cannot silently shed it),
         // then whatever the replica config carries.
-        let batch = self
-            .batch_override
-            .or_else(BatchConfig::from_env)
-            .unwrap_or(self.replica.batch);
+        let batch = match self.batch_override {
+            Some(b) => b,
+            None => BatchConfig::from_env()
+                .map_err(|detail| BuildError::BadEnvProfile {
+                    var: "GROUPSAFE_BATCHING",
+                    detail,
+                })?
+                .unwrap_or(self.replica.batch),
+        };
         let shard = self.effective_shard();
         Ok(SystemConfig {
             n_servers: self.n_servers,
@@ -1013,7 +1031,7 @@ impl SystemBuilder {
         let cfg = self.to_system_config()?;
         let net_baseline = cfg.net.clone();
         let offered_tps = self.load.offered_tps();
-        let spec = self.effective_workload();
+        let spec = self.effective_workload()?;
         let system = match self.generator.take() {
             Some(factory) => System::build(cfg, factory),
             None => {
@@ -1024,7 +1042,7 @@ impl SystemBuilder {
                 let map = std::rc::Rc::new(
                     cfg.shard
                         .resolve(cfg.replica.db.n_items)
-                        .expect("validated above"),
+                        .map_err(BuildError::Shard)?,
                 );
                 let cross = cfg.shard.cross_fraction;
                 System::build(cfg, move |_| {
@@ -1539,7 +1557,9 @@ impl PhaseStats {
             };
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        // total_cmp: NaN-free total order, no panic path (a NaN sample
+        // would sort last instead of poisoning the percentile).
+        sorted.sort_by(f64::total_cmp);
         let idx = ((0.95 * sorted.len() as f64).ceil() as usize)
             .saturating_sub(1)
             .min(sorted.len() - 1);

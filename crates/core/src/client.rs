@@ -211,7 +211,9 @@ impl Client {
             ReadPath::Local(level) if readonly && self.cfg.shard.groups_of(&ops).len() == 1 => {
                 Some(level)
             }
-            _ => None,
+            // Exhaustive on purpose: a new read path must decide here
+            // whether it is served locally or through the pipeline.
+            ReadPath::Local(_) | ReadPath::Classic | ReadPath::Broadcast => None,
         };
         self.outstanding.insert(
             id,
@@ -369,7 +371,12 @@ impl Client {
                 if attempt != o.attempt {
                     return; // stale attempt
                 }
-                let level = o.read_level.expect("read replies answer reads");
+                let Some(level) = o.read_level else {
+                    // A read reply for a transaction the client no longer
+                    // tracks as a read (a resubmission switched paths):
+                    // drop it rather than panic — the classic reply wins.
+                    return;
+                };
                 if level == ReadLevel::Session && snapshot_seq < self.token(group) {
                     // The session already observed a newer snapshot (a
                     // concurrent commit or read advanced the token while

@@ -52,6 +52,7 @@ use groupsafe_db::{ItemId, TxnId, Value, Version};
 use groupsafe_net::NodeId;
 use groupsafe_sim::SimDuration;
 
+use crate::builder::BuildError;
 use crate::verify::{LostTransaction, Oracle};
 
 // ---------------------------------------------------------------------
@@ -176,15 +177,23 @@ impl ReadConfig {
 /// without touching the test sources. Explicit builder setters win over
 /// the profile.
 ///
-/// # Panics
-/// Panics on any malformed value: a typo must fail the run loudly, not
-/// silently select the classic path (which would make a "reads on" CI
-/// pass vacuous).
-pub fn reads_from_env() -> Option<(ReadConfig, Option<f64>)> {
-    let raw = std::env::var("GROUPSAFE_READS").ok()?;
+/// # Errors
+/// Any malformed value is a typed [`BuildError::BadEnvProfile`]: a typo
+/// must fail the run loudly, not silently select the classic path
+/// (which would make a "reads on" CI pass vacuous).
+pub fn reads_from_env() -> Result<Option<(ReadConfig, Option<f64>)>, BuildError> {
+    let bad = |detail: String| {
+        Err(BuildError::BadEnvProfile {
+            var: "GROUPSAFE_READS",
+            detail,
+        })
+    };
+    let Ok(raw) = std::env::var("GROUPSAFE_READS") else {
+        return Ok(None);
+    };
     let raw = raw.trim();
     if raw.is_empty() || raw.eq_ignore_ascii_case("off") {
-        return None;
+        return Ok(None);
     }
     let mut parts = raw.splitn(2, ':');
     let path = match parts
@@ -199,29 +208,32 @@ pub fn reads_from_env() -> Option<(ReadConfig, Option<f64>)> {
         "stable" => ReadPath::Local(ReadLevel::Stable),
         "session" => ReadPath::Local(ReadLevel::Session),
         "latest" => ReadPath::Local(ReadLevel::Latest),
-        other => panic!(
-            "GROUPSAFE_READS: unknown read path {other:?} (expected \
-             off | classic | broadcast | stable | session | latest, got {raw:?})"
-        ),
+        other => {
+            return bad(format!(
+                "unknown read path {other:?} (expected \
+                 off | classic | broadcast | stable | session | latest, got {raw:?})"
+            ))
+        }
     };
-    let fraction = parts.next().map(|f| {
-        let parsed: f64 = f
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("GROUPSAFE_READS: cannot parse fraction {f:?}"));
-        assert!(
-            (0.0..=1.0).contains(&parsed),
-            "GROUPSAFE_READS: fraction {parsed} outside [0, 1]"
-        );
-        parsed
-    });
-    Some((
+    let fraction = match parts.next() {
+        None => None,
+        Some(f) => {
+            let Ok(parsed) = f.trim().parse::<f64>() else {
+                return bad(format!("cannot parse fraction {f:?}"));
+            };
+            if !(0.0..=1.0).contains(&parsed) {
+                return bad(format!("fraction {parsed} outside [0, 1]"));
+            }
+            Some(parsed)
+        }
+    };
+    Ok(Some((
         ReadConfig {
             path,
             ..ReadConfig::classic()
         },
         fraction,
-    ))
+    )))
 }
 
 // ---------------------------------------------------------------------

@@ -529,7 +529,19 @@ impl ScenarioPlan {
                         }
                     }
                 }
-                _ => {}
+                // Exhaustive on purpose: a new event variant must be
+                // routed here explicitly, not silently skip validation.
+                ScenarioEvent::Crash { .. }
+                | ScenarioEvent::Recover { .. }
+                | ScenarioEvent::SwitchSafety { .. }
+                | ScenarioEvent::Partition { .. }
+                | ScenarioEvent::Heal
+                | ScenarioEvent::KillSequencer { .. }
+                | ScenarioEvent::LossBurst { .. }
+                | ScenarioEvent::DuplicationBurst { .. }
+                | ScenarioEvent::ReorderBurst { .. }
+                | ScenarioEvent::SlowDisk { .. }
+                | ScenarioEvent::RestartGroup { .. } => {}
             }
         }
         Ok(())
@@ -760,7 +772,17 @@ impl ScenarioPlan {
                         iv.2 = step.at;
                     }
                 }
-                _ => {}
+                // Exhaustive on purpose: a new event variant that takes
+                // servers down must extend the interval accounting.
+                ScenarioEvent::SwitchSafety { .. }
+                | ScenarioEvent::Partition { .. }
+                | ScenarioEvent::Heal
+                | ScenarioEvent::LossBurst { .. }
+                | ScenarioEvent::DuplicationBurst { .. }
+                | ScenarioEvent::ReorderBurst { .. }
+                | ScenarioEvent::SlowDisk { .. }
+                | ScenarioEvent::RestartGroup { .. }
+                | ScenarioEvent::GroupPartition { .. } => {}
             }
         }
         out
@@ -831,7 +853,21 @@ impl ScenarioPlan {
         let members: Vec<u32> = (g * spg..(g + 1) * spg).collect();
         self.steps.iter().any(|s| match &s.event {
             ScenarioEvent::RestartGroup { servers } => members.iter().all(|m| servers.contains(m)),
-            _ => false,
+            // Exhaustive on purpose: only an operator restart repairs a
+            // total failure; new variants must opt in here explicitly.
+            ScenarioEvent::Crash { .. }
+            | ScenarioEvent::Recover { .. }
+            | ScenarioEvent::SwitchSafety { .. }
+            | ScenarioEvent::Partition { .. }
+            | ScenarioEvent::Heal
+            | ScenarioEvent::KillSequencer { .. }
+            | ScenarioEvent::LossBurst { .. }
+            | ScenarioEvent::DuplicationBurst { .. }
+            | ScenarioEvent::ReorderBurst { .. }
+            | ScenarioEvent::SlowDisk { .. }
+            | ScenarioEvent::GroupCrash { .. }
+            | ScenarioEvent::KillGroupSequencer { .. }
+            | ScenarioEvent::GroupPartition { .. } => false,
         })
     }
 
@@ -869,7 +905,23 @@ impl ScenarioPlan {
                 ScenarioEvent::Crash {
                     server: s, after, ..
                 } if *s == server => Some(step.at + *after),
-                _ => None,
+                // Exhaustive on purpose: a new variant that crashes a
+                // statically named server must be attributed here (the
+                // 1-safe loss-window audit depends on it).
+                ScenarioEvent::Crash { .. }
+                | ScenarioEvent::Recover { .. }
+                | ScenarioEvent::SwitchSafety { .. }
+                | ScenarioEvent::Partition { .. }
+                | ScenarioEvent::Heal
+                | ScenarioEvent::KillSequencer { .. }
+                | ScenarioEvent::LossBurst { .. }
+                | ScenarioEvent::DuplicationBurst { .. }
+                | ScenarioEvent::ReorderBurst { .. }
+                | ScenarioEvent::SlowDisk { .. }
+                | ScenarioEvent::RestartGroup { .. }
+                | ScenarioEvent::GroupCrash { .. }
+                | ScenarioEvent::KillGroupSequencer { .. }
+                | ScenarioEvent::GroupPartition { .. } => None,
             })
             .collect()
     }
@@ -906,7 +958,19 @@ impl ScenarioPlan {
                     last_partition = last_partition.max(Some((step.at, i)))
                 }
                 ScenarioEvent::Heal => last_heal = last_heal.max(Some((step.at, i))),
-                _ => {}
+                // Exhaustive on purpose: a new variant that splits the
+                // network must register as a partition here.
+                ScenarioEvent::Crash { .. }
+                | ScenarioEvent::Recover { .. }
+                | ScenarioEvent::SwitchSafety { .. }
+                | ScenarioEvent::KillSequencer { .. }
+                | ScenarioEvent::LossBurst { .. }
+                | ScenarioEvent::DuplicationBurst { .. }
+                | ScenarioEvent::ReorderBurst { .. }
+                | ScenarioEvent::SlowDisk { .. }
+                | ScenarioEvent::RestartGroup { .. }
+                | ScenarioEvent::GroupCrash { .. }
+                | ScenarioEvent::KillGroupSequencer { .. } => {}
             }
         }
         match (last_partition, last_heal) {
@@ -954,7 +1018,15 @@ impl ScenarioPlan {
                         + *duration * (factor.ceil().max(1.0) as u64)
                         + SimDuration::from_secs(1)
                 }
-                _ => step.at,
+                // Exhaustive on purpose: a new variant with an
+                // after-effect window must extend the disturbance
+                // horizon, or the oracle audits a still-moving system.
+                ScenarioEvent::Recover { .. }
+                | ScenarioEvent::SwitchSafety { .. }
+                | ScenarioEvent::Partition { .. }
+                | ScenarioEvent::Heal
+                | ScenarioEvent::RestartGroup { .. }
+                | ScenarioEvent::GroupPartition { .. } => step.at,
             };
             last = last.max(end);
         }

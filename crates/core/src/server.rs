@@ -568,6 +568,25 @@ impl ReplicaServer {
         self.order_digest
     }
 
+    /// Test support: mutable access to the local database, so the
+    /// oracle's negative controls can seed a state divergence that no
+    /// correct run produces and assert `audit_scenario` reports it
+    /// (`OracleViolation::Divergence`). Not part of the replica's
+    /// protocol surface.
+    #[doc(hidden)]
+    pub fn db_mut_for_audit_controls(&mut self) -> &mut DbEngine {
+        &mut self.db
+    }
+
+    /// Test support: perturb the delivery-order digest, seeding the
+    /// order divergence a correct total order can never produce, so the
+    /// negative controls can assert `audit_scenario` reports it
+    /// (`OracleViolation::OrderDivergence`).
+    #[doc(hidden)]
+    pub fn poison_order_digest_for_audit_controls(&mut self, salt: u64) {
+        self.order_digest ^= salt;
+    }
+
     /// Cross-group prepares delivered here whose decision has not
     /// arrived yet (the transactions this replica is still probing for).
     /// Scenario drivers treat a non-zero count as "not yet quiesced".
@@ -809,8 +828,9 @@ impl ReplicaServer {
             .map(|(&t, _)| t)
             .collect();
         for t in ready {
-            let req = self.parked_reads.remove(&t).expect("present");
-            self.serve_read(ctx, req);
+            if let Some(req) = self.parked_reads.remove(&t) {
+                self.serve_read(ctx, req);
+            }
         }
     }
 
@@ -823,7 +843,9 @@ impl ReplicaServer {
         if req.attempt != attempt {
             return; // a resubmission owns the entry now
         }
-        let req = self.parked_reads.remove(&txn).expect("present");
+        let Some(req) = self.parked_reads.remove(&txn) else {
+            return; // raced with drain above
+        };
         ctx.metrics().incr("read_redirects");
         self.oracle.borrow_mut().record_read_redirect(self.group);
         let at = self.charge_net_cpu(ctx.now());
@@ -1064,7 +1086,10 @@ impl ReplicaServer {
             // (even a read-only slice — certification still orders it).
             let coordinator = match exec.kind {
                 ExecKind::XgSub { coordinator } => coordinator,
-                _ => self.node,
+                // Exhaustive on purpose: a new execution kind must name
+                // its coordinator explicitly (Local never reaches this
+                // branch; XgHome coordinates itself).
+                ExecKind::Local | ExecKind::XgHome => self.node,
             };
             let prepare = XgPrepare {
                 txn,

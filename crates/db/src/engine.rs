@@ -412,11 +412,9 @@ impl DbEngine {
         if chain.is_empty() {
             chain.push((old.version, old));
         }
-        match chain.last() {
-            Some(&(v, _)) if v == state.version => {
-                *chain.last_mut().expect("nonempty") = (state.version, state)
-            }
-            Some(&(v, _)) if v > state.version => {
+        match chain.last_mut() {
+            Some(last @ &mut (v, _)) if v == state.version => *last = (state.version, state),
+            Some(&mut (v, _)) if v > state.version => {
                 // Out-of-order version (lazy Thomas-rule interleavings):
                 // insert in place to keep the chain sorted.
                 let pos = chain.partition_point(|&(cv, _)| cv < state.version);

@@ -74,42 +74,46 @@ impl BatchConfig {
     /// Used by CI to run the same integration suite with batching on and
     /// off without touching the test sources.
     ///
-    /// # Panics
-    /// Panics on any malformed value: a typo must fail the run loudly,
-    /// not silently select the unbatched profile (which would make a
-    /// "batching on" CI pass vacuous).
-    pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("GROUPSAFE_BATCHING").ok()?;
+    /// # Errors
+    /// Any malformed value is an `Err` describing the problem: a typo
+    /// must fail the run loudly, not silently select the unbatched
+    /// profile (which would make a "batching on" CI pass vacuous).
+    /// The caller (the system builder) turns it into its typed build
+    /// error.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        let Ok(raw) = std::env::var("GROUPSAFE_BATCHING") else {
+            return Ok(None);
+        };
         let raw = raw.trim();
         if raw.is_empty() || raw.eq_ignore_ascii_case("off") {
-            return None;
+            return Ok(None);
         }
         if raw.eq_ignore_ascii_case("on") {
-            return Some(BatchConfig::of(8, SimDuration::from_micros(500)));
+            return Ok(Some(BatchConfig::of(8, SimDuration::from_micros(500))));
         }
-        let bad = |part: &str| -> ! {
-            panic!(
-                "GROUPSAFE_BATCHING: cannot parse {part:?} (expected \
+        let bad = |part: &str| -> Result<Option<BatchConfig>, String> {
+            Err(format!(
+                "cannot parse {part:?} (expected \
                  off | on | msgs=N[,delay_us=D][,bytes=B], got {raw:?})"
-            )
+            ))
         };
         let mut cfg = BatchConfig::of(8, SimDuration::from_micros(500));
         for part in raw.split(',') {
             let mut kv = part.splitn(2, '=');
             let (Some(key), Some(value)) = (kv.next(), kv.next()) else {
-                bad(part);
+                return bad(part);
             };
             let Ok(value) = value.trim().parse::<u64>() else {
-                bad(part);
+                return bad(part);
             };
             match key.trim() {
                 "msgs" if value >= 1 => cfg.max_msgs = value as usize,
                 "delay_us" => cfg.max_delay = SimDuration::from_micros(value),
                 "bytes" => cfg.max_bytes = value as usize,
-                _ => bad(part),
+                _ => return bad(part),
             }
         }
-        Some(cfg)
+        Ok(Some(cfg))
     }
 }
 

@@ -49,12 +49,10 @@ pub enum LifecycleEvent {
 /// finite-run projection of the paper's asymptotic definitions and is what
 /// the fault-injection experiments report.
 pub fn classify(history: &[LifecycleEvent], _horizon: SimTime) -> ProcessClass {
-    if history.is_empty() {
-        return ProcessClass::Green;
-    }
-    match history.last().expect("non-empty") {
-        LifecycleEvent::Crash(_) => ProcessClass::Red,
-        LifecycleEvent::Recover(_) => ProcessClass::Yellow,
+    match history.last() {
+        None => ProcessClass::Green,
+        Some(LifecycleEvent::Crash(_)) => ProcessClass::Red,
+        Some(LifecycleEvent::Recover(_)) => ProcessClass::Yellow,
     }
 }
 

@@ -1,0 +1,39 @@
+// Control fixture: determinism-respecting, panic-free protocol code.
+// Scanning this with a protocol path must produce zero diagnostics.
+use std::collections::{BTreeMap, BTreeSet};
+
+struct Replica {
+    committed: BTreeMap<u64, u64>,
+    peers: BTreeSet<u32>,
+}
+
+impl Replica {
+    fn apply(&mut self, txn: u64, value: u64) -> Result<(), &'static str> {
+        if self.committed.contains_key(&txn) {
+            return Err("duplicate");
+        }
+        self.committed.insert(txn, value);
+        Ok(())
+    }
+
+    fn lookup(&self, txn: u64) -> Option<u64> {
+        self.committed.get(&txn).copied()
+    }
+}
+
+fn dispatch(msg: GroupMsg) -> Option<u64> {
+    match msg {
+        GroupMsg::Write { txn, .. } => Some(txn),
+        GroupMsg::Decision(_) => None,
+    }
+}
+
+// Comments may say anything: HashMap, Instant::now(), x.unwrap(), v[i].
+fn fingerprint(state: &BTreeMap<u64, u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for (k, v) in state {
+        h ^= k.wrapping_mul(31).wrapping_add(*v);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

@@ -1,0 +1,23 @@
+// GS-P03 fixture: direct indexing in protocol code.
+fn pick(v: &[u64], i: usize) -> u64 {
+    v[i]
+}
+
+fn update(v: &mut Vec<u64>, i: usize) {
+    v[i] += 1;
+}
+
+// Non-indexing brackets must not fire:
+#[derive(Debug)]
+struct Wrapper {
+    bytes: [u8; 4],
+}
+
+fn build() -> Vec<u64> {
+    let v = vec![1, 2, 3];
+    v
+}
+
+fn safe(v: &[u64], i: usize) -> Option<u64> {
+    v.get(i).copied()
+}

@@ -1,0 +1,23 @@
+// GS-D05 fixture: float accumulation feeding a fingerprint.
+fn fingerprint(samples: &[f64]) -> u64 {
+    let mut acc = 0.0;
+    for s in samples {
+        acc += s * 1.5;
+    }
+    acc.to_bits()
+}
+
+// Floats far from any fingerprint are fine.
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+// A digest fed by integer state is fine even with a float nearby.
+fn digest(state: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for s in state {
+        h ^= *s;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

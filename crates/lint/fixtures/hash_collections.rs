@@ -1,0 +1,15 @@
+// GS-D01 fixture: hash collections in replicated state.
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+struct State {
+    committed: HashMap<u64, u64>,
+    peers: HashSet<u32>,
+    ordered: BTreeMap<u64, u64>, // fine
+}
+
+// Mentions in comments must NOT fire: HashMap, HashSet.
+fn log_line() {
+    let msg = "a HashMap walked into a bar"; // string content must not fire
+    let _ = msg;
+}

@@ -1,0 +1,9 @@
+// GS-D03 fixture: unseeded randomness.
+fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn seed_from_os() -> StdRng {
+    StdRng::from_entropy()
+}

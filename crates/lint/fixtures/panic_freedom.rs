@@ -1,0 +1,32 @@
+// GS-P02 fixture: the panic family in protocol code.
+fn apply(m: Option<u64>) -> u64 {
+    let v = m.unwrap();
+    let w = m.expect("present");
+    if v != w {
+        panic!("diverged");
+    }
+    match v {
+        0 => unreachable!("zero filtered upstream"),
+        n => n,
+    }
+}
+
+fn future() {
+    todo!("later")
+}
+
+// Typed-error style is fine.
+fn apply_checked(m: Option<u64>) -> Result<u64, &'static str> {
+    m.ok_or("missing")
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in test code are fine.
+    #[test]
+    fn probes() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let _ = v.expect("present");
+    }
+}

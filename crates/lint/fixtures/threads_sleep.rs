@@ -1,0 +1,9 @@
+// GS-D04 fixture: real threads and real sleeps.
+fn wait() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}
+
+fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,9 @@
+// GS-D02 fixture: wall-clock reads.
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let start = Instant::now();
+    let end = std::time::SystemTime::now();
+    let _ = end;
+    start.elapsed().as_nanos()
+}

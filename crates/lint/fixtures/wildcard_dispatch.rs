@@ -1,0 +1,42 @@
+// GS-P01 fixture: wildcard arms in protocol dispatch.
+fn dispatch(msg: GroupMsg) {
+    match msg {
+        GroupMsg::Write { txn, .. } => apply(txn),
+        GroupMsg::Decision(d) => decide(d),
+        _ => {} // swallowed: must fire
+    }
+}
+
+fn dispatch_binding(ev: ScenarioEvent) {
+    match ev {
+        ScenarioEvent::Crash { at, .. } => crash(at),
+        other => ignore(other), // catch-all binding: must fire
+    }
+}
+
+// Non-protocol enums may use wildcards freely.
+fn classify(n: u32) -> &'static str {
+    match n {
+        0 => "zero",
+        _ => "many",
+    }
+}
+
+// Exhaustive protocol dispatch is fine.
+fn exhaustive(r: ServerReply) {
+    match r {
+        ServerReply::Committed(t) => ack(t),
+        ServerReply::Aborted(t) => nack(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Wildcards in test code are fine.
+    fn probe(msg: GroupMsg) -> bool {
+        match msg {
+            GroupMsg::Write { .. } => true,
+            _ => false,
+        }
+    }
+}

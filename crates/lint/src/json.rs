@@ -1,0 +1,133 @@
+//! Minimal JSON rendering for `--json` mode (no external deps).
+//!
+//! The schema is stable and consumed by CI:
+//!
+//! ```json
+//! {
+//!   "tool": "groupsafe-lint",
+//!   "files_scanned": 61,
+//!   "errors": 0,
+//!   "warnings": 1,
+//!   "allowed": 38,
+//!   "diagnostics": [
+//!     {"rule": "GS-P02", "name": "panic-freedom", "severity": "error",
+//!      "path": "crates/core/src/server.rs", "line": 120,
+//!      "message": "...", "snippet": "..."}
+//!   ],
+//!   "unused_allowlist": [ {"rule": "...", "path": "...", "justification": "..."} ]
+//! }
+//! ```
+
+use crate::{AllowEntry, Diagnostic};
+
+/// Escape a string for a JSON double-quoted literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the whole report.
+pub fn report(
+    files_scanned: usize,
+    diags: &[Diagnostic],
+    allowed: usize,
+    unused: &[AllowEntry],
+) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == crate::Severity::Error)
+        .count();
+    let warnings = diags.len() - errors + unused.len();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"groupsafe-lint\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {warnings},\n"));
+    out.push_str(&format!("  \"allowed\": {allowed},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"name\": \"{}\", \"severity\": \"{}\", \
+             \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            d.rule.id(),
+            d.rule.name(),
+            d.severity,
+            escape(&d.path),
+            d.line,
+            escape(&d.message),
+            escape(&d.snippet),
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"unused_allowlist\": [");
+    for (i, e) in unused.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"justification\": \"{}\"}}",
+            escape(&e.rule),
+            escape(&e.path),
+            escape(&e.justification),
+        ));
+    }
+    if unused.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RuleId, Severity};
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_shape() {
+        let diags = vec![Diagnostic {
+            rule: RuleId::PanicFreedom,
+            path: "crates/core/src/server.rs".into(),
+            line: 12,
+            severity: Severity::Error,
+            message: "says \"hi\"".into(),
+            snippet: "x.unwrap()".into(),
+        }];
+        let out = report(3, &diags, 2, &[]);
+        assert!(out.contains("\"files_scanned\": 3"));
+        assert!(out.contains("\"errors\": 1"));
+        assert!(out.contains("\"allowed\": 2"));
+        assert!(out.contains("\"rule\": \"GS-P02\""));
+        assert!(out.contains("says \\\"hi\\\""));
+        // Empty case still valid shape.
+        let empty = report(0, &[], 0, &[]);
+        assert!(empty.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,244 @@
+//! `groupsafe-lint` CLI.
+//!
+//! ```text
+//! cargo run -p groupsafe-lint                  # human-readable report
+//! cargo run -p groupsafe-lint -- --json        # machine-readable (CI)
+//! cargo run -p groupsafe-lint -- --fix-allowlist
+//!     # append draft entries for current findings to lint.toml
+//! cargo run -p groupsafe-lint -- --rules       # list rule ids
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` rule violations,
+//! `2` usage / I/O / malformed `lint.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use groupsafe_lint::{
+    apply_allowlist, json, scan_workspace, workspace_files, AllowEntry, Allowlist, RuleId, Severity,
+};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    fix_allowlist: bool,
+    no_allowlist: bool,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: groupsafe-lint [--json] [--fix-allowlist] [--no-allowlist] \
+     [--root DIR] [--allowlist FILE] [--rules]"
+}
+
+fn parse_args() -> Result<(Options, Option<PathBuf>), String> {
+    let mut opts = Options {
+        root: PathBuf::new(),
+        json: false,
+        fix_allowlist: false,
+        no_allowlist: false,
+        list_rules: false,
+    };
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--fix-allowlist" => opts.fix_allowlist = true,
+            "--no-allowlist" => opts.no_allowlist = true,
+            "--rules" => opts.list_rules = true,
+            "--root" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| format!("--root needs a value\n{}", usage()))?;
+                root = Some(PathBuf::from(v));
+            }
+            "--allowlist" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| format!("--allowlist needs a value\n{}", usage()))?;
+                allowlist_path = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    opts.root = match root {
+        Some(r) => r,
+        None => locate_root()?,
+    };
+    Ok((opts, allowlist_path))
+}
+
+/// Walk up from the current directory to the workspace root (the
+/// directory holding a `Cargo.toml` with a `[workspace]` table). Under
+/// `cargo run` the cwd is wherever the user invoked cargo, so this must
+/// not assume it is the root.
+fn locate_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("{}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory \
+                        (pass --root)"
+                .to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let (opts, allowlist_path) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("groupsafe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in RuleId::all() {
+            println!("{}  {}", r.id(), r.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| opts.root.join("lint.toml"));
+    let allow = if opts.no_allowlist {
+        Allowlist::default()
+    } else if allowlist_path.is_file() {
+        let text = match std::fs::read_to_string(&allowlist_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("groupsafe-lint: {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("groupsafe-lint: {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let files = match workspace_files(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("groupsafe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match scan_workspace(&opts.root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("groupsafe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let filtered = apply_allowlist(diags, &allow);
+
+    if opts.fix_allowlist {
+        let mut draft = Allowlist::default();
+        for d in &filtered.kept {
+            draft.entries.push(AllowEntry {
+                rule: d.rule.name().to_string(),
+                path: d.path.clone(),
+                line: None,
+                contains: if d.snippet.is_empty() {
+                    None
+                } else {
+                    Some(d.snippet.clone())
+                },
+                justification: "TODO(justify): explain why this exception is sound, or fix it"
+                    .to_string(),
+            });
+        }
+        if draft.entries.is_empty() {
+            eprintln!("groupsafe-lint: nothing to add — the tree is clean");
+        } else {
+            let mut text = if allowlist_path.is_file() {
+                match std::fs::read_to_string(&allowlist_path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("groupsafe-lint: {}: {e}", allowlist_path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                String::new()
+            };
+            if !text.is_empty() && !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text.push_str(&draft.render());
+            if let Err(e) = std::fs::write(&allowlist_path, text) {
+                eprintln!("groupsafe-lint: {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "groupsafe-lint: appended {} draft entr{} to {} — fill in the \
+                 justifications or fix the findings",
+                draft.entries.len(),
+                if draft.entries.len() == 1 { "y" } else { "ies" },
+                allowlist_path.display()
+            );
+        }
+    }
+
+    let errors = filtered
+        .kept
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+
+    if opts.json {
+        print!(
+            "{}",
+            json::report(
+                files.len(),
+                &filtered.kept,
+                filtered.allowed,
+                &filtered.unused
+            )
+        );
+    } else {
+        for d in &filtered.kept {
+            println!("{d}");
+        }
+        for e in &filtered.unused {
+            println!("lint.toml: [stale-allow] warning: entry matches nothing ({e}) — remove it");
+        }
+        println!(
+            "groupsafe-lint: {} file(s), {} error(s), {} allowlisted, {} stale allowlist entr{}",
+            files.len(),
+            errors,
+            filtered.allowed,
+            filtered.unused.len(),
+            if filtered.unused.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,279 @@
+//! Comment- and string-literal stripping.
+//!
+//! The scanner works on *code* text: comments and string contents are
+//! blanked (replaced by spaces, preserving column positions) so that a
+//! banned name inside a doc comment or a log message never fires a
+//! rule, and so that brace counting for scope tracking ignores braces
+//! in strings. The stripper is a small state machine that persists
+//! across lines — block comments, ordinary strings and raw strings all
+//! span lines in this codebase.
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside `/* ... */`, possibly nested (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"..."` (escapes respected).
+    Str,
+    /// Inside `r##"..."##` with the given hash count.
+    RawStr(u32),
+}
+
+/// A streaming comment/string stripper. Feed lines in order; state
+/// carries over between calls.
+#[derive(Debug)]
+pub struct Stripper {
+    state: State,
+}
+
+impl Default for Stripper {
+    fn default() -> Self {
+        Stripper::new()
+    }
+}
+
+impl Stripper {
+    /// A fresh stripper at start-of-file.
+    pub fn new() -> Self {
+        Stripper { state: State::Code }
+    }
+
+    /// Return `line` with comments and string/char contents blanked to
+    /// spaces. Quote characters themselves are preserved so downstream
+    /// heuristics can still see that a string sat there.
+    pub fn strip_line(&mut self, line: &str) -> String {
+        let b: Vec<char> = line.chars().collect();
+        let mut out: Vec<char> = Vec::with_capacity(b.len());
+        let mut i = 0usize;
+        while i < b.len() {
+            match self.state {
+                State::BlockComment(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                        if depth <= 1 {
+                            self.state = State::Code;
+                        } else {
+                            self.state = State::BlockComment(depth - 1);
+                        }
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                        self.state = State::BlockComment(depth + 1);
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if b[i] == '\\' {
+                        out.push(' ');
+                        if i + 1 < b.len() {
+                            out.push(' ');
+                        }
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        self.state = State::Code;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if b[i] == '"' && closes_raw(&b, i, hashes) {
+                        out.push('"');
+                        out.extend(std::iter::repeat_n(' ', hashes as usize));
+                        i += 1 + hashes as usize;
+                        self.state = State::Code;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        // Line comment: blank the rest of the line.
+                        out.extend(std::iter::repeat_n(' ', b.len() - i));
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                        self.state = State::BlockComment(1);
+                    } else if let Some(hashes) = raw_str_start(&b, i) {
+                        // r"..", r#".."#, br".." — skip the prefix.
+                        let prefix = raw_prefix_len(&b, i, hashes);
+                        out.extend(std::iter::repeat_n(' ', prefix));
+                        out.push('"');
+                        i += prefix + 1;
+                        self.state = State::RawStr(hashes);
+                    } else if c == '"' {
+                        out.push('"');
+                        i += 1;
+                        self.state = State::Str;
+                    } else if c == '\'' {
+                        // Char literal or lifetime. A char literal closes
+                        // within a few characters; a lifetime has no
+                        // closing quote.
+                        if let Some(close) = char_literal_end(&b, i) {
+                            out.push('\'');
+                            out.extend(std::iter::repeat_n(' ', close - (i + 1)));
+                            out.push('\'');
+                            i = close + 1;
+                        } else {
+                            out.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+/// Does the `"` at `i` followed by `hashes` `#`s close the raw string?
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// If a raw string starts at `i` (`r`/`br` + hashes + `"`), return the
+/// hash count.
+fn raw_str_start(b: &[char], i: usize) -> Option<u32> {
+    // Must not be the tail of an identifier (`attr` vs `r"..."`).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the raw-string opener before its `"` (the `r`/`br` and
+/// hashes).
+fn raw_prefix_len(b: &[char], i: usize, hashes: u32) -> usize {
+    let br = if b.get(i) == Some(&'b') { 2 } else { 1 };
+    br + hashes as usize
+}
+
+/// If `'` at `i` opens a char literal, return the index of its closing
+/// quote; `None` for lifetimes.
+fn char_literal_end(b: &[char], i: usize) -> Option<usize> {
+    match b.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan for the closing quote (handles \u{..}).
+            let mut j = i + 2;
+            while j < b.len() && j < i + 12 {
+                if b[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => {
+            if b.get(i + 2) == Some(&'\'') {
+                Some(i + 2)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(s: &str) -> String {
+        Stripper::new().strip_line(s)
+    }
+
+    #[test]
+    fn line_comments_blanked() {
+        assert_eq!(
+            strip("let x = 1; // HashMap here"),
+            "let x = 1;                "
+        );
+    }
+
+    #[test]
+    fn string_contents_blanked() {
+        let out = strip(r#"log("uses HashMap inside");"#);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("log("));
+        assert_eq!(out.len(), r#"log("uses HashMap inside");"#.len());
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close() {
+        let out = strip(r#"let s = "a\"b"; HashMap"#);
+        assert!(out.contains("HashMap"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let mut st = Stripper::new();
+        let a = st.strip_line("code(); /* begin HashMap");
+        let b = st.strip_line("still HashMap inside */ tail()");
+        assert!(!a.contains("HashMap"));
+        assert!(!b.contains("HashMap"));
+        assert!(b.contains("tail()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let mut st = Stripper::new();
+        st.strip_line("/* outer /* inner */ still comment");
+        let out = st.strip_line("HashMap */ code()");
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("code()"));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let mut st = Stripper::new();
+        let a = st.strip_line(r##"let s = r#"HashMap"#; after"##);
+        assert!(!a.contains("HashMap"));
+        assert!(a.contains("after"));
+    }
+
+    #[test]
+    fn char_literal_and_lifetime() {
+        let out = strip("let c = '{'; fn f<'a>(x: &'a str) {}");
+        // The `{` inside the char literal must be blanked (brace count!).
+        assert_eq!(out.matches('{').count(), 1);
+        assert!(out.contains("<'a>"));
+    }
+
+    #[test]
+    fn doc_comment_blanked() {
+        let out = strip("/// uses std::thread::sleep for effect");
+        assert!(!out.contains("thread"));
+    }
+}

@@ -60,8 +60,9 @@ impl Histogram {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            // total_cmp: NaN-free total order, no panic path (a NaN
+            // sample would sort last instead of poisoning quantiles).
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }

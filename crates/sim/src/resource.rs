@@ -19,14 +19,11 @@ pub struct Fcfs {
 }
 
 impl Fcfs {
-    /// Create a resource with `servers` identical servers.
-    ///
-    /// # Panics
-    /// Panics if `servers == 0`.
+    /// Create a resource with `servers` identical servers (clamped to at
+    /// least one — a zero-server resource cannot serve anything).
     pub fn new(servers: usize) -> Self {
-        assert!(servers > 0, "a resource needs at least one server");
         Fcfs {
-            free_at: vec![SimTime::ZERO; servers],
+            free_at: vec![SimTime::ZERO; servers.max(1)],
             busy: SimDuration::ZERO,
             requests: 0,
             queued: SimDuration::ZERO,
@@ -41,13 +38,18 @@ impl Fcfs {
     /// Submit a request at `now` needing `service` time; returns the
     /// completion instant.
     pub fn request(&mut self, now: SimTime, service: SimDuration) -> SimTime {
-        let slot = self
+        let Some(slot) = self
             .free_at
             .iter()
             .enumerate()
             .min_by_key(|(_, t)| **t)
             .map(|(i, _)| i)
-            .expect("at least one server");
+        else {
+            // A zero-server resource serves instantly: degenerate but
+            // total (`new` clamps server counts to >= 1, so this arm is
+            // unreachable through the public constructor).
+            return now + service;
+        };
         let start = self.free_at[slot].max(now);
         let end = start + service;
         self.free_at[slot] = end;
@@ -59,7 +61,7 @@ impl Fcfs {
 
     /// Earliest instant at which some server is free (backlog probe).
     pub fn earliest_free(&self) -> SimTime {
-        *self.free_at.iter().min().expect("at least one server")
+        self.free_at.iter().min().copied().unwrap_or(SimTime::ZERO)
     }
 
     /// Total service time granted so far.
@@ -145,8 +147,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one server")]
-    fn zero_servers_rejected() {
-        let _ = Fcfs::new(0);
+    fn zero_servers_clamped_to_one() {
+        let mut r = Fcfs::new(0);
+        assert_eq!(r.servers(), 1);
+        assert_eq!(r.request(at(0), ms(10)), at(10));
+        assert_eq!(r.request(at(0), ms(10)), at(20));
     }
 }

@@ -11,7 +11,7 @@ use groupsafe::workload::{builder_for, RunConfig};
 
 #[test]
 fn env_profile_survives_replica_replacement_and_yields_to_explicit() {
-    // ---- parsing: every recognised profile, and loud failure on typos
+    // ---- parsing: every recognised profile, and a typed error on typos
     // (a malformed value must never silently select the unbatched
     // profile — that would make a "batching on" CI pass vacuous).
     let parse = |v: Option<&str>| {
@@ -23,28 +23,41 @@ fn env_profile_survives_replica_replacement_and_yields_to_explicit() {
         std::env::remove_var("GROUPSAFE_BATCHING");
         got
     };
-    assert_eq!(parse(None), None);
-    assert_eq!(parse(Some("off")), None);
+    assert_eq!(parse(None), Ok(None));
+    assert_eq!(parse(Some("off")), Ok(None));
     assert_eq!(
         parse(Some("on")),
-        Some(BatchConfig::of(8, SimDuration::from_micros(500)))
+        Ok(Some(BatchConfig::of(8, SimDuration::from_micros(500))))
     );
     assert_eq!(
         parse(Some("msgs=16,delay_us=250,bytes=4096")),
-        Some(BatchConfig {
+        Ok(Some(BatchConfig {
             max_msgs: 16,
             max_bytes: 4096,
             max_delay: SimDuration::from_micros(250),
-        })
+        }))
     );
     for bad in ["msg=8", "msgs=0", "msgs=eight", "batch"] {
-        let r = std::panic::catch_unwind(|| parse(Some(bad)));
-        std::env::remove_var("GROUPSAFE_BATCHING");
         assert!(
-            r.is_err(),
-            "{bad:?} must panic, not silently disable batching"
+            parse(Some(bad)).is_err(),
+            "{bad:?} must be a typed error, not silently disable batching"
         );
     }
+    // And the error must surface through the builder as a typed
+    // BuildError, failing the build loudly.
+    std::env::set_var("GROUPSAFE_BATCHING", "msgs=zero");
+    let err = System::builder().build();
+    std::env::remove_var("GROUPSAFE_BATCHING");
+    assert!(
+        matches!(
+            err.as_ref().map(|_| ()),
+            Err(groupsafe::core::BuildError::BadEnvProfile {
+                var: "GROUPSAFE_BATCHING",
+                ..
+            })
+        ),
+        "a malformed profile must fail the build with a typed error"
+    );
 
     // ---- precedence through the builder.
     std::env::set_var("GROUPSAFE_BATCHING", "msgs=4,delay_us=100");

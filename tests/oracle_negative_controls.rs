@@ -1,0 +1,162 @@
+//! Negative controls for the scenario oracle's convergence, total-order
+//! and cross-group atomicity arms (`OracleViolation::Divergence`,
+//! `OracleViolation::OrderDivergence`,
+//! `OracleViolation::AtomicityViolation`).
+//!
+//! A green oracle is only evidence if the oracle demonstrably *fails*
+//! when its invariant is broken — and a correct run can never break
+//! them, so each test seeds the violation by hand: a write applied to a
+//! single replica behind the protocol's back, a poisoned delivery-order
+//! digest, a cross-group commit record whose slice one group never
+//! committed. Each test first audits the untouched run clean (the
+//! control's control), then corrupts and asserts the specific violation
+//! variant is reported. `groupsafe-lint`'s `oracle-coverage` rule
+//! (GS-P04) keeps this file honest: every `OracleViolation` variant
+//! must be exercised by some test under `tests/`.
+
+use groupsafe::core::scenario::{audit_scenario, OracleViolation, ScenarioPlan};
+use groupsafe::core::server::ReplicaServer;
+use groupsafe::core::{Load, SafetyLevel, System};
+use groupsafe::db::{ItemId, TxnId, WriteOp};
+use groupsafe::sim::{SimDuration, SimTime};
+
+/// A clean, quiescent group-safe run (no injected faults), returned as
+/// a live `System` so the tests can corrupt it surgically.
+fn clean_system(shards: u32, cross: f64) -> System {
+    let mut b = System::builder()
+        .servers(3)
+        .clients_per_server(2)
+        .safety(SafetyLevel::GroupSafe)
+        .load(Load::open_tps(15.0 * shards as f64))
+        .measure(SimDuration::from_secs(5))
+        .drain(SimDuration::from_secs(2))
+        .seed(42);
+    if shards > 1 {
+        b = b.shards(shards).cross_shard_fraction(cross);
+    }
+    let mut run = b.build().expect("valid");
+    let end = SimTime::from_secs(5);
+    run.run_until(end);
+    run.stop_clients_at(end);
+    // Drain past the audit's settle window so convergence is judged.
+    run.run_until(end + SimDuration::from_secs(3));
+    run.into_system()
+}
+
+fn violations(system: &System) -> Vec<OracleViolation> {
+    audit_scenario(&ScenarioPlan::new(), system, SafetyLevel::GroupSafe).violations
+}
+
+/// Seeded state divergence: one replica gets a write the protocol never
+/// delivered. The convergence arm must name the distinct digests.
+#[test]
+fn oracle_catches_seeded_state_divergence() {
+    let mut system = clean_system(1, 0.0);
+    assert!(
+        violations(&system).is_empty(),
+        "the untouched run must audit clean"
+    );
+
+    let now = system.engine.now();
+    let id = system.servers[0];
+    let server: &mut ReplicaServer = system.engine.actor_mut(id);
+    let db = server.db_mut_for_audit_controls();
+    let rogue_version = db.max_version() + 1;
+    db.apply_unlogged(
+        now,
+        TxnId {
+            client: u32::MAX,
+            seq: u64::MAX,
+        },
+        &[WriteOp {
+            item: ItemId(0),
+            value: -1,
+            version: rogue_version,
+        }],
+    );
+
+    let found = violations(&system);
+    assert!(
+        found
+            .iter()
+            .any(|v| matches!(v, OracleViolation::Divergence { digests } if digests.len() > 1)),
+        "a replica with a rogue write must be reported as divergence: {found:?}"
+    );
+}
+
+/// Seeded order divergence: one never-crashed replica claims a
+/// different delivery history. The total-order arm must name both
+/// digests even though the replicas' *states* still agree.
+#[test]
+fn oracle_catches_seeded_order_divergence() {
+    let mut system = clean_system(1, 0.0);
+    assert!(
+        violations(&system).is_empty(),
+        "the untouched run must audit clean"
+    );
+
+    let id = system.servers[1];
+    let server: &mut ReplicaServer = system.engine.actor_mut(id);
+    server.poison_order_digest_for_audit_controls(0xdead_beef_dead_beef);
+
+    let found = violations(&system);
+    assert!(
+        found.iter().any(
+            |v| matches!(v, OracleViolation::OrderDivergence { digests } if digests.len() > 1)
+        ),
+        "a poisoned order digest must be reported as order divergence: {found:?}"
+    );
+    assert!(
+        !found
+            .iter()
+            .any(|v| matches!(v, OracleViolation::Divergence { .. })),
+        "order divergence must be distinguished from state divergence: {found:?}"
+    );
+}
+
+/// Seeded atomicity violation: a committed single-group transaction is
+/// re-recorded as a cross-group commit touching a group that never
+/// committed its slice. The all-or-nothing arm must name the
+/// transaction and the missing group.
+#[test]
+fn oracle_catches_seeded_atomicity_violation() {
+    let system = clean_system(2, 0.10);
+    assert!(
+        violations(&system).is_empty(),
+        "the untouched run must audit clean"
+    );
+
+    // Find an acknowledged transaction committed in group 0 but (being
+    // single-group) absent from group 1, then forge an oracle record
+    // claiming it touched both.
+    let victim = {
+        let oracle = system.oracle.borrow();
+        oracle
+            .acked
+            .keys()
+            .copied()
+            .find(|txn| {
+                !oracle.xg.contains_key(txn)
+                    && system
+                        .replica_states_of(0)
+                        .iter()
+                        .any(|(db, live)| *live && db.is_committed(*txn))
+                    && !system
+                        .replica_states_of(1)
+                        .iter()
+                        .any(|(db, live)| *live && db.is_committed(*txn))
+            })
+            .expect("a sharded run commits some group-0-only transaction")
+    };
+    system.oracle.borrow_mut().record_xg(victim, vec![0, 1], 0);
+
+    let found = violations(&system);
+    assert!(
+        found.iter().any(|v| matches!(
+            v,
+            OracleViolation::AtomicityViolation { txn, group: 1, .. } if *txn == victim
+        )),
+        "a forged cross-group record must be reported as an atomicity \
+         violation naming the missing group: {found:?}"
+    );
+}

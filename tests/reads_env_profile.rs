@@ -11,7 +11,7 @@ use groupsafe::workload::{builder_for, RunConfig};
 
 #[test]
 fn env_profile_parses_plumbs_and_yields_to_explicit() {
-    // ---- parsing: every recognised profile, and loud failure on typos
+    // ---- parsing: every recognised profile, and a typed error on typos
     // (a malformed value must never silently select the classic path —
     // that would make a "reads on" CI pass vacuous).
     let parse = |v: Option<&str>| {
@@ -23,36 +23,49 @@ fn env_profile_parses_plumbs_and_yields_to_explicit() {
         std::env::remove_var("GROUPSAFE_READS");
         got
     };
-    assert_eq!(parse(None), None);
-    assert_eq!(parse(Some("off")), None);
+    assert_eq!(parse(None), Ok(None));
+    assert_eq!(parse(Some("off")), Ok(None));
     assert_eq!(
-        parse(Some("session")).map(|(c, f)| (c.path, f)),
-        Some((ReadPath::Local(ReadLevel::Session), None))
+        parse(Some("session")).map(|o| o.map(|(c, f)| (c.path, f))),
+        Ok(Some((ReadPath::Local(ReadLevel::Session), None)))
     );
     assert_eq!(
-        parse(Some("stable:0.9")).map(|(c, f)| (c.path, f)),
-        Some((ReadPath::Local(ReadLevel::Stable), Some(0.9)))
+        parse(Some("stable:0.9")).map(|o| o.map(|(c, f)| (c.path, f))),
+        Ok(Some((ReadPath::Local(ReadLevel::Stable), Some(0.9))))
     );
     assert_eq!(
-        parse(Some("latest:0.25")).map(|(c, f)| (c.path, f)),
-        Some((ReadPath::Local(ReadLevel::Latest), Some(0.25)))
+        parse(Some("latest:0.25")).map(|o| o.map(|(c, f)| (c.path, f))),
+        Ok(Some((ReadPath::Local(ReadLevel::Latest), Some(0.25))))
     );
     assert_eq!(
-        parse(Some("broadcast:0.5")).map(|(c, f)| (c.path, f)),
-        Some((ReadPath::Broadcast, Some(0.5)))
+        parse(Some("broadcast:0.5")).map(|o| o.map(|(c, f)| (c.path, f))),
+        Ok(Some((ReadPath::Broadcast, Some(0.5))))
     );
     assert_eq!(
-        parse(Some("classic")).map(|(c, f)| (c.path, f)),
-        Some((ReadPath::Classic, None))
+        parse(Some("classic")).map(|o| o.map(|(c, f)| (c.path, f))),
+        Ok(Some((ReadPath::Classic, None)))
     );
     for bad in ["sessions", "session:2.0", "session:x", "snapshot"] {
-        let r = std::panic::catch_unwind(|| parse(Some(bad)));
-        std::env::remove_var("GROUPSAFE_READS");
         assert!(
-            r.is_err(),
-            "{bad:?} must panic, not silently select classic"
+            parse(Some(bad)).is_err(),
+            "{bad:?} must be a typed error, not silently select classic"
         );
     }
+    // And the error must surface through the builder as a typed
+    // BuildError, failing the build loudly.
+    std::env::set_var("GROUPSAFE_READS", "snapshot");
+    let err = System::builder().build();
+    std::env::remove_var("GROUPSAFE_READS");
+    assert!(
+        matches!(
+            err.as_ref().map(|_| ()),
+            Err(groupsafe::core::BuildError::BadEnvProfile {
+                var: "GROUPSAFE_READS",
+                ..
+            })
+        ),
+        "a malformed profile must fail the build with a typed error"
+    );
 
     // ---- precedence through the builder.
     std::env::set_var("GROUPSAFE_READS", "session:0.4");

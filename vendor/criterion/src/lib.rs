@@ -10,6 +10,9 @@
 //! `cargo bench` working.
 
 #![forbid(unsafe_code)]
+// A bench harness is wall-clock by definition; the workspace-wide ban
+// on `Instant` (GS-D02) targets protocol and simulation code only.
+#![allow(clippy::disallowed_types)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
