@@ -3,7 +3,8 @@
 //! and hold every run to the safety oracle's per-level invariants.
 //!
 //! Usage: `scenario_fuzz [--seeds N] [--start S] [--level L] [--shards G]
-//!                       [--reads LEVEL:FRACTION] [--json <path>]`
+//!                       [--reads LEVEL:FRACTION] [--txns FRACTION]
+//!                       [--json <path>]`
 //!   --seeds   seeds per level (default 100 → 200 cases over two levels)
 //!   --start   first seed (default 0)
 //!   --level   restrict to one of: group-safe | two-safe | group-1-safe |
@@ -15,6 +16,11 @@
 //!             generated transactions are read-only and travel the local
 //!             read path at LEVEL (stable | session | latest); the
 //!             read-freshness oracle audits every run (default: off)
+//!   --txns    mix snapshot-isolation transactions into every plan: a
+//!             FRACTION of the generated update transactions run under
+//!             SI (MVCC read phase, first-committer-wins certification);
+//!             the SI anomaly audits check every run (default: off;
+//!             zeroed on one-safe, whose lazy baseline has no SI path)
 //!   --json    write a JSON summary
 //!
 //! On the first oracle violation the binary prints the reproducing seed
@@ -72,6 +78,11 @@ fn main() {
         None => vec![SafetyLevel::GroupSafe, SafetyLevel::TwoSafe],
     };
     let reads = value_after("--reads").map(|v| parse_reads(&v));
+    let txns: Option<f64> = value_after("--txns").map(|v| {
+        let f: f64 = v.parse().expect("--txns takes a fraction");
+        assert!((0.0..=1.0).contains(&f), "--txns fraction outside [0, 1]");
+        f
+    });
     assert!(
         reads.is_none() || !levels.contains(&SafetyLevel::OneSafe),
         "--reads is not defined for one-safe: the lazy baseline has no \
@@ -86,6 +97,7 @@ fn main() {
     let mut cross_audited = 0u64;
     let mut group_failures = 0u64;
     let mut reads_audited = 0u64;
+    let mut si_audited = 0u64;
     // GS-D02 exemption: bench binaries report wall-clock throughput and
     // never feed a fingerprint (see lint.toml / clippy.toml policy).
     #[allow(clippy::disallowed_types)]
@@ -99,6 +111,9 @@ fn main() {
         if let Some((read_level, fraction)) = reads {
             spec = spec.with_reads(read_level, fraction);
         }
+        if let Some(fraction) = txns {
+            spec = spec.with_txns(fraction);
+        }
         for seed in start..start + seeds {
             let out = run_fuzz_case(seed, &spec);
             total += 1;
@@ -108,6 +123,7 @@ fn main() {
             cross_audited += out.audit.cross_group_audited as u64;
             group_failures += out.audit.group_failed as u64;
             reads_audited += out.audit.reads_audited as u64;
+            si_audited += out.audit.si_audited as u64;
             if !out.ok() {
                 eprintln!("scenario-fuzz: ORACLE VIOLATION\n{}", out.describe());
                 let mut ctor = if shards > 1 {
@@ -117,6 +133,9 @@ fn main() {
                 };
                 if let Some((read_level, fraction)) = reads {
                     ctor = format!("{ctor}.with_reads(ReadLevel::{read_level:?}, {fraction})");
+                }
+                if let Some(fraction) = txns {
+                    ctor = format!("{ctor}.with_txns({fraction})");
                 }
                 eprintln!("reproduce with: fuzz::run_fuzz_case({seed}, &{ctor})");
                 std::process::exit(1);
@@ -156,12 +175,24 @@ fn main() {
             "the read-mixed envelope should actually serve local reads"
         );
     }
+    if let Some(fraction) = txns {
+        println!(
+            "  txn-mixed envelope: {:.0} % snapshot transactions, \
+             {si_audited} delegate certifications SI-audited",
+            fraction * 100.0
+        );
+        assert!(
+            si_audited > 0 || levels == [SafetyLevel::OneSafe],
+            "the txn-mixed envelope should actually certify snapshot transactions"
+        );
+    }
     if let Some(path) = value_after("--json") {
         let json = format!(
             "{{\"scenarios\":{total},\"violations\":0,\"quiescent\":{quiescent},\
              \"with_loss\":{with_loss},\"commits\":{commits},\
              \"shards\":{shards},\"cross_group_audited\":{cross_audited},\
-             \"group_failures\":{group_failures},\"reads_audited\":{reads_audited}}}"
+             \"group_failures\":{group_failures},\"reads_audited\":{reads_audited},\
+             \"si_audited\":{si_audited}}}"
         );
         std::fs::write(&path, json).expect("write json");
         println!("wrote {path}");

@@ -42,6 +42,7 @@ pub fn ordering_bound_workload() -> WorkloadSpec {
         hot_access_fraction: 0.0,
         hot_set_fraction: 0.02,
         read_fraction: 0.0,
+        ..WorkloadSpec::default()
     }
 }
 
@@ -58,5 +59,6 @@ pub fn read_bound_workload(read_fraction: f64) -> WorkloadSpec {
         hot_access_fraction: 0.0,
         hot_set_fraction: 0.02,
         read_fraction,
+        ..WorkloadSpec::default()
     }
 }

@@ -49,7 +49,7 @@ use groupsafe_gcs::BatchConfig;
 use groupsafe_net::{NetConfig, NodeId};
 use groupsafe_sim::{SimDuration, SimTime};
 
-use crate::client::{LoadModel, OpGenerator, StopClient};
+use crate::client::{LoadModel, OpGenerator, StopClient, TxnPlan};
 use crate::reads::{reads_from_env, ReadConfig, ReadLevel, ReadPath};
 use crate::safety::SafetyLevel;
 use crate::scenario::ScenarioPlan;
@@ -201,6 +201,16 @@ pub struct WorkloadSpec {
     /// reads then only occur inside mixed transactions per
     /// `write_probability`.
     pub read_fraction: f64,
+    /// Fraction of generated *update* transactions that run as
+    /// snapshot-isolation transactions: reads served off a consistent
+    /// MVCC snapshot, certification first-committer-wins over the write
+    /// set only. 0 — the default — draws no extra coin, so the classic
+    /// pipeline stays bit-for-bit fingerprint-identical.
+    pub txn_fraction: f64,
+    /// Minimum operations per snapshot-isolation transaction.
+    pub txn_ops_min: usize,
+    /// Maximum operations per snapshot-isolation transaction.
+    pub txn_ops_max: usize,
 }
 
 impl Default for WorkloadSpec {
@@ -221,6 +231,9 @@ impl WorkloadSpec {
             hot_access_fraction: 0.15,
             hot_set_fraction: 0.02,
             read_fraction: 0.0,
+            txn_fraction: 0.0,
+            txn_ops_min: 10,
+            txn_ops_max: 20,
         }
     }
 
@@ -234,11 +247,18 @@ impl WorkloadSpec {
                 max: self.txn_len_max,
             });
         }
+        if self.txn_ops_min > self.txn_ops_max || self.txn_ops_max == 0 {
+            return Err(BuildError::BadTxnLength {
+                min: self.txn_ops_min,
+                max: self.txn_ops_max,
+            });
+        }
         for (name, p) in [
             ("write_probability", self.write_probability),
             ("hot_access_fraction", self.hot_access_fraction),
             ("hot_set_fraction", self.hot_set_fraction),
             ("read_fraction", self.read_fraction),
+            ("txn_fraction", self.txn_fraction),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(BuildError::BadProbability { name, value: p });
@@ -257,6 +277,75 @@ impl WorkloadSpec {
         if self.read_fraction > 0.0 && rng.random_bool(self.read_fraction) {
             return self.generate_readonly_txn(rng);
         }
+        self.generate_mixed_txn(rng)
+    }
+
+    /// One read-only transaction's operations (the population the read
+    /// path serves; drawn for a `read_fraction` of transactions).
+    pub fn generate_readonly_txn(&self, rng: &mut StdRng) -> Vec<Operation> {
+        let len = rng.random_range(self.txn_len_min..=self.txn_len_max);
+        (0..len)
+            .map(|_| Operation::Read(self.draw_item(rng)))
+            .collect()
+    }
+
+    /// One transaction plan: the read-mix coin first (matching
+    /// [`WorkloadSpec::generate_txn`] draw-for-draw), then — only when
+    /// `txn_fraction` is set — the snapshot-isolation coin over the
+    /// update population. With both knobs at their defaults this is
+    /// `generate_txn` with a classic wrapper: zero extra RNG draws, so
+    /// seeded runs stay fingerprint-identical.
+    pub fn generate_plan(&self, rng: &mut StdRng) -> TxnPlan {
+        if self.read_fraction > 0.0 && rng.random_bool(self.read_fraction) {
+            let ops = self.generate_readonly_txn(rng);
+            // With snapshot transactions in the mix, read-only
+            // transactions ride snapshots too: their reads are served
+            // off the multi-version store and leave certification
+            // entirely (an empty write set cannot conflict), instead of
+            // holding first-writer-wins read entries that any concurrent
+            // writer invalidates. With `txn_fraction == 0` the classic
+            // read-set-certified plan is preserved bit-for-bit.
+            return if self.txn_fraction > 0.0 {
+                TxnPlan::snapshot(ops)
+            } else {
+                TxnPlan::new(ops)
+            };
+        }
+        if self.txn_fraction > 0.0 && rng.random_bool(self.txn_fraction) {
+            return TxnPlan::snapshot(self.generate_si_txn(rng));
+        }
+        TxnPlan::new(self.generate_mixed_txn(rng))
+    }
+
+    /// One snapshot-isolation transaction's operations: `txn_ops_min..=
+    /// txn_ops_max` operations over the same item distribution as mixed
+    /// transactions, forced to contain at least one write (a read-only
+    /// snapshot transaction belongs to the read path, not here).
+    pub fn generate_si_txn(&self, rng: &mut StdRng) -> Vec<Operation> {
+        let len = rng.random_range(self.txn_ops_min..=self.txn_ops_max);
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let item = self.draw_item(rng);
+            if rng.random_bool(self.write_probability) {
+                ops.push(Operation::Write(
+                    item,
+                    rng.random_range(-1_000_000..1_000_000),
+                ));
+            } else {
+                ops.push(Operation::Read(item));
+            }
+        }
+        if !ops.iter().any(|o| o.is_write()) {
+            let item = self.draw_item(rng);
+            ops.push(Operation::Write(
+                item,
+                rng.random_range(-1_000_000..1_000_000),
+            ));
+        }
+        ops
+    }
+
+    fn generate_mixed_txn(&self, rng: &mut StdRng) -> Vec<Operation> {
         let len = rng.random_range(self.txn_len_min..=self.txn_len_max);
         let mut ops = Vec::with_capacity(len);
         for _ in 0..len {
@@ -273,15 +362,6 @@ impl WorkloadSpec {
         ops
     }
 
-    /// One read-only transaction's operations (the population the read
-    /// path serves; drawn for a `read_fraction` of transactions).
-    pub fn generate_readonly_txn(&self, rng: &mut StdRng) -> Vec<Operation> {
-        let len = rng.random_range(self.txn_len_min..=self.txn_len_max);
-        (0..len)
-            .map(|_| Operation::Read(self.draw_item(rng)))
-            .collect()
-    }
-
     fn draw_item(&self, rng: &mut StdRng) -> ItemId {
         let hot_items = ((self.n_items as f64 * self.hot_set_fraction) as u32).max(1);
         if self.hot_access_fraction > 0.0 && rng.random_bool(self.hot_access_fraction) {
@@ -294,8 +374,72 @@ impl WorkloadSpec {
     /// A per-client operation generator over this spec.
     pub fn generator(&self) -> OpGenerator {
         let spec = self.clone();
-        Box::new(move |rng: &mut StdRng| spec.generate_txn(rng))
+        Box::new(move |rng: &mut StdRng| spec.generate_plan(rng))
     }
+}
+
+/// A parsed `GROUPSAFE_TXN` profile: the snapshot-isolation transaction
+/// fraction and the optional operations-per-transaction range.
+pub type TxnProfile = (f64, Option<(usize, usize)>);
+
+/// The `GROUPSAFE_TXN` environment profile: `<fraction>[:<min>-<max>]`,
+/// where `<fraction>` is the workload's snapshot-isolation transaction
+/// fraction and the optional `<min>-<max>` the operations-per-transaction
+/// range. `off`, the empty string or an unset variable keep the caller's
+/// default.
+///
+/// Used by CI to run the same suites with the SI transaction mix on and
+/// off without touching the test sources. Explicit builder setters win
+/// over the profile.
+///
+/// # Errors
+/// Any malformed value is a typed [`BuildError::BadEnvProfile`]: a typo
+/// must fail the run loudly, not silently run the classic mix (which
+/// would make a "transactions on" CI pass vacuous).
+pub fn txn_from_env() -> Result<Option<TxnProfile>, BuildError> {
+    let bad = |detail: String| {
+        Err(BuildError::BadEnvProfile {
+            var: "GROUPSAFE_TXN",
+            detail,
+        })
+    };
+    let Ok(raw) = std::env::var("GROUPSAFE_TXN") else {
+        return Ok(None);
+    };
+    let raw = raw.trim();
+    if raw.is_empty() || raw.eq_ignore_ascii_case("off") {
+        return Ok(None);
+    }
+    let mut parts = raw.splitn(2, ':');
+    let fraction = {
+        let f = parts.next().unwrap_or("").trim();
+        let Ok(parsed) = f.parse::<f64>() else {
+            return bad(format!("cannot parse fraction {f:?}"));
+        };
+        if !(0.0..=1.0).contains(&parsed) {
+            return bad(format!("fraction {parsed} outside [0, 1]"));
+        }
+        parsed
+    };
+    let ops = match parts.next() {
+        None => None,
+        Some(range) => {
+            let range = range.trim();
+            let Some((lo, hi)) = range.split_once('-') else {
+                return bad(format!(
+                    "cannot parse ops range {range:?} (expected <min>-<max>)"
+                ));
+            };
+            let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) else {
+                return bad(format!("cannot parse ops range {range:?}"));
+            };
+            if lo > hi || hi == 0 {
+                return bad(format!("invalid ops range {lo}-{hi}"));
+            }
+            Some((lo, hi))
+        }
+    };
+    Ok(Some((fraction, ops)))
 }
 
 // ---------------------------------------------------------------------
@@ -574,6 +718,11 @@ pub struct SystemBuilder {
     /// An explicit `read_fraction` call; applied over whatever workload
     /// spec is in force (and over the env profile's optional fraction).
     read_fraction_override: Option<f64>,
+    /// An explicit `txn_fraction` call; beats the `GROUPSAFE_TXN` env
+    /// profile and whatever the workload spec carries.
+    txn_fraction_override: Option<f64>,
+    /// An explicit `txn_ops` call (min, max); same precedence.
+    txn_ops_override: Option<(usize, usize)>,
 }
 
 impl Default for SystemBuilder {
@@ -600,6 +749,8 @@ impl Default for SystemBuilder {
             reads: ReadConfig::classic(),
             reads_explicit: false,
             read_fraction_override: None,
+            txn_fraction_override: None,
+            txn_ops_override: None,
         }
     }
 }
@@ -735,6 +886,24 @@ impl SystemBuilder {
     /// spec is in force, in either call order.
     pub fn read_fraction(mut self, f: f64) -> Self {
         self.read_fraction_override = Some(f);
+        self
+    }
+
+    /// Fraction of generated update transactions that run under snapshot
+    /// isolation (reads off a consistent MVCC snapshot, certification
+    /// first-committer-wins over the write set). 0 reproduces the classic
+    /// pipeline draw-for-draw. Applied over whatever
+    /// [`SystemBuilder::workload`] spec is in force, in either call
+    /// order; beats the `GROUPSAFE_TXN` env profile.
+    pub fn txn_fraction(mut self, f: f64) -> Self {
+        self.txn_fraction_override = Some(f);
+        self
+    }
+
+    /// Operations per snapshot-isolation transaction (min..=max), applied
+    /// over whatever workload spec is in force.
+    pub fn txn_ops(mut self, min: usize, max: usize) -> Self {
+        self.txn_ops_override = Some((min, max));
         self
     }
 
@@ -902,9 +1071,14 @@ impl SystemBuilder {
     }
 
     /// The workload spec in force: the configured spec with the
-    /// read-fraction override (explicit call, else the env profile's
-    /// optional fraction) applied.
-    fn effective_workload(&self) -> Result<WorkloadSpec, BuildError> {
+    /// read-fraction and snapshot-transaction overrides (explicit call,
+    /// else the matching env profile) applied — what the built system's
+    /// generator will actually draw from.
+    ///
+    /// # Errors
+    /// [`BuildError::BadEnvProfile`] if `GROUPSAFE_READS` or
+    /// `GROUPSAFE_TXN` is set but malformed.
+    pub fn effective_workload(&self) -> Result<WorkloadSpec, BuildError> {
         let mut w = self.workload.clone();
         if let Some(f) = self.read_fraction_override {
             w.read_fraction = f;
@@ -912,6 +1086,23 @@ impl SystemBuilder {
             if let Some((_, Some(f))) = reads_from_env()? {
                 w.read_fraction = f;
             }
+        }
+        // SI transaction mix: explicit setters, else the `GROUPSAFE_TXN`
+        // env profile, else the spec's own knobs.
+        match (self.txn_fraction_override, txn_from_env()?) {
+            (Some(f), _) => w.txn_fraction = f,
+            (None, Some((f, ops))) => {
+                w.txn_fraction = f;
+                if let Some((lo, hi)) = ops {
+                    w.txn_ops_min = lo;
+                    w.txn_ops_max = hi;
+                }
+            }
+            (None, None) => {}
+        }
+        if let Some((lo, hi)) = self.txn_ops_override {
+            w.txn_ops_min = lo;
+            w.txn_ops_max = hi;
         }
         Ok(w)
     }
@@ -990,6 +1181,15 @@ impl SystemBuilder {
         // watermark).
         let reads = self.effective_reads()?;
         if reads.is_local() && db.mvcc_depth == 0 {
+            db.mvcc_depth = 64;
+        }
+        // Snapshot-isolation transactions read from the multi-version
+        // store too: switch it on whenever the effective mix contains
+        // them.
+        if self.generator.is_none()
+            && db.mvcc_depth == 0
+            && self.effective_workload()?.txn_fraction > 0.0
+        {
             db.mvcc_depth = 64;
         }
         // Batching precedence: explicit `.batching(..)` call, then the
@@ -1361,6 +1561,30 @@ impl Run {
             )
         };
 
+        // Snapshot-isolation accounting: certification outcomes recorded
+        // by the delegates at delivery, whole run, split per group.
+        let (txn_commits, txn_aborts, si_by_group) = {
+            let oracle = system.oracle.borrow();
+            let mut per_group = vec![(0usize, 0usize); system.n_groups.max(1) as usize];
+            let mut commits = 0usize;
+            let mut aborts = 0usize;
+            for rec in &oracle.si_txns {
+                let slot = per_group.get_mut(rec.group as usize);
+                if rec.committed {
+                    commits += 1;
+                    if let Some(s) = slot {
+                        s.0 += 1;
+                    }
+                } else {
+                    aborts += 1;
+                    if let Some(s) = slot {
+                        s.1 += 1;
+                    }
+                }
+            }
+            (commits, aborts, per_group)
+        };
+
         // Per-group breakdown (sharded systems only): acked transactions
         // attributed to their owning group — the coordinator's group for
         // a cross-group commit — plus each group's abcast counters.
@@ -1409,6 +1633,8 @@ impl Run {
                         } else {
                             gr.lag_sum / gr.lag_n as f64
                         },
+                        txn_commits: si_by_group[g as usize].0,
+                        txn_aborts: si_by_group[g as usize].1,
                         abcast_batches: stats.batches_sent,
                         mean_batch_size: stats.mean_batch_size(),
                         votes_per_delivery: stats.votes_per_delivery(),
@@ -1480,6 +1706,13 @@ impl Run {
             read_mean_ms,
             read_redirects,
             read_staleness,
+            txn_commits,
+            txn_aborts,
+            txn_abort_rate: if txn_commits + txn_aborts == 0 {
+                0.0
+            } else {
+                txn_aborts as f64 / (txn_commits + txn_aborts) as f64
+            },
             groups,
             phases,
             fingerprint,
@@ -1519,6 +1752,12 @@ pub struct GroupStats {
     /// Mean `applied − snapshot` gap over this group's locally served
     /// reads, in delivery sequence numbers (whole run).
     pub read_staleness: f64,
+    /// Snapshot-isolation transactions certified commit by this group's
+    /// delegates (whole run).
+    pub txn_commits: usize,
+    /// Snapshot-isolation transactions certified abort by this group's
+    /// delegates (whole run).
+    pub txn_aborts: usize,
     /// Batch frames flushed by this group's sequencers.
     pub abcast_batches: u64,
     /// Mean messages per flushed frame.
@@ -1642,6 +1881,14 @@ pub struct Report {
     /// delivery sequence numbers (whole run; 0 when every read was
     /// served at the replica's applied head).
     pub read_staleness: f64,
+    /// Snapshot-isolation transactions certified commit (whole run; 0
+    /// when the mix contains none).
+    pub txn_commits: usize,
+    /// Snapshot-isolation transactions certified abort (whole run).
+    pub txn_aborts: usize,
+    /// `txn_aborts` over all certified snapshot-isolation transactions
+    /// (0 when the mix contains none).
+    pub txn_abort_rate: f64,
     /// Per-group breakdown (empty for unsharded systems — including the
     /// degenerate `shards(1)`, whose report matches the classic one
     /// field-for-field).
@@ -1715,6 +1962,9 @@ impl Report {
         s.push_str(&format!("\"read_mean_ms\":{},", f(self.read_mean_ms)));
         s.push_str(&format!("\"read_redirects\":{},", self.read_redirects));
         s.push_str(&format!("\"read_staleness\":{},", f(self.read_staleness)));
+        s.push_str(&format!("\"txn_commits\":{},", self.txn_commits));
+        s.push_str(&format!("\"txn_aborts\":{},", self.txn_aborts));
+        s.push_str(&format!("\"txn_abort_rate\":{},", f(self.txn_abort_rate)));
         s.push_str("\"groups\":[");
         for (i, g) in self.groups.iter().enumerate() {
             if i > 0 {
@@ -1724,6 +1974,7 @@ impl Report {
                 "{{\"group\":{},\"commits\":{},\"achieved_tps\":{},\
                  \"reads\":{},\"read_tps\":{},\"read_redirects\":{},\
                  \"read_staleness\":{},\
+                 \"txn_commits\":{},\"txn_aborts\":{},\
                  \"abcast_batches\":{},\"mean_batch_size\":{},\
                  \"votes_per_delivery\":{},\"wire_sent\":{},\"wire_broadcasts\":{}}}",
                 g.group,
@@ -1733,6 +1984,8 @@ impl Report {
                 f(g.read_tps),
                 g.read_redirects,
                 f(g.read_staleness),
+                g.txn_commits,
+                g.txn_aborts,
                 g.abcast_batches,
                 f(g.mean_batch_size),
                 f(g.votes_per_delivery),
@@ -1808,6 +2061,15 @@ impl std::fmt::Display for Report {
                 self.read_mean_ms,
                 self.read_redirects,
                 self.read_staleness
+            )?;
+        }
+        if self.txn_commits + self.txn_aborts > 0 {
+            writeln!(
+                f,
+                "snapshot txns          : {} committed, {} aborted ({:.1} % abort rate)",
+                self.txn_commits,
+                self.txn_aborts,
+                self.txn_abort_rate * 100.0
             )?;
         }
         if !self.groups.is_empty() {

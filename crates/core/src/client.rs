@@ -40,8 +40,43 @@ pub enum LoadModel {
     },
 }
 
-/// Generates the operations of each new transaction.
-pub type OpGenerator = Box<dyn FnMut(&mut StdRng) -> Vec<Operation>>;
+/// One generated transaction: its operations plus how it travels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnPlan {
+    /// The operations, executed in order.
+    pub ops: Vec<Operation>,
+    /// True = submit as a snapshot-isolation transaction (snapshot read
+    /// phase, write-set-only certification); false = the classic
+    /// read-set-certified pipeline.
+    pub snapshot: bool,
+}
+
+impl TxnPlan {
+    /// A classic (non-snapshot) transaction over these operations.
+    pub fn new(ops: Vec<Operation>) -> Self {
+        TxnPlan {
+            ops,
+            snapshot: false,
+        }
+    }
+
+    /// A snapshot-isolation transaction over these operations.
+    pub fn snapshot(ops: Vec<Operation>) -> Self {
+        TxnPlan {
+            ops,
+            snapshot: true,
+        }
+    }
+}
+
+impl From<Vec<Operation>> for TxnPlan {
+    fn from(ops: Vec<Operation>) -> Self {
+        TxnPlan::new(ops)
+    }
+}
+
+/// Generates each new transaction (operations + how it travels).
+pub type OpGenerator = Box<dyn FnMut(&mut StdRng) -> TxnPlan>;
 
 /// Client configuration.
 pub struct ClientConfig {
@@ -94,6 +129,9 @@ struct Outstanding {
     read_level: Option<ReadLevel>,
     /// Read-only transaction on any path (classifies the ack).
     readonly: bool,
+    /// Snapshot-isolation transaction (carries the session token so the
+    /// delegate pins a read-your-writes snapshot).
+    snapshot: bool,
 }
 
 /// The client actor.
@@ -200,7 +238,8 @@ impl Client {
             client: self.cfg.id,
             seq: self.next_seq,
         };
-        let ops = (self.gen)(&mut self.rng);
+        let plan = (self.gen)(&mut self.rng);
+        let ops = plan.ops;
         let now = ctx.now();
         let target = self.coordinator_for(&ops);
         let readonly = !ops.is_empty() && ops.iter().all(|o| !o.is_write());
@@ -225,6 +264,7 @@ impl Client {
                 target,
                 read_level,
                 readonly,
+                snapshot: plan.snapshot,
             },
         );
         self.send_request(ctx, id);
@@ -250,11 +290,21 @@ impl Client {
             };
             self.net.send(ctx, self.cfg.node, target, req);
         } else {
+            // Snapshot transactions carry the session token so the
+            // delegate's snapshot observes this session's prior commits
+            // (read-your-writes across transactions).
+            let token = if o.snapshot {
+                self.token(self.group_of(target))
+            } else {
+                0
+            };
             let req = TxnRequest {
                 id,
                 ops: o.ops.clone(),
                 client: self.cfg.node,
                 attempt,
+                snapshot: o.snapshot,
+                token,
             };
             self.net
                 .send(ctx, self.cfg.node, target, ClientMsg::Request(req));

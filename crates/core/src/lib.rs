@@ -54,10 +54,11 @@ pub mod system;
 pub mod verify;
 
 pub use builder::{
-    BuildError, FaultPlan, GroupStats, Load, PhaseStats, Report, Run, SystemBuilder, WorkloadSpec,
+    txn_from_env, BuildError, FaultPlan, GroupStats, Load, PhaseStats, Report, Run, SystemBuilder,
+    WorkloadSpec,
 };
-pub use certify::{certify, certify_versions, Certification};
-pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, StopClient};
+pub use certify::{certify, certify_snapshot, certify_versions, Certification};
+pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, StopClient, TxnPlan};
 pub use groupsafe_gcs::BatchConfig;
 pub use msg::{
     ClientMsg, DsmMsg, GroupMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest,
@@ -79,5 +80,5 @@ pub use shard::{sharded_generator, ShardError, ShardMap, ShardSpec, ShardStrateg
 pub use system::{System, SystemConfig};
 pub use verify::{
     check_convergence, check_lost_updates, check_no_loss, LostTransaction, LostUpdate, Oracle,
-    XgRecord,
+    SiRecord, XgRecord,
 };

@@ -15,6 +15,18 @@ pub struct TxnRequest {
     pub client: NodeId,
     /// Resubmission attempt number (0 = first try; metrics only).
     pub attempt: u32,
+    /// True for a snapshot-isolation transaction: the delegate executes
+    /// the read phase against a consistent snapshot of the multi-version
+    /// store and certification is first-committer-wins over the write
+    /// set only (see [`crate::certify::certify_snapshot`]). False keeps
+    /// the classic read-set-certified pipeline bit-for-bit.
+    pub snapshot: bool,
+    /// Session token for snapshot transactions: the client's highest
+    /// acknowledged commit sequence number in the target group. The
+    /// delegate pins a snapshot at least this fresh (read-your-writes
+    /// across transactions), waiting bounded time if its applied state
+    /// is behind. 0 for classic transactions.
+    pub token: u64,
 }
 
 impl TxnRequest {
@@ -76,6 +88,12 @@ pub struct DsmMsg {
     /// Items written, with the new values (versions are assigned from the
     /// delivery sequence number at certification time).
     pub writes: Vec<(ItemId, Value)>,
+    /// The delivery sequence number the delegate's read phase executed
+    /// against, for snapshot-isolation transactions: certification at
+    /// every replica is first-committer-wins over `writes` against this
+    /// snapshot ([`crate::certify::certify_snapshot`]). `None` selects
+    /// classic read-set certification.
+    pub snapshot: Option<u64>,
 }
 
 /// What a replica group atomically broadcasts: ordinary single-group
@@ -234,6 +252,8 @@ mod tests {
             ops: vec![Operation::Read(ItemId(1))],
             client: NodeId(9),
             attempt: 0,
+            snapshot: false,
+            token: 0,
         };
         assert!(!ro.is_update());
         let rw = TxnRequest {

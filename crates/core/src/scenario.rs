@@ -1135,6 +1135,37 @@ pub enum OracleViolation {
     /// The read path violated one of its per-level freshness invariants
     /// (see [`crate::reads::audit_reads`]).
     Read(crate::reads::ReadViolation),
+    /// Never-crashed replicas of one group reached different
+    /// certification verdicts for the same delivery sequence — the
+    /// determinism the snapshot-isolation pipeline (and the classic one)
+    /// rests on.
+    CertificationDivergence {
+        /// The diverging group.
+        group: u32,
+        /// `(server, certification digest)` per audited replica.
+        digests: Vec<(u32, u64)>,
+    },
+    /// Two committed snapshot-isolation transactions both wrote `item`
+    /// although the second's snapshot predates the first's commit —
+    /// first-committer-wins certification must have aborted one of them.
+    SiLostUpdate {
+        /// The first committer.
+        first: TxnId,
+        /// The transaction that should have been aborted.
+        second: TxnId,
+        /// The contended item.
+        item: groupsafe_db::ItemId,
+    },
+    /// A snapshot-isolation transaction observed a version above its
+    /// snapshot, or one no committed transaction ever wrote.
+    SiDirtyRead {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The item read.
+        item: groupsafe_db::ItemId,
+        /// The version observed.
+        version: u64,
+    },
 }
 
 impl std::fmt::Display for OracleViolation {
@@ -1167,6 +1198,30 @@ impl std::fmt::Display for OracleViolation {
                 )
             }
             OracleViolation::Read(v) => write!(f, "read path: {v}"),
+            OracleViolation::CertificationDivergence { group, digests } => {
+                write!(
+                    f,
+                    "group {group}: survivors disagree on certification verdicts: {digests:?}"
+                )
+            }
+            OracleViolation::SiLostUpdate {
+                first,
+                second,
+                item,
+            } => {
+                write!(
+                    f,
+                    "snapshot isolation lost update: {second:?} committed a write of {item:?} \
+                     although its snapshot predates {first:?}'s commit"
+                )
+            }
+            OracleViolation::SiDirtyRead { txn, item, version } => {
+                write!(
+                    f,
+                    "snapshot transaction {txn:?} read {item:?} at version {version}, which its \
+                     snapshot cannot contain"
+                )
+            }
         }
     }
 }
@@ -1193,6 +1248,9 @@ pub struct ScenarioAudit {
     /// Locally served reads audited against the read-freshness
     /// invariants (0 when the local read path was off).
     pub reads_audited: usize,
+    /// Snapshot-isolation transactions audited against the SI anomaly
+    /// invariants (0 when the mix contained none).
+    pub si_audited: usize,
 }
 
 impl ScenarioAudit {
@@ -1407,7 +1465,8 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
             (0..n).collect()
         };
         let mut order: Vec<(u32, u64)> = members
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&i| {
                 let s = system.server(i);
                 s.crash_count() == 0 && s.transfer_count() == 0
@@ -1417,6 +1476,25 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         order.dedup_by_key(|(_, d)| *d);
         if order.len() > 1 {
             violations.push(OracleViolation::OrderDivergence { digests: order });
+        }
+        // Certification determinism: the same replicas must also agree
+        // on every verdict (commit vs abort, classic and snapshot alike)
+        // — the digest folds the verdict and the shipped snapshot per
+        // delivery.
+        let mut cert: Vec<(u32, u64)> = members
+            .into_iter()
+            .filter(|&i| {
+                let s = system.server(i);
+                s.crash_count() == 0 && s.transfer_count() == 0
+            })
+            .map(|i| (i, system.server(i).cert_digest()))
+            .collect();
+        cert.dedup_by_key(|(_, d)| *d);
+        if cert.len() > 1 {
+            violations.push(OracleViolation::CertificationDivergence {
+                group: g,
+                digests: cert,
+            });
         }
     }
     let quiescent = quiescent_groups == n_groups;
@@ -1435,6 +1513,78 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         oracle.reads.len()
     };
 
+    // The SI anomaly audits over the delegates' certification records:
+    // first-committer-wins (two committed snapshot transactions must not
+    // both win an item across a stale-snapshot interval) and snapshot
+    // containment (a snapshot read never observes a version above its
+    // snapshot, nor one no committed transaction wrote). Delivery
+    // sequence numbers anchor both checks, so they are skipped where the
+    // numbering itself is suspect: groups that wholly failed (a restart
+    // from a survivor's log can reuse a lost suffix's sequence numbers)
+    // and the weak levels under delivery faults (0-safe minority views
+    // deliver divergent sequences by design).
+    let si_trustworthy = !matches!(level, SafetyLevel::ZeroSafe | SafetyLevel::OneSafe)
+        || !plan.any_delivery_fault();
+    let si_audited = {
+        let oracle = system.oracle.borrow();
+        let mut audited = 0usize;
+        let mut committed_versions: std::collections::BTreeSet<(groupsafe_db::ItemId, u64)> =
+            std::collections::BTreeSet::new();
+        for rec in oracle.commits.values() {
+            for w in &rec.writes {
+                committed_versions.insert((w.item, w.version));
+            }
+        }
+        type SiEntry = (u64, u64, TxnId);
+        let mut by_item: std::collections::BTreeMap<(u32, groupsafe_db::ItemId), Vec<SiEntry>> =
+            std::collections::BTreeMap::new();
+        for rec in &oracle.si_txns {
+            let g_failed = group_failed_of
+                .get(rec.group as usize)
+                .copied()
+                .unwrap_or(false);
+            if !si_trustworthy || g_failed {
+                continue;
+            }
+            audited += 1;
+            for &(item, v) in &rec.readset {
+                if v > rec.snapshot || (v != 0 && !committed_versions.contains(&(item, v))) {
+                    violations.push(OracleViolation::SiDirtyRead {
+                        txn: rec.txn,
+                        item,
+                        version: v,
+                    });
+                }
+            }
+            if rec.committed {
+                for &item in &rec.writes {
+                    by_item.entry((rec.group, item)).or_default().push((
+                        rec.commit_seq,
+                        rec.snapshot,
+                        rec.txn,
+                    ));
+                }
+            }
+        }
+        for ((_, item), entries) in &mut by_item {
+            entries.sort_unstable();
+            for i in 0..entries.len() {
+                for j in i + 1..entries.len() {
+                    let (first_commit, _, first) = entries[i];
+                    let (_, second_snapshot, second) = entries[j];
+                    if first != second && second_snapshot < first_commit {
+                        violations.push(OracleViolation::SiLostUpdate {
+                            first,
+                            second,
+                            item: *item,
+                        });
+                    }
+                }
+            }
+        }
+        audited
+    };
+
     ScenarioAudit {
         level,
         violations,
@@ -1443,6 +1593,7 @@ pub fn audit_scenario(plan: &ScenarioPlan, system: &System, level: SafetyLevel) 
         quiescent,
         cross_group_audited,
         reads_audited,
+        si_audited,
     }
 }
 
@@ -1490,6 +1641,11 @@ pub mod fuzz {
         /// Read-only transaction fraction of the generated workload
         /// (only meaningful with `read_level`).
         pub read_fraction: f64,
+        /// Snapshot-isolation transaction fraction of the generated
+        /// update transactions (0 = the classic pipeline, the
+        /// historical envelopes — plans and fingerprints replay
+        /// identically).
+        pub txn_fraction: f64,
     }
 
     impl FuzzSpec {
@@ -1509,6 +1665,7 @@ pub mod fuzz {
                 cross_fraction: 0.0,
                 read_level: None,
                 read_fraction: 0.0,
+                txn_fraction: 0.0,
             }
         }
 
@@ -1543,6 +1700,7 @@ pub mod fuzz {
                 cross_fraction,
                 read_level: None,
                 read_fraction: 0.0,
+                txn_fraction: 0.0,
             }
         }
 
@@ -1562,6 +1720,22 @@ pub mod fuzz {
             };
             self.read_level = Some(level);
             self.read_fraction = fraction.clamp(0.0, 1.0);
+            self
+        }
+
+        /// This envelope with snapshot-isolation transactions mixed in:
+        /// a `fraction` of the generated update transactions run under
+        /// SI (MVCC read phase, first-committer-wins certification), so
+        /// every fault plan also stresses the snapshot machinery and the
+        /// SI anomaly audits check the outcome. The lazy baseline
+        /// (1-safe) executes them through its classic 2PL path, so the
+        /// fraction is zeroed there.
+        pub fn with_txns(mut self, fraction: f64) -> FuzzSpec {
+            self.txn_fraction = if self.level == SafetyLevel::OneSafe {
+                0.0
+            } else {
+                fraction.clamp(0.0, 1.0)
+            };
             self
         }
     }
@@ -1900,6 +2074,9 @@ pub mod fuzz {
                 builder = builder.read_level(level);
             }
             builder = builder.read_fraction(spec.read_fraction);
+        }
+        if spec.txn_fraction > 0.0 {
+            builder = builder.txn_fraction(spec.txn_fraction);
         }
         let mut run = builder
             .build()

@@ -65,7 +65,7 @@ use groupsafe_gcs::{BatchConfig, GcsConfig, GcsEndpoint, GcsOutput, GcsTimer, Wi
 use groupsafe_net::{Incoming, Network, NodeId, NET_CPU};
 use groupsafe_sim::{Actor, Ctx, Disk, Fcfs, Payload, SimDuration, SimTime};
 
-use crate::certify::{certify, Certification};
+use crate::certify::{certify, certify_snapshot, Certification};
 use crate::msg::{
     ClientMsg, DsmMsg, GroupMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest,
     XgDecision, XgDecisionFwd, XgPrepare, XgStatusQuery, XgSubRequest, XgVote,
@@ -73,7 +73,7 @@ use crate::msg::{
 use crate::reads::{ReadConfig, ReadLevel, ReadPath, ReadReply, ReadRequest};
 use crate::safety::SafetyLevel;
 use crate::shard::ShardMap;
-use crate::verify::{Oracle, ReadRecord};
+use crate::verify::{Oracle, ReadRecord, SiRecord};
 
 /// Which replication technique a server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +212,15 @@ enum ServerTimer {
         /// The attempt the wait covers (a resubmission cancels it).
         attempt: u32,
     },
+    /// A parked snapshot transaction's bounded wait expired: execute at
+    /// the snapshot the replica has (snapshot isolation stays correct at
+    /// any snapshot — only read-your-writes freshness is best-effort).
+    TxnWaitTimeout {
+        /// The parked transaction.
+        txn: TxnId,
+        /// The attempt the wait covers (a resubmission cancels it).
+        attempt: u32,
+    },
     /// Send a cross-group certification vote to the coordinator now (the
     /// slice's delivery point was reached).
     XgVoteAt {
@@ -304,6 +313,14 @@ struct Exec {
     cursor: SimTime,
     readset: Vec<(ItemId, Version)>,
     writes: Vec<(ItemId, Value)>,
+    /// The delivery sequence number a snapshot-isolation read phase is
+    /// pinned to (`None` = classic read-set-certified execution).
+    snapshot: Option<u64>,
+    /// Set when the multi-version store could no longer serve the
+    /// pinned snapshot (the depth cap evicted its floor): the
+    /// transaction is doomed to a delegate-side abort — a snapshot read
+    /// must never observe a version above its snapshot.
+    snapshot_too_old: bool,
 }
 
 /// Coordinator-side bookkeeping for one cross-group transaction between
@@ -393,6 +410,10 @@ pub struct ReplicaServer {
     /// Session reads parked until the applied state reaches their token
     /// (bounded by the read config's `max_wait`, then redirected).
     parked_reads: std::collections::BTreeMap<TxnId, ReadRequest>,
+    /// Snapshot transactions parked until the applied state reaches
+    /// their session token (bounded by the read config's `max_wait`,
+    /// then executed at whatever snapshot the replica has).
+    parked_txns: std::collections::BTreeMap<TxnId, TxnRequest>,
     /// The sequence number the replica's *recovered* state corresponds
     /// to: `applied_seq` restarts at 0 after a crash while the redone
     /// WAL prefix (or an installed checkpoint) already reflects newer
@@ -412,6 +433,18 @@ pub struct ReplicaServer {
     /// replica processed, in processing order — the total-order witness
     /// the oracle compares across replicas that never crashed.
     order_digest: u64,
+    /// FNV-1a hash over the certification verdicts
+    /// `(seq, txn, verdict, snapshot)` this replica reached for ordinary
+    /// transaction deliveries, in processing order — the
+    /// certification-determinism witness the oracle compares across
+    /// replicas that never crashed (deterministic certification is the
+    /// defining property of the non-voting technique, so any divergence
+    /// here is a protocol bug even before states drift).
+    cert_digest: u64,
+    /// Test support (negative controls): force every certification this
+    /// replica reaches to `Commit`, corrupting its verdicts relative to
+    /// its peers. Never set outside audit-control tests.
+    force_commit_cert: bool,
 }
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -496,11 +529,14 @@ impl ReplicaServer {
             xg_forwarded: std::collections::BTreeMap::new(),
             last_lazy_version: 0,
             parked_reads: std::collections::BTreeMap::new(),
+            parked_txns: std::collections::BTreeMap::new(),
             state_floor: 0,
             up: true,
             crashes: 0,
             transfers: 0,
             order_digest: FNV_OFFSET,
+            cert_digest: FNV_OFFSET,
+            force_commit_cert: false,
         }
     }
 
@@ -568,6 +604,16 @@ impl ReplicaServer {
         self.order_digest
     }
 
+    /// FNV-1a hash of the certification verdicts reached so far, in
+    /// order (classic and snapshot-isolation transaction deliveries).
+    /// Replicas that never crashed and never state-transferred must
+    /// agree on it once the run quiesces: certification is a
+    /// deterministic function of (delivery order, message), so disagreeing
+    /// verdicts are a protocol bug even while the states still match.
+    pub fn cert_digest(&self) -> u64 {
+        self.cert_digest
+    }
+
     /// Test support: mutable access to the local database, so the
     /// oracle's negative controls can seed a state divergence that no
     /// correct run produces and assert `audit_scenario` reports it
@@ -585,6 +631,24 @@ impl ReplicaServer {
     #[doc(hidden)]
     pub fn poison_order_digest_for_audit_controls(&mut self, salt: u64) {
         self.order_digest ^= salt;
+    }
+
+    /// Test support: perturb the certification digest, seeding the
+    /// verdict divergence deterministic certification can never produce,
+    /// so the negative controls can assert `audit_scenario` reports it
+    /// (`OracleViolation::CertificationDivergence`).
+    #[doc(hidden)]
+    pub fn poison_cert_digest_for_audit_controls(&mut self, salt: u64) {
+        self.cert_digest ^= salt;
+    }
+
+    /// Test support: make this replica certify every delivery `Commit`
+    /// from now on — the corruption hook the isolation-matrix negative
+    /// controls use to demonstrate the oracle catches a replica whose
+    /// certification disagrees with its peers.
+    #[doc(hidden)]
+    pub fn force_commit_certification_for_audit_controls(&mut self) {
+        self.force_commit_cert = true;
     }
 
     /// Cross-group prepares delivered here whose decision has not
@@ -612,6 +676,19 @@ impl ReplicaServer {
         ] {
             self.order_digest ^= v;
             self.order_digest = self.order_digest.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn mix_cert(&mut self, seq: u64, txn: TxnId, committed: bool, snapshot: Option<u64>) {
+        for v in [
+            seq,
+            txn.client as u64,
+            txn.seq,
+            if committed { 0xC0 } else { 0xAB },
+            snapshot.unwrap_or(u64::MAX),
+        ] {
+            self.cert_digest ^= v;
+            self.cert_digest = self.cert_digest.wrapping_mul(FNV_PRIME);
         }
     }
 
@@ -681,7 +758,8 @@ impl ReplicaServer {
         let start = self.charge_net_cpu(ctx.now());
         // A DSM transaction spanning several groups takes the two-phase
         // cross-group path; everything else (single-group, lazy) follows
-        // the classic pipeline.
+        // the classic pipeline. (A snapshot flag on a cross-group
+        // transaction is ignored: its slices certify classically.)
         if matches!(self.technique, Technique::Dsm(_)) && self.shard.n_groups() > 1 {
             let groups = self.shard.groups_of(&req.ops);
             if groups.len() > 1 {
@@ -689,6 +767,38 @@ impl ReplicaServer {
                 return;
             }
         }
+        // A snapshot transaction behind its session token waits (bounded)
+        // for the applied state to catch up, so its snapshot observes the
+        // session's own prior commits. Past the bound it executes at the
+        // snapshot the replica has — snapshot isolation is correct at any
+        // snapshot; only read-your-writes freshness is best-effort.
+        if matches!(self.technique, Technique::Dsm(_))
+            && req.snapshot
+            && self.state_seq() < req.token
+        {
+            ctx.metrics().incr("txn_parked");
+            let attempt = req.attempt;
+            let txn = req.id;
+            self.parked_txns.insert(txn, req);
+            ctx.timer(
+                self.cfg.reads.max_wait,
+                ServerTimer::TxnWaitTimeout { txn, attempt },
+            );
+            return;
+        }
+        self.start_local_exec(ctx, req, start);
+    }
+
+    /// Begin the local execution of a single-group transaction: pin the
+    /// snapshot (snapshot-isolation requests under DSM) and run the
+    /// technique's read phase.
+    fn start_local_exec(&mut self, ctx: &mut Ctx<'_>, req: TxnRequest, start: SimTime) {
+        let snapshot = match self.technique {
+            Technique::Dsm(_) if req.snapshot => Some(self.state_seq()),
+            // The lazy baseline has no snapshot store: the flag degrades
+            // to classic 2PL execution.
+            Technique::Dsm(_) | Technique::Lazy => None,
+        };
         let exec = Exec {
             req,
             kind: ExecKind::Local,
@@ -696,6 +806,8 @@ impl ReplicaServer {
             cursor: start,
             readset: Vec::new(),
             writes: Vec::new(),
+            snapshot,
+            snapshot_too_old: false,
         };
         let id = exec.req.id;
         self.execs.insert(id, exec);
@@ -703,6 +815,44 @@ impl ReplicaServer {
             Technique::Dsm(_) => self.run_dsm_read_phase(ctx, id),
             Technique::Lazy => self.continue_lazy(ctx, id),
         }
+    }
+
+    /// Start every parked snapshot transaction the applied state has
+    /// caught up to (called after each delivery advances `applied_seq`).
+    fn drain_parked_txns(&mut self, ctx: &mut Ctx<'_>) {
+        if self.parked_txns.is_empty() {
+            return;
+        }
+        let state = self.state_seq();
+        let ready: Vec<TxnId> = self
+            .parked_txns
+            .iter()
+            .filter(|(_, r)| r.token <= state)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in ready {
+            if let Some(req) = self.parked_txns.remove(&t) {
+                let start = ctx.now();
+                self.start_local_exec(ctx, req, start);
+            }
+        }
+    }
+
+    /// A parked snapshot transaction's bounded wait expired: execute at
+    /// the snapshot this replica has.
+    fn on_txn_wait_timeout(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, attempt: u32) {
+        let Some(req) = self.parked_txns.get(&txn) else {
+            return; // started meanwhile
+        };
+        if req.attempt != attempt {
+            return; // a resubmission owns the entry now
+        }
+        let Some(req) = self.parked_txns.remove(&txn) else {
+            return; // raced with drain above
+        };
+        ctx.metrics().incr("txn_park_timeouts");
+        let start = ctx.now();
+        self.start_local_exec(ctx, req, start);
     }
 
     // ------------------------------------------------------------------
@@ -907,12 +1057,16 @@ impl ReplicaServer {
                         ops: slices[i].clone(),
                         client: req.client,
                         attempt: req.attempt,
+                        snapshot: false,
+                        token: 0,
                     },
                     kind: ExecKind::XgHome,
                     idx: 0,
                     cursor: start,
                     readset: Vec::new(),
                     writes: Vec::new(),
+                    snapshot: None,
+                    snapshot_too_old: false,
                 };
                 self.execs.insert(req.id, exec);
                 self.run_dsm_read_phase(ctx, req.id);
@@ -945,6 +1099,8 @@ impl ReplicaServer {
                 ops: sub.ops,
                 client: sub.client,
                 attempt: sub.attempt,
+                snapshot: false,
+                token: 0,
             },
             kind: ExecKind::XgSub {
                 coordinator: sub.coordinator,
@@ -953,6 +1109,8 @@ impl ReplicaServer {
             cursor: start,
             readset: Vec::new(),
             writes: Vec::new(),
+            snapshot: None,
+            snapshot_too_old: false,
         };
         self.execs.insert(sub.txn, exec);
         self.run_dsm_read_phase(ctx, sub.txn);
@@ -964,13 +1122,13 @@ impl ReplicaServer {
     fn run_dsm_read_phase(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
         let mut exec = self.execs.remove(&txn).expect("exec exists");
         while exec.idx < exec.req.ops.len() {
-            match exec.req.ops[exec.idx] {
-                Operation::Read(item) => {
+            match (exec.req.ops[exec.idx], exec.snapshot) {
+                (Operation::Read(item), None) => {
                     let r = self.db.read(exec.cursor, item);
                     exec.readset.push((item, r.version));
                     exec.cursor = r.done;
                 }
-                Operation::Write(item, value) => {
+                (Operation::Write(item, value), None) => {
                     let done = self
                         .cpu
                         .borrow_mut()
@@ -980,6 +1138,46 @@ impl ReplicaServer {
                     // oracle can recognise lost updates). The version is
                     // catalogue metadata — no disk access.
                     exec.readset.push((item, self.db.item(item).version));
+                    exec.writes.push((item, value));
+                    exec.cursor = done;
+                }
+                (Operation::Read(item), Some(snap)) => {
+                    // Snapshot read: this transaction's own buffered write
+                    // wins (read-your-own-writes); otherwise the
+                    // multi-version store serves the snapshot. Reads enter
+                    // the readset for the oracle's dirty-read audit but
+                    // never conflict at certification.
+                    if exec.writes.iter().any(|&(i, _)| i == item) {
+                        exec.cursor = self
+                            .cpu
+                            .borrow_mut()
+                            .request(exec.cursor, self.db.config().cpu_per_op);
+                    } else {
+                        let r = self.db.read_versioned(exec.cursor, item, snap);
+                        exec.cursor = r.done;
+                        if r.version > snap {
+                            // The depth cap evicted the snapshot's floor
+                            // and the store served its bounded-staleness
+                            // fallback — a version a snapshot read must
+                            // never observe. Doom the transaction to a
+                            // delegate-side abort; the retry pins a
+                            // fresh snapshot.
+                            exec.snapshot_too_old = true;
+                            break;
+                        }
+                        exec.readset.push((item, r.version));
+                    }
+                }
+                (Operation::Write(item, value), Some(_)) => {
+                    // Snapshot write: buffered client-side semantics — no
+                    // readset entry, so a concurrent writer of an item
+                    // this transaction merely overwrites no longer aborts
+                    // it at read-set certification. First-committer-wins
+                    // over the write set happens at delivery instead.
+                    let done = self
+                        .cpu
+                        .borrow_mut()
+                        .request(exec.cursor, self.db.config().cpu_per_op);
                     exec.writes.push((item, value));
                     exec.cursor = done;
                 }
@@ -1081,6 +1279,38 @@ impl ReplicaServer {
         let Some(exec) = self.execs.remove(&txn) else {
             return;
         };
+        if exec.snapshot_too_old {
+            // Snapshot too old: nothing was broadcast, so the group never
+            // sees the doomed attempt. Record the served prefix (every
+            // entry at or below the snapshot) so per-group accounting
+            // counts the abort, and send the client back for a fresh
+            // snapshot.
+            ctx.metrics().incr("txn_aborted_snapshot_too_old");
+            {
+                let mut oracle = self.oracle.borrow_mut();
+                oracle.aborts += 1;
+                oracle.record_si(SiRecord {
+                    txn,
+                    group: self.group,
+                    snapshot: exec.snapshot.unwrap_or(0),
+                    readset: exec.readset,
+                    writes: exec.writes.iter().map(|&(i, _)| i).collect(),
+                    committed: false,
+                    commit_seq: 0,
+                });
+            }
+            let at = self.charge_net_cpu(ctx.now());
+            self.reply_at(
+                ctx,
+                at,
+                exec.req.client,
+                ServerReply::Aborted {
+                    txn,
+                    attempt: exec.req.attempt,
+                },
+            );
+            return;
+        }
         if exec.kind != ExecKind::Local {
             // A cross-group slice: broadcast its prepare in this group
             // (even a read-only slice — certification still orders it).
@@ -1140,6 +1370,7 @@ impl ReplicaServer {
             client: exec.req.client,
             readset: exec.readset,
             writes: Self::dedup_writes(&exec.writes),
+            snapshot: exec.snapshot,
         };
         let gcs = self.gcs.as_mut().expect("DSM uses group communication");
         gcs.broadcast(ctx, GroupMsg::Txn(msg));
@@ -1271,7 +1502,11 @@ impl ReplicaServer {
         span: u32,
     ) {
         let now = ctx.now();
-        let decided_at = self.delivery_cpu(now, span, msg.readset.len());
+        let cert_items = match msg.snapshot {
+            Some(_) => msg.writes.len(),
+            None => msg.readset.len(),
+        };
+        let decided_at = self.delivery_cpu(now, span, cert_items);
         // Certification, extended by the cross-group reservation check:
         // an item reserved by an in-flight cross-group transaction aborts
         // any other transaction deterministically (all replicas share the
@@ -1279,8 +1514,28 @@ impl ReplicaServer {
         // already committed here short-circuits to its outcome (testable
         // transactions): a lost-reply retry must be answered "committed",
         // not re-certified against state that includes its own writes.
-        let verdict = if self.db.is_committed(msg.txn) {
+        // Snapshot-isolation deliveries certify first-committer-wins over
+        // the write set against the shipped snapshot instead of the read
+        // set — the same deterministic function of (delivery order,
+        // message) at every replica.
+        let verdict = if self.force_commit_cert || self.db.is_committed(msg.txn) {
             Certification::Commit
+        } else if let Some(snap) = msg.snapshot {
+            match certify_snapshot(&self.db, snap, &msg.writes) {
+                Certification::Commit => {
+                    match self
+                        .db
+                        .reserved_conflict(msg.txn, msg.writes.iter().map(|&(i, _)| i))
+                    {
+                        Some(conflict) => {
+                            ctx.metrics().incr("txn_aborted_reserved");
+                            Certification::Abort { conflict }
+                        }
+                        None => Certification::Commit,
+                    }
+                }
+                abort => abort,
+            }
         } else {
             match certify(&self.db, &msg.readset) {
                 Certification::Commit => {
@@ -1302,7 +1557,24 @@ impl ReplicaServer {
             Technique::Dsm(l) => l,
             Technique::Lazy => unreachable!("lazy does not deliver"),
         };
-        self.mix_order(seq, msg.txn, matches!(verdict, Certification::Commit));
+        let committed = matches!(verdict, Certification::Commit);
+        self.mix_order(seq, msg.txn, committed);
+        self.mix_cert(seq, msg.txn, committed, msg.snapshot);
+        // Delegate-side snapshot-transaction record for the SI oracle
+        // (lost-update and dirty-read audits + per-group accounting).
+        if let Some(snap) = msg.snapshot {
+            if msg.delegate == self.node && !self.db.is_committed(msg.txn) {
+                self.oracle.borrow_mut().record_si(SiRecord {
+                    txn: msg.txn,
+                    group: self.group,
+                    snapshot: snap,
+                    readset: msg.readset.clone(),
+                    writes: msg.writes.iter().map(|&(i, _)| i).collect(),
+                    committed,
+                    commit_seq: if committed { seq } else { 0 },
+                });
+            }
+        }
         match verdict {
             Certification::Abort { .. } => {
                 ctx.metrics().incr("txn_aborted_cert");
@@ -1635,7 +1907,7 @@ impl ReplicaServer {
             ctx.metrics().incr("xg_commits_applied");
             let coord_group = self.group_of_server(d.coordinator);
             let mut oracle = self.oracle.borrow_mut();
-            oracle.record_commit(d.txn, d.coordinator, Vec::new(), writes);
+            oracle.record_commit_slice(d.txn, d.coordinator, writes);
             oracle.record_xg(d.txn, d.groups.clone(), coord_group);
         }
         let record_lsn = self.db.wal_end_lsn().saturating_sub(1);
@@ -1880,8 +2152,10 @@ impl ReplicaServer {
             }
         }
         // Deliveries (and state installs) advanced the applied head:
-        // parked session reads may be servable now.
+        // parked session reads (and snapshot transactions waiting for a
+        // fresh-enough snapshot) may be servable now.
         self.drain_parked_reads(ctx);
+        self.drain_parked_txns(ctx);
     }
 
     // ------------------------------------------------------------------
@@ -1966,6 +2240,9 @@ impl ReplicaServer {
             }
             ServerTimer::ReadWaitTimeout { txn, attempt } => {
                 self.on_read_wait_timeout(ctx, txn, attempt)
+            }
+            ServerTimer::TxnWaitTimeout { txn, attempt } => {
+                self.on_txn_wait_timeout(ctx, txn, attempt)
             }
             ServerTimer::XgVoteAt { to, vote } => {
                 if to == self.node {
@@ -2183,6 +2460,7 @@ impl Actor for ReplicaServer {
         self.very_early.clear();
         self.lazy_buffer.clear();
         self.parked_reads.clear();
+        self.parked_txns.clear();
         self.xg_coord.clear();
         self.xg_decided.clear();
         self.xg_pending.clear();

@@ -56,7 +56,7 @@ use rand::Rng;
 use groupsafe_db::{ItemId, Operation};
 
 use crate::builder::WorkloadSpec;
-use crate::client::OpGenerator;
+use crate::client::{OpGenerator, TxnPlan};
 
 // ---------------------------------------------------------------------
 // Errors
@@ -439,7 +439,7 @@ pub fn sharded_generator(
     Box::new(move |rng: &mut StdRng| {
         let n = map.n_groups();
         if n <= 1 {
-            return spec.generate_txn(rng);
+            return spec.generate_plan(rng);
         }
         // The read-mix coin is drawn only when the knob is set, so the
         // historical draw sequence — and every seeded sharded run —
@@ -452,10 +452,36 @@ pub fn sharded_generator(
             let b = (a + 1 + rng.random_range(0..n - 1)) % n;
             let mut spec2 = spec.clone();
             spec2.txn_len_min = spec.txn_len_min.max(2);
-            generate_routed_txn(&spec2, &map, &[a, b], readonly, rng)
+            TxnPlan::new(generate_routed_txn(&spec2, &map, &[a, b], readonly, rng))
         } else {
             let g = rng.random_range(0..n);
-            generate_routed_txn(&spec, &map, &[g], readonly, rng)
+            // The SI coin is drawn only for single-group update
+            // transactions (cross-group slices certify classically) and
+            // only when the knob is set — same fingerprint discipline as
+            // the read-mix coin.
+            if !readonly && spec.txn_fraction > 0.0 && rng.random_bool(spec.txn_fraction) {
+                let mut spec2 = spec.clone();
+                spec2.txn_len_min = spec.txn_ops_min;
+                spec2.txn_len_max = spec.txn_ops_max;
+                let mut ops = generate_routed_txn(&spec2, &map, &[g], false, rng);
+                if !ops.iter().any(|o| o.is_write()) {
+                    let item = draw_group_item(&spec, &map, g, rng);
+                    ops.push(Operation::Write(
+                        item,
+                        rng.random_range(-1_000_000..1_000_000),
+                    ));
+                }
+                return TxnPlan::snapshot(ops);
+            }
+            let ops = generate_routed_txn(&spec, &map, &[g], readonly, rng);
+            // Read-only transactions ride snapshots whenever the mix
+            // contains snapshot transactions (no extra coin — the flag
+            // is deterministic), mirroring the unsharded generator: an
+            // empty write set never conflicts at certification.
+            if readonly && spec.txn_fraction > 0.0 {
+                return TxnPlan::snapshot(ops);
+            }
+            TxnPlan::new(ops)
         }
     })
 }
@@ -541,7 +567,7 @@ mod tests {
         let mut b = StdRng::seed_from_u64(7);
         let mut gen = sharded_generator(&spec, map, 0.0);
         for _ in 0..50 {
-            assert_eq!(gen(&mut a), spec.generate_txn(&mut b));
+            assert_eq!(gen(&mut a), spec.generate_plan(&mut b));
         }
     }
 
@@ -554,7 +580,7 @@ mod tests {
         let mut single = 0;
         let mut cross = 0;
         for _ in 0..400 {
-            let ops = gen(&mut rng);
+            let ops = gen(&mut rng).ops;
             let gs = map.groups_of(&ops);
             match gs.len() {
                 1 => single += 1,

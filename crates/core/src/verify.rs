@@ -80,6 +80,30 @@ pub struct ReadAckRecord {
     pub response_ms: f64,
 }
 
+/// A snapshot-isolation transaction's certification outcome, recorded by
+/// the delegate at delivery time (the SI oracle's evidence for the
+/// lost-update and dirty-read audits and the per-group commit/abort
+/// accounting).
+#[derive(Debug, Clone)]
+pub struct SiRecord {
+    /// The transaction.
+    pub txn: TxnId,
+    /// The delegate's group.
+    pub group: u32,
+    /// The delivery sequence number the read phase executed against.
+    pub snapshot: u64,
+    /// Items read (outside the transaction's own write buffer), with the
+    /// committed versions observed.
+    pub readset: Vec<(ItemId, Version)>,
+    /// Items written.
+    pub writes: Vec<ItemId>,
+    /// Certification verdict.
+    pub committed: bool,
+    /// The delivery sequence number the commit was applied at (0 on
+    /// abort).
+    pub commit_seq: u64,
+}
+
 /// Touched-group record of one committed cross-group transaction.
 #[derive(Debug, Clone)]
 pub struct XgRecord {
@@ -112,6 +136,9 @@ pub struct Oracle {
     /// Session reads a lagging replica answered with a redirect, per
     /// serving group.
     pub read_redirects_by_group: BTreeMap<u32, u64>,
+    /// Snapshot-isolation certification outcomes, in delegate delivery
+    /// order (SI anomaly audits + per-group accounting).
+    pub si_txns: Vec<SiRecord>,
 }
 
 impl Oracle {
@@ -128,6 +155,31 @@ impl Oracle {
             readset,
             writes,
         });
+    }
+
+    /// Record one group's applied slice of a cross-group commit. Unlike
+    /// [`Oracle::record_commit`] — idempotent per transaction, which is
+    /// right for single-group commits, where every replica reports the
+    /// same writes — the slices of a cross-group transaction differ per
+    /// group, so each group's writes are merged into the record (the SI
+    /// snapshot-containment audit would otherwise see the second group's
+    /// versions as written by nobody). Replicas of one group report
+    /// identical (item, version) pairs; the dedup keeps one of each.
+    pub fn record_commit_slice(&mut self, txn: TxnId, coordinator: NodeId, writes: Vec<WriteOp>) {
+        let rec = self.commits.entry(txn).or_insert_with(|| CommitRecord {
+            delegate: coordinator,
+            readset: Vec::new(),
+            writes: Vec::new(),
+        });
+        for w in writes {
+            if !rec
+                .writes
+                .iter()
+                .any(|e| e.item == w.item && e.version == w.version)
+            {
+                rec.writes.push(w);
+            }
+        }
     }
 
     /// Record a cross-group commit's touched groups (idempotent).
@@ -147,6 +199,12 @@ impl Oracle {
     /// session-accept order — the monotonic-reads evidence).
     pub fn record_read_ack(&mut self, rec: ReadAckRecord) {
         self.read_acks.push(rec);
+    }
+
+    /// Record a snapshot-isolation certification outcome (delegate side,
+    /// at delivery time).
+    pub fn record_si(&mut self, rec: SiRecord) {
+        self.si_txns.push(rec);
     }
 
     /// Count a session-read redirect answered by a replica of `group`.

@@ -89,7 +89,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let a = g(&mut rng);
         let b = g(&mut rng);
-        assert!(!a.is_empty() && !b.is_empty());
+        assert!(!a.ops.is_empty() && !b.ops.is_empty());
         assert_ne!(a, b, "distinct transactions expected");
     }
 
@@ -104,7 +104,7 @@ mod tests {
         let mut b = StdRng::seed_from_u64(9);
         let mut shim = table4_generator(&p);
         for _ in 0..50 {
-            assert_eq!(shim(&mut a), spec.generate_txn(&mut b));
+            assert_eq!(shim(&mut a), spec.generate_plan(&mut b));
         }
     }
 }

@@ -107,6 +107,7 @@ impl PaperParams {
             hot_access_fraction: self.hot_access_fraction,
             hot_set_fraction: self.hot_set_fraction,
             read_fraction: self.read_fraction,
+            ..WorkloadSpec::default()
         }
     }
 

@@ -33,6 +33,7 @@ fn transfer_generator() -> OpGenerator {
             Operation::Write(from, OPENING_BALANCE - amount),
             Operation::Write(to, OPENING_BALANCE + amount),
         ]
+        .into()
     })
 }
 

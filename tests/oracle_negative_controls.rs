@@ -1,28 +1,39 @@
-//! Negative controls for the scenario oracle's convergence, total-order
-//! and cross-group atomicity arms (`OracleViolation::Divergence`,
+//! Negative controls for the scenario oracle's convergence, total-order,
+//! certification-determinism, cross-group atomicity and snapshot-
+//! isolation arms (`OracleViolation::Divergence`,
 //! `OracleViolation::OrderDivergence`,
-//! `OracleViolation::AtomicityViolation`).
+//! `OracleViolation::CertificationDivergence`,
+//! `OracleViolation::AtomicityViolation`, `OracleViolation::SiLostUpdate`,
+//! `OracleViolation::SiDirtyRead`).
 //!
 //! A green oracle is only evidence if the oracle demonstrably *fails*
 //! when its invariant is broken — and a correct run can never break
 //! them, so each test seeds the violation by hand: a write applied to a
 //! single replica behind the protocol's back, a poisoned delivery-order
-//! digest, a cross-group commit record whose slice one group never
-//! committed. Each test first audits the untouched run clean (the
-//! control's control), then corrupts and asserts the specific violation
-//! variant is reported. `groupsafe-lint`'s `oracle-coverage` rule
-//! (GS-P04) keeps this file honest: every `OracleViolation` variant
-//! must be exercised by some test under `tests/`.
+//! or certification digest, a cross-group commit record whose slice one
+//! group never committed, a forged snapshot-certification record. Each
+//! test first audits the untouched run clean (the control's control),
+//! then corrupts and asserts the specific violation variant is reported.
+//! `groupsafe-lint`'s `oracle-coverage` rule (GS-P04) keeps this file
+//! honest: every `OracleViolation` variant must be exercised by some
+//! test under `tests/`.
 
 use groupsafe::core::scenario::{audit_scenario, OracleViolation, ScenarioPlan};
 use groupsafe::core::server::ReplicaServer;
-use groupsafe::core::{Load, SafetyLevel, System};
+use groupsafe::core::{Load, SafetyLevel, SiRecord, System};
 use groupsafe::db::{ItemId, TxnId, WriteOp};
 use groupsafe::sim::{SimDuration, SimTime};
 
 /// A clean, quiescent group-safe run (no injected faults), returned as
 /// a live `System` so the tests can corrupt it surgically.
 fn clean_system(shards: u32, cross: f64) -> System {
+    clean_system_with_txns(shards, cross, 0.0)
+}
+
+/// Like [`clean_system`], but with a fraction of the workload issued as
+/// interactive snapshot-isolation transactions, so the SI audit arms
+/// have delegate certification records to chew on.
+fn clean_system_with_txns(shards: u32, cross: f64, txns: f64) -> System {
     let mut b = System::builder()
         .servers(3)
         .clients_per_server(2)
@@ -31,6 +42,9 @@ fn clean_system(shards: u32, cross: f64) -> System {
         .measure(SimDuration::from_secs(5))
         .drain(SimDuration::from_secs(2))
         .seed(42);
+    if txns > 0.0 {
+        b = b.txn_fraction(txns);
+    }
     if shards > 1 {
         b = b.shards(shards).cross_shard_fraction(cross);
     }
@@ -158,5 +172,140 @@ fn oracle_catches_seeded_atomicity_violation() {
         )),
         "a forged cross-group record must be reported as an atomicity \
          violation naming the missing group: {found:?}"
+    );
+}
+
+/// Seeded certification divergence: one never-crashed replica claims
+/// different certification verdicts. The determinism arm must name both
+/// digests — and keep them distinct from the order and state arms,
+/// since neither the delivery history nor the replica states changed.
+#[test]
+fn oracle_catches_seeded_certification_divergence() {
+    let mut system = clean_system_with_txns(1, 0.0, 0.4);
+    let audit = audit_scenario(&ScenarioPlan::new(), &system, SafetyLevel::GroupSafe);
+    assert!(
+        audit.violations.is_empty(),
+        "the untouched run must audit clean"
+    );
+    assert!(
+        audit.si_audited > 0,
+        "the control run must actually exercise the snapshot path"
+    );
+
+    let id = system.servers[2];
+    let server: &mut ReplicaServer = system.engine.actor_mut(id);
+    server.poison_cert_digest_for_audit_controls(0xbad0_cafe_bad0_cafe);
+
+    let found = violations(&system);
+    assert!(
+        found.iter().any(|v| matches!(
+            v,
+            OracleViolation::CertificationDivergence { group: 0, digests } if digests.len() > 1
+        )),
+        "a poisoned certification digest must be reported as \
+         certification divergence: {found:?}"
+    );
+    assert!(
+        !found.iter().any(|v| matches!(
+            v,
+            OracleViolation::OrderDivergence { .. } | OracleViolation::Divergence { .. }
+        )),
+        "certification divergence must be distinguished from order and \
+         state divergence: {found:?}"
+    );
+}
+
+/// Seeded lost update: two forged delegate certification records both
+/// commit a write to the same item, the second from a snapshot taken
+/// before the first committed. First-committer-wins certification makes
+/// this impossible in a real run, so the SI arm must flag the pair.
+#[test]
+fn oracle_catches_seeded_si_lost_update() {
+    let system = clean_system_with_txns(1, 0.0, 0.4);
+    assert!(
+        violations(&system).is_empty(),
+        "the untouched run must audit clean"
+    );
+
+    let first = TxnId {
+        client: u32::MAX,
+        seq: 1,
+    };
+    let second = TxnId {
+        client: u32::MAX,
+        seq: 2,
+    };
+    let item = ItemId(3);
+    let mut oracle = system.oracle.borrow_mut();
+    oracle.record_si(SiRecord {
+        txn: first,
+        group: 0,
+        snapshot: 0,
+        readset: vec![],
+        writes: vec![item],
+        committed: true,
+        commit_seq: 1_000_000,
+    });
+    // Snapshot predates the first writer's commit, yet both committed:
+    // the second writer overwrote an update it never saw.
+    oracle.record_si(SiRecord {
+        txn: second,
+        group: 0,
+        snapshot: 999_990,
+        readset: vec![],
+        writes: vec![item],
+        committed: true,
+        commit_seq: 1_000_010,
+    });
+    drop(oracle);
+
+    let found = violations(&system);
+    assert!(
+        found.iter().any(|v| matches!(
+            v,
+            OracleViolation::SiLostUpdate { first: f, second: s, item: i }
+                if *f == first && *s == second && *i == item
+        )),
+        "two committed writers across a stale-snapshot interval must be \
+         reported as a lost update: {found:?}"
+    );
+}
+
+/// Seeded dirty read: a forged certification record whose read set
+/// claims a version above its own snapshot (equivalently, one no
+/// committed transaction ever wrote). Snapshot containment makes this
+/// impossible in a real run, so the SI arm must flag the read.
+#[test]
+fn oracle_catches_seeded_si_dirty_read() {
+    let system = clean_system_with_txns(1, 0.0, 0.4);
+    assert!(
+        violations(&system).is_empty(),
+        "the untouched run must audit clean"
+    );
+
+    let txn = TxnId {
+        client: u32::MAX,
+        seq: 7,
+    };
+    let item = ItemId(5);
+    system.oracle.borrow_mut().record_si(SiRecord {
+        txn,
+        group: 0,
+        snapshot: 10,
+        readset: vec![(item, 999_999)],
+        writes: vec![],
+        committed: false,
+        commit_seq: 0,
+    });
+
+    let found = violations(&system);
+    assert!(
+        found.iter().any(|v| matches!(
+            v,
+            OracleViolation::SiDirtyRead { txn: t, item: i, version: 999_999 }
+                if *t == txn && *i == item
+        )),
+        "a snapshot read above its snapshot must be reported as a dirty \
+         read: {found:?}"
     );
 }
