@@ -173,8 +173,11 @@ impl Default for ReplicaConfig {
     }
 }
 
-/// Wire type of the replication layer's broadcasts.
-pub type RWire = Wire<GroupMsg, DbCheckpoint>;
+/// Wire type of the replication layer's broadcasts. The payload is
+/// `Rc`-shared: a broadcast fanned to the whole group ships one heap
+/// allocation whose refcount bumps per receiver instead of a deep clone
+/// per receiver (the group log holds another shared reference).
+pub type RWire = Wire<Rc<GroupMsg>, DbCheckpoint>;
 
 /// Server-internal timers.
 #[derive(Debug, Clone)]
@@ -348,7 +351,7 @@ pub struct ReplicaServer {
     cpu: Rc<RefCell<Fcfs>>,
     log_disk: Rc<RefCell<Disk>>,
     data_disk: Rc<RefCell<Disk>>,
-    gcs: Option<GcsEndpoint<GroupMsg, DbCheckpoint>>,
+    gcs: Option<GcsEndpoint<Rc<GroupMsg>, DbCheckpoint>>,
     db: DbEngine,
     oracle: Rc<RefCell<Oracle>>,
     /// Members of this server's replica group (its abcast spans exactly
@@ -556,7 +559,7 @@ impl ReplicaServer {
     }
 
     /// The group communication endpoint, if the technique uses one.
-    pub fn gcs(&self) -> Option<&GcsEndpoint<GroupMsg, DbCheckpoint>> {
+    pub fn gcs(&self) -> Option<&GcsEndpoint<Rc<GroupMsg>, DbCheckpoint>> {
         self.gcs.as_ref()
     }
 
@@ -1332,7 +1335,7 @@ impl ReplicaServer {
                 writes: Self::dedup_writes(&exec.writes),
             };
             let gcs = self.gcs.as_mut().expect("xg runs on group communication");
-            gcs.broadcast(ctx, GroupMsg::XgPrepare(prepare));
+            gcs.broadcast(ctx, Rc::new(GroupMsg::XgPrepare(prepare)));
             ctx.metrics().incr("xg_prepares");
             return;
         }
@@ -1373,7 +1376,7 @@ impl ReplicaServer {
             snapshot: exec.snapshot,
         };
         let gcs = self.gcs.as_mut().expect("DSM uses group communication");
-        gcs.broadcast(ctx, GroupMsg::Txn(msg));
+        gcs.broadcast(ctx, Rc::new(GroupMsg::Txn(msg)));
         ctx.metrics().incr("dsm_broadcasts");
     }
 
@@ -1460,7 +1463,7 @@ impl ReplicaServer {
         &mut self,
         ctx: &mut Ctx<'_>,
         seq: u64,
-        msg: GroupMsg,
+        msg: &GroupMsg,
         redelivery: bool,
         span: u32,
     ) {
@@ -1497,7 +1500,7 @@ impl ReplicaServer {
         &mut self,
         ctx: &mut Ctx<'_>,
         seq: u64,
-        msg: DsmMsg,
+        msg: &DsmMsg,
         redelivery: bool,
         span: u32,
     ) {
@@ -1736,7 +1739,7 @@ impl ReplicaServer {
     /// reservation check), reserve its items on success, and — on the
     /// replica that broadcast it — vote to the coordinator. Uniform
     /// delivery makes the verdict identical on every group member.
-    fn deliver_xg_prepare(&mut self, ctx: &mut Ctx<'_>, seq: u64, p: XgPrepare, span: u32) {
+    fn deliver_xg_prepare(&mut self, ctx: &mut Ctx<'_>, seq: u64, p: &XgPrepare, span: u32) {
         let now = ctx.now();
         let decided_at = self.delivery_cpu(now, span, p.readset.len());
         let level = match self.technique {
@@ -1831,7 +1834,7 @@ impl ReplicaServer {
     /// processing semantics (asynchronous logging for 0-safe/group-safe,
     /// synchronous commit record otherwise). The coordinator's replica
     /// answers the client at the level's reply point.
-    fn deliver_xg_decision(&mut self, ctx: &mut Ctx<'_>, seq: u64, d: XgDecision, span: u32) {
+    fn deliver_xg_decision(&mut self, ctx: &mut Ctx<'_>, seq: u64, d: &XgDecision, span: u32) {
         let now = ctx.now();
         let slice: Vec<(ItemId, Value)> = d.writes_of(self.group).unwrap_or(&[]).to_vec();
         let decided_at = self.delivery_cpu(now, span, slice.len());
@@ -2029,7 +2032,7 @@ impl ReplicaServer {
         for &g in &entry.groups {
             if g == self.group {
                 let gcs = self.gcs.as_mut().expect("xg runs on group communication");
-                gcs.broadcast(ctx, GroupMsg::XgDecision(d.clone()));
+                gcs.broadcast(ctx, Rc::new(GroupMsg::XgDecision(d.clone())));
             } else {
                 self.charge_net_cpu(ctx.now());
                 self.net
@@ -2064,7 +2067,7 @@ impl ReplicaServer {
         }
         self.xg_forwarded.insert(d.txn, (d.attempt, now));
         if let Some(gcs) = &mut self.gcs {
-            gcs.broadcast(ctx, GroupMsg::XgDecision(d));
+            gcs.broadcast(ctx, Rc::new(GroupMsg::XgDecision(d)));
             ctx.metrics().incr("xg_decision_rebroadcasts");
         }
     }
@@ -2108,7 +2111,7 @@ impl ReplicaServer {
     fn handle_gcs_outputs(
         &mut self,
         ctx: &mut Ctx<'_>,
-        outputs: Vec<GcsOutput<GroupMsg, DbCheckpoint>>,
+        outputs: Vec<GcsOutput<Rc<GroupMsg>, DbCheckpoint>>,
     ) {
         for o in outputs {
             match o {
@@ -2119,7 +2122,7 @@ impl ReplicaServer {
                     ..
                 } => {
                     let span = self.gcs.as_ref().map_or(1, |g| g.frame_span(seq));
-                    self.on_deliver(ctx, seq, payload, redelivery, span)
+                    self.on_deliver(ctx, seq, &payload, redelivery, span)
                 }
                 GcsOutput::CheckpointRequest { joiner, generation } => {
                     let ckpt = self.db.checkpoint();

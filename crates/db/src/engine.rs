@@ -35,12 +35,16 @@ pub struct DbConfig {
     /// WAL flush policy (chosen by the replication technique's safety
     /// level: sync for 1-safe/group-1-safe, async for group-safe).
     pub flush_policy: FlushPolicy,
-    /// Maximum retained versions per item in the multi-version store
+    /// Target retained versions per item in the multi-version store
     /// backing snapshot reads (0 disables version retention — the
     /// engine then keeps only the committed head, the seed behavior).
     /// Versions below the pruning watermark are dropped down to the
     /// newest one at or below it, so a snapshot at the watermark stays
-    /// servable; the cap is a safety valve against a stalled watermark.
+    /// servable. The cap only trims entries strictly *below* that
+    /// floor: retention is effectively `max(watermark need, depth cap)`,
+    /// so a burst of writes under a lagging watermark grows the chain
+    /// past the cap instead of evicting a still-pinned floor (which
+    /// would force spurious snapshot-too-old aborts).
     pub mvcc_depth: usize,
 }
 
@@ -121,15 +125,21 @@ pub struct DbEngine {
     /// redoes it; it is *not* part of [`DbEngine::state_digest`] (a
     /// quiesced system has released every reservation).
     reservations: BTreeMap<ItemId, (TxnId, u32)>,
-    /// Bounded multi-version store backing snapshot reads: per item, the
-    /// retained `(version, state)` chain in ascending version order
-    /// (versions are delivery sequence numbers under the DSM technique).
-    /// Populated only when `config.mvcc_depth > 0`; pruned at the
-    /// group-stable watermark by [`DbEngine::prune_versions`].
-    history: BTreeMap<ItemId, Vec<(Version, ItemState)>>,
-    /// Chains the version cap forced below the pruning floor (a stalled
-    /// watermark outran `mvcc_depth`; snapshot reads below the floor
-    /// then serve the oldest retained version).
+    /// Bounded multi-version store backing snapshot reads: per item
+    /// (indexed by [`ItemId::index`], mirroring `items`), the retained
+    /// `(version, state)` chain as a contiguous vector in ascending
+    /// version order (versions are delivery sequence numbers under the
+    /// DSM technique), so snapshot lookups binary-search instead of
+    /// walking a tree. Populated only when `config.mvcc_depth > 0`;
+    /// pruned at the group-stable watermark by
+    /// [`DbEngine::prune_versions`].
+    history: Vec<Vec<(Version, ItemState)>>,
+    /// Newest group-stable watermark seen by [`DbEngine::prune_versions`]:
+    /// the depth cap may only trim chain entries strictly below the
+    /// snapshot floor this watermark pins.
+    stable_floor: Version,
+    /// Entries the depth cap trimmed (always already below the pruning
+    /// floor — the floor itself is pinned until the watermark passes it).
     mvcc_evictions: u64,
 
     // Stable.
@@ -165,7 +175,8 @@ impl DbEngine {
             dirty_pages: 0,
             stats: DbStats::default(),
             reservations: BTreeMap::new(),
-            history: BTreeMap::new(),
+            history: vec![Vec::new(); config.n_items as usize],
+            stable_floor: 0,
             mvcc_evictions: 0,
             wal: Wal::new(log_disk),
             config,
@@ -347,25 +358,29 @@ impl DbEngine {
 
     /// The state of `item` in the snapshot at or below version `limit`:
     /// the newest retained version `≤ limit`, the never-written default
-    /// when the item has no retained version that old, or — if the cap
-    /// evicted the snapshot's floor — the oldest version still retained.
+    /// when the item has no retained version that old, or — for a
+    /// snapshot below everything retained — the oldest version still
+    /// retained (bounded-staleness fallback).
     pub fn version_at(&self, item: ItemId, limit: Version) -> ItemState {
         let head = self.items[item.index()];
         if head.version <= limit {
             return head;
         }
-        let Some(chain) = self.history.get(&item) else {
+        let chain = &self.history[item.index()];
+        if chain.is_empty() {
             // No retained history (store disabled or item chain pruned
             // to the head): the head is all we have.
             return head;
-        };
-        if let Some(&(_, state)) = chain.iter().rev().find(|&&(v, _)| v <= limit) {
-            return state;
         }
-        if chain.first().is_some_and(|&(v, _)| v > 0) {
-            // The floor was evicted by the depth cap: serve the oldest
-            // retained version (bounded-staleness fallback).
-            return chain.first().map(|&(_, s)| s).unwrap_or(head);
+        // Chains are version-sorted: binary-search the newest `≤ limit`.
+        let above = chain.partition_point(|&(v, _)| v <= limit);
+        if above > 0 {
+            return chain[above - 1].1;
+        }
+        if chain[0].0 > 0 {
+            // The snapshot predates everything retained: serve the
+            // oldest retained version (bounded-staleness fallback).
+            return chain[0].1;
         }
         ItemState::default()
     }
@@ -377,22 +392,28 @@ impl DbEngine {
         if self.config.mvcc_depth == 0 {
             return;
         }
-        self.history.retain(|_, chain| {
-            if let Some(floor) = chain.iter().rposition(|&(v, _)| v <= stable) {
-                chain.drain(..floor);
+        self.stable_floor = self.stable_floor.max(stable);
+        for chain in &mut self.history {
+            // Index of the first version above the watermark; the entry
+            // just below it is the floor snapshot and must survive.
+            let above = chain.partition_point(|&(v, _)| v <= stable);
+            if above > 1 {
+                chain.drain(..above - 1);
             }
             // A chain collapsed to the committed head alone carries no
             // information the item table lacks.
-            chain.len() > 1
-        });
+            if chain.len() <= 1 {
+                chain.clear();
+            }
+        }
     }
 
     /// Retained versions across all items (inspection/test helper).
     pub fn mvcc_retained(&self) -> usize {
-        self.history.values().map(|c| c.len()).sum()
+        self.history.iter().map(|c| c.len()).sum()
     }
 
-    /// Chains the depth cap truncated below the pruning floor.
+    /// Entries the depth cap trimmed below the pruning floor.
     pub fn mvcc_evictions(&self) -> u64 {
         self.mvcc_evictions
     }
@@ -408,7 +429,7 @@ impl DbEngine {
             return;
         }
         let state = self.items[item.index()];
-        let chain = self.history.entry(item).or_default();
+        let chain = &mut self.history[item.index()];
         if chain.is_empty() {
             chain.push((old.version, old));
         }
@@ -422,7 +443,14 @@ impl DbEngine {
             }
             _ => chain.push((state.version, state)),
         }
-        if chain.len() > self.config.mvcc_depth.max(2) {
+        // Over the cap, trim from the front — but only entries strictly
+        // below the stable floor (the successor must still be at or
+        // below the floor, so the floor snapshot stays servable). Under
+        // a lagging watermark the chain grows past the cap instead;
+        // `prune_versions` re-bounds it once the watermark advances.
+        while chain.len() > self.config.mvcc_depth.max(2)
+            && chain.get(1).is_some_and(|&(v, _)| v <= self.stable_floor)
+        {
             chain.remove(0);
             self.mvcc_evictions += 1;
         }
@@ -435,7 +463,9 @@ impl DbEngine {
     /// `retain_version` call seeds each touched chain with the snapshot
     /// state it overwrites).
     fn reseed_versions(&mut self) {
-        self.history.clear();
+        for chain in &mut self.history {
+            chain.clear();
+        }
     }
 
     /// Apply and commit `writes` for `txn` at `now`.
@@ -909,17 +939,58 @@ mod tests {
     }
 
     #[test]
-    fn depth_cap_bounds_chains() {
+    fn depth_cap_defers_to_the_watermark() {
         let mut e = mvcc_engine(4);
+        // A write burst with the watermark still at zero: nothing is
+        // below the floor, so the cap must not evict anything and every
+        // snapshot stays exactly servable.
         for seq in 1..=20u64 {
             e.commit(SimTime::ZERO, t(seq), &[w(1, seq as i64, seq)]);
         }
+        assert_eq!(e.mvcc_evictions(), 0);
+        for seq in 1..=20u64 {
+            let s = e.version_at(ItemId(1), seq);
+            assert_eq!((s.version, s.value), (seq, seq as i64));
+        }
+        // Once the watermark advances, pruning re-bounds the chain and
+        // the floor snapshot is still exact.
+        e.prune_versions(18);
         assert!(e.mvcc_retained() <= 4, "retained {}", e.mvcc_retained());
-        assert!(e.mvcc_evictions() > 0);
-        // Snapshots below the evicted floor fall back to the oldest
-        // retained version instead of fabricating the default.
+        assert_eq!(e.version_at(ItemId(1), 18).version, 18);
+        // Below the new floor, snapshots degrade to the oldest retained
+        // version (bounded-staleness fallback) instead of fabricating
+        // the default.
         let oldest = e.version_at(ItemId(1), 1);
-        assert!(oldest.version >= 16, "oldest retained {oldest:?}");
+        assert_eq!(oldest.version, 18, "oldest retained {oldest:?}");
+    }
+
+    #[test]
+    fn hot_key_under_lagging_watermark_keeps_its_floor() {
+        let mut e = mvcc_engine(4);
+        e.commit(SimTime::ZERO, t(1), &[w(1, 10, 3)]);
+        // The group-stable watermark reaches 3, then stalls (e.g. a
+        // lagging replica holds back group-stability)...
+        e.prune_versions(3);
+        // ...while a burst of writes on the same hot key runs far past
+        // the depth cap.
+        for seq in 4..=30u64 {
+            e.commit(SimTime::ZERO, t(seq), &[w(1, seq as i64 * 10, seq)]);
+        }
+        // The pinned floor is still *exactly* servable — the cap did
+        // not evict it out from under the watermark, so a follower
+        // snapshot read at the watermark cannot spuriously abort.
+        let floor = e.version_at(ItemId(1), 3);
+        assert_eq!((floor.version, floor.value), (3, 10));
+        let r = e.read_versioned(SimTime::from_secs(1), ItemId(1), 3);
+        assert_eq!((r.version, r.value), (3, 10));
+        // Intermediate snapshots above the floor are exact too.
+        assert_eq!(e.version_at(ItemId(1), 17).version, 17);
+        assert_eq!(e.mvcc_evictions(), 0);
+        // The watermark catches up: pruning re-bounds the hot chain.
+        e.prune_versions(28);
+        assert!(e.mvcc_retained() <= 4, "retained {}", e.mvcc_retained());
+        assert_eq!(e.version_at(ItemId(1), 28).version, 28);
+        assert_eq!(e.version_at(ItemId(1), 30).version, 30);
     }
 
     #[test]

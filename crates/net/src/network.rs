@@ -77,8 +77,15 @@ pub const NET_CPU: SimDuration = SimDuration::from_micros(70);
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NetStats {
     /// Point-to-point deliveries scheduled. A batch frame counts as ONE
-    /// transmission regardless of how many messages it packs.
+    /// delivery per receiver regardless of how many messages it packs.
     pub sent: u64,
+    /// Physical wire transmissions: one per unicast attempt, and one per
+    /// *distinct receiver domain* per multicast/broadcast — hardware
+    /// multicast puts a single frame on a domain's address however many
+    /// members listen, so `sent` (receiver-side deliveries) over-counts
+    /// the wire by the fan-out factor. Counted whether or not individual
+    /// receivers subsequently drop (the sender transmitted either way).
+    pub transmissions: u64,
     /// Multicast/broadcast operations (each fans out into `sent` deliveries).
     pub broadcasts: u64,
     /// Batch-frame transmissions (subset of `sent`).
@@ -350,19 +357,65 @@ impl Network {
         }
     }
 
-    /// Send `msg` from `from` to `to`. The receiver gets an
-    /// [`Incoming<M>`] event after the wire latency. Messages to
-    /// partitioned or crashed nodes are lost.
-    pub fn send<M: Any + Clone>(&self, ctx: &mut Ctx<'_>, from: NodeId, to: NodeId, msg: M) {
+    /// Account the wire transmissions of a multicast: one per distinct
+    /// receiver domain among `targets` (hardware multicast reaches every
+    /// listener of a domain's address with a single frame on the wire).
+    fn charge_multicast_transmissions(&self, from: NodeId, targets: &[NodeId]) {
+        let mut s = self.inner.borrow_mut();
+        let mut domains: Vec<u32> = targets
+            .iter()
+            .map(|t| s.domain.get(t.index()).copied().unwrap_or(0))
+            .collect();
+        domains.sort_unstable();
+        domains.dedup();
+        let n = domains.len() as u64;
+        s.charge(from, |st| st.transmissions += n);
+    }
+
+    /// Schedule one receiver-side delivery (shared by the unicast and
+    /// multicast entry points, which differ only in how they account the
+    /// wire). `frame`: `Some(k)` for a k-message batch frame, whose wire
+    /// time grows with its size: `latency + (k - 1) × frame_unit_cost`.
+    fn deliver<M: Any + Clone>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        frame: Option<u64>,
+    ) {
         if self.should_drop(ctx, from, to) {
             return;
         }
         let base = self.delivery_delay(ctx);
-        let delay = self.maybe_defer(ctx, from, base);
+        let delay = match frame {
+            Some(k) => {
+                let unit = self.inner.borrow().config.frame_unit_cost;
+                base + unit * k.saturating_sub(1)
+            }
+            None => base,
+        };
+        let delay = self.maybe_defer(ctx, from, delay);
         let actor = self.actor_of(to);
-        self.inner.borrow_mut().charge(from, |st| st.sent += 1);
+        self.inner.borrow_mut().charge(from, |st| {
+            st.sent += 1;
+            if let Some(k) = frame {
+                st.frames += 1;
+                st.frame_msgs += k;
+            }
+        });
         self.maybe_duplicate(ctx, actor, from, delay, &msg);
         ctx.send(actor, delay, Incoming { from, msg });
+    }
+
+    /// Send `msg` from `from` to `to`. The receiver gets an
+    /// [`Incoming<M>`] event after the wire latency. Messages to
+    /// partitioned or crashed nodes are lost.
+    pub fn send<M: Any + Clone>(&self, ctx: &mut Ctx<'_>, from: NodeId, to: NodeId, msg: M) {
+        self.inner
+            .borrow_mut()
+            .charge(from, |st| st.transmissions += 1);
+        self.deliver(ctx, from, to, msg, None);
     }
 
     /// Send `msg` — a batch frame packing `msgs_in_frame` application
@@ -377,24 +430,17 @@ impl Network {
         msg: M,
         msgs_in_frame: u64,
     ) {
-        if self.should_drop(ctx, from, to) {
-            return;
-        }
-        let unit = self.inner.borrow().config.frame_unit_cost;
-        let delay = self.delivery_delay(ctx) + unit * msgs_in_frame.saturating_sub(1);
-        let delay = self.maybe_defer(ctx, from, delay);
-        let actor = self.actor_of(to);
-        self.inner.borrow_mut().charge(from, |st| {
-            st.sent += 1;
-            st.frames += 1;
-            st.frame_msgs += msgs_in_frame;
-        });
-        self.maybe_duplicate(ctx, actor, from, delay, &msg);
-        ctx.send(actor, delay, Incoming { from, msg });
+        self.inner
+            .borrow_mut()
+            .charge(from, |st| st.transmissions += 1);
+        self.deliver(ctx, from, to, msg, Some(msgs_in_frame));
     }
 
-    /// Multicast a batch frame to every node in `targets` (one
-    /// [`Network::send_frame`] per target, one broadcast counter tick).
+    /// Multicast a batch frame to every node in `targets` (one delivery
+    /// per target, one broadcast counter tick, one wire transmission per
+    /// distinct receiver domain). The last target receives the original
+    /// `msg` by move, so an `n`-way fan-out pays `n - 1` clones — and a
+    /// refcounted payload (e.g. `Rc<GroupMsg>`) pays none at all.
     pub fn multicast_frame<M: Any + Clone>(
         &self,
         ctx: &mut Ctx<'_>,
@@ -406,14 +452,20 @@ impl Network {
         self.inner
             .borrow_mut()
             .charge(from, |st| st.broadcasts += 1);
-        for &t in targets {
-            self.send_frame(ctx, from, t, msg.clone(), msgs_in_frame);
+        self.charge_multicast_transmissions(from, targets);
+        if let Some((&last, rest)) = targets.split_last() {
+            for &t in rest {
+                self.deliver(ctx, from, t, msg.clone(), Some(msgs_in_frame));
+            }
+            self.deliver(ctx, from, last, msg, Some(msgs_in_frame));
         }
     }
 
     /// Multicast `msg` from `from` to every node in `targets` (the sender
     /// may include itself; self-delivery also pays the wire latency, which
-    /// models the loopback through the network stack).
+    /// models the loopback through the network stack). Accounted as one
+    /// wire transmission per distinct receiver domain; the last target
+    /// receives `msg` by move (see [`Network::multicast_frame`]).
     pub fn multicast<M: Any + Clone>(
         &self,
         ctx: &mut Ctx<'_>,
@@ -424,8 +476,12 @@ impl Network {
         self.inner
             .borrow_mut()
             .charge(from, |st| st.broadcasts += 1);
-        for &t in targets {
-            self.send(ctx, from, t, msg.clone());
+        self.charge_multicast_transmissions(from, targets);
+        if let Some((&last, rest)) = targets.split_last() {
+            for &t in rest {
+                self.deliver(ctx, from, t, msg.clone(), None);
+            }
+            self.deliver(ctx, from, last, msg, None);
         }
     }
 
@@ -687,6 +743,69 @@ mod tests {
         assert_eq!(stats.sent, 1, "one transmission");
         assert_eq!(stats.frames, 1);
         assert_eq!(stats.frame_msgs, 11);
+    }
+
+    /// Wire accounting: a multicast is one physical transmission per
+    /// distinct receiver domain (hardware multicast), not one per
+    /// receiver — while `sent` keeps counting per-receiver deliveries.
+    struct WireKicker {
+        net: Network,
+        targets: Vec<NodeId>,
+    }
+    impl Actor for WireKicker {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            if payload.downcast::<Kick>().is_ok() {
+                let net = self.net.clone();
+                net.multicast(ctx, NodeId(0), &self.targets, 4u32);
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_counts_one_transmission_per_domain() {
+        // All three receivers share domain 0 (no set_domains call): the
+        // fan-out is 3 deliveries but a single frame on the wire.
+        let (mut eng, net, ids) = build(3, false);
+        let kicker = eng.add_actor(Box::new(WireKicker {
+            net: net.clone(),
+            targets: vec![NodeId(0), NodeId(1), NodeId(2)],
+        }));
+        eng.schedule(SimTime::ZERO, kicker, Kick);
+        eng.run_to_completion();
+        for id in &ids {
+            let r: &Receiver = eng.actor(*id);
+            assert_eq!(r.got, vec![(NodeId(0), 4)]);
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 3, "one delivery per receiver");
+        assert_eq!(stats.transmissions, 1, "one frame on the shared wire");
+
+        // Receivers split across two domains: two hardware multicasts.
+        let (mut eng, net, _ids) = build(4, false);
+        net.set_domains(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        let kicker = eng.add_actor(Box::new(WireKicker {
+            net: net.clone(),
+            targets: vec![NodeId(1), NodeId(2), NodeId(3)],
+        }));
+        eng.schedule(SimTime::ZERO, kicker, Kick);
+        eng.run_to_completion();
+        let stats = net.stats();
+        assert_eq!(stats.sent, 3);
+        assert_eq!(stats.transmissions, 2, "one per receiver domain");
+
+        // Unicast sends stay one transmission each.
+        let (mut eng, net, _ids) = build(2, true);
+        let kicker = eng.add_actor(Box::new(Kicker {
+            net: net.clone(),
+            val: 0,
+        }));
+        eng.schedule(SimTime::ZERO, kicker, Kick);
+        eng.run_to_completion();
+        let stats = net.stats();
+        // Broadcast (1 transmission, 2 deliveries); each delivery of a
+        // value < 3 echoes a unicast, so 6 echo sends follow.
+        assert_eq!(stats.sent, 8);
+        assert_eq!(stats.transmissions, 7);
     }
 
     /// A domain multicast reaches exactly the domain's members, and the

@@ -5,6 +5,22 @@
 //! graph and seed produce the same dispatch sequence, which the kernel
 //! fingerprints with a running FNV-1a hash (see [`Engine::fingerprint`]).
 //!
+//! # Schedulers
+//!
+//! Two interchangeable queue implementations back the kernel (selected via
+//! [`Scheduler`], see [`Engine::new_with_scheduler`]):
+//!
+//! * [`Scheduler::TimingWheel`] (the default) — a hierarchical timing wheel
+//!   (64 slots × 11 levels over the `u64` nanosecond clock) with per-level
+//!   occupancy bitmaps and an event slab with freelist reuse. Insertion and
+//!   pop are O(1) amortised; events at the same instant drain in FIFO
+//!   (sequence-number) order because slot vectors append in scheduling
+//!   order and cascades preserve it.
+//! * [`Scheduler::LegacyHeap`] — the original `BinaryHeap` scheduler, kept
+//!   as an executable reference. Both produce the identical dispatch order
+//!   `(time, seq)` and therefore identical fingerprints; the equivalence is
+//!   pinned by unit tests here and a proptest in `tests/`.
+//!
 //! # Actors and crashes
 //!
 //! Simulated components implement [`Actor`]. Every actor carries an
@@ -94,6 +110,20 @@ enum EventKind {
     Halt,
 }
 
+/// Selects the event-queue implementation backing the kernel.
+///
+/// Both schedulers dispatch events in the identical `(time, seq)` order and
+/// therefore produce bit-for-bit identical fingerprints and traces; the
+/// legacy heap exists as an executable reference for equivalence tests and
+/// as a fallback while the wheel bakes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Hierarchical timing wheel + event slab (the default; O(1) amortised).
+    TimingWheel,
+    /// The original `BinaryHeap<Reverse<QueuedEvent>>` (O(log n) per op).
+    LegacyHeap,
+}
+
 struct QueuedEvent {
     time: SimTime,
     seq: u64,
@@ -119,11 +149,204 @@ impl Ord for QueuedEvent {
     }
 }
 
+/// Slab of pending event records with freelist reuse: the wheel's slot
+/// vectors hold 12-byte `(time, index)` entries instead of full event
+/// structs, and record storage is recycled across the run instead of
+/// churning the allocator once per event.
+#[derive(Default)]
+struct EventSlab {
+    slots: Vec<Option<EventKind>>,
+    free: Vec<u32>,
+}
+
+impl EventSlab {
+    fn insert(&mut self, kind: EventKind) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(kind);
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Some(kind));
+            idx
+        }
+    }
+
+    fn remove(&mut self, idx: u32) -> EventKind {
+        let kind = self.slots[idx as usize].take().expect("slab slot");
+        self.free.push(idx);
+        kind
+    }
+}
+
+const WHEEL_BITS: u32 = 6;
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS; // 64 slots per level
+const WHEEL_LEVELS: usize = 11; // 11 × 6 = 66 bits ≥ the full u64 clock
+const SLOT_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
+/// Hierarchical timing wheel over the `u64` nanosecond clock.
+///
+/// Level `k` partitions time by its `k`-th 6-bit digit; an event lands at
+/// the level of the most-significant digit in which its time differs from
+/// `horizon` (the wheel's internal clock, always ≤ every queued time).
+/// Per-level `u64` occupancy bitmaps make "find earliest slot" a
+/// `trailing_zeros`. Advancing the horizon re-distributes ("cascades") one
+/// coarse slot into finer levels; each event cascades at most 10 times
+/// total, so operations are O(1) amortised.
+///
+/// Two invariants carry determinism and the deadline contract:
+///
+/// * **FIFO within an instant.** A queued event's slot always equals its
+///   correct slot relative to the *current* horizon (a cascade at level `k`
+///   only happens when every finer level is empty, so no event is ever
+///   stranded at a stale level). Same-instant events therefore share a slot
+///   and append in scheduling (`seq`) order, which cascades preserve.
+/// * **Bounded advance.** [`TimingWheel::pop_at_or_before`] never moves
+///   `horizon` past `limit`: `run_until(deadline)` sets the kernel clock to
+///   `deadline`, and later insertions at `time ≥ deadline` must still
+///   satisfy `time ≥ horizon`.
+struct TimingWheel {
+    horizon: u64,
+    occupancy: [u64; WHEEL_LEVELS],
+    slots: Vec<Vec<(u64, u32)>>,
+    /// FIFO of the instant currently being drained (swapped out of its
+    /// slot so same-instant re-schedules refill the slot behind it).
+    current: Vec<(u64, u32)>,
+    cursor: usize,
+}
+
+impl TimingWheel {
+    fn new() -> Self {
+        TimingWheel {
+            horizon: 0,
+            occupancy: [0; WHEEL_LEVELS],
+            slots: (0..WHEEL_LEVELS * WHEEL_SLOTS)
+                .map(|_| Vec::new())
+                .collect(),
+            current: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    fn level_of(&self, time: u64) -> usize {
+        let xor = time ^ self.horizon;
+        if xor == 0 {
+            0
+        } else {
+            (63 - xor.leading_zeros()) as usize / WHEEL_BITS as usize
+        }
+    }
+
+    fn file(&mut self, time: u64, idx: u32) {
+        let level = self.level_of(time);
+        let slot = ((time >> (level as u32 * WHEEL_BITS)) & SLOT_MASK) as usize;
+        self.slots[level * WHEEL_SLOTS + slot].push((time, idx));
+        self.occupancy[level] |= 1 << slot;
+    }
+
+    fn push(&mut self, time: u64, idx: u32) {
+        // Defensive clamp: the kernel never schedules below its clock (and
+        // the clock never trails the horizon), but a past time here would
+        // corrupt the slot invariants rather than merely fire late.
+        self.file(time.max(self.horizon), idx);
+    }
+
+    /// Pop the earliest event with `time <= limit`, or `None` — without
+    /// ever advancing the horizon past `limit`.
+    fn pop_at_or_before(&mut self, limit: u64) -> Option<(u64, u32)> {
+        loop {
+            if self.cursor < self.current.len() {
+                let (time, idx) = self.current[self.cursor];
+                if time > limit {
+                    // Only reachable if a halt abandoned a partial drain.
+                    return None;
+                }
+                self.cursor += 1;
+                return Some((time, idx));
+            }
+            self.current.clear();
+            self.cursor = 0;
+            if self.occupancy[0] != 0 {
+                let slot = self.occupancy[0].trailing_zeros() as u64;
+                let time = (self.horizon & !SLOT_MASK) | slot;
+                if time > limit {
+                    return None;
+                }
+                self.horizon = time;
+                self.occupancy[0] &= !(1 << slot);
+                std::mem::swap(&mut self.current, &mut self.slots[slot as usize]);
+                continue;
+            }
+            let level = (1..WHEEL_LEVELS).find(|&k| self.occupancy[k] != 0)?;
+            let slot = self.occupancy[level].trailing_zeros() as u64;
+            let shift = level as u32 * WHEEL_BITS;
+            let high_mask = match shift + WHEEL_BITS {
+                64.. => 0,
+                above => u64::MAX << above,
+            };
+            let base = (self.horizon & high_mask) | (slot << shift);
+            if base > limit {
+                return None;
+            }
+            self.horizon = base;
+            self.occupancy[level] &= !(1 << slot);
+            let cascaded = std::mem::take(&mut self.slots[level * WHEEL_SLOTS + slot as usize]);
+            for (time, idx) in cascaded {
+                self.file(time, idx);
+            }
+        }
+    }
+}
+
+/// The kernel's event queue: one of the two [`Scheduler`] implementations.
+enum EventQueue {
+    Wheel { wheel: TimingWheel, slab: EventSlab },
+    Heap(BinaryHeap<Reverse<QueuedEvent>>),
+}
+
+impl EventQueue {
+    fn new(scheduler: Scheduler) -> Self {
+        match scheduler {
+            Scheduler::TimingWheel => EventQueue::Wheel {
+                wheel: TimingWheel::new(),
+                slab: EventSlab::default(),
+            },
+            Scheduler::LegacyHeap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        match self {
+            EventQueue::Wheel { wheel, slab } => {
+                let idx = slab.insert(kind);
+                wheel.push(time.as_nanos(), idx);
+            }
+            EventQueue::Heap(heap) => heap.push(Reverse(QueuedEvent { time, seq, kind })),
+        }
+    }
+
+    /// Pop the earliest event with `time <= limit` in `(time, seq)` order.
+    fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, EventKind)> {
+        match self {
+            EventQueue::Wheel { wheel, slab } => {
+                let (time, idx) = wheel.pop_at_or_before(limit.as_nanos())?;
+                Some((SimTime::from_nanos(time), slab.remove(idx)))
+            }
+            EventQueue::Heap(heap) => {
+                if heap.peek().is_none_or(|Reverse(ev)| ev.time > limit) {
+                    return None;
+                }
+                let Reverse(ev) = heap.pop().expect("peeked");
+                Some((ev.time, ev.kind))
+            }
+        }
+    }
+}
+
 /// Mutable kernel state shared with actors during dispatch via [`Ctx`].
 pub struct Kernel {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: EventQueue,
     incarnations: Vec<u32>,
     alive: Vec<bool>,
     rng: StdRng,
@@ -140,11 +363,11 @@ const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
 
 impl Kernel {
-    fn new(seed: u64) -> Self {
+    fn new(seed: u64, scheduler: Scheduler) -> Self {
         Kernel {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             incarnations: Vec::new(),
             alive: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -164,7 +387,7 @@ impl Kernel {
     fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+        self.queue.push(time, seq, kind);
     }
 
     fn schedule_dispatch(&mut self, at: SimTime, target: ActorId, payload: Payload) {
@@ -269,11 +492,18 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Create an engine whose RNG streams derive from `seed`.
+    /// Create an engine whose RNG streams derive from `seed`, scheduled by
+    /// the default timing wheel.
     pub fn new(seed: u64) -> Self {
+        Engine::new_with_scheduler(seed, Scheduler::TimingWheel)
+    }
+
+    /// Create an engine with an explicit [`Scheduler`] (equivalence tests
+    /// and benchmarks; production callers use [`Engine::new`]).
+    pub fn new_with_scheduler(seed: u64, scheduler: Scheduler) -> Self {
         Engine {
             actors: Vec::new(),
-            kernel: Kernel::new(seed),
+            kernel: Kernel::new(seed, scheduler),
         }
     }
 
@@ -344,12 +574,11 @@ impl Engine {
     /// Run until the queue drains or `deadline` passes, whichever is first.
     /// Returns the time of the last processed event.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(Reverse(ev)) = self.kernel.queue.peek() {
-            if ev.time > deadline || self.kernel.halted {
+        while !self.kernel.halted {
+            let Some((time, kind)) = self.kernel.queue.pop_at_or_before(deadline) else {
                 break;
-            }
-            let Reverse(ev) = self.kernel.queue.pop().expect("peeked");
-            self.process(ev);
+            };
+            self.process(time, kind);
         }
         // Advance the clock to the deadline even if the queue drained early,
         // so repeated run_until calls observe monotone time.
@@ -361,19 +590,19 @@ impl Engine {
 
     /// Run until the event queue is empty (or a halt is requested).
     pub fn run_to_completion(&mut self) -> SimTime {
-        while let Some(Reverse(ev)) = self.kernel.queue.pop() {
-            if self.kernel.halted {
+        while !self.kernel.halted {
+            let Some((time, kind)) = self.kernel.queue.pop_at_or_before(SimTime::MAX) else {
                 break;
-            }
-            self.process(ev);
+            };
+            self.process(time, kind);
         }
         self.kernel.now
     }
 
-    fn process(&mut self, ev: QueuedEvent) {
-        debug_assert!(ev.time >= self.kernel.now, "time went backwards");
-        self.kernel.now = ev.time;
-        match ev.kind {
+    fn process(&mut self, time: SimTime, kind: EventKind) {
+        debug_assert!(time >= self.kernel.now, "time went backwards");
+        self.kernel.now = time;
+        match kind {
             EventKind::Dispatch {
                 target,
                 incarnation,
@@ -387,7 +616,7 @@ impl Engine {
                     return; // stale event: target crashed since scheduling
                 }
                 self.kernel.dispatched += 1;
-                self.kernel.mix(ev.time.as_nanos());
+                self.kernel.mix(time.as_nanos());
                 self.kernel.mix(target.0 as u64);
                 let mut actor = self.actors[idx].take().expect("actor reentrancy");
                 let mut ctx = Ctx {
@@ -511,6 +740,8 @@ impl<T: Any> AsAny for T {
 mod tests {
     use super::*;
 
+    const BOTH: [Scheduler; 2] = [Scheduler::TimingWheel, Scheduler::LegacyHeap];
+
     struct Counter {
         ticks: u32,
         volatile: u32,
@@ -554,50 +785,56 @@ mod tests {
 
     #[test]
     fn timers_fire_in_order() {
-        let mut eng = Engine::new(1);
-        let id = eng.add_actor(counter());
-        eng.schedule(SimTime::from_millis(1), id, Tick);
-        eng.run_to_completion();
-        let c: &Counter = eng.actor(id);
-        assert_eq!(c.ticks, 5);
-        assert_eq!(eng.now(), SimTime::from_millis(41));
+        for scheduler in BOTH {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(counter());
+            eng.schedule(SimTime::from_millis(1), id, Tick);
+            eng.run_to_completion();
+            let c: &Counter = eng.actor(id);
+            assert_eq!(c.ticks, 5);
+            assert_eq!(eng.now(), SimTime::from_millis(41));
+        }
     }
 
     #[test]
     fn crash_drops_stale_timers_and_recover_bumps_incarnation() {
-        let mut eng = Engine::new(1);
-        let id = eng.add_actor(counter());
-        eng.schedule(SimTime::from_millis(1), id, Tick);
-        // Crash at 15ms: ticks at 1ms and 11ms fire; the timer set for 21ms
-        // must be dropped. Recover at 50ms restarts ticking.
-        eng.schedule_crash(SimTime::from_millis(15), id);
-        eng.schedule_recover(SimTime::from_millis(50), id);
-        eng.run_to_completion();
-        let c: &Counter = eng.actor(id);
-        assert_eq!(c.recoveries, 1);
-        // 2 ticks before crash + 3 more after recovery (ticks counts to 5).
-        assert_eq!(c.ticks, 5);
-        // Volatile state was wiped at crash; stable survived.
-        assert_eq!(c.volatile, 3);
-        assert_eq!(c.stable, 5);
+        for scheduler in BOTH {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(counter());
+            eng.schedule(SimTime::from_millis(1), id, Tick);
+            // Crash at 15ms: ticks at 1ms and 11ms fire; the timer set for
+            // 21ms must be dropped. Recover at 50ms restarts ticking.
+            eng.schedule_crash(SimTime::from_millis(15), id);
+            eng.schedule_recover(SimTime::from_millis(50), id);
+            eng.run_to_completion();
+            let c: &Counter = eng.actor(id);
+            assert_eq!(c.recoveries, 1);
+            // 2 ticks before crash + 3 more after recovery (ticks counts to 5).
+            assert_eq!(c.ticks, 5);
+            // Volatile state was wiped at crash; stable survived.
+            assert_eq!(c.volatile, 3);
+            assert_eq!(c.stable, 5);
+        }
     }
 
     #[test]
     fn events_to_dead_actor_are_lost() {
-        let mut eng = Engine::new(1);
-        let id = eng.add_actor(counter());
-        eng.schedule_crash(SimTime::from_millis(1), id);
-        // Scheduled while alive, arrives while dead: lost.
-        eng.schedule(SimTime::from_millis(5), id, Tick);
-        eng.run_to_completion();
-        let c: &Counter = eng.actor(id);
-        assert_eq!(c.ticks, 0);
+        for scheduler in BOTH {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(counter());
+            eng.schedule_crash(SimTime::from_millis(1), id);
+            // Scheduled while alive, arrives while dead: lost.
+            eng.schedule(SimTime::from_millis(5), id, Tick);
+            eng.run_to_completion();
+            let c: &Counter = eng.actor(id);
+            assert_eq!(c.ticks, 0);
+        }
     }
 
     #[test]
     fn same_seed_same_fingerprint() {
-        let run = |seed| {
-            let mut eng = Engine::new(seed);
+        let run = |seed, scheduler| {
+            let mut eng = Engine::new_with_scheduler(seed, scheduler);
             let id = eng.add_actor(counter());
             eng.schedule(SimTime::from_millis(1), id, Tick);
             eng.schedule_crash(SimTime::from_millis(15), id);
@@ -605,22 +842,130 @@ mod tests {
             eng.run_to_completion();
             (eng.fingerprint(), eng.dispatched())
         };
-        assert_eq!(run(7), run(7));
-        assert_eq!(run(7).1, run(9).1);
+        for scheduler in BOTH {
+            assert_eq!(run(7, scheduler), run(7, scheduler));
+            assert_eq!(run(7, scheduler).1, run(9, scheduler).1);
+        }
+        // Crash/recover mixing included: both schedulers agree exactly.
+        assert_eq!(
+            run(7, Scheduler::TimingWheel),
+            run(7, Scheduler::LegacyHeap)
+        );
     }
 
     #[test]
     fn run_until_stops_at_deadline() {
-        let mut eng = Engine::new(1);
-        let id = eng.add_actor(counter());
-        eng.schedule(SimTime::from_millis(1), id, Tick);
-        eng.run_until(SimTime::from_millis(12));
-        let c: &Counter = eng.actor(id);
-        assert_eq!(c.ticks, 2);
-        assert_eq!(eng.now(), SimTime::from_millis(12));
-        eng.run_to_completion();
-        let c: &Counter = eng.actor(id);
-        assert_eq!(c.ticks, 5);
+        for scheduler in BOTH {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(counter());
+            eng.schedule(SimTime::from_millis(1), id, Tick);
+            eng.run_until(SimTime::from_millis(12));
+            let c: &Counter = eng.actor(id);
+            assert_eq!(c.ticks, 2);
+            assert_eq!(eng.now(), SimTime::from_millis(12));
+            eng.run_to_completion();
+            let c: &Counter = eng.actor(id);
+            assert_eq!(c.ticks, 5);
+        }
+    }
+
+    #[test]
+    fn run_until_then_schedule_at_deadline() {
+        // Regression for the wheel's bounded-advance invariant: run_until
+        // moves the kernel clock to the deadline while a far-future event is
+        // still queued; scheduling at exactly the deadline afterwards must
+        // still dispatch (time ≥ horizon) and in time order.
+        for scheduler in BOTH {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(counter());
+            // Far-future tick parks an event at a coarse wheel level.
+            eng.schedule(SimTime::from_secs(40), id, Tick);
+            eng.run_until(SimTime::from_millis(7));
+            assert_eq!(eng.now(), SimTime::from_millis(7));
+            eng.schedule(SimTime::from_millis(7), id, Tick);
+            eng.run_to_completion();
+            let c: &Counter = eng.actor(id);
+            // Tick at 7ms starts a 5-tick chain; the 40s tick adds one more
+            // 5-tick chain (ticks only re-arm while below 5).
+            assert_eq!(c.ticks, 6);
+        }
+    }
+
+    #[test]
+    fn same_instant_fifo_across_mixed_horizons() {
+        // Events for one instant scheduled from very different distances
+        // (coarse wheel levels vs. direct level-0 inserts) must still
+        // dispatch in scheduling order.
+        struct Recorder {
+            got: Vec<u32>,
+        }
+        struct Tag(u32);
+        impl Actor for Recorder {
+            fn on_event(&mut self, _ctx: &mut Ctx<'_>, payload: Payload) {
+                let tag = payload.downcast::<Tag>().expect("tag");
+                self.got.push(tag.0);
+            }
+        }
+        let run = |scheduler| {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(Box::new(Recorder { got: Vec::new() }));
+            let instant = SimTime::from_secs(3);
+            // Scheduled far out (coarse level), then nearer inserts for the
+            // same instant, interleaved with an earlier warm-up event that
+            // forces horizon advances between the inserts.
+            eng.schedule(instant, id, Tag(0));
+            eng.schedule(instant, id, Tag(1));
+            eng.schedule(SimTime::from_millis(2), id, Tag(99));
+            eng.run_until(SimTime::from_millis(10));
+            eng.schedule(instant, id, Tag(2));
+            eng.run_until(SimTime::from_secs(1));
+            eng.schedule(instant, id, Tag(3));
+            eng.run_to_completion();
+            let r: &Recorder = eng.actor(id);
+            (r.got.clone(), eng.fingerprint())
+        };
+        let (wheel_order, wheel_fp) = run(Scheduler::TimingWheel);
+        let (heap_order, heap_fp) = run(Scheduler::LegacyHeap);
+        assert_eq!(wheel_order, vec![99, 0, 1, 2, 3]);
+        assert_eq!(wheel_order, heap_order);
+        assert_eq!(wheel_fp, heap_fp);
+    }
+
+    #[test]
+    fn wide_timer_spread_crosses_wheel_levels() {
+        // Delays from nanoseconds to tens of simulated minutes exercise
+        // insertion at many wheel levels and the cascade path; both
+        // schedulers must agree on the full dispatch fingerprint.
+        struct Spreader {
+            fired: u32,
+        }
+        struct Fire;
+        impl Actor for Spreader {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, _payload: Payload) {
+                self.fired += 1;
+                let step = match self.fired % 5 {
+                    0 => SimDuration::from_nanos(1),
+                    1 => SimDuration::from_micros(63),
+                    2 => SimDuration::from_millis(17),
+                    3 => SimDuration::from_secs(2),
+                    _ => SimDuration::from_secs(601),
+                };
+                if self.fired < 64 {
+                    ctx.timer(step, Fire);
+                }
+            }
+        }
+        let run = |scheduler| {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(Box::new(Spreader { fired: 0 }));
+            eng.schedule(SimTime::ZERO, id, Fire);
+            eng.run_to_completion();
+            (eng.fingerprint(), eng.dispatched(), eng.now())
+        };
+        let wheel = run(Scheduler::TimingWheel);
+        let heap = run(Scheduler::LegacyHeap);
+        assert_eq!(wheel.1, 64);
+        assert_eq!(wheel, heap);
     }
 
     #[test]
@@ -633,23 +978,27 @@ mod tests {
                 ctx.timer(SimDuration::from_millis(1), Go);
             }
         }
-        let mut eng = Engine::new(1);
-        let id = eng.add_actor(Box::new(Halter));
-        eng.schedule(SimTime::from_millis(1), id, Go);
-        eng.run_to_completion();
-        assert_eq!(eng.now(), SimTime::from_millis(1));
+        for scheduler in BOTH {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(Box::new(Halter));
+            eng.schedule(SimTime::from_millis(1), id, Go);
+            eng.run_to_completion();
+            assert_eq!(eng.now(), SimTime::from_millis(1));
+        }
     }
 
     #[test]
     fn double_crash_and_double_recover_are_idempotent() {
-        let mut eng = Engine::new(1);
-        let id = eng.add_actor(counter());
-        eng.schedule_crash(SimTime::from_millis(1), id);
-        eng.schedule_crash(SimTime::from_millis(2), id);
-        eng.schedule_recover(SimTime::from_millis(3), id);
-        eng.schedule_recover(SimTime::from_millis(4), id);
-        eng.run_to_completion();
-        let c: &Counter = eng.actor(id);
-        assert_eq!(c.recoveries, 1);
+        for scheduler in BOTH {
+            let mut eng = Engine::new_with_scheduler(1, scheduler);
+            let id = eng.add_actor(counter());
+            eng.schedule_crash(SimTime::from_millis(1), id);
+            eng.schedule_crash(SimTime::from_millis(2), id);
+            eng.schedule_recover(SimTime::from_millis(3), id);
+            eng.schedule_recover(SimTime::from_millis(4), id);
+            eng.run_to_completion();
+            let c: &Counter = eng.actor(id);
+            assert_eq!(c.recoveries, 1);
+        }
     }
 }

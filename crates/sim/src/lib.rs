@@ -27,7 +27,7 @@ pub mod time;
 pub mod trace;
 
 pub use disk::{Disk, DiskConfig, DiskStats};
-pub use engine::{Actor, ActorId, AsAny, Ctx, Engine, Payload};
+pub use engine::{Actor, ActorId, AsAny, Ctx, Engine, Payload, Scheduler};
 pub use metrics::{Histogram, Metrics};
 pub use resource::Fcfs;
 pub use time::{SimDuration, SimTime};

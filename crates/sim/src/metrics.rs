@@ -8,10 +8,17 @@
 use std::collections::BTreeMap;
 
 /// A histogram over `f64` samples with exact quantiles.
+///
+/// Quantile queries keep the sample vector sorted and remember how much of
+/// it is (`sorted_len`); a query after new recordings sorts only the
+/// unsorted tail and back-merges it into the sorted prefix, instead of
+/// re-sorting the full vector on every `quantile`/`min`/`max` call the
+/// reporting loops make.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
-    sorted: bool,
+    /// Length of the sorted prefix of `samples`.
+    sorted_len: usize,
 }
 
 impl Histogram {
@@ -19,14 +26,13 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             samples: Vec::new(),
-            sorted: true,
+            sorted_len: 0,
         }
     }
 
     /// Record one sample.
     pub fn record(&mut self, v: f64) {
         self.samples.push(v);
-        self.sorted = false;
     }
 
     /// Number of samples recorded.
@@ -59,12 +65,38 @@ impl Histogram {
     }
 
     fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            // total_cmp: NaN-free total order, no panic path (a NaN
-            // sample would sort last instead of poisoning quantiles).
-            self.samples.sort_by(f64::total_cmp);
-            self.sorted = true;
+        if self.sorted_len == self.samples.len() {
+            return;
         }
+        // total_cmp: NaN-free total order, no panic path (a NaN sample
+        // would sort last instead of poisoning quantiles).
+        let mut tail = self.samples.split_off(self.sorted_len);
+        tail.sort_by(f64::total_cmp);
+        if self.samples.is_empty() {
+            self.samples = tail;
+        } else {
+            // Back-merge the sorted tail into the sorted prefix: O(tail +
+            // displaced-prefix) moves, and the untouched low prefix never
+            // moves at all.
+            let prefix_len = self.samples.len();
+            self.samples.resize(prefix_len + tail.len(), 0.0);
+            let mut dst = self.samples.len();
+            let mut i = prefix_len;
+            let mut j = tail.len();
+            while j > 0 {
+                dst -= 1;
+                if i > 0
+                    && self.samples[i - 1].total_cmp(&tail[j - 1]) == std::cmp::Ordering::Greater
+                {
+                    self.samples[dst] = self.samples[i - 1];
+                    i -= 1;
+                } else {
+                    self.samples[dst] = tail[j - 1];
+                    j -= 1;
+                }
+            }
+        }
+        self.sorted_len = self.samples.len();
     }
 
     /// Exact quantile by nearest-rank (`q` in `[0, 1]`; 0.0 if empty).
@@ -186,6 +218,39 @@ mod tests {
         assert_eq!(h.quantile(0.95), 95.0);
         assert_eq!(h.quantile(0.99), 99.0);
         assert_eq!(h.quantile(0.01), 1.0);
+    }
+
+    #[test]
+    fn interleaved_record_and_quantile() {
+        // Regression for the sorted-prefix cache: queries between
+        // recordings must see every sample recorded so far, in whatever
+        // order the values arrive (including duplicates and values that
+        // land inside, below, and above the already-sorted prefix).
+        let mut h = Histogram::new();
+        let values = [5.0, 1.0, 9.0, 3.0, 3.0, 7.0, 0.5, 9.5, 4.0, 6.0];
+        let mut seen: Vec<f64> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            h.record(v);
+            seen.push(v);
+            seen.sort_by(f64::total_cmp);
+            // Interrogate min/median/max after every single record.
+            assert_eq!(h.min(), seen[0], "min after {} records", i + 1);
+            assert_eq!(h.max(), seen[seen.len() - 1], "max after {} records", i + 1);
+            let mid = seen.len().div_ceil(2) - 1;
+            assert_eq!(h.quantile(0.5), seen[mid], "median after {} records", i + 1);
+            assert_eq!(h.count(), seen.len());
+        }
+        // A burst of records with no query in between, then one query.
+        for v in [2.5, 8.5, 0.1] {
+            h.record(v);
+            seen.push(v);
+        }
+        seen.sort_by(f64::total_cmp);
+        assert_eq!(h.min(), 0.1);
+        assert_eq!(h.max(), 9.5);
+        assert_eq!(h.samples().len(), seen.len());
+        // After queries the samples are fully sorted.
+        assert_eq!(h.samples(), seen.as_slice());
     }
 
     #[test]
