@@ -30,7 +30,9 @@
 use std::rc::Rc;
 use std::time::Instant;
 
-use groupsafe_sim::{Actor, ActorId, Ctx, Engine, Payload, Scheduler, SimDuration, SimTime};
+use groupsafe_sim::{
+    Actor, ActorId, Ctx, Engine, ObsConfig, ObsEvent, Payload, Scheduler, SimDuration, SimTime,
+};
 
 /// Replicas the batch fans out to (the paper's largest group, n = 9).
 const REPLICAS: usize = 9;
@@ -127,6 +129,8 @@ impl Actor for Sequencer {
                 }
                 self.rounds_left -= 1;
                 self.acks_pending = self.replicas.len();
+                let fanout = self.replicas.len() as u32;
+                ctx.emit(|| ObsEvent::MulticastSend { fanout });
                 let frame = make_frame(self.rounds_left);
                 if self.share {
                     let shared = Rc::new(frame);
@@ -188,6 +192,8 @@ impl Actor for Replica {
         // idiom logs a refcount bump and delivers by reference.
         let payload = match payload.downcast::<DeepDelivery>() {
             Ok(d) => {
+                let seq = d.0.entries.first().map_or(0, |e| e.seq);
+                ctx.emit(|| ObsEvent::UniformDeliver { seq });
                 self.log_deep.push(d.0);
                 let delivered = self.log_deep.last().expect("just pushed").clone();
                 digest(&delivered, &mut self.checksum);
@@ -199,6 +205,8 @@ impl Actor for Replica {
         };
         match payload.downcast::<SharedDelivery>() {
             Ok(d) => {
+                let seq = d.0.entries.first().map_or(0, |e| e.seq);
+                ctx.emit(|| ObsEvent::UniformDeliver { seq });
                 self.log_shared.push(Rc::clone(&d.0));
                 digest(&d.0, &mut self.checksum);
                 self.gc();
@@ -262,16 +270,18 @@ struct Sample {
     checksum: u64,
 }
 
-fn engine(legacy: bool) -> Engine {
-    if legacy {
+fn engine(legacy: bool, obs: ObsConfig) -> Engine {
+    let mut eng = if legacy {
         Engine::new_with_scheduler(1, Scheduler::LegacyHeap)
     } else {
         Engine::new(1)
-    }
+    };
+    eng.set_obs(obs);
+    eng
 }
 
-fn run_multicast(rounds: u64, legacy: bool, share: bool) -> Sample {
-    let mut eng = engine(legacy);
+fn run_multicast(rounds: u64, legacy: bool, share: bool, obs: ObsConfig) -> Sample {
+    let mut eng = engine(legacy, obs);
     let seq = eng.add_actor(Box::new(Sequencer {
         replicas: Vec::new(),
         rounds_left: rounds,
@@ -310,7 +320,7 @@ fn run_storm(messages: u64, legacy: bool) -> Sample {
     // of arrivals + timers queued; a matching standing population is what
     // separates the O(1) wheel from the O(log n) heap.
     const ACTORS: usize = 1024;
-    let mut eng = engine(legacy);
+    let mut eng = engine(legacy, ObsConfig::disabled());
     let ids: Vec<ActorId> = (0..ACTORS)
         .map(|_| {
             eng.add_actor(Box::new(Pinger {
@@ -379,9 +389,9 @@ fn main() {
         "schedulers must dispatch the identical event sequence"
     );
 
-    let mc_legacy = run_multicast(rounds, true, false);
+    let mc_legacy = run_multicast(rounds, true, false, ObsConfig::disabled());
     row("multicast", "legacy", &mc_legacy);
-    let mc_tuned = run_multicast(rounds, false, true);
+    let mc_tuned = run_multicast(rounds, false, true, ObsConfig::disabled());
     row("multicast", "tuned", &mc_tuned);
     assert_eq!(
         mc_legacy.fingerprint, mc_tuned.fingerprint,
@@ -392,10 +402,29 @@ fn main() {
         "replicas must apply identical frame contents under both idioms"
     );
 
+    // Observability overhead: the same tuned multicast schedule with the
+    // full structured event stream recording versus recording disabled.
+    // Recording must never alter the dispatched schedule (identical
+    // fingerprints) and full tracing must stay within the overhead gate;
+    // the disabled mode costs one branch per emission, so `mc_tuned`
+    // above already *is* the obs-off baseline.
+    let mc_obs = run_multicast(rounds, false, true, ObsConfig::stream());
+    row("multicast", "obs", &mc_obs);
+    assert_eq!(
+        mc_tuned.fingerprint, mc_obs.fingerprint,
+        "obs recording must not alter the event sequence"
+    );
+    assert_eq!(
+        mc_tuned.checksum, mc_obs.checksum,
+        "obs recording must not alter delivered frame contents"
+    );
+
     let storm_ratio = storm_tuned.events_per_sec / storm_legacy.events_per_sec.max(1e-9);
     let mc_ratio = mc_tuned.events_per_sec / mc_legacy.events_per_sec.max(1e-9);
+    let obs_ratio = mc_obs.events_per_sec / mc_tuned.events_per_sec.max(1e-9);
     println!("storm speedup:     {storm_ratio:.2}x");
     println!("multicast speedup: {mc_ratio:.2}x  (gate: >= 10x)");
+    println!("obs full tracing:  {obs_ratio:.2}x of obs-off  (gate: >= 0.85x)");
 
     if let Some(path) = json_path {
         let objs = [
@@ -403,10 +432,12 @@ fn main() {
             json_obj("storm", "tuned", &storm_tuned),
             json_obj("multicast", "legacy", &mc_legacy),
             json_obj("multicast", "tuned", &mc_tuned),
+            json_obj("multicast", "obs", &mc_obs),
         ];
         let body = format!(
-            "[{},\n{},\n{},\n{},\n{{\"storm_speedup\":{:.4},\"multicast_speedup\":{:.4}}}]\n",
-            objs[0], objs[1], objs[2], objs[3], storm_ratio, mc_ratio
+            "[{},\n{},\n{},\n{},\n{},\n{{\"storm_speedup\":{:.4},\"multicast_speedup\":{:.4},\
+             \"obs_ratio\":{:.4}}}]\n",
+            objs[0], objs[1], objs[2], objs[3], objs[4], storm_ratio, mc_ratio, obs_ratio
         );
         std::fs::write(&path, body).expect("write json report");
         println!("wrote {path}");
@@ -415,5 +446,10 @@ fn main() {
     assert!(
         mc_ratio >= 10.0,
         "kernel gate: tuned multicast must run >= 10x the legacy idiom (got {mc_ratio:.2}x)"
+    );
+    assert!(
+        obs_ratio >= 0.85,
+        "obs gate: full tracing must keep >= 85 % of the obs-off \
+         event rate (got {obs_ratio:.2}x)"
     );
 }

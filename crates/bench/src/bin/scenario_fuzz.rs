@@ -4,7 +4,7 @@
 //!
 //! Usage: `scenario_fuzz [--seeds N] [--start S] [--level L] [--shards G]
 //!                       [--reads LEVEL:FRACTION] [--txns FRACTION]
-//!                       [--json <path>]`
+//!                       [--obs PROFILE] [--json <path>]`
 //!   --seeds   seeds per level (default 100 → 200 cases over two levels)
 //!   --start   first seed (default 0)
 //!   --level   restrict to one of: group-safe | two-safe | group-1-safe |
@@ -21,6 +21,11 @@
 //!             SI (MVCC read phase, first-committer-wins certification);
 //!             the SI anomaly audits check every run (default: off;
 //!             zeroed on one-safe, whose lazy baseline has no SI path)
+//!   --obs     observability profile for every run: off | ring[:N] |
+//!             full[:N] (default: ring, the bounded flight recorder — a
+//!             violation dump then carries the pipeline's last events;
+//!             recording never changes fingerprints, so repro seeds
+//!             replay identically under any profile)
 //!   --json    write a JSON summary
 //!
 //! On the first oracle violation the binary prints the reproducing seed
@@ -83,6 +88,14 @@ fn main() {
         assert!((0.0..=1.0).contains(&f), "--txns fraction outside [0, 1]");
         f
     });
+    if let Some(profile) = value_after("--obs") {
+        // Validate eagerly, then hand the profile to the builders through
+        // the `GROUPSAFE_OBS` env hook every run already honours.
+        if let Err(e) = groupsafe_sim::ObsConfig::parse(&profile) {
+            panic!("--obs: {e}");
+        }
+        std::env::set_var("GROUPSAFE_OBS", &profile);
+    }
     assert!(
         reads.is_none() || !levels.contains(&SafetyLevel::OneSafe),
         "--reads is not defined for one-safe: the lazy baseline has no \

@@ -47,7 +47,7 @@ use rand::Rng;
 use groupsafe_db::{DbConfig, ItemId, Operation};
 use groupsafe_gcs::BatchConfig;
 use groupsafe_net::{NetConfig, NodeId};
-use groupsafe_sim::{SimDuration, SimTime};
+use groupsafe_sim::{decompose_commits, CommitSpan, ObsConfig, Scheduler, SimDuration, SimTime};
 
 use crate::client::{LoadModel, OpGenerator, StopClient, TxnPlan};
 use crate::reads::{reads_from_env, ReadConfig, ReadLevel, ReadPath};
@@ -723,6 +723,11 @@ pub struct SystemBuilder {
     txn_fraction_override: Option<f64>,
     /// An explicit `txn_ops` call (min, max); same precedence.
     txn_ops_override: Option<(usize, usize)>,
+    /// An explicit [`SystemBuilder::observe`] call; beats the
+    /// `GROUPSAFE_OBS` env profile.
+    obs_override: Option<ObsConfig>,
+    /// The engine's event-queue backend (timing wheel by default).
+    scheduler: Scheduler,
 }
 
 impl Default for SystemBuilder {
@@ -751,6 +756,8 @@ impl Default for SystemBuilder {
             read_fraction_override: None,
             txn_fraction_override: None,
             txn_ops_override: None,
+            obs_override: None,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -907,6 +914,29 @@ impl SystemBuilder {
         self
     }
 
+    /// Observability mode of the built engine (see
+    /// [`ObsConfig`]): [`ObsConfig::disabled`] for the zero-cost path,
+    /// [`ObsConfig::ring`] for the bounded flight recorder (the
+    /// default), [`ObsConfig::stream`] for the full structured event
+    /// stream the exporters and the phase decomposition consume.
+    /// Recording never touches the dispatch fingerprint, the RNG or the
+    /// event queue, so every mode replays bit-for-bit identically.
+    ///
+    /// Precedence: an explicit call here beats the `GROUPSAFE_OBS` env
+    /// profile (`off` | `ring[:N]` | `full[:N]`).
+    pub fn observe(mut self, obs: ObsConfig) -> Self {
+        self.obs_override = Some(obs);
+        self
+    }
+
+    /// The engine's event-queue backend ([`Scheduler::TimingWheel`] by
+    /// default; [`Scheduler::LegacyHeap`] is the reference
+    /// implementation the wheel is pinned against).
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// The client load model.
     pub fn load(mut self, load: Load) -> Self {
         self.load = load;
@@ -1032,6 +1062,26 @@ impl SystemBuilder {
         } else {
             ShardSpec::from_env().unwrap_or_else(|| self.shard.clone())
         }
+    }
+
+    /// The observability configuration in force: an explicit
+    /// [`SystemBuilder::observe`] call, else the `GROUPSAFE_OBS` env
+    /// profile, else the default bounded flight recorder.
+    ///
+    /// # Errors
+    /// [`BuildError::BadEnvProfile`] if `GROUPSAFE_OBS` is set but
+    /// malformed — a typo must fail the run loudly, not silently record
+    /// nothing.
+    fn effective_obs(&self) -> Result<ObsConfig, BuildError> {
+        if let Some(cfg) = self.obs_override {
+            return Ok(cfg);
+        }
+        ObsConfig::from_env()
+            .map_err(|detail| BuildError::BadEnvProfile {
+                var: "GROUPSAFE_OBS",
+                detail,
+            })
+            .map(|opt| opt.unwrap_or_default())
     }
 
     /// True when the read path is defined for the technique: the lazy
@@ -1222,6 +1272,8 @@ impl SystemBuilder {
             net: self.net.clone(),
             shard,
             seed: self.seed,
+            obs: self.effective_obs()?,
+            scheduler: self.scheduler,
         })
     }
 
@@ -1668,6 +1720,28 @@ impl Run {
             }
         }
 
+        // Pipeline-phase decomposition from the structured event stream
+        // (stream mode only; the ring flight recorder and the disabled
+        // mode retain no stream, so the breakdown is empty). One global
+        // row, plus one per replica group for sharded systems.
+        let obs_phases = {
+            let spans = decompose_commits(system.engine.obs().events());
+            if spans.is_empty() {
+                Vec::new()
+            } else {
+                let mut rows = vec![ObsPhaseStats::from_spans(None, spans.iter())];
+                if system.n_groups > 1 {
+                    for g in 0..system.n_groups {
+                        rows.push(ObsPhaseStats::from_spans(
+                            Some(g),
+                            spans.iter().filter(|s| s.group == g),
+                        ));
+                    }
+                }
+                rows
+            }
+        };
+
         let h = system
             .engine
             .metrics_mut()
@@ -1715,6 +1789,7 @@ impl Run {
             },
             groups,
             phases,
+            obs_phases,
             fingerprint,
         }
     }
@@ -1811,6 +1886,61 @@ impl PhaseStats {
     }
 }
 
+/// Mean per-phase latency decomposition of committed transactions,
+/// derived from the structured observability stream ([`CommitSpan`];
+/// stream mode only). The four phases are consecutive — submit (client
+/// send → delegate exec start), exec (local execution), commit
+/// (broadcast → reply scheduled: ordering, stability, certification,
+/// apply) and reply (reply → client ack) — so the phase means sum
+/// exactly to the mean end-to-end latency of the spanned commits.
+#[derive(Debug, Clone)]
+pub struct ObsPhaseStats {
+    /// Replica group the spans belong to (`None` for the global row).
+    pub group: Option<u32>,
+    /// Commit spans the means are over.
+    pub commits: usize,
+    /// Mean client-submit → exec-start latency, ms.
+    pub submit_ms: f64,
+    /// Mean local-execution latency, ms.
+    pub exec_ms: f64,
+    /// Mean broadcast → reply latency, ms.
+    pub commit_ms: f64,
+    /// Mean reply → client-ack latency, ms.
+    pub reply_ms: f64,
+}
+
+impl ObsPhaseStats {
+    fn from_spans<'a>(
+        group: Option<u32>,
+        spans: impl Iterator<Item = &'a CommitSpan>,
+    ) -> ObsPhaseStats {
+        let (mut n, mut su, mut ex, mut co, mut re) = (0usize, 0.0, 0.0, 0.0, 0.0);
+        for s in spans {
+            n += 1;
+            su += s.submit_ms;
+            ex += s.exec_ms;
+            co += s.commit_ms;
+            re += s.reply_ms;
+        }
+        let d = n.max(1) as f64;
+        ObsPhaseStats {
+            group,
+            commits: n,
+            submit_ms: su / d,
+            exec_ms: ex / d,
+            commit_ms: co / d,
+            reply_ms: re / d,
+        }
+    }
+
+    /// Mean end-to-end latency of the spanned commits; equals the sum of
+    /// the four phase means by construction (each phase ends where the
+    /// next begins).
+    pub fn total_ms(&self) -> f64 {
+        self.submit_ms + self.exec_ms + self.commit_ms + self.reply_ms
+    }
+}
+
 /// The structured outcome of a [`Run`].
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -1895,11 +2025,21 @@ pub struct Report {
     pub groups: Vec<GroupStats>,
     /// Per-phase response-time breakdown.
     pub phases: Vec<PhaseStats>,
+    /// Commit-pipeline latency decomposition from the structured
+    /// observability stream (empty unless the run recorded in stream
+    /// mode): one global row, then one per replica group when sharded.
+    pub obs_phases: Vec<ObsPhaseStats>,
     /// The engine's dispatch fingerprint (determinism witness).
     pub fingerprint: u64,
 }
 
 impl Report {
+    /// Version of the JSON rendering [`Report::to_json`] emits, bumped
+    /// whenever a key is added, removed or changes meaning. Emitted as
+    /// the object's first key so downstream consumers can dispatch on it
+    /// before parsing the rest.
+    pub const SCHEMA_VERSION: u32 = 2;
+
     /// True when nothing acknowledged was lost and all live replicas
     /// agree.
     pub fn is_safe_and_convergent(&self) -> bool {
@@ -1917,6 +2057,7 @@ impl Report {
             }
         }
         let mut s = String::from("{");
+        s.push_str(&format!("\"schema_version\":{},", Report::SCHEMA_VERSION));
         s.push_str(&format!("\"technique\":\"{}\",", self.technique));
         match self.offered_tps {
             Some(t) => s.push_str(&format!("\"offered_tps\":{},", f(t))),
@@ -2008,6 +2149,28 @@ impl Report {
             ));
         }
         s.push_str("],");
+        s.push_str("\"obs_phases\":[");
+        for (i, p) in self.obs_phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let group = match p.group {
+                Some(g) => g.to_string(),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "{{\"group\":{},\"commits\":{},\"submit_ms\":{},\"exec_ms\":{},\
+                 \"commit_ms\":{},\"reply_ms\":{},\"total_ms\":{}}}",
+                group,
+                p.commits,
+                f(p.submit_ms),
+                f(p.exec_ms),
+                f(p.commit_ms),
+                f(p.reply_ms),
+                f(p.total_ms())
+            ));
+        }
+        s.push_str("],");
         s.push_str(&format!("\"fingerprint\":\"{:#x}\"", self.fingerprint));
         s.push('}');
         s
@@ -2093,6 +2256,27 @@ impl std::fmt::Display for Report {
                     f,
                     "  phase {:<14} : {} commits, mean {:.1} ms, p95 {:.1} ms",
                     p.label, p.commits, p.mean_ms, p.p95_ms
+                )?;
+            }
+        }
+        if !self.obs_phases.is_empty() {
+            writeln!(f, "pipeline decomposition : (mean ms per commit span)")?;
+            for p in &self.obs_phases {
+                let scope = match p.group {
+                    None => "all".to_string(),
+                    Some(g) => format!("group {g}"),
+                };
+                writeln!(
+                    f,
+                    "  {:<21}: submit {:.2} + exec {:.2} + commit {:.2} + reply {:.2} \
+                     = {:.2} ms ({} spans)",
+                    scope,
+                    p.submit_ms,
+                    p.exec_ms,
+                    p.commit_ms,
+                    p.reply_ms,
+                    p.total_ms(),
+                    p.commits
                 )?;
             }
         }

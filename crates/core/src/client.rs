@@ -16,9 +16,10 @@ use rand::Rng;
 
 use groupsafe_db::{Operation, TxnId};
 use groupsafe_net::{Incoming, Network, NodeId};
-use groupsafe_sim::{Actor, Ctx, Payload, SimDuration, SimTime};
+use groupsafe_sim::{Actor, Ctx, ObsEvent, Payload, SimDuration, SimTime};
 
 use crate::msg::{ClientMsg, ServerReply, TxnRequest};
+use crate::obs_txn;
 use crate::reads::{ReadConfig, ReadLevel, ReadPath, ReadReply, ReadRequest};
 use crate::shard::ShardMap;
 use crate::verify::{Oracle, ReadAckRecord};
@@ -288,6 +289,7 @@ impl Client {
                 token,
                 attempt,
             };
+            ctx.emit(|| ObsEvent::ReadSubmit { read: obs_txn(id) });
             self.net.send(ctx, self.cfg.node, target, req);
         } else {
             // Snapshot transactions carry the session token so the
@@ -306,6 +308,10 @@ impl Client {
                 snapshot: o.snapshot,
                 token,
             };
+            ctx.emit(|| ObsEvent::ClientSubmit {
+                txn: obs_txn(id),
+                attempt,
+            });
             self.net
                 .send(ctx, self.cfg.node, target, ClientMsg::Request(req));
         }
@@ -324,6 +330,11 @@ impl Client {
             // servers can act as the delegate/coordinator.
             let base = (o.target.0 / spg) * spg;
             o.target = NodeId(base + (o.target.0 - base + 1) % spg);
+            let to = o.target.0;
+            ctx.emit(|| ObsEvent::Forward {
+                txn: obs_txn(id),
+                to,
+            });
         }
         self.send_request(ctx, id);
     }
@@ -341,6 +352,11 @@ impl Client {
                 if attempt != o.attempt {
                     return; // stale attempt
                 }
+                ctx.emit(|| ObsEvent::ClientAck {
+                    txn: obs_txn(txn),
+                    attempt,
+                    committed: true,
+                });
                 let now = ctx.now();
                 let resp_ms = (now - o.sent_at).as_millis_f64();
                 let total_ms = (now - o.first_sent_at).as_millis_f64();
@@ -383,6 +399,11 @@ impl Client {
                 if attempt != o.attempt {
                     return;
                 }
+                ctx.emit(|| ObsEvent::ClientAck {
+                    txn: obs_txn(txn),
+                    attempt,
+                    committed: false,
+                });
                 if ctx.now() >= self.cfg.measure_from {
                     ctx.metrics().incr("client_aborts_seen");
                 }
@@ -437,6 +458,7 @@ impl Client {
                     self.resubmit(ctx, txn, true);
                     return;
                 }
+                ctx.emit(|| ObsEvent::ReadReply { read: obs_txn(txn) });
                 let now = ctx.now();
                 let resp_ms = (now - o.sent_at).as_millis_f64();
                 let total_ms = (now - o.first_sent_at).as_millis_f64();

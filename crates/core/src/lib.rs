@@ -54,9 +54,19 @@ pub mod system;
 pub mod verify;
 
 pub use builder::{
-    txn_from_env, BuildError, FaultPlan, GroupStats, Load, PhaseStats, Report, Run, SystemBuilder,
-    WorkloadSpec,
+    txn_from_env, BuildError, FaultPlan, GroupStats, Load, ObsPhaseStats, PhaseStats, Report, Run,
+    SystemBuilder, WorkloadSpec,
 };
+
+/// Stable `u64` encoding of a [`groupsafe_db::TxnId`] for observability
+/// events ([`groupsafe_sim::ObsEvent`] keys transactions by a single
+/// integer). Client ids are small and sequence numbers are per-client,
+/// so `client << 40 ^ seq` is collision-free for any simulated run and
+/// renders compactly.
+#[inline]
+pub fn obs_txn(id: groupsafe_db::TxnId) -> u64 {
+    (u64::from(id.client) << 40) ^ id.seq
+}
 pub use certify::{certify, certify_snapshot, certify_versions, Certification};
 pub use client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient, StopClient, TxnPlan};
 pub use groupsafe_gcs::BatchConfig;

@@ -1753,6 +1753,12 @@ pub mod fuzz {
         pub commits: usize,
         /// The engine's dispatch fingerprint (replay witness).
         pub fingerprint: u64,
+        /// The flight recorder's tail at the end of the run: the last
+        /// ring of structured pipeline events, rendered one per line
+        /// (empty when observability was disabled). Recording never
+        /// touches the fingerprint, so a repro replays identically with
+        /// or without it.
+        pub flight: String,
     }
 
     impl FuzzOutcome {
@@ -1761,7 +1767,10 @@ pub mod fuzz {
             self.audit.clean()
         }
 
-        /// The loud failure report: seed, plan dump, violations.
+        /// The loud failure report: seed, plan dump, violations, and the
+        /// flight recorder's tail — the last structured pipeline events
+        /// before the audit, so a violation dump carries the pipeline's
+        /// final moments alongside the replay seed.
         pub fn describe(&self) -> String {
             let mut out = format!(
                 "seed {} ({}, {} commits, lost {}, fingerprint {:#018x})\nplan:\n{}",
@@ -1774,6 +1783,14 @@ pub mod fuzz {
             );
             for v in &self.audit.violations {
                 out.push_str(&format!("  VIOLATION: {v}\n"));
+            }
+            if !self.flight.is_empty() {
+                out.push_str("flight recorder tail:\n");
+                for line in self.flight.lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
             }
             out
         }
@@ -2105,12 +2122,14 @@ pub mod fuzz {
         let system = run.into_system();
         let audit = audit_scenario(&plan, &system, spec.level);
         let commits = system.oracle.borrow().acked.len();
+        let flight = system.engine.obs().render_tail();
         FuzzOutcome {
             seed,
             plan,
             audit,
             commits,
             fingerprint: system.engine.fingerprint(),
+            flight,
         }
     }
 }

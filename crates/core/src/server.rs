@@ -63,13 +63,14 @@ use groupsafe_db::{
 };
 use groupsafe_gcs::{BatchConfig, GcsConfig, GcsEndpoint, GcsOutput, GcsTimer, Wire};
 use groupsafe_net::{Incoming, Network, NodeId, NET_CPU};
-use groupsafe_sim::{Actor, Ctx, Disk, Fcfs, Payload, SimDuration, SimTime};
+use groupsafe_sim::{Actor, Ctx, Disk, Fcfs, ObsEvent, Payload, SimDuration, SimTime};
 
 use crate::certify::{certify, certify_snapshot, Certification};
 use crate::msg::{
     ClientMsg, DsmMsg, GroupMsg, LazyPropagation, LoggedConfirm, ServerReply, TxnRequest,
     XgDecision, XgDecisionFwd, XgPrepare, XgStatusQuery, XgSubRequest, XgVote,
 };
+use crate::obs_txn;
 use crate::reads::{ReadConfig, ReadLevel, ReadPath, ReadReply, ReadRequest};
 use crate::safety::SafetyLevel;
 use crate::shard::ShardMap;
@@ -814,6 +815,7 @@ impl ReplicaServer {
         };
         let id = exec.req.id;
         self.execs.insert(id, exec);
+        ctx.emit(|| ObsEvent::ExecStart { txn: obs_txn(id) });
         match self.technique {
             Technique::Dsm(_) => self.run_dsm_read_phase(ctx, id),
             Technique::Lazy => self.continue_lazy(ctx, id),
@@ -938,6 +940,13 @@ impl ReplicaServer {
             cursor = r.done;
         }
         ctx.metrics().incr("reads_served");
+        {
+            let (id, redirected) = (req.id, req.attempt > 0);
+            ctx.emit(|| ObsEvent::ReadServe {
+                read: obs_txn(id),
+                redirected,
+            });
+        }
         self.oracle.borrow_mut().record_read(ReadRecord {
             txn: req.id,
             client: req.id.client,
@@ -1025,6 +1034,8 @@ impl ReplicaServer {
     /// by attempt).
     fn start_xg(&mut self, ctx: &mut Ctx<'_>, req: TxnRequest, groups: Vec<u32>, start: SimTime) {
         ctx.metrics().incr("xg_coordinated");
+        let id = req.id;
+        ctx.emit(|| ObsEvent::ExecStart { txn: obs_txn(id) });
         let mut slices: Vec<Vec<Operation>> = vec![Vec::new(); groups.len()];
         for &op in &req.ops {
             let g = self.shard.group_of(op.item());
@@ -1334,6 +1345,12 @@ impl ReplicaServer {
                 readset: exec.readset,
                 writes: Self::dedup_writes(&exec.writes),
             };
+            if exec.kind == ExecKind::XgHome {
+                // The coordinator's slice entering the ordered pipeline is
+                // the commit phase's start for the whole transaction.
+                ctx.emit(|| ObsEvent::BroadcastTxn { txn: obs_txn(txn) });
+            }
+            ctx.emit(|| ObsEvent::XgPrepare { txn: obs_txn(txn) });
             let gcs = self.gcs.as_mut().expect("xg runs on group communication");
             gcs.broadcast(ctx, Rc::new(GroupMsg::XgPrepare(prepare)));
             ctx.metrics().incr("xg_prepares");
@@ -1375,6 +1392,7 @@ impl ReplicaServer {
             writes: Self::dedup_writes(&exec.writes),
             snapshot: exec.snapshot,
         };
+        ctx.emit(|| ObsEvent::BroadcastTxn { txn: obs_txn(txn) });
         let gcs = self.gcs.as_mut().expect("DSM uses group communication");
         gcs.broadcast(ctx, Rc::new(GroupMsg::Txn(msg)));
         ctx.metrics().incr("dsm_broadcasts");
@@ -1561,6 +1579,13 @@ impl ReplicaServer {
             Technique::Lazy => unreachable!("lazy does not deliver"),
         };
         let committed = matches!(verdict, Certification::Commit);
+        {
+            let txn = msg.txn;
+            ctx.emit(|| ObsEvent::Certify {
+                txn: obs_txn(txn),
+                committed,
+            });
+        }
         self.mix_order(seq, msg.txn, committed);
         self.mix_cert(seq, msg.txn, committed, msg.snapshot);
         // Delegate-side snapshot-transaction record for the SI oracle
@@ -1608,6 +1633,10 @@ impl ReplicaServer {
                     })
                     .collect();
                 let res = self.db.commit(decided_at, msg.txn, &writes);
+                if !res.duplicate {
+                    let txn = msg.txn;
+                    ctx.emit(|| ObsEvent::Apply { txn: obs_txn(txn) });
+                }
                 if !res.duplicate && !writes.is_empty() {
                     // Broadcast read-only transactions leave no commit
                     // record: like classic read-only commits they promise
@@ -1792,6 +1821,14 @@ impl ReplicaServer {
             }
         }
         if p.delegate == self.node {
+            {
+                let (txn, group) = (p.txn, self.group);
+                ctx.emit(|| ObsEvent::XgVote {
+                    txn: obs_txn(txn),
+                    group,
+                    commit: ok,
+                });
+            }
             let vote = XgVote {
                 txn: p.txn,
                 attempt: p.attempt,
@@ -1842,6 +1879,13 @@ impl ReplicaServer {
             Technique::Dsm(l) => l,
             Technique::Lazy => unreachable!("lazy does not deliver"),
         };
+        {
+            let (txn, commit) = (d.txn, d.commit);
+            ctx.emit(|| ObsEvent::XgDecision {
+                txn: obs_txn(txn),
+                commit,
+            });
+        }
         let held = self.db.holds_reservation(d.txn);
         self.db.release(d.txn);
         if self
@@ -2132,6 +2176,7 @@ impl ReplicaServer {
                     }
                 }
                 GcsOutput::InstallState { state, applied_seq } => {
+                    ctx.emit(|| ObsEvent::StateTransfer { applied_seq });
                     self.db.install_checkpoint(state);
                     self.applied_seq = applied_seq;
                     self.state_floor = self.state_floor.max(applied_seq);
@@ -2144,7 +2189,7 @@ impl ReplicaServer {
                 }
                 GcsOutput::ViewInstalled { view } => {
                     ctx.metrics().incr("view_changes");
-                    let _ = view;
+                    ctx.emit(|| ObsEvent::ViewChange { view: view.id });
                 }
                 GcsOutput::Joined { .. } => {
                     ctx.metrics().incr("rejoins");
@@ -2176,6 +2221,7 @@ impl ReplicaServer {
                 ctx.timer(self.cfg.wal_flush_interval, ServerTimer::WalFlushTick);
             }
             ServerTimer::WalDurable(lsn) => {
+                ctx.emit(|| ObsEvent::WalSync { lsn });
                 self.db.wal_mark_durable(lsn);
                 // 2-safe/very-safe: transactions whose records are now
                 // durable are "processed" — send their ack(m).
@@ -2221,6 +2267,8 @@ impl ReplicaServer {
             ServerTimer::LazyPropTick => {
                 if !self.lazy_buffer.is_empty() {
                     let writesets = std::mem::take(&mut self.lazy_buffer);
+                    let count = writesets.len() as u32;
+                    ctx.emit(|| ObsEvent::LazyPropagate { count });
                     let msg = LazyPropagation { writesets };
                     self.charge_net_cpu(ctx.now());
                     for i in 0..self.n_servers {
@@ -2234,6 +2282,16 @@ impl ReplicaServer {
                 ctx.timer(self.cfg.lazy_prop_interval, ServerTimer::LazyPropTick);
             }
             ServerTimer::Reply { client, reply } => {
+                let group = self.group;
+                let (txn, committed) = match &reply {
+                    ServerReply::Committed { txn, .. } => (*txn, true),
+                    ServerReply::Aborted { txn, .. } => (*txn, false),
+                };
+                ctx.emit(|| ObsEvent::Reply {
+                    txn: obs_txn(txn),
+                    group,
+                    committed,
+                });
                 self.charge_net_cpu(ctx.now());
                 self.net.send(ctx, self.node, client, reply);
             }

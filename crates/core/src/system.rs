@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use groupsafe_db::DbEngine;
 use groupsafe_gcs::GcsStats;
 use groupsafe_net::{NetConfig, Network, NodeId};
-use groupsafe_sim::{ActorId, Engine, SimDuration, SimTime};
+use groupsafe_sim::{ActorId, Engine, ObsConfig, Scheduler, SimDuration, SimTime};
 
 use crate::client::{Client, ClientConfig, LoadModel, OpGenerator, StartClient};
 use crate::server::{InitServer, ReplicaConfig, ReplicaServer, Technique};
@@ -40,6 +40,13 @@ pub struct SystemConfig {
     pub shard: ShardSpec,
     /// Master seed.
     pub seed: u64,
+    /// Observability: recording mode of the typed event layer (default:
+    /// the ring-buffer flight recorder; recording never perturbs the
+    /// simulation).
+    pub obs: ObsConfig,
+    /// Event-queue scheduler of the simulation kernel (timing wheel by
+    /// default; the legacy heap is kept for equivalence testing).
+    pub scheduler: Scheduler,
 }
 
 impl Default for SystemConfig {
@@ -56,6 +63,8 @@ impl Default for SystemConfig {
             net: NetConfig::default(),
             shard: ShardSpec::default(),
             seed: 42,
+            obs: ObsConfig::default(),
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -101,7 +110,8 @@ impl System {
         let n_groups = shard.n_groups();
         let spg = cfg.n_servers;
         let total_servers = spg * n_groups;
-        let mut engine = Engine::new(cfg.seed);
+        let mut engine = Engine::new_with_scheduler(cfg.seed, cfg.scheduler);
+        engine.set_obs(cfg.obs);
         let net = Network::new(cfg.net.clone());
         let oracle = Rc::new(RefCell::new(Oracle::default()));
         let mut seeder = StdRng::seed_from_u64(cfg.seed);

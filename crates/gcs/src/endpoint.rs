@@ -45,7 +45,7 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 
 use groupsafe_net::{Network, NodeId};
-use groupsafe_sim::{Ctx, Disk, SimTime};
+use groupsafe_sim::{Ctx, Disk, ObsEvent, SimTime};
 
 use crate::config::{DeliveryGuarantee, GcsConfig, GcsModel};
 use crate::message::{Entry, GcsTimer, MsgId, Wire};
@@ -748,6 +748,7 @@ where
         // Ordered loops back must not get a second sequence number.
         self.ordered_ids.insert(id, next);
         self.seq_assign = Some(next + 1);
+        ctx.emit(|| ObsEvent::Sequence { seq: next });
         let entry = Entry {
             seq: next,
             id,
@@ -773,6 +774,8 @@ where
         self.max_seq_seen = self.max_seq_seen.max(next);
         let members = self.ordering_targets();
         let view = self.view.id;
+        let fanout = members.len() as u32;
+        ctx.emit(|| ObsEvent::MulticastSend { fanout });
         self.net.multicast(
             ctx,
             self.me,
@@ -833,8 +836,11 @@ where
         self.stats.batches_sent += 1;
         self.stats.batch_msgs_sent += n;
         *self.batch_hist.entry(n as u32).or_insert(0) += 1;
+        ctx.emit(|| ObsEvent::BatchFlush { size: n as u32 });
         let members = self.ordering_targets();
         let view = self.view.id;
+        let fanout = members.len() as u32;
+        ctx.emit(|| ObsEvent::MulticastSend { fanout });
         self.net.multicast_frame(
             ctx,
             self.me,
@@ -993,6 +999,8 @@ where
             any = true;
         }
         if any {
+            // One frame-wide stable-log write covered the whole window.
+            ctx.emit(|| ObsEvent::StableWrite { seq: hi });
             self.send_ack_range(ctx, lo, hi);
             self.try_deliver(ctx, out);
         }
@@ -1016,6 +1024,7 @@ where
         let Some((id, payload)) = self.ordered.get(&seq).cloned() else {
             return;
         };
+        ctx.emit(|| ObsEvent::StableWrite { seq });
         self.persisted.insert(seq);
         let era = self.entry_era.get(&seq).copied().unwrap_or(0);
         self.stable.insert(
@@ -1033,6 +1042,7 @@ where
     }
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        ctx.emit(|| ObsEvent::Vote { seq });
         let era = self.entry_era.get(&seq).copied().unwrap_or(0);
         self.record_ack(self.me, seq, era);
         let targets: Vec<NodeId> = self
@@ -1048,6 +1058,8 @@ where
     /// One aggregated stability vote covering `lo..=hi` (batched
     /// pipeline): semantically `hi - lo + 1` acks, one message.
     fn send_ack_range(&mut self, ctx: &mut Ctx<'_>, lo: u64, hi: u64) {
+        // One aggregated vote: the window's head stands for the frame.
+        ctx.emit(|| ObsEvent::Vote { seq: hi });
         let era = self.entry_era.get(&lo).copied().unwrap_or(0);
         for seq in lo..=hi {
             self.record_ack(self.me, seq, era);
@@ -1180,7 +1192,7 @@ where
 
     fn deliver_one(
         &mut self,
-        _ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_>,
         seq: u64,
         redelivery: bool,
         out: &mut Vec<GcsOutput<P, S>>,
@@ -1204,6 +1216,7 @@ where
             return;
         }
         self.already_emitted.insert(seq);
+        ctx.emit(|| ObsEvent::UniformDeliver { seq });
         if redelivery {
             self.stats.redelivered += 1;
         } else {

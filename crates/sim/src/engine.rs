@@ -47,6 +47,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::metrics::Metrics;
+use crate::obs::{Obs, ObsConfig, ObsEvent};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
@@ -116,9 +117,10 @@ enum EventKind {
 /// therefore produce bit-for-bit identical fingerprints and traces; the
 /// legacy heap exists as an executable reference for equivalence tests and
 /// as a fallback while the wheel bakes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scheduler {
     /// Hierarchical timing wheel + event slab (the default; O(1) amortised).
+    #[default]
     TimingWheel,
     /// The original `BinaryHeap<Reverse<QueuedEvent>>` (O(log n) per op).
     LegacyHeap,
@@ -352,8 +354,10 @@ pub struct Kernel {
     rng: StdRng,
     /// Metrics registry shared by the whole simulation.
     pub metrics: Metrics,
-    /// Optional execution trace (disabled by default).
-    pub trace: Trace,
+    /// Typed observability sink (disabled by default). Recording never
+    /// touches the fingerprint, the RNG or the queue: enabling it leaves
+    /// the simulation's behaviour bit-for-bit identical.
+    pub obs: Obs,
     fingerprint: u64,
     dispatched: u64,
     halted: bool,
@@ -372,7 +376,7 @@ impl Kernel {
             alive: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(),
-            trace: Trace::disabled(),
+            obs: Obs::default(),
             fingerprint: FNV_OFFSET,
             dispatched: 0,
             halted: false,
@@ -477,11 +481,22 @@ impl Ctx<'_> {
         &mut self.kernel.metrics
     }
 
-    /// Record a trace line (no-op unless tracing is enabled).
-    pub fn trace(&mut self, label: impl FnOnce() -> String) {
+    /// Emit a typed observability event, stamped with the current sim
+    /// time and the executing actor. `event` is only evaluated when
+    /// recording is active (single-branch cost otherwise).
+    #[inline]
+    pub fn emit(&mut self, event: impl FnOnce() -> ObsEvent) {
         let now = self.kernel.now;
         let me = self.me;
-        self.kernel.trace.record(now, me, label);
+        self.kernel.obs.emit_with(now, me, event);
+    }
+
+    /// Record a free-form trace label (no-op unless recording is active).
+    /// Legacy shim: the label forwards into the typed layer as
+    /// [`ObsEvent::Legacy`] — prefer emitting a typed event via
+    /// [`Ctx::emit`].
+    pub fn trace(&mut self, label: impl FnOnce() -> String) {
+        self.emit(|| ObsEvent::Legacy { label: label() });
     }
 }
 
@@ -507,9 +522,22 @@ impl Engine {
         }
     }
 
-    /// Enable execution tracing (records every dispatch label).
+    /// Enable full-stream structured recording (sugar for
+    /// `set_obs(ObsConfig::stream())`; kept under its historical name for
+    /// the trace-consuming tests).
     pub fn enable_trace(&mut self) {
-        self.kernel.trace = Trace::enabled();
+        self.set_obs(ObsConfig::stream());
+    }
+
+    /// Configure the observability layer (mode + flight-recorder size).
+    /// Replaces any previously recorded events.
+    pub fn set_obs(&mut self, cfg: ObsConfig) {
+        self.kernel.obs = Obs::new(cfg);
+    }
+
+    /// The observability sink (events, flight-recorder tail, exporters).
+    pub fn obs(&self) -> &Obs {
+        &self.kernel.obs
     }
 
     /// Register an actor; returns its id. All actors start alive with
@@ -686,9 +714,12 @@ impl Engine {
         &mut self.kernel.metrics
     }
 
-    /// The recorded trace (empty unless tracing was enabled).
-    pub fn trace(&self) -> &Trace {
-        &self.kernel.trace
+    /// The recorded trace, materialised from the typed event stream
+    /// (empty unless full-stream recording was enabled). Legacy string
+    /// labels pass through verbatim; typed events render as
+    /// `stage k=v ...`.
+    pub fn trace(&self) -> Trace {
+        Trace::from_obs(&self.kernel.obs)
     }
 
     /// Borrow a registered actor (e.g. to read results after a run).

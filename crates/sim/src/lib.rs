@@ -10,7 +10,10 @@
 //!   process model ([`Engine`], [`Actor`], [`Ctx`]),
 //! * analytic FCFS queueing resources for CPUs ([`Fcfs`]) and disks
 //!   ([`Disk`], Table 4 parameters),
-//! * metrics ([`Metrics`], [`Histogram`]) and optional tracing ([`Trace`]).
+//! * metrics ([`Metrics`], [`Histogram`]) and deterministic structured
+//!   observability ([`ObsEvent`], [`Obs`], [`obs`]): typed pipeline
+//!   events, a bounded flight recorder, and byte-stable exporters, with
+//!   the legacy string [`Trace`] kept as a materialised view.
 //!
 //! Determinism is a hard invariant: one seed, one dispatch sequence
 //! ([`Engine::fingerprint`]), so every experiment in the paper can be
@@ -22,6 +25,7 @@
 pub mod disk;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod resource;
 pub mod time;
 pub mod trace;
@@ -29,6 +33,10 @@ pub mod trace;
 pub use disk::{Disk, DiskConfig, DiskStats};
 pub use engine::{Actor, ActorId, AsAny, Ctx, Engine, Payload, Scheduler};
 pub use metrics::{Histogram, Metrics};
+pub use obs::{
+    decompose_commits, prometheus_snapshot, CommitSpan, Obs, ObsConfig, ObsEvent, ObsMode,
+    ObsRecord,
+};
 pub use resource::Fcfs;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

@@ -19,6 +19,11 @@ pub struct Histogram {
     samples: Vec<f64>,
     /// Length of the sorted prefix of `samples`.
     sorted_len: usize,
+    /// Running sum of all samples, maintained at record time so `mean`
+    /// and `stddev` are O(1) instead of rescanning inside reporting loops.
+    sum: f64,
+    /// Running sum of squares (for the O(1) `stddev`).
+    sum_sq: f64,
 }
 
 impl Histogram {
@@ -27,12 +32,16 @@ impl Histogram {
         Histogram {
             samples: Vec::new(),
             sorted_len: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
         }
     }
 
     /// Record one sample.
     pub fn record(&mut self, v: f64) {
         self.samples.push(v);
+        self.sum += v;
+        self.sum_sq += v * v;
     }
 
     /// Number of samples recorded.
@@ -45,22 +54,29 @@ impl Histogram {
         self.samples.is_empty()
     }
 
-    /// Arithmetic mean (0.0 if empty).
+    /// Sum of all samples (0.0 if empty); maintained at record time.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 if empty). O(1): reads the running sum.
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        self.sum / self.samples.len() as f64
     }
 
     /// Sample standard deviation (0.0 with fewer than two samples).
+    /// O(1): derived from the running sum and sum of squares.
     pub fn stddev(&self) -> f64 {
         let n = self.samples.len();
         if n < 2 {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+        // Guard against tiny negative variance from float cancellation.
+        let var = ((self.sum_sq - m * m * n as f64) / (n - 1) as f64).max(0.0);
         var.sqrt()
     }
 
@@ -239,6 +255,24 @@ mod tests {
             let mid = seen.len().div_ceil(2) - 1;
             assert_eq!(h.quantile(0.5), seen[mid], "median after {} records", i + 1);
             assert_eq!(h.count(), seen.len());
+            // The running sum/count must track interleaved recording: mean
+            // and stddev stay exact against a fresh rescan at every step.
+            let n = seen.len() as f64;
+            let mean = seen.iter().sum::<f64>() / n;
+            assert!(
+                (h.mean() - mean).abs() < 1e-12,
+                "mean after {} records",
+                i + 1
+            );
+            assert!((h.sum() - seen.iter().sum::<f64>()).abs() < 1e-12);
+            if seen.len() >= 2 {
+                let var = seen.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+                assert!(
+                    (h.stddev() - var.sqrt()).abs() < 1e-9,
+                    "stddev after {} records",
+                    i + 1
+                );
+            }
         }
         // A burst of records with no query in between, then one query.
         for v in [2.5, 8.5, 0.1] {

@@ -1,10 +1,16 @@
-//! Optional execution tracing.
+//! Legacy string tracing, now a view over the typed observability layer.
 //!
-//! Tracing is off by default (the hot path pays only a branch). When
-//! enabled, actors can record labelled events which scenario tests and the
-//! group-communication property checkers inspect after the run.
+//! The stringly `Trace` used to be the kernel's only event record. The
+//! typed [`crate::obs`] layer replaced it: actors emit [`crate::ObsEvent`]
+//! values via [`crate::Ctx::emit`], and free-form labels recorded through
+//! the deprecated [`crate::Ctx::trace`] shim are forwarded as
+//! [`crate::ObsEvent::Legacy`]. [`Engine::trace`](crate::Engine::trace)
+//! materialises a `Trace` back out of the recorded stream so existing
+//! consumers (scheduler-equivalence tests, scenario assertions) keep
+//! working unchanged.
 
 use crate::engine::ActorId;
+use crate::obs::Obs;
 use crate::time::SimTime;
 
 /// One recorded trace entry.
@@ -14,7 +20,8 @@ pub struct TraceEntry {
     pub time: SimTime,
     /// The actor that recorded it.
     pub actor: ActorId,
-    /// Free-form label (producer-defined format).
+    /// Free-form label (producer-defined format). Typed events render as
+    /// `stage k=v ...`; legacy labels pass through verbatim.
     pub label: String,
 }
 
@@ -42,12 +49,33 @@ impl Trace {
         }
     }
 
+    /// Materialise a trace from a recorded observability stream: one
+    /// entry per [`crate::ObsRecord`], labels rendered deterministically.
+    pub fn from_obs(obs: &Obs) -> Self {
+        Trace {
+            enabled: obs.is_active(),
+            entries: obs
+                .events()
+                .iter()
+                .map(|r| TraceEntry {
+                    time: r.time,
+                    actor: r.actor,
+                    label: r.event.render(),
+                })
+                .collect(),
+        }
+    }
+
     /// True if recording.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     /// Record an entry; `label` is only evaluated when tracing is on.
+    #[deprecated(
+        since = "0.2.0",
+        note = "emit typed events via `Ctx::emit`; string labels forward into `ObsEvent::Legacy`"
+    )]
     pub fn record(&mut self, time: SimTime, actor: ActorId, label: impl FnOnce() -> String) {
         if self.enabled {
             self.entries.push(TraceEntry {
@@ -74,8 +102,10 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::{ObsConfig, ObsEvent};
 
     #[test]
+    #[allow(deprecated)]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
         t.record(SimTime::ZERO, ActorId(0), || "x".to_string());
@@ -83,6 +113,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::enabled();
         t.record(SimTime::from_millis(1), ActorId(0), || "a:1".to_string());
@@ -90,5 +121,22 @@ mod tests {
         assert_eq!(t.entries().len(), 2);
         assert_eq!(t.entries()[0].label, "a:1");
         assert_eq!(t.with_prefix("b:").count(), 1);
+    }
+
+    #[test]
+    fn from_obs_renders_typed_and_legacy_alike() {
+        let mut obs = Obs::new(ObsConfig::stream());
+        obs.emit_with(SimTime::from_millis(1), ActorId(0), || ObsEvent::Vote {
+            seq: 3,
+        });
+        obs.emit_with(SimTime::from_millis(2), ActorId(1), || ObsEvent::Legacy {
+            label: "w1:hop2".to_string(),
+        });
+        let t = Trace::from_obs(&obs);
+        assert!(t.is_enabled());
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.entries()[0].label, "vote seq=3");
+        assert_eq!(t.entries()[1].label, "w1:hop2");
+        assert_eq!(t.with_prefix("w1:").count(), 1);
     }
 }

@@ -1,0 +1,77 @@
+//! Regression for the CI observability profile: `GROUPSAFE_OBS` must
+//! reach the built engine whichever way the builder was assembled, a
+//! malformed value must fail the build loudly, and explicit
+//! [`SystemBuilder::observe`] calls must still win over it.
+//!
+//! One test, alone in its own binary: the env var is process-global, so
+//! it must not race sibling tests that build systems concurrently.
+
+use groupsafe::core::{BuildError, System};
+use groupsafe::sim::{ObsConfig, ObsMode};
+
+#[test]
+fn env_profile_parses_plumbs_and_yields_to_explicit() {
+    // ---- parsing: every recognised profile, and a typed error on typos
+    // (a malformed value must never silently disable recording — that
+    // would make an "obs on" CI pass vacuous).
+    let parse = |v: Option<&str>| {
+        match v {
+            Some(v) => std::env::set_var("GROUPSAFE_OBS", v),
+            None => std::env::remove_var("GROUPSAFE_OBS"),
+        }
+        let got = ObsConfig::from_env();
+        std::env::remove_var("GROUPSAFE_OBS");
+        got
+    };
+    assert_eq!(parse(None), Ok(None));
+    assert_eq!(parse(Some("")), Ok(None));
+    assert_eq!(parse(Some("off")), Ok(Some(ObsConfig::disabled())));
+    assert_eq!(parse(Some("ring")), Ok(Some(ObsConfig::default())));
+    assert_eq!(parse(Some("ring:64")), Ok(Some(ObsConfig::ring(64))));
+    assert_eq!(
+        parse(Some("full")).map(|o| o.map(|c| c.mode)),
+        Ok(Some(ObsMode::Stream))
+    );
+    assert_eq!(
+        parse(Some("stream")).map(|o| o.map(|c| c.mode)),
+        Ok(Some(ObsMode::Stream))
+    );
+    for bad in ["rings", "ring:x", "off:64", "full:", "ring:0x10"] {
+        assert!(
+            parse(Some(bad)).is_err(),
+            "{bad:?} must be a typed error, not silently record nothing"
+        );
+    }
+
+    // ---- a malformed profile fails the build with a typed error.
+    std::env::set_var("GROUPSAFE_OBS", "rings");
+    let err = System::builder().build();
+    std::env::remove_var("GROUPSAFE_OBS");
+    assert!(
+        matches!(
+            err.as_ref().map(|_| ()),
+            Err(BuildError::BadEnvProfile {
+                var: "GROUPSAFE_OBS",
+                ..
+            })
+        ),
+        "a malformed profile must fail the build loudly"
+    );
+
+    // ---- the profile reaches the built engine...
+    std::env::set_var("GROUPSAFE_OBS", "full");
+    let run = System::builder().build().expect("valid");
+    assert_eq!(run.system().engine.obs().mode(), ObsMode::Stream);
+
+    // ---- ...and an explicit setter still beats it.
+    let run = System::builder()
+        .observe(ObsConfig::disabled())
+        .build()
+        .expect("valid");
+    std::env::remove_var("GROUPSAFE_OBS");
+    assert_eq!(
+        run.system().engine.obs().mode(),
+        ObsMode::Disabled,
+        "explicit wins over the env profile"
+    );
+}
